@@ -1,0 +1,146 @@
+#include "src/assign/exact_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace assign {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct SearchState {
+  const Problem* p = nullptr;
+  std::uint64_t node_budget = 0;
+  std::uint64_t nodes = 0;
+  int best_count = 0;  // Best (smallest) used-instance count found.
+  bool found = false;
+  bool budget_exceeded = false;
+  Assignment best;
+  Assignment current;
+  std::vector<double> load;
+  std::vector<int> rules;
+  std::vector<bool> used;
+  std::vector<std::size_t> order;  // VIPs, hardest first.
+
+  int UsedCount() const {
+    return static_cast<int>(std::count(used.begin(), used.end(), true));
+  }
+
+  void ChooseReplicas(std::size_t oi, int slot, int min_next, std::vector<int>* chosen);
+  void NextVip(std::size_t oi);
+};
+
+void SearchState::NextVip(std::size_t oi) {
+  if (budget_exceeded) {
+    return;
+  }
+  if (++nodes > node_budget) {
+    budget_exceeded = true;
+    return;
+  }
+  if (oi == order.size()) {
+    const int count = UsedCount();
+    if (!found || count < best_count) {
+      found = true;
+      best_count = count;
+      best = current;
+    }
+    return;
+  }
+  if (found && UsedCount() >= best_count) {
+    return;  // Prune: cannot improve.
+  }
+  std::vector<int> chosen;
+  ChooseReplicas(oi, 0, 0, &chosen);
+}
+
+void SearchState::ChooseReplicas(std::size_t oi, int slot, int min_next,
+                                 std::vector<int>* chosen) {
+  if (budget_exceeded) {
+    return;
+  }
+  const std::size_t v = order[oi];
+  const VipSpec& vip = p->vips[v];
+  if (slot == vip.replicas) {
+    current.vip_instances[v] = *chosen;
+    NextVip(oi + 1);
+    current.vip_instances[v].clear();
+    return;
+  }
+  const double fail_share = vip.ShareAfterFailures();
+  // Symmetry breaking: replica indices increase, and a "fresh" instance may
+  // only be the lowest-numbered unused one.
+  int first_unused = -1;
+  for (std::size_t y = 0; y < used.size(); ++y) {
+    if (!used[y]) {
+      first_unused = static_cast<int>(y);
+      break;
+    }
+  }
+  for (int y = min_next; y < static_cast<int>(used.size()); ++y) {
+    const auto yi = static_cast<std::size_t>(y);
+    if (!used[yi] && y != first_unused) {
+      continue;  // All unused instances are interchangeable.
+    }
+    if (load[yi] + fail_share > p->traffic_capacity + kEps) {
+      continue;
+    }
+    if (rules[yi] + vip.rules > p->rule_capacity) {
+      continue;
+    }
+    const bool was_used = used[yi];
+    if (!was_used && found && UsedCount() + 1 >= best_count) {
+      continue;  // Opening another instance cannot beat the incumbent.
+    }
+    load[yi] += fail_share;
+    rules[yi] += vip.rules;
+    used[yi] = true;
+    chosen->push_back(y);
+    ChooseReplicas(oi, slot + 1, y + 1, chosen);
+    chosen->pop_back();
+    load[yi] -= fail_share;
+    rules[yi] -= vip.rules;
+    used[yi] = was_used;
+  }
+}
+
+}  // namespace
+
+ExactResult ExactSolver::Solve(const Problem& problem) const {
+  ExactResult result;
+  const int universe = problem.max_instances > 0
+                           ? problem.max_instances
+                           : static_cast<int>(problem.vips.size()) * 4 + 4;
+  SearchState st;
+  st.p = &problem;
+  st.node_budget = node_budget_;
+  st.load.assign(static_cast<std::size_t>(universe), 0.0);
+  st.rules.assign(static_cast<std::size_t>(universe), 0);
+  st.used.assign(static_cast<std::size_t>(universe), false);
+  st.current.vip_instances.assign(problem.vips.size(), {});
+  st.order.resize(problem.vips.size());
+  std::iota(st.order.begin(), st.order.end(), 0);
+  std::sort(st.order.begin(), st.order.end(), [&problem](std::size_t a, std::size_t b) {
+    return problem.vips[a].ShareAfterFailures() > problem.vips[b].ShareAfterFailures();
+  });
+  for (const VipSpec& v : problem.vips) {
+    if (v.failures >= v.replicas) {
+      return result;  // Unsatisfiable.
+    }
+  }
+
+  st.NextVip(0);
+
+  result.feasible = st.found;
+  result.proven_optimal = st.found && !st.budget_exceeded;
+  result.nodes_explored = st.nodes;
+  if (st.found) {
+    result.assignment = st.best;
+    result.instances_used = st.best_count;
+  }
+  return result;
+}
+
+}  // namespace assign

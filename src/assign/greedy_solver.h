@@ -1,0 +1,56 @@
+// Heuristic solver for the VIP assignment ILP.
+//
+// The paper solves the ILP with CPLEX at a 10% optimality gap; this repo has
+// no external solver, so we use first-fit-decreasing packing plus an eviction
+// local search, which plays the same role (and is validated against the
+// exact branch-and-bound solver on small instances in the tests).
+//
+// For update rounds (YODA-limit in Fig 16) the solver additionally honours
+// the transient-traffic constraint (Eq 4,5) and a migration budget (Eq 6,7),
+// relaxing delta in +10% steps when infeasible — exactly the fallback the
+// paper describes ("we increased the limit by increments of 10%").
+
+#ifndef SRC_ASSIGN_GREEDY_SOLVER_H_
+#define SRC_ASSIGN_GREEDY_SOLVER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/assign/problem.h"
+
+namespace assign {
+
+struct SolveOptions {
+  // Previous round's assignment; enables the update constraints.
+  const Assignment* previous = nullptr;
+  // Enforce Eq 4,5 (transient traffic) during placement. Only meaningful
+  // with `previous`; YODA-no-limit runs with this off.
+  bool limit_transient = false;
+  // Enforce Eq 6,7 (migration budget p.migration_limit) during placement.
+  bool limit_migration = false;
+  // Run the instance-eviction local search after the greedy pass.
+  bool local_search = true;
+};
+
+struct SolveResult {
+  bool feasible = false;
+  Assignment assignment;
+  int instances_used = 0;
+  // Migration budget actually used (after any relaxation), or -1 if unused.
+  double effective_migration_limit = -1.0;
+  double migrated_fraction = 0.0;
+  std::string note;
+};
+
+class GreedySolver {
+ public:
+  SolveResult Solve(const Problem& problem, const SolveOptions& options = {}) const;
+
+ private:
+  SolveResult SolveOnce(const Problem& problem, const SolveOptions& options,
+                        double migration_limit) const;
+};
+
+}  // namespace assign
+
+#endif  // SRC_ASSIGN_GREEDY_SOLVER_H_

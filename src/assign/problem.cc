@@ -1,0 +1,88 @@
+#include "src/assign/problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace assign {
+
+double Problem::TotalTraffic() const {
+  return std::accumulate(vips.begin(), vips.end(), 0.0,
+                         [](double acc, const VipSpec& v) { return acc + v.traffic; });
+}
+
+int Problem::TotalRules() const {
+  return std::accumulate(vips.begin(), vips.end(), 0,
+                         [](int acc, const VipSpec& v) { return acc + v.rules; });
+}
+
+std::string Problem::Summary() const {
+  std::ostringstream os;
+  os << vips.size() << " VIPs, total traffic " << TotalTraffic() << ", total rules "
+     << TotalRules() << ", T_y=" << traffic_capacity << ", R_y=" << rule_capacity;
+  return os.str();
+}
+
+int Assignment::UsedInstanceCount() const { return static_cast<int>(UsedInstances().size()); }
+
+std::vector<int> Assignment::UsedInstances() const {
+  std::vector<int> used;
+  for (const auto& insts : vip_instances) {
+    used.insert(used.end(), insts.begin(), insts.end());
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used;
+}
+
+std::vector<double> Assignment::InstanceLoads(const Problem& p) const {
+  int max_inst = 0;
+  for (const auto& insts : vip_instances) {
+    for (int y : insts) {
+      max_inst = std::max(max_inst, y + 1);
+    }
+  }
+  std::vector<double> loads(static_cast<std::size_t>(max_inst), 0.0);
+  for (std::size_t v = 0; v < vip_instances.size(); ++v) {
+    const double share = p.vips[v].ShareAfterFailures();
+    for (int y : vip_instances[v]) {
+      loads[static_cast<std::size_t>(y)] += share;
+    }
+  }
+  return loads;
+}
+
+std::vector<int> Assignment::InstanceRules(const Problem& p) const {
+  int max_inst = 0;
+  for (const auto& insts : vip_instances) {
+    for (int y : insts) {
+      max_inst = std::max(max_inst, y + 1);
+    }
+  }
+  std::vector<int> rules(static_cast<std::size_t>(max_inst), 0);
+  for (std::size_t v = 0; v < vip_instances.size(); ++v) {
+    for (int y : vip_instances[v]) {
+      rules[static_cast<std::size_t>(y)] += p.vips[v].rules;
+    }
+  }
+  return rules;
+}
+
+Assignment AllToAll(const Problem& p, int instances) {
+  Assignment a;
+  std::vector<int> all(static_cast<std::size_t>(instances));
+  std::iota(all.begin(), all.end(), 0);
+  a.vip_instances.assign(p.vips.size(), all);
+  return a;
+}
+
+int MinInstancesByTraffic(const Problem& p) {
+  double total = 0;
+  for (const VipSpec& v : p.vips) {
+    total += v.traffic;
+  }
+  return static_cast<int>(std::ceil(total / p.traffic_capacity));
+}
+
+}  // namespace assign

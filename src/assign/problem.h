@@ -1,0 +1,80 @@
+// VIP -> Yoda-instance assignment problem (paper §4.4, Table 2 / Fig 7).
+//
+//   minimize   number of Yoda instances used
+//   subject to
+//     Eq 1: per-instance traffic after any f_v failures fits capacity:
+//           sum_{v on y} t_v / (n_v - f_v) <= T_y
+//     Eq 2: per-instance rule memory: sum_{v on y} r_v <= R_y
+//     Eq 3: VIP v is assigned to exactly n_v instances
+//     Eq 4,5 (update round): transient traffic under the union of old and
+//           new mappings fits capacity
+//     Eq 6,7 (update round): fraction of connections migrated <= delta
+//
+// All solvers speak this Problem/Assignment vocabulary; the Validator checks
+// any proposed Assignment against the constraints independently of how it
+// was produced.
+
+#ifndef SRC_ASSIGN_PROBLEM_H_
+#define SRC_ASSIGN_PROBLEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace assign {
+
+struct VipSpec {
+  int id = 0;
+  double traffic = 0;  // t_v, in instance-capacity units (e.g. req/s).
+  int rules = 0;       // r_v.
+  int replicas = 1;    // n_v: number of instances this VIP must be on.
+  int failures = 0;    // f_v = n_v * o_v: failures to tolerate without overload.
+
+  // Per-instance traffic share once f_v replicas have failed.
+  double ShareAfterFailures() const {
+    const int survivors = replicas - failures;
+    return traffic / static_cast<double>(survivors > 0 ? survivors : 1);
+  }
+};
+
+struct Problem {
+  std::vector<VipSpec> vips;
+  int max_instances = 0;             // |Y|.
+  double traffic_capacity = 1.0;     // T_y.
+  int rule_capacity = 2000;          // R_y (paper: 2K rules for 5 ms target).
+  // Migration budget for update rounds (Eq 6,7): max fraction of total
+  // traffic whose flows may move between instances. <0 disables.
+  double migration_limit = -1.0;
+
+  double TotalTraffic() const;
+  int TotalRules() const;
+  std::string Summary() const;
+};
+
+// assignment[v] = sorted list of instance indices (0-based) hosting VIP v.
+struct Assignment {
+  std::vector<std::vector<int>> vip_instances;
+
+  // Instances with at least one VIP.
+  int UsedInstanceCount() const;
+  std::vector<int> UsedInstances() const;
+
+  // Per-instance post-failure traffic load (Eq 1 LHS).
+  std::vector<double> InstanceLoads(const Problem& p) const;
+  // Per-instance rule counts (Eq 2 LHS).
+  std::vector<int> InstanceRules(const Problem& p) const;
+
+  bool operator==(const Assignment& o) const { return vip_instances == o.vip_instances; }
+};
+
+// The all-to-all baseline (§4.4): every VIP on every one of `instances`
+// instances. Used as the reference point in Fig 16(b,c).
+Assignment AllToAll(const Problem& p, int instances);
+
+// Fewest instances any scheme could use: total post-failure traffic divided
+// by per-instance capacity (the paper's reference line in Fig 16(c)).
+int MinInstancesByTraffic(const Problem& p);
+
+}  // namespace assign
+
+#endif  // SRC_ASSIGN_PROBLEM_H_

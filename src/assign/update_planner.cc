@@ -1,0 +1,55 @@
+#include "src/assign/update_planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/assign/validator.h"
+
+namespace assign {
+
+UpdatePlan PlanUpdate(const Problem& p, const Assignment& old_assignment,
+                      const Assignment& new_assignment) {
+  UpdatePlan plan;
+  plan.instances_before = old_assignment.UsedInstanceCount();
+  plan.instances_after = new_assignment.UsedInstanceCount();
+
+  for (std::size_t v = 0; v < p.vips.size(); ++v) {
+    std::set<int> old_set;
+    std::set<int> new_set;
+    if (v < old_assignment.vip_instances.size()) {
+      old_set.insert(old_assignment.vip_instances[v].begin(),
+                     old_assignment.vip_instances[v].end());
+    }
+    if (v < new_assignment.vip_instances.size()) {
+      new_set.insert(new_assignment.vip_instances[v].begin(),
+                     new_assignment.vip_instances[v].end());
+    }
+    VipDelta delta;
+    delta.vip_id = p.vips[v].id;
+    std::set_difference(new_set.begin(), new_set.end(), old_set.begin(), old_set.end(),
+                        std::back_inserter(delta.added_instances));
+    std::set_difference(old_set.begin(), old_set.end(), new_set.begin(), new_set.end(),
+                        std::back_inserter(delta.removed_instances));
+    if (!delta.added_instances.empty() || !delta.removed_instances.empty()) {
+      plan.deltas.push_back(std::move(delta));
+    }
+  }
+
+  plan.migrated_fraction = MigratedTrafficFraction(p, old_assignment, new_assignment);
+
+  const std::vector<double> transient = TransientLoads(p, old_assignment, new_assignment);
+  for (std::size_t y = 0; y < transient.size(); ++y) {
+    if (transient[y] > p.traffic_capacity + 1e-9) {
+      plan.overloaded_instances.push_back(static_cast<int>(y));
+    }
+  }
+  const std::vector<double> pre_loads = old_assignment.InstanceLoads(p);
+  for (std::size_t y = 0; y < pre_loads.size(); ++y) {
+    if (pre_loads[y] > p.traffic_capacity + 1e-9) {
+      plan.pre_overloaded_instances.push_back(static_cast<int>(y));
+    }
+  }
+  return plan;
+}
+
+}  // namespace assign

@@ -1,0 +1,40 @@
+// Update planning between two assignment rounds (paper §4.5, Fig 16).
+//
+// Quantifies what a VIP-mapping change does to the running system: which
+// (VIP, instance) pairs are added/removed, what fraction of flows migrate,
+// and which instances are transiently overloaded while the muxes converge.
+
+#ifndef SRC_ASSIGN_UPDATE_PLANNER_H_
+#define SRC_ASSIGN_UPDATE_PLANNER_H_
+
+#include <vector>
+
+#include "src/assign/problem.h"
+
+namespace assign {
+
+struct VipDelta {
+  int vip_id = 0;
+  std::vector<int> added_instances;
+  std::vector<int> removed_instances;
+};
+
+struct UpdatePlan {
+  std::vector<VipDelta> deltas;
+  // Fraction of total traffic whose flows migrate (Eq 6,7 LHS).
+  double migrated_fraction = 0;
+  // Instances whose transient (Eq 4,5) load exceeds capacity.
+  std::vector<int> overloaded_instances;
+  // Instances whose steady-state load already exceeded capacity before the
+  // update (the paper notes YODA-limit's residual overloads were these).
+  std::vector<int> pre_overloaded_instances;
+  int instances_before = 0;
+  int instances_after = 0;
+};
+
+UpdatePlan PlanUpdate(const Problem& p, const Assignment& old_assignment,
+                      const Assignment& new_assignment);
+
+}  // namespace assign
+
+#endif  // SRC_ASSIGN_UPDATE_PLANNER_H_

@@ -1,0 +1,154 @@
+#include "src/assign/validator.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace assign {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+ValidationResult Validate(const Problem& p, const Assignment& a) {
+  ValidationResult r;
+  if (a.vip_instances.size() != p.vips.size()) {
+    r.Violate("assignment has " + std::to_string(a.vip_instances.size()) + " VIP entries, want " +
+              std::to_string(p.vips.size()));
+    return r;
+  }
+  for (std::size_t v = 0; v < p.vips.size(); ++v) {
+    const VipSpec& vip = p.vips[v];
+    const auto& insts = a.vip_instances[v];
+    std::set<int> uniq(insts.begin(), insts.end());
+    if (uniq.size() != insts.size()) {
+      r.Violate("vip " + std::to_string(vip.id) + ": duplicate instance assignment");
+    }
+    for (int y : insts) {
+      if (y < 0 || (p.max_instances > 0 && y >= p.max_instances)) {
+        r.Violate("vip " + std::to_string(vip.id) + ": instance index " + std::to_string(y) +
+                  " out of range");
+      }
+    }
+    if (static_cast<int>(insts.size()) != vip.replicas) {
+      r.Violate("vip " + std::to_string(vip.id) + ": assigned to " +
+                std::to_string(insts.size()) + " instances, n_v=" +
+                std::to_string(vip.replicas) + " (Eq 3)");
+    }
+    if (vip.failures >= vip.replicas) {
+      r.Violate("vip " + std::to_string(vip.id) + ": f_v >= n_v is unsatisfiable");
+    }
+  }
+
+  const std::vector<double> loads = a.InstanceLoads(p);
+  for (std::size_t y = 0; y < loads.size(); ++y) {
+    if (loads[y] > p.traffic_capacity + kEps) {
+      std::ostringstream os;
+      os << "instance " << y << ": post-failure traffic " << loads[y] << " > T_y "
+         << p.traffic_capacity << " (Eq 1)";
+      r.Violate(os.str());
+    }
+  }
+  const std::vector<int> rules = a.InstanceRules(p);
+  for (std::size_t y = 0; y < rules.size(); ++y) {
+    if (rules[y] > p.rule_capacity) {
+      r.Violate("instance " + std::to_string(y) + ": rules " + std::to_string(rules[y]) +
+                " > R_y " + std::to_string(p.rule_capacity) + " (Eq 2)");
+    }
+  }
+  return r;
+}
+
+double MigratedTrafficFraction(const Problem& p, const Assignment& from, const Assignment& to) {
+  double migrated = 0;
+  double total = 0;
+  for (std::size_t v = 0; v < p.vips.size() && v < from.vip_instances.size() &&
+                          v < to.vip_instances.size();
+       ++v) {
+    const VipSpec& vip = p.vips[v];
+    total += vip.traffic;
+    const auto& old_insts = from.vip_instances[v];
+    if (old_insts.empty()) {
+      continue;
+    }
+    const std::set<int> new_set(to.vip_instances[v].begin(), to.vip_instances[v].end());
+    int lost = 0;
+    for (int y : old_insts) {
+      if (!new_set.contains(y)) {
+        ++lost;
+      }
+    }
+    migrated += vip.traffic * static_cast<double>(lost) / static_cast<double>(old_insts.size());
+  }
+  return total > 0 ? migrated / total : 0;
+}
+
+std::vector<double> TransientLoads(const Problem& p, const Assignment& old_assignment,
+                                   const Assignment& new_assignment) {
+  int max_inst = 0;
+  auto scan = [&max_inst](const Assignment& a) {
+    for (const auto& insts : a.vip_instances) {
+      for (int y : insts) {
+        max_inst = std::max(max_inst, y + 1);
+      }
+    }
+  };
+  scan(old_assignment);
+  scan(new_assignment);
+  std::vector<double> loads(static_cast<std::size_t>(max_inst), 0.0);
+  // During the non-atomic switch an instance can receive a VIP's traffic
+  // under whichever mapping a not-yet-updated mux still holds, so it must
+  // budget max(old nominal share, new nominal share) per VIP (Eq 4,5). The
+  // nominal share is t_v / n_v — smaller than the post-failure share Eq 1
+  // reserves, which is how the failure headroom absorbs the transient.
+  for (std::size_t v = 0; v < p.vips.size(); ++v) {
+    const double traffic = p.vips[v].traffic;
+    std::set<int> old_set;
+    std::set<int> new_set;
+    if (v < old_assignment.vip_instances.size()) {
+      old_set.insert(old_assignment.vip_instances[v].begin(),
+                     old_assignment.vip_instances[v].end());
+    }
+    if (v < new_assignment.vip_instances.size()) {
+      new_set.insert(new_assignment.vip_instances[v].begin(),
+                     new_assignment.vip_instances[v].end());
+    }
+    const double old_share = old_set.empty() ? 0 : traffic / static_cast<double>(old_set.size());
+    const double new_share = new_set.empty() ? 0 : traffic / static_cast<double>(new_set.size());
+    std::set<int> union_set = old_set;
+    union_set.insert(new_set.begin(), new_set.end());
+    for (int y : union_set) {
+      const double from_old = old_set.contains(y) ? old_share : 0;
+      const double from_new = new_set.contains(y) ? new_share : 0;
+      loads[static_cast<std::size_t>(y)] += std::max(from_old, from_new);
+    }
+  }
+  return loads;
+}
+
+ValidationResult ValidateUpdate(const Problem& p, const Assignment& old_assignment,
+                                const Assignment& new_assignment) {
+  ValidationResult r = Validate(p, new_assignment);
+  const std::vector<double> transient = TransientLoads(p, old_assignment, new_assignment);
+  for (std::size_t y = 0; y < transient.size(); ++y) {
+    if (transient[y] > p.traffic_capacity + kEps) {
+      std::ostringstream os;
+      os << "instance " << y << ": transient traffic " << transient[y] << " > T_y "
+         << p.traffic_capacity << " (Eq 4,5)";
+      r.Violate(os.str());
+    }
+  }
+  if (p.migration_limit >= 0) {
+    const double frac = MigratedTrafficFraction(p, old_assignment, new_assignment);
+    if (frac > p.migration_limit + kEps) {
+      std::ostringstream os;
+      os << "migrated traffic fraction " << frac << " > delta " << p.migration_limit
+         << " (Eq 6,7)";
+      r.Violate(os.str());
+    }
+  }
+  return r;
+}
+
+}  // namespace assign

@@ -1,0 +1,50 @@
+// Independent constraint checker for assignments (Eq 1-7 of Fig 7).
+//
+// Solvers are validated against this, never against themselves: every test
+// and every bench run passes its solver output through the Validator.
+
+#ifndef SRC_ASSIGN_VALIDATOR_H_
+#define SRC_ASSIGN_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/assign/problem.h"
+
+namespace assign {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void Violate(std::string msg) {
+    ok = false;
+    violations.push_back(std::move(msg));
+  }
+};
+
+// Checks Eq 1 (post-failure traffic), Eq 2 (rules), Eq 3 (replica counts)
+// and structural sanity (indices in range, no duplicate instance per VIP).
+ValidationResult Validate(const Problem& p, const Assignment& a);
+
+// Additionally checks the update-round constraints against `old_assignment`:
+// Eq 4,5 (transient traffic: each instance carries max(old, new) share per
+// VIP during the non-atomic switch) and Eq 6,7 (migrated traffic fraction
+// <= p.migration_limit, when the limit is enabled).
+ValidationResult ValidateUpdate(const Problem& p, const Assignment& old_assignment,
+                                const Assignment& new_assignment);
+
+// Fraction of total traffic whose flows migrate between instances when
+// moving from `from` to `to` (the Eq 6,7 left-hand side). A VIP's traffic is
+// assumed evenly spread over its old replicas; each replica it loses
+// migrates t_v / n_v_old worth of connections.
+double MigratedTrafficFraction(const Problem& p, const Assignment& from, const Assignment& to);
+
+// Per-instance transient load during a non-atomic update: for each VIP the
+// instance carries the max of its old and new share (Eq 4,5 LHS).
+std::vector<double> TransientLoads(const Problem& p, const Assignment& old_assignment,
+                                   const Assignment& new_assignment);
+
+}  // namespace assign
+
+#endif  // SRC_ASSIGN_VALIDATOR_H_

@@ -1,0 +1,321 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace yoda {
+
+Controller::Controller(sim::Simulator* simulator, net::Network* network, l4lb::L4Fabric* fabric,
+                       ControllerConfig config)
+    : sim_(simulator), net_(network), fabric_(fabric), cfg_(config) {}
+
+void Controller::Log(const std::string& what) { events_.push_back({sim_->now(), what}); }
+
+void Controller::AddInstance(YodaInstance* instance) {
+  active_.push_back(instance);
+  // Late-added instances receive every VIP's rules.
+  for (const auto& [vip, entry] : vips_) {
+    instance->InstallVip(vip, entry.port, entry.rules);
+    for (const auto& [b, up] : backend_up_) {
+      instance->SetBackendHealth(b, up);
+    }
+  }
+}
+
+void Controller::AddSpareInstance(YodaInstance* instance) { spares_.push_back(instance); }
+
+void Controller::AddKvServer(kv::KvServer* server) { kv_servers_.push_back(server); }
+
+void Controller::AddBackend(net::IpAddr backend) {
+  backends_.push_back(backend);
+  backend_up_[backend] = true;
+}
+
+std::vector<net::IpAddr> Controller::ActiveIps() const {
+  std::vector<net::IpAddr> ips;
+  ips.reserve(active_.size());
+  for (YodaInstance* i : active_) {
+    ips.push_back(i->ip());
+  }
+  return ips;
+}
+
+void Controller::DefineVip(net::IpAddr vip, net::Port vip_port,
+                           std::vector<rules::Rule> vip_rules) {
+  vips_[vip] = VipEntry{vip_port, vip_rules};
+  // §5.2 VIP addition: rules first, then the L4 mapping, so no instance ever
+  // receives VIP traffic it has no rules for.
+  for (YodaInstance* i : active_) {
+    i->InstallVip(vip, vip_port, vip_rules);
+  }
+  fabric_->AttachVip(vip);
+  fabric_->SetVipPool(vip, ActiveIps());
+  Log("define vip " + net::IpToString(vip) + " (" + std::to_string(vip_rules.size()) +
+      " rules)");
+}
+
+void Controller::RemoveVip(net::IpAddr vip) {
+  // Reverse order of addition: unmap first, then drop rules.
+  fabric_->SetVipPool(vip, {});
+  fabric_->DetachVip(vip);
+  for (YodaInstance* i : active_) {
+    i->RemoveVip(vip);
+  }
+  vips_.erase(vip);
+  Log("remove vip " + net::IpToString(vip));
+}
+
+void Controller::UpdateVipRules(net::IpAddr vip, std::vector<rules::Rule> vip_rules) {
+  auto it = vips_.find(vip);
+  if (it == vips_.end()) {
+    return;
+  }
+  it->second.rules = vip_rules;
+  for (YodaInstance* i : active_) {
+    i->InstallVip(vip, it->second.port, vip_rules);
+  }
+  Log("update rules for vip " + net::IpToString(vip));
+}
+
+void Controller::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  // Self-rescheduling monitor loop.
+  // Daemon events: the monitor must not keep the simulation alive on its own.
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [this, loop]() {
+    MonitorTick();
+    sim_->After(cfg_.monitor_interval, *loop, /*daemon=*/true);
+  };
+  sim_->After(cfg_.monitor_interval, *loop, /*daemon=*/true);
+}
+
+void Controller::MonitorTick() {
+  // Yoda instances: the monitor's ping is modelled as reachability.
+  std::vector<YodaInstance*> failed;
+  for (YodaInstance* i : active_) {
+    if (net_->IsDown(i->ip()) || i->failed()) {
+      failed.push_back(i);
+    }
+  }
+  for (YodaInstance* i : failed) {
+    HandleInstanceFailure(i);
+  }
+
+  // Backend servers: health propagated to every instance's selection oracle.
+  for (net::IpAddr b : backends_) {
+    const bool up = !net_->IsDown(b);
+    if (backend_up_[b] != up) {
+      backend_up_[b] = up;
+      for (YodaInstance* i : active_) {
+        i->SetBackendHealth(b, up);
+      }
+      Log(std::string("backend ") + net::IpToString(b) + (up ? " recovered" : " failed"));
+    }
+  }
+
+  // Elastic scaling on mean CPU utilization (§7.3).
+  if (cfg_.auto_scale && !active_.empty()) {
+    double total = 0;
+    for (YodaInstance* i : active_) {
+      total += i->cpu().Utilization(sim_->now());
+    }
+    const double mean = total / static_cast<double>(active_.size());
+    if (mean > cfg_.scale_out_cpu) {
+      ++over_threshold_ticks_;
+    } else {
+      over_threshold_ticks_ = 0;
+    }
+    if (over_threshold_ticks_ >= cfg_.scale_out_ticks && !spares_.empty()) {
+      over_threshold_ticks_ = 0;
+      for (int k = 0; k < cfg_.scale_out_step && !spares_.empty(); ++k) {
+        ActivateSpare();
+      }
+      ReprogramAllPools(/*staggered=*/true);
+      for (YodaInstance* i : active_) {
+        i->cpu().ResetWindow(sim_->now());
+      }
+    }
+  }
+}
+
+void Controller::HandleInstanceFailure(YodaInstance* instance) {
+  ++detected_failures_;
+  Log("yoda instance " + net::IpToString(instance->ip()) + " failed; removed from L4 mappings");
+  // Remove from every VIP pool on every mux and clear its SNAT pins: the
+  // fabric immediately re-ECMPs its traffic over the survivors.
+  fabric_->RemoveInstanceEverywhere(instance->ip());
+  active_.erase(std::remove(active_.begin(), active_.end(), instance), active_.end());
+  ReprogramAllPools(/*staggered=*/false);
+  over_threshold_ticks_ = 0;
+}
+
+void Controller::ActivateSpare() {
+  YodaInstance* spare = spares_.back();
+  spares_.pop_back();
+  AddInstance(spare);
+  Log("activated spare instance " + net::IpToString(spare->ip()));
+}
+
+std::vector<net::IpAddr> Controller::AssignedInstances(net::IpAddr vip) const {
+  auto it = assignment_.find(vip);
+  return it == assignment_.end() ? std::vector<net::IpAddr>{} : it->second;
+}
+
+bool Controller::ApplyManyToMany(const std::map<net::IpAddr, VipDemand>& demand,
+                                 double traffic_capacity, int rule_capacity,
+                                 double migration_limit) {
+  // Build the Fig 7 problem over the currently active instances. Row order
+  // is the sorted VIP address order so consecutive rounds line up for the
+  // Eq 4-7 update constraints.
+  if (active_.empty()) {
+    return false;
+  }
+  assign::Problem problem;
+  problem.traffic_capacity = traffic_capacity;
+  problem.rule_capacity = rule_capacity;
+  problem.migration_limit = migration_limit;
+  problem.max_instances = static_cast<int>(active_.size());
+  std::vector<net::IpAddr> vip_order;
+  for (const auto& [vip, entry] : vips_) {
+    auto dit = demand.find(vip);
+    const VipDemand d = dit == demand.end() ? VipDemand{} : dit->second;
+    assign::VipSpec spec;
+    spec.id = static_cast<int>(vip);
+    spec.traffic = d.traffic;
+    spec.rules = static_cast<int>(entry.rules.size());
+    spec.replicas = std::min(d.replicas, static_cast<int>(active_.size()));
+    // When the fleet caps the replica count, the failure headroom scales
+    // down proportionally (keeping the requested o_v = f_v/n_v ratio).
+    spec.failures = d.replicas > 0 ? spec.replicas * d.failures / d.replicas : 0;
+    spec.failures = std::min(spec.failures, spec.replicas - 1);
+    // Shed residual headroom rather than declare the round infeasible.
+    while (spec.failures > 0 && spec.ShareAfterFailures() > traffic_capacity) {
+      --spec.failures;
+    }
+    problem.vips.push_back(spec);
+    vip_order.push_back(vip);
+  }
+
+  assign::GreedySolver solver;
+  assign::SolveOptions opts;
+  if (have_solution_ && last_solution_vips_ == vip_order) {
+    opts.previous = &last_solution_;
+    opts.limit_transient = true;
+    opts.limit_migration = true;
+  }
+  auto result = solver.Solve(problem, opts);
+  if (!result.feasible) {
+    Log("many-to-many assignment infeasible: " + result.note + " [" + problem.Summary() +
+        "]");
+    return false;
+  }
+
+  // Install rules on assigned instances, drop from the rest, program pools.
+  for (std::size_t v = 0; v < vip_order.size(); ++v) {
+    const net::IpAddr vip = vip_order[v];
+    const auto& entry = vips_[vip];
+    std::set<int> assigned(result.assignment.vip_instances[v].begin(),
+                           result.assignment.vip_instances[v].end());
+    std::vector<net::IpAddr> pool;
+    for (std::size_t y = 0; y < active_.size(); ++y) {
+      if (assigned.contains(static_cast<int>(y))) {
+        active_[y]->InstallVip(vip, entry.port, entry.rules);
+        pool.push_back(active_[y]->ip());
+      } else if (active_[y]->ServesVip(vip)) {
+        active_[y]->RemoveVip(vip);
+      }
+    }
+    assignment_[vip] = pool;
+    fabric_->SetVipPoolStaggered(vip, pool, cfg_.mux_stagger);
+  }
+  last_solution_ = std::move(result.assignment);
+  last_solution_vips_ = std::move(vip_order);
+  have_solution_ = true;
+  Log("applied many-to-many assignment (" + std::to_string(result.instances_used) +
+      " instances, migrated " +
+      sim::FormatDouble(100 * result.migrated_fraction, 1) + "% of traffic)");
+  return true;
+}
+
+void Controller::EnablePeriodicAssignment(PeriodicAssignmentConfig config) {
+  periodic_ = config;
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [this, loop]() {
+    AssignmentRoundFromCounters();
+    sim_->After(periodic_->interval, *loop, /*daemon=*/true);
+  };
+  sim_->After(periodic_->interval, *loop, /*daemon=*/true);
+}
+
+void Controller::RunAssignmentRoundNow() {
+  if (!periodic_) {
+    periodic_ = PeriodicAssignmentConfig{};
+  }
+  AssignmentRoundFromCounters();
+}
+
+void Controller::AssignmentRoundFromCounters() {
+  if (!periodic_ || vips_.empty() || active_.empty()) {
+    return;
+  }
+  // Aggregate per-VIP demand from every instance's counters (new
+  // connections per second over the interval).
+  std::map<net::IpAddr, double> conn_rate;
+  for (YodaInstance* inst : active_) {
+    for (const auto& [vip, traffic] : inst->DrainTrafficCounters()) {
+      conn_rate[vip] += static_cast<double>(traffic.new_connections);
+    }
+  }
+  const double seconds = sim::ToSeconds(periodic_->interval);
+  std::map<net::IpAddr, VipDemand> demand;
+  for (const auto& [vip, entry] : vips_) {
+    VipDemand d;
+    auto it = conn_rate.find(vip);
+    const double rate = it == conn_rate.end() ? 0.0 : it->second / seconds;
+    d.traffic = std::max(rate, 0.01 * periodic_->traffic_capacity);
+    const int wanted = static_cast<int>(
+        std::ceil(periodic_->replication_factor * d.traffic / periodic_->traffic_capacity));
+    d.replicas = std::max(1, wanted);
+    d.failures = static_cast<int>(d.replicas * periodic_->oversubscription);
+    if (d.failures >= d.replicas) {
+      d.failures = d.replicas - 1;
+    }
+    demand[vip] = d;
+  }
+  if (ApplyManyToMany(demand, periodic_->traffic_capacity, periodic_->rule_capacity,
+                      periodic_->migration_limit)) {
+    ++assignment_rounds_;
+  }
+}
+
+void Controller::ReprogramAllPools(bool staggered) {
+  const std::vector<net::IpAddr> all = ActiveIps();
+  const std::set<net::IpAddr> alive(all.begin(), all.end());
+  for (const auto& [vip, entry] : vips_) {
+    std::vector<net::IpAddr> ips;
+    auto ait = assignment_.find(vip);
+    if (ait != assignment_.end()) {
+      // Many-to-many mode: keep the assigned subset, pruned of dead
+      // instances (the next assignment round restores the replica count).
+      for (net::IpAddr ip : ait->second) {
+        if (alive.contains(ip)) {
+          ips.push_back(ip);
+        }
+      }
+      ait->second = ips;
+    } else {
+      ips = all;
+    }
+    if (staggered) {
+      fabric_->SetVipPoolStaggered(vip, ips, cfg_.mux_stagger);
+    } else {
+      fabric_->SetVipPool(vip, ips);
+    }
+  }
+}
+
+}  // namespace yoda

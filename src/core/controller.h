@@ -1,0 +1,155 @@
+// Yoda controller (paper §6): user interface, assignment engine hooks,
+// assignment updater and monitor.
+//
+//   - Monitor: pings Yoda instances, TCPStore servers and backend servers
+//     every 600 ms; a failed Yoda instance is removed from all L4 mappings
+//     (so the fabric re-ECMPs its traffic to survivors), and failed backends
+//     are marked unhealthy on every instance.
+//   - VIP lifecycle: DefineVip installs the compiled rules on the serving
+//     instances and programs the VIP pool into the L4 fabric; removal runs
+//     in reverse (§5.2).
+//   - Policy update: rules are swapped on the instances; existing
+//     connections keep their selected backend by construction (the
+//     connection -> backend pin lives in the flow state, not the table).
+//   - Elastic scaling (§7.3): when mean instance CPU exceeds the scale-out
+//     threshold, spare instances are activated, given every VIP's rules, and
+//     added to the pools via a staggered (non-atomic) mux update.
+
+#ifndef SRC_CORE_CONTROLLER_H_
+#define SRC_CORE_CONTROLLER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/assign/greedy_solver.h"
+#include "src/core/yoda_instance.h"
+#include "src/kv/kv_server.h"
+#include "src/l4lb/fabric.h"
+#include "src/rules/rule.h"
+
+namespace yoda {
+
+struct ControllerConfig {
+  sim::Duration monitor_interval = sim::Msec(600);
+  sim::Duration mux_stagger = sim::Msec(50);
+  bool auto_scale = false;
+  double scale_out_cpu = 0.75;  // Mean utilization that triggers scale-out.
+  int scale_out_step = 3;       // Instances added per trigger.
+  // Consecutive over-threshold monitor ticks required before scaling
+  // (hysteresis against transient spikes).
+  int scale_out_ticks = 1;
+  sim::Duration cpu_window = sim::Sec(1);
+};
+
+struct ControllerEvent {
+  sim::Time when = 0;
+  std::string what;
+};
+
+class Controller {
+ public:
+  Controller(sim::Simulator* simulator, net::Network* network, l4lb::L4Fabric* fabric,
+             ControllerConfig config = {});
+
+  // --- fleet management ---
+  void AddInstance(YodaInstance* instance);        // Active from the start.
+  void AddSpareInstance(YodaInstance* instance);   // Activated by scaling.
+  void AddKvServer(kv::KvServer* server);
+  void AddBackend(net::IpAddr backend);
+
+  // --- VIP lifecycle (§5.2) ---
+  void DefineVip(net::IpAddr vip, net::Port vip_port, std::vector<rules::Rule> vip_rules);
+  void RemoveVip(net::IpAddr vip);
+  void UpdateVipRules(net::IpAddr vip, std::vector<rules::Rule> vip_rules);
+
+  // --- many-to-many VIP assignment (§4.4) ---
+  // Per-VIP demand the assignment engine packs. Traffic is in units of one
+  // instance's capacity.
+  struct VipDemand {
+    double traffic = 0.1;
+    int replicas = 1;
+    int failures = 0;
+  };
+  // Recomputes the VIP->instance assignment with the greedy solver (Fig 7
+  // model; Eq 4-7 honoured against the previous round), installs each VIP's
+  // rules only on its assigned instances, and programs the L4 pools with a
+  // staggered (non-atomic) update. Returns false if infeasible.
+  bool ApplyManyToMany(const std::map<net::IpAddr, VipDemand>& demand,
+                       double traffic_capacity, int rule_capacity,
+                       double migration_limit = 0.10);
+  // The instances currently assigned to `vip` (empty if all-to-all mode).
+  std::vector<net::IpAddr> AssignedInstances(net::IpAddr vip) const;
+
+  // Periodic re-assignment (§8: "We calculate the assignment between the VIP
+  // and the YODA-instances every 10 mins"): demand is derived from the
+  // instances' per-VIP traffic counters collected since the last round.
+  struct PeriodicAssignmentConfig {
+    sim::Duration interval = sim::Minutes(10);
+    double traffic_capacity = 1.0;       // T_y in new-connections/sec.
+    int rule_capacity = 2'000;           // R_y.
+    double migration_limit = 0.10;       // delta.
+    double replication_factor = 4.0;     // n_v = ceil(rf * t_v / T_y).
+    double oversubscription = 0.25;      // f_v = floor(n_v * o_v).
+  };
+  void EnablePeriodicAssignment(PeriodicAssignmentConfig config);
+  // Runs one counter-driven assignment round immediately (with the periodic
+  // config, or defaults if periodic assignment was never enabled).
+  void RunAssignmentRoundNow();
+  int assignment_rounds() const { return assignment_rounds_; }
+
+  // Starts the periodic monitor.
+  void Start();
+
+  // Immediately runs one monitor pass (tests use this for determinism).
+  void MonitorTick();
+
+  std::vector<YodaInstance*> ActiveInstances() const { return active_; }
+  const std::vector<ControllerEvent>& events() const { return events_; }
+  int detected_failures() const { return detected_failures_; }
+
+ private:
+  void Log(const std::string& what);
+  void HandleInstanceFailure(YodaInstance* instance);
+  void ActivateSpare();
+  std::vector<net::IpAddr> ActiveIps() const;
+  void ReprogramAllPools(bool staggered);
+
+  sim::Simulator* sim_;
+  net::Network* net_;
+  l4lb::L4Fabric* fabric_;
+  ControllerConfig cfg_;
+
+  std::vector<YodaInstance*> active_;
+  std::vector<YodaInstance*> spares_;
+  std::vector<kv::KvServer*> kv_servers_;
+  std::vector<net::IpAddr> backends_;
+  std::map<net::IpAddr, bool> backend_up_;
+
+  struct VipEntry {
+    net::Port port = 80;
+    std::vector<rules::Rule> rules;
+  };
+  std::map<net::IpAddr, VipEntry> vips_;
+
+  bool started_ = false;
+  int over_threshold_ticks_ = 0;
+  int detected_failures_ = 0;
+  std::vector<ControllerEvent> events_;
+
+  void AssignmentRoundFromCounters();
+
+  std::optional<PeriodicAssignmentConfig> periodic_;
+  int assignment_rounds_ = 0;
+
+  // Many-to-many state: vip -> assigned instance ips; empty = all-to-all.
+  std::map<net::IpAddr, std::vector<net::IpAddr>> assignment_;
+  assign::Assignment last_solution_;
+  std::vector<net::IpAddr> last_solution_vips_;  // Row order of last_solution_.
+  bool have_solution_ = false;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_CONTROLLER_H_

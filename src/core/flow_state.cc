@@ -1,0 +1,126 @@
+#include "src/core/flow_state.h"
+
+#include <sstream>
+
+#include "src/kv/hash_ring.h"
+#include "src/net/wire.h"
+
+namespace yoda {
+namespace {
+
+constexpr std::uint8_t kCodecVersion = 1;
+
+}  // namespace
+
+std::string FlowState::Serialize() const {
+  net::ByteWriter w;
+  w.U8(kCodecVersion);
+  w.U8(static_cast<std::uint8_t>(stage));
+  w.U32(client_ip);
+  w.U16(client_port);
+  w.U32(vip);
+  w.U16(vip_port);
+  w.U32(client_isn);
+  w.U32(lb_isn);
+  w.U32(backend_ip);
+  w.U16(backend_port);
+  w.U32(server_isn);
+  w.U32(seq_delta_s2c);
+  w.U32(seq_delta_c2s);
+  w.U32(static_cast<std::uint32_t>(pipeline_request_ends.size()));
+  for (std::uint32_t off : pipeline_request_ends) {
+    w.U32(off);
+  }
+  auto bytes = w.Take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::optional<FlowState> FlowState::Parse(const std::string& bytes) {
+  std::vector<std::uint8_t> buf(bytes.begin(), bytes.end());
+  net::ByteReader r(buf);
+  auto version = r.U8();
+  if (!version || *version != kCodecVersion) {
+    return std::nullopt;
+  }
+  FlowState s;
+  auto stage_raw = r.U8();
+  auto client_ip = r.U32();
+  auto client_port = r.U16();
+  auto vip = r.U32();
+  auto vip_port = r.U16();
+  auto client_isn = r.U32();
+  auto lb_isn = r.U32();
+  auto backend_ip = r.U32();
+  auto backend_port = r.U16();
+  auto server_isn = r.U32();
+  auto d_s2c = r.U32();
+  auto d_c2s = r.U32();
+  auto count = r.U32();
+  if (!stage_raw || !client_ip || !client_port || !vip || !vip_port || !client_isn || !lb_isn ||
+      !backend_ip || !backend_port || !server_isn || !d_s2c || !d_c2s || !count ||
+      *stage_raw > 1) {
+    return std::nullopt;
+  }
+  s.stage = static_cast<FlowStage>(*stage_raw);
+  s.client_ip = *client_ip;
+  s.client_port = *client_port;
+  s.vip = *vip;
+  s.vip_port = *vip_port;
+  s.client_isn = *client_isn;
+  s.lb_isn = *lb_isn;
+  s.backend_ip = *backend_ip;
+  s.backend_port = *backend_port;
+  s.server_isn = *server_isn;
+  s.seq_delta_s2c = *d_s2c;
+  s.seq_delta_c2s = *d_c2s;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto off = r.U32();
+    if (!off) {
+      return std::nullopt;
+    }
+    s.pipeline_request_ends.push_back(*off);
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return s;
+}
+
+bool FlowState::operator==(const FlowState& o) const {
+  return stage == o.stage && client_ip == o.client_ip && client_port == o.client_port &&
+         vip == o.vip && vip_port == o.vip_port && client_isn == o.client_isn &&
+         lb_isn == o.lb_isn && backend_ip == o.backend_ip && backend_port == o.backend_port &&
+         server_isn == o.server_isn && seq_delta_s2c == o.seq_delta_s2c &&
+         seq_delta_c2s == o.seq_delta_c2s && pipeline_request_ends == o.pipeline_request_ends;
+}
+
+std::string FlowState::ToString() const {
+  std::ostringstream os;
+  os << (stage == FlowStage::kConnection ? "CONN" : "TUNNEL") << " client="
+     << net::IpToString(client_ip) << ":" << client_port << " vip=" << net::IpToString(vip) << ":"
+     << vip_port << " backend=" << net::IpToString(backend_ip) << ":" << backend_port
+     << " isns(c/lb/s)=" << client_isn << "/" << lb_isn << "/" << server_isn;
+  return os.str();
+}
+
+std::string ClientFlowKey(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,
+                          net::Port client_port) {
+  return "c:" + std::to_string(vip) + ":" + std::to_string(vip_port) + ":" +
+         std::to_string(client_ip) + ":" + std::to_string(client_port);
+}
+
+std::string ServerFlowKey(net::IpAddr backend_ip, net::Port backend_port, net::IpAddr vip,
+                          net::Port client_port) {
+  return "s:" + std::to_string(backend_ip) + ":" + std::to_string(backend_port) + ":" +
+         std::to_string(vip) + ":" + std::to_string(client_port);
+}
+
+std::uint32_t DeterministicLbIsn(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,
+                                 net::Port client_port) {
+  std::uint64_t h = kv::Mix64((static_cast<std::uint64_t>(client_ip) << 32) ^
+                              (static_cast<std::uint64_t>(client_port) << 16) ^ vip_port);
+  h = kv::Mix64(h ^ vip);
+  return static_cast<std::uint32_t>(h);
+}
+
+}  // namespace yoda

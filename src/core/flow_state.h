@@ -1,0 +1,81 @@
+// Per-flow state decoupled from Yoda instances (paper §3, §4.3).
+//
+// This is exactly the state another instance needs to adopt a flow:
+// the two endpoints, the three initial sequence numbers (client ISN, the
+// deterministic LB-side ISN, the server ISN), the selected backend, and the
+// pipeline order for HTTP/1.1. It serializes to a compact binary value kept
+// in TCPStore under two keys:
+//   client key  "c:<vip>:<vport>:<cip>:<cport>"      (client-side packets)
+//   server key  "s:<backend>:<bport>:<vip>:<cport>"  (server-side packets,
+//       which do not carry the client IP, map back to the client key)
+
+#ifndef SRC_CORE_FLOW_STATE_H_
+#define SRC_CORE_FLOW_STATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace yoda {
+
+enum class FlowStage : std::uint8_t {
+  // storage-a done: client SYN captured, SYN-ACK sent, awaiting HTTP header
+  // or server handshake.
+  kConnection = 0,
+  // storage-b done: server connected, pure L3 tunneling from here on.
+  kTunneling = 1,
+};
+
+struct FlowState {
+  FlowStage stage = FlowStage::kConnection;
+
+  net::IpAddr client_ip = 0;
+  net::Port client_port = 0;
+  net::IpAddr vip = 0;
+  net::Port vip_port = 0;
+
+  std::uint32_t client_isn = 0;  // Client SYN sequence number.
+  std::uint32_t lb_isn = 0;      // Our SYN-ACK ISN (hash-derived, stored for audit).
+
+  // Valid once stage == kTunneling.
+  net::IpAddr backend_ip = 0;
+  net::Port backend_port = 0;
+  std::uint32_t server_isn = 0;
+
+  // Sequence-translation deltas for the server<->client direction. The
+  // client->server direction needs none in the initial connection (Yoda
+  // reuses the client ISN toward the server); after an HTTP/1.1 re-switch to
+  // a different backend both deltas can be non-zero.
+  std::uint32_t seq_delta_s2c = 0;  // server seq + delta -> client-facing seq.
+  std::uint32_t seq_delta_c2s = 0;  // client seq + delta -> server-facing seq.
+
+  // HTTP/1.1 pipelining: client-stream offsets (relative to client_isn+1) at
+  // which each outstanding request ends, in arrival order, so a takeover
+  // instance can keep responses in order.
+  std::vector<std::uint32_t> pipeline_request_ends;
+
+  std::string Serialize() const;
+  static std::optional<FlowState> Parse(const std::string& bytes);
+
+  bool operator==(const FlowState& o) const;
+  std::string ToString() const;
+};
+
+// TCPStore keys.
+std::string ClientFlowKey(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,
+                          net::Port client_port);
+std::string ServerFlowKey(net::IpAddr backend_ip, net::Port backend_port, net::IpAddr vip,
+                          net::Port client_port);
+
+// The deterministic SYN-ACK ISN (paper §4.1): every Yoda instance derives the
+// same ISN for a given client ip:port (plus VIP, so distinct services get
+// distinct sequence spaces), so no SYN-ACK state needs storing.
+std::uint32_t DeterministicLbIsn(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,
+                                 net::Port client_port);
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_FLOW_STATE_H_

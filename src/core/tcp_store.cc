@@ -1,0 +1,92 @@
+#include "src/core/tcp_store.h"
+
+#include <memory>
+
+namespace yoda {
+
+void TcpStore::StoreConnectionState(const FlowState& state, Ack done) {
+  ++stats_.connection_writes;
+  const std::string key =
+      ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port);
+  client_->Set(key, state.Serialize(), std::move(done));
+}
+
+void TcpStore::StoreTunnelingState(const FlowState& state, Ack done) {
+  ++stats_.tunneling_writes;
+  const std::string ckey =
+      ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port);
+  const std::string skey =
+      ServerFlowKey(state.backend_ip, state.backend_port, state.vip, state.client_port);
+  auto pending = std::make_shared<int>(2);
+  auto ok_all = std::make_shared<bool>(true);
+  auto join = [pending, ok_all, done = std::move(done)](bool ok) {
+    *ok_all = *ok_all && ok;
+    if (--*pending == 0) {
+      done(*ok_all);
+    }
+  };
+  client_->Set(ckey, state.Serialize(), join);
+  client_->Set(skey, ckey, join);
+}
+
+void TcpStore::LookupByClient(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,
+                              net::Port client_port, Lookup done) {
+  ++stats_.lookups;
+  const std::string key = ClientFlowKey(vip, vip_port, client_ip, client_port);
+  client_->Get(key, [this, done = std::move(done)](std::optional<std::string> v) {
+    if (!v) {
+      done(std::nullopt);
+      return;
+    }
+    auto state = FlowState::Parse(*v);
+    if (state) {
+      ++stats_.lookup_hits;
+    }
+    done(state);
+  });
+}
+
+void TcpStore::LookupByServer(net::IpAddr backend_ip, net::Port backend_port, net::IpAddr vip,
+                              net::Port client_port, Lookup done) {
+  ++stats_.lookups;
+  const std::string skey = ServerFlowKey(backend_ip, backend_port, vip, client_port);
+  client_->Get(skey, [this, done = std::move(done)](std::optional<std::string> ckey) {
+    if (!ckey) {
+      done(std::nullopt);
+      return;
+    }
+    client_->Get(*ckey, [this, done](std::optional<std::string> v) {
+      if (!v) {
+        done(std::nullopt);
+        return;
+      }
+      auto state = FlowState::Parse(*v);
+      if (state) {
+        ++stats_.lookup_hits;
+      }
+      done(state);
+    });
+  });
+}
+
+void TcpStore::Remove(const FlowState& state, Ack done) {
+  ++stats_.deletes;
+  const std::string ckey =
+      ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port);
+  if (state.stage != FlowStage::kTunneling) {
+    client_->Delete(ckey, std::move(done));
+    return;
+  }
+  const std::string skey =
+      ServerFlowKey(state.backend_ip, state.backend_port, state.vip, state.client_port);
+  auto pending = std::make_shared<int>(2);
+  auto join = [pending, done = std::move(done)](bool) {
+    if (--*pending == 0) {
+      done(true);
+    }
+  };
+  client_->Delete(ckey, join);
+  client_->Delete(skey, join);
+}
+
+}  // namespace yoda

@@ -1,0 +1,297 @@
+// YodaInstance: the L7 LB packet driver (paper §4, §6).
+//
+// An instance is a raw-packet state machine, not a TCP proxy:
+//
+//   Connection phase (Fig 3):
+//     - client SYN: write flow state to TCPStore (storage-a), then answer
+//       SYN-ACK with the *deterministic* ISN hash(client ip:port) — any
+//       instance answers identically, so nothing else needs storing;
+//     - buffer the client's HTTP header bytes (never ACKing them: they fit
+//       the initial window, and an un-ACKed header is exactly what a
+//       takeover instance will get retransmitted);
+//     - match rules, pick the backend, open a VIP-sourced connection to it
+//       reusing the client's ISN, and register the SNAT return pin;
+//     - on the server SYN-ACK: write full state (storage-b) *before* ACKing,
+//       then forward the header.
+//
+//   Tunneling phase (Fig 4): pure L3 header surgery. The client->server
+//   direction needs no sequence translation (same ISN); the server->client
+//   direction shifts by (lb_isn - server_isn). Addresses are rewritten so
+//   both ends only ever see the VIP.
+//
+//   Takeover (Fig 5): a packet for an unknown flow triggers a TCPStore
+//   lookup (by client key, or by server key for return traffic); the flow is
+//   adopted mid-stream and the SNAT pin is re-registered to this instance.
+
+#ifndef SRC_CORE_YODA_INSTANCE_H_
+#define SRC_CORE_YODA_INSTANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cpu_model.h"
+#include "src/core/flow_state.h"
+#include "src/core/tcp_store.h"
+#include "src/http/parser.h"
+#include "src/l4lb/fabric.h"
+#include "src/net/network.h"
+#include "src/rules/rule_table.h"
+#include "src/sim/random.h"
+#include "src/tls/tls.h"
+
+namespace yoda {
+
+struct YodaInstanceConfig {
+  net::IpAddr ip = 0;
+  CpuCosts cpu_costs = YodaUserSpaceCosts();
+  double cores = 1.0;
+  // Base latency of the rule scan (Fig 6 intercept); per-rule cost is in
+  // CpuCosts::per_rule_scanned via the latency model below.
+  sim::Duration rule_scan_base_delay = sim::Usec(300);
+  sim::Duration rule_scan_per_rule_delay = sim::Nsec(900);
+  // How long after both FINs a flow's state lingers before deletion.
+  sim::Duration flow_cleanup_delay = sim::Sec(1);
+  // Flows with no packets for this long are garbage-collected (handles
+  // half-closed flows orphaned by takeovers that split the two directions
+  // across instances). 0 disables.
+  sim::Duration flow_idle_timeout = sim::Minutes(5);
+  sim::Duration idle_scan_interval = sim::Sec(30);
+  // Resend the server-side SYN if no SYN-ACK within this long.
+  sim::Duration server_syn_timeout = sim::Sec(3);
+  int server_syn_retries = 2;
+  std::uint32_t mss = 1400;
+  // Inspect client bytes on HTTP/1.1 connections and re-switch backends
+  // between requests (§5.2).
+  bool http11_reswitch = true;
+};
+
+struct YodaInstanceStats {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t takeovers_client_side = 0;
+  std::uint64_t takeovers_server_side = 0;
+  std::uint64_t takeover_misses = 0;
+  std::uint64_t packets_tunneled = 0;
+  std::uint64_t reswitches = 0;
+  std::uint64_t rules_scanned_total = 0;
+  std::uint64_t selections = 0;
+  std::uint64_t no_backend_resets = 0;
+  std::uint64_t dropped_unknown_vip = 0;
+};
+
+// Per-VIP traffic accounting the controller polls (paper §6: "each YODA
+// instance keeps track of the traffic for individual VIPs").
+struct VipTraffic {
+  std::uint64_t new_connections = 0;
+  std::uint64_t bytes = 0;
+};
+
+class YodaInstance : public net::Node {
+ public:
+  YodaInstance(sim::Simulator* simulator, net::Network* network, l4lb::L4Fabric* fabric,
+               TcpStore* store, std::uint64_t seed, YodaInstanceConfig config);
+  ~YodaInstance() override;
+
+  net::IpAddr ip() const { return cfg_.ip; }
+
+  // --- controller API ---
+  // Installs (or replaces) this VIP's rules on this instance. Existing
+  // connections keep their previously selected backend (§5.2).
+  void InstallVip(net::IpAddr vip, net::Port vip_port, std::vector<rules::Rule> vip_rules);
+  // Enables SSL termination for the VIP (§5.2): the instance answers the
+  // handshake with `certificate`, decrypts requests to select the backend,
+  // and hands the session to the backend via a ticket sealed under
+  // `service_key`. The handshake is deterministic, so a takeover instance
+  // resends the identical certificate flight.
+  void InstallVipTls(net::IpAddr vip, std::string certificate, std::uint64_t service_key);
+  void RemoveVip(net::IpAddr vip);
+  bool ServesVip(net::IpAddr vip) const { return vips_.contains(vip); }
+  int RuleCount(net::IpAddr vip) const;
+  // Backend health as observed by the controller's monitor.
+  void SetBackendHealth(net::IpAddr backend, bool healthy);
+
+  // Crash: all local flow state vanishes. (The caller also marks the node
+  // down in the Network so in-flight packets blackhole.)
+  void Fail();
+  void Recover();
+  bool failed() const { return failed_; }
+
+  // net::Node.
+  void HandlePacket(const net::Packet& packet) override;
+
+  CpuModel& cpu() { return cpu_; }
+  const YodaInstanceStats& stats() const { return stats_; }
+  std::size_t active_flows() const { return flows_.size(); }
+
+  // Backend-connection duration (server selection -> request forwarded to
+  // the backend), Fig 9's "Connection" component.
+  sim::Histogram& connection_phase_ms() { return connection_phase_ms_; }
+
+  // Reads and clears the per-VIP traffic window.
+  std::map<net::IpAddr, VipTraffic> DrainTrafficCounters();
+
+ private:
+  struct VipTls {
+    std::string certificate;
+    std::uint64_t service_key = 0;
+  };
+
+  struct VipState {
+    net::Port vip_port = 80;
+    rules::RuleTable table;
+    rules::StickyTable sticky;
+    std::set<net::IpAddr> backends;  // For classifying server-side packets.
+    std::optional<VipTls> tls;       // SSL termination (§5.2).
+  };
+
+  // Client-side flow identity.
+  struct FlowKey {
+    net::IpAddr vip = 0;
+    net::Port vip_port = 0;
+    net::IpAddr client_ip = 0;
+    net::Port client_port = 0;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const {
+      return kv::Mix64((static_cast<std::uint64_t>(k.vip) << 32) ^ k.client_ip) ^
+             kv::Mix64((static_cast<std::uint64_t>(k.vip_port) << 16) ^ k.client_port);
+    }
+  };
+
+  struct LocalFlow {
+    FlowState st;
+    sim::Time started = 0;     // Selection start (Fig 9 instrumentation).
+    sim::Time last_packet = 0;  // For idle GC.
+    // Connection phase: client byte-stream reassembly (seq -> payload).
+    std::map<std::uint32_t, std::string> pending_segments;
+    std::uint32_t assembled_end = 0;  // Next expected client seq.
+    std::string assembled;            // In-order client bytes (the header).
+    http::RequestParser parser;
+    bool storage_a_done = false;
+    bool server_syn_sent = false;
+    int server_syn_attempts = 0;
+    sim::TimerHandle server_syn_timer;
+    bool established = false;  // storage-b done; tunneling active.
+    // HTTP/1.1 inspection of the client stream for re-switching. Request
+    // bytes are buffered from request_start_seq until the request is
+    // complete and routed; only then are they forwarded.
+    bool inspect_enabled = false;
+    http::RequestParser inspect_parser;
+    std::uint32_t inspect_next_seq = 0;    // Next client seq to consume.
+    std::uint32_t request_start_seq = 0;   // Where the in-progress request began.
+    std::string pending_request;           // Its bytes so far.
+    int outstanding_requests = 0;
+    // Highest client-facing sequence we have emitted toward the client + 1;
+    // a re-switched backend's stream is spliced in at this position.
+    std::uint32_t client_facing_nxt = 0;
+    // Request mirroring (§5.2, "sending the same request to multiple
+    // servers"): shadow legs racing the primary; the first responder wins.
+    struct MirrorLeg {
+      net::IpAddr ip = 0;
+      net::Port port = 80;
+      bool established = false;
+      std::uint32_t server_isn = 0;
+    };
+    std::vector<MirrorLeg> mirror_legs;
+    bool mirror_decided = false;  // A winner has produced response data.
+
+    // SSL termination state (connection phase only; tunneling is oblivious).
+    bool tls_active = false;
+    tls::RecordReader tls_reader;
+    std::size_t tls_consumed = 0;          // assembled bytes already fed.
+    bool tls_ready = false;                // Session key derived.
+    std::uint64_t tls_client_random = 0;
+    std::uint64_t tls_session_key = 0;
+    std::uint32_t tls_handshake_len = 0;   // Hello+Finished bytes (client side).
+    std::uint64_t tls_cipher_offset = 0;   // Decryption offset into appdata.
+    std::string tls_plaintext;             // Decrypted request bytes.
+    std::uint32_t cert_flight_len = 0;
+    // Teardown tracking.
+    bool fin_from_client = false;
+    bool fin_from_server = false;
+    bool cleanup_scheduled = false;
+    // Packets that arrived during an in-flight storage op.
+    std::vector<net::Packet> stalled;
+    bool lookup_pending = false;
+  };
+
+  VipState* FindVip(net::IpAddr vip);
+  LocalFlow* FindFlow(const FlowKey& key);
+
+  void HandleClientSide(const net::Packet& p, VipState& vip);
+  void HandleServerSide(const net::Packet& p, VipState& vip);
+
+  void StartNewFlow(const net::Packet& syn, VipState& vip);
+  void SendSynAck(const FlowKey& key, const LocalFlow& flow);
+  void ClientConnectionPhase(const FlowKey& key, LocalFlow& flow, VipState& vip,
+                             const net::Packet& p);
+  void TlsConnectionPhase(const FlowKey& key, LocalFlow& flow, VipState& vip);
+  void SendCertificateFlight(const FlowKey& key, LocalFlow& flow, const VipState& vip);
+  void TrySelectAndConnect(const FlowKey& key, LocalFlow& flow, VipState& vip);
+  void SendServerSyn(const FlowKey& key, LocalFlow& flow);
+  void OnServerSynAck(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
+  void ForwardRequestToServer(const FlowKey& key, LocalFlow& flow);
+
+  void TunnelFromClient(const FlowKey& key, LocalFlow& flow, VipState& vip,
+                        const net::Packet& p);
+  void TunnelFromServer(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
+  void InspectClientStream(const FlowKey& key, LocalFlow& flow, VipState& vip,
+                           const net::Packet& p);
+  void ReSwitch(const FlowKey& key, LocalFlow& flow, VipState& vip,
+                const rules::Backend& new_backend);
+
+  void TakeoverClientSide(const FlowKey& key, const net::Packet& p);
+  void TakeoverServerSide(const net::Packet& p, VipState& vip);
+  void AdoptFlow(const FlowKey& key, const FlowState& st);
+
+  void LaunchMirrorLegs(const FlowKey& key, LocalFlow& flow);
+  // Returns true if the packet was consumed as mirror-leg traffic.
+  bool HandleMirrorPacket(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
+  void PromoteMirrorWinner(const FlowKey& key, LocalFlow& flow, LocalFlow::MirrorLeg& leg,
+                           const net::Packet& first_data);
+  void KillLosingLegs(const FlowKey& key, LocalFlow& flow, net::IpAddr winner_ip);
+
+  void MaybeScheduleCleanup(const FlowKey& key, LocalFlow& flow);
+  void CleanupFlow(const FlowKey& key, bool remove_from_store);
+  void IdleScan();
+
+  std::optional<rules::Selection> SelectBackend(VipState& vip, const http::Request& req);
+  void BindStickyIfNeeded(VipState& vip, const http::Request& req, const rules::Backend& b);
+  sim::Duration RuleScanDelay(int rules_scanned) const;
+
+  void EmitForwarded(net::Packet p);  // Adds forward delay + CPU charge.
+  void Emit(net::Packet p);           // Raw send (control packets).
+  void MeterVip(net::IpAddr vip, const net::Packet& p);
+
+  sim::Simulator* sim_;
+  net::Network* net_;
+  l4lb::L4Fabric* fabric_;
+  TcpStore* store_;
+  sim::Rng rng_;
+  YodaInstanceConfig cfg_;
+  CpuModel cpu_;
+  bool failed_ = false;
+
+  std::unordered_map<net::IpAddr, VipState> vips_;
+  std::unordered_map<FlowKey, std::unique_ptr<LocalFlow>, FlowKeyHash> flows_;
+  // Server-side tuple -> client-side flow key (local fast path; the TCPStore
+  // server key serves the same role across instances).
+  std::unordered_map<net::FiveTuple, FlowKey, net::FiveTupleHash> server_index_;
+  std::unordered_map<net::IpAddr, bool> backend_health_;
+  std::unordered_map<net::IpAddr, VipTraffic> traffic_;
+  std::unordered_map<net::IpAddr, int> backend_load_;  // Active flows per backend.
+
+  YodaInstanceStats stats_;
+  sim::Histogram connection_phase_ms_;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_YODA_INSTANCE_H_

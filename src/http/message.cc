@@ -1,0 +1,142 @@
+#include "src/http/message.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace http {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    return "";
+  }
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool MessageKeepAlive(const std::string& version, const HeaderMap& headers) {
+  auto it = headers.find("connection");
+  if (it != headers.end()) {
+    std::string v = ToLower(it->second);
+    if (v == "close") {
+      return false;
+    }
+    if (v == "keep-alive") {
+      return true;
+    }
+  }
+  return version == "HTTP/1.1";
+}
+
+}  // namespace
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::optional<std::string> Request::Header(const std::string& name) const {
+  auto it = headers.find(ToLower(name));
+  if (it == headers.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Request::SetHeader(const std::string& name, std::string value) {
+  headers[ToLower(name)] = std::move(value);
+}
+
+std::map<std::string, std::string> Request::Cookies() const {
+  std::map<std::string, std::string> out;
+  auto cookie = Header("cookie");
+  if (!cookie) {
+    return out;
+  }
+  std::stringstream ss(*cookie);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    out[Trim(item.substr(0, eq))] = Trim(item.substr(eq + 1));
+  }
+  return out;
+}
+
+bool Request::KeepAlive() const { return MessageKeepAlive(version, headers); }
+
+std::string Request::Serialize() const {
+  std::string out = method + " " + url + " " + version + "\r\n";
+  HeaderMap h = headers;
+  if (!body.empty() && !h.contains("content-length")) {
+    h["content-length"] = std::to_string(body.size());
+  }
+  for (const auto& [k, v] : h) {
+    out += k + ": " + v + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<std::string> Response::Header(const std::string& name) const {
+  auto it = headers.find(ToLower(name));
+  if (it == headers.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Response::SetHeader(const std::string& name, std::string value) {
+  headers[ToLower(name)] = std::move(value);
+}
+
+bool Response::KeepAlive() const { return MessageKeepAlive(version, headers); }
+
+std::string Response::Serialize() const {
+  std::string out = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  HeaderMap h = headers;
+  if (!h.contains("content-length")) {
+    h["content-length"] = std::to_string(body.size());
+  }
+  for (const auto& [k, v] : h) {
+    out += k + ": " + v + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Request MakeGet(const std::string& url, const std::string& host, const std::string& version) {
+  Request r;
+  r.method = "GET";
+  r.url = url;
+  r.version = version;
+  r.SetHeader("host", host);
+  return r;
+}
+
+Response MakeOk(std::string body, const std::string& version) {
+  Response r;
+  r.status = 200;
+  r.reason = "OK";
+  r.version = version;
+  r.body = std::move(body);
+  return r;
+}
+
+Response MakeNotFound(const std::string& version) {
+  Response r;
+  r.status = 404;
+  r.reason = "Not Found";
+  r.version = version;
+  r.body = "not found";
+  return r;
+}
+
+}  // namespace http

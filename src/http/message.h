@@ -1,0 +1,67 @@
+// HTTP/1.0 and HTTP/1.1 message model.
+//
+// Only the features the L7 LB inspects are modelled: request line (method,
+// URL, version), headers (Host, Cookie, Content-Length, Connection,
+// Accept-Language), and bodies framed by Content-Length. This is the content
+// the Yoda rule engine matches on and that proxies must buffer before
+// selecting a backend.
+
+#ifndef SRC_HTTP_MESSAGE_H_
+#define SRC_HTTP_MESSAGE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace http {
+
+// Header names are matched case-insensitively (stored lower-cased).
+using HeaderMap = std::map<std::string, std::string>;
+
+std::string ToLower(std::string s);
+
+struct Request {
+  std::string method = "GET";
+  std::string url = "/";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  std::optional<std::string> Header(const std::string& name) const;
+  void SetHeader(const std::string& name, std::string value);
+
+  // Parses the Cookie header into name->value pairs.
+  std::map<std::string, std::string> Cookies() const;
+
+  // True if the connection should stay open after this exchange
+  // (HTTP/1.1 default keep-alive; HTTP/1.0 requires Connection: keep-alive).
+  bool KeepAlive() const;
+
+  // Serializes to wire format.
+  std::string Serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  std::optional<std::string> Header(const std::string& name) const;
+  void SetHeader(const std::string& name, std::string value);
+  bool KeepAlive() const;
+
+  std::string Serialize() const;
+};
+
+// Convenience factories.
+Request MakeGet(const std::string& url, const std::string& host,
+                const std::string& version = "HTTP/1.1");
+Response MakeOk(std::string body, const std::string& version = "HTTP/1.1");
+Response MakeNotFound(const std::string& version = "HTTP/1.1");
+
+}  // namespace http
+
+#endif  // SRC_HTTP_MESSAGE_H_

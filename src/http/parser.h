@@ -1,0 +1,81 @@
+// Incremental HTTP parsers.
+//
+// Bytes arrive from TCP in arbitrary segment boundaries; these parsers
+// accumulate until a full message (headers + Content-Length body) is
+// available, then surface it. They also expose `HaveHeaders()` early, which
+// is what a Yoda instance needs: the backend is selected as soon as the
+// request *header* is complete, before any body arrives.
+
+#ifndef SRC_HTTP_PARSER_H_
+#define SRC_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/http/message.h"
+
+namespace http {
+
+enum class ParseStatus {
+  kNeedMore,   // Incomplete; feed more bytes.
+  kComplete,   // A full message is ready via Take*().
+  kError,      // Malformed input.
+};
+
+class RequestParser {
+ public:
+  // Appends bytes and attempts to advance. Returns the current status.
+  ParseStatus Feed(std::string_view bytes);
+
+  // True once the request line + headers have been fully received.
+  bool HaveHeaders() const { return have_headers_; }
+
+  // Valid once HaveHeaders(); body may still be incomplete.
+  const Request& request() const { return request_; }
+
+  // Once kComplete, removes and returns the parsed request, retaining any
+  // pipelined bytes that followed it; the parser is then ready for the next
+  // request on the same connection.
+  Request TakeRequest();
+
+  // Current status without feeding more data.
+  ParseStatus status() const { return status_; }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  ParseStatus Advance();
+
+  std::string buf_;
+  Request request_;
+  bool have_headers_ = false;
+  std::size_t body_needed_ = 0;
+  ParseStatus status_ = ParseStatus::kNeedMore;
+  std::string error_;
+};
+
+class ResponseParser {
+ public:
+  ParseStatus Feed(std::string_view bytes);
+  bool HaveHeaders() const { return have_headers_; }
+  const Response& response() const { return response_; }
+  Response TakeResponse();
+  ParseStatus status() const { return status_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  ParseStatus Advance();
+
+  std::string buf_;
+  Response response_;
+  bool have_headers_ = false;
+  std::size_t body_needed_ = 0;
+  ParseStatus status_ = ParseStatus::kNeedMore;
+  std::string error_;
+};
+
+}  // namespace http
+
+#endif  // SRC_HTTP_PARSER_H_

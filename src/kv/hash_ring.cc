@@ -1,0 +1,77 @@
+#include "src/kv/hash_ring.h"
+
+namespace kv {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  // splitmix64 finaliser.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashBytes(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+void HashRing::AddServer(const std::string& id) {
+  if (!servers_.insert(id).second) {
+    return;
+  }
+  for (int v = 0; v < vnodes_; ++v) {
+    ring_[HashBytes(id + "#" + std::to_string(v))] = id;
+  }
+}
+
+void HashRing::RemoveServer(const std::string& id) {
+  if (servers_.erase(id) == 0) {
+    return;
+  }
+  for (int v = 0; v < vnodes_; ++v) {
+    ring_.erase(HashBytes(id + "#" + std::to_string(v)));
+  }
+}
+
+std::string HashRing::WalkFrom(std::uint64_t point,
+                               const std::set<std::string>& exclude) const {
+  if (ring_.empty() || exclude.size() >= servers_.size()) {
+    return "";
+  }
+  auto it = ring_.lower_bound(point);
+  for (std::size_t steps = 0; steps < ring_.size() * 2; ++steps) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    if (!exclude.contains(it->second)) {
+      return it->second;
+    }
+    ++it;
+  }
+  return "";
+}
+
+std::string HashRing::Lookup(const std::string& key) const {
+  return WalkFrom(HashBytes(key), {});
+}
+
+std::vector<std::string> HashRing::Replicas(const std::string& key, int k) const {
+  std::vector<std::string> out;
+  std::set<std::string> chosen;
+  for (int i = 0; i < k && chosen.size() < servers_.size(); ++i) {
+    std::uint64_t point = HashBytes(key + "@" + std::to_string(i));
+    std::string server = WalkFrom(point, chosen);
+    if (server.empty()) {
+      break;
+    }
+    chosen.insert(server);
+    out.push_back(server);
+  }
+  return out;
+}
+
+}  // namespace kv

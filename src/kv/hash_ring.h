@@ -1,0 +1,49 @@
+// Consistent-hash ring used by the TCPStore client library to pick, for each
+// key, K distinct replica servers out of N (paper §6: "the Memcached client
+// first determines the K servers among the total N servers using K different
+// hash functions, and consistent hashing").
+
+#ifndef SRC_KV_HASH_RING_H_
+#define SRC_KV_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kv {
+
+// Stateless 64-bit string hash (FNV-1a finalised with splitmix64). Exposed so
+// other components (L4 ECMP, Yoda ISN generation) share one audited hash.
+std::uint64_t HashBytes(const std::string& s);
+std::uint64_t Mix64(std::uint64_t x);
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes_per_server = 128) : vnodes_(vnodes_per_server) {}
+
+  void AddServer(const std::string& id);
+  void RemoveServer(const std::string& id);
+  bool HasServer(const std::string& id) const { return servers_.contains(id); }
+  std::size_t server_count() const { return servers_.size(); }
+
+  // Owner of a key under plain consistent hashing (first replica).
+  std::string Lookup(const std::string& key) const;
+
+  // K distinct replicas: replica i starts from hash_i(key) and walks the ring
+  // until it finds a server not already chosen. Returns fewer than k ids only
+  // when fewer than k servers exist.
+  std::vector<std::string> Replicas(const std::string& key, int k) const;
+
+ private:
+  std::string WalkFrom(std::uint64_t point, const std::set<std::string>& exclude) const;
+
+  int vnodes_;
+  std::set<std::string> servers_;
+  std::map<std::uint64_t, std::string> ring_;  // hash point -> server id.
+};
+
+}  // namespace kv
+
+#endif  // SRC_KV_HASH_RING_H_

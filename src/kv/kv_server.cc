@@ -1,0 +1,120 @@
+#include "src/kv/kv_server.h"
+
+#include <utility>
+
+namespace kv {
+
+KvServer::KvServer(sim::Simulator* simulator, std::string id, KvServerConfig config)
+    : sim_(simulator), id_(std::move(id)), cfg_(config) {}
+
+sim::Time KvServer::ScheduleOp() {
+  const sim::Time now = sim_->now();
+  const sim::Time start = busy_until_ > now ? busy_until_ : now;
+  const sim::Time done = start + cfg_.op_service_time;
+  busy_until_ = done;
+  cpu_.AddBusy(cfg_.op_service_time);
+  return done;
+}
+
+sim::Duration KvServer::QueueDelayNow() const {
+  const sim::Time now = sim_->now();
+  return busy_until_ > now ? busy_until_ - now : 0;
+}
+
+void KvServer::Touch(const std::string& key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+}
+
+void KvServer::EvictIfNeeded() {
+  while (items_.size() > cfg_.max_items && !lru_.empty()) {
+    items_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void KvServer::Get(const std::string& key, GetCallback cb) {
+  if (failed_) {
+    ++stats_.dropped_while_down;
+    return;
+  }
+  ++stats_.gets;
+  const sim::Time done = ScheduleOp();
+  sim_->At(done, [this, key, cb = std::move(cb)]() {
+    if (failed_) {
+      return;  // Crashed while the op was queued: response is lost.
+    }
+    auto it = items_.find(key);
+    if (it == items_.end()) {
+      ++stats_.misses;
+      cb(std::nullopt);
+    } else {
+      ++stats_.hits;
+      Touch(key);
+      cb(it->second.value);
+    }
+  });
+}
+
+void KvServer::Set(const std::string& key, std::string value, AckCallback cb) {
+  if (failed_) {
+    ++stats_.dropped_while_down;
+    return;
+  }
+  ++stats_.sets;
+  const sim::Time done = ScheduleOp();
+  sim_->At(done, [this, key, value = std::move(value), cb = std::move(cb)]() mutable {
+    if (failed_) {
+      return;
+    }
+    auto it = items_.find(key);
+    if (it == items_.end()) {
+      lru_.push_front(key);
+      items_[key] = Item{std::move(value), lru_.begin()};
+      EvictIfNeeded();
+    } else {
+      it->second.value = std::move(value);
+      Touch(key);
+    }
+    cb(true);
+  });
+}
+
+void KvServer::Delete(const std::string& key, AckCallback cb) {
+  if (failed_) {
+    ++stats_.dropped_while_down;
+    return;
+  }
+  ++stats_.deletes;
+  const sim::Time done = ScheduleOp();
+  sim_->At(done, [this, key, cb = std::move(cb)]() {
+    if (failed_) {
+      return;
+    }
+    auto it = items_.find(key);
+    if (it != items_.end()) {
+      lru_.erase(it->second.lru_pos);
+      items_.erase(it);
+      cb(true);
+    } else {
+      cb(false);
+    }
+  });
+}
+
+void KvServer::Fail() {
+  failed_ = true;
+  items_.clear();
+  lru_.clear();
+  busy_until_ = sim_->now();
+}
+
+void KvServer::Recover() { failed_ = false; }
+
+}  // namespace kv

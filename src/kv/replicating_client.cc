@@ -1,0 +1,159 @@
+#include "src/kv/replicating_client.h"
+
+#include <utility>
+
+namespace kv {
+namespace {
+
+// Book-keeping for one fan-out operation: fires `done` exactly once, after
+// all replicas answered or the timeout fired.
+struct FanOut {
+  int outstanding = 0;
+  int acks = 0;
+  bool finished = false;
+  std::optional<std::string> value;
+};
+
+}  // namespace
+
+ReplicatingClient::ReplicatingClient(sim::Simulator* simulator, std::vector<KvServer*> servers,
+                                     ReplicatingClientConfig config)
+    : sim_(simulator), cfg_(config) {
+  for (KvServer* s : servers) {
+    ring_.AddServer(s->id());
+    by_id_[s->id()] = s;
+  }
+}
+
+std::vector<KvServer*> ReplicatingClient::ReplicasFor(const std::string& key) const {
+  std::vector<KvServer*> out;
+  for (const std::string& id : ring_.Replicas(key, cfg_.replicas)) {
+    out.push_back(by_id_.at(id));
+  }
+  return out;
+}
+
+void ReplicatingClient::Set(const std::string& key, std::string value, AckCallback cb) {
+  ++stats_.sets;
+  const sim::Time start = sim_->now();
+  auto replicas = ReplicasFor(key);
+  auto state = std::make_shared<FanOut>();
+  state->outstanding = static_cast<int>(replicas.size());
+  auto finish = [this, state, start, cb](bool timed_out) {
+    if (state->finished) {
+      return;
+    }
+    if (timed_out) {
+      ++stats_.replica_timeouts;
+    }
+    state->finished = true;
+    stats_.set_latency_us.Add(sim::ToMicros(sim_->now() - start));
+    cb(state->acks > 0);
+  };
+  for (KvServer* server : replicas) {
+    // Request travels one network delay; the ack travels one back.
+    sim_->After(cfg_.network_delay, [this, server, key, value, state, finish]() {
+      server->Set(key, value, [this, state, finish](bool) {
+        sim_->After(cfg_.network_delay, [state, finish]() {
+          ++state->acks;
+          if (--state->outstanding == 0) {
+            finish(false);
+          }
+        });
+      });
+    });
+  }
+  sim_->After(cfg_.op_timeout, [state, finish]() {
+    if (!state->finished && state->outstanding > 0) {
+      finish(true);
+    }
+  });
+  if (replicas.empty()) {
+    cb(false);
+  }
+}
+
+void ReplicatingClient::Get(const std::string& key, GetCallback cb) {
+  ++stats_.gets;
+  const sim::Time start = sim_->now();
+  auto replicas = ReplicasFor(key);
+  auto state = std::make_shared<FanOut>();
+  state->outstanding = static_cast<int>(replicas.size());
+  auto finish = [this, state, start, cb](bool timed_out) {
+    if (state->finished) {
+      return;
+    }
+    if (timed_out) {
+      ++stats_.replica_timeouts;
+    }
+    state->finished = true;
+    stats_.get_latency_us.Add(sim::ToMicros(sim_->now() - start));
+    cb(state->value);
+  };
+  for (KvServer* server : replicas) {
+    sim_->After(cfg_.network_delay, [this, server, key, state, finish]() {
+      server->Get(key, [this, state, finish](std::optional<std::string> v) {
+        sim_->After(cfg_.network_delay, [state, finish, v = std::move(v)]() {
+          --state->outstanding;
+          if (v.has_value()) {
+            state->value = std::move(v);
+            finish(false);  // First hit wins.
+          } else if (state->outstanding == 0) {
+            finish(false);  // All replicas answered; miss.
+          }
+        });
+      });
+    });
+  }
+  sim_->After(cfg_.op_timeout, [state, finish]() {
+    if (!state->finished) {
+      finish(true);
+    }
+  });
+  if (replicas.empty()) {
+    cb(std::nullopt);
+  }
+}
+
+void ReplicatingClient::Delete(const std::string& key, AckCallback cb) {
+  ++stats_.deletes;
+  const sim::Time start = sim_->now();
+  auto replicas = ReplicasFor(key);
+  auto state = std::make_shared<FanOut>();
+  state->outstanding = static_cast<int>(replicas.size());
+  auto finish = [this, state, start, cb](bool timed_out) {
+    if (state->finished) {
+      return;
+    }
+    if (timed_out) {
+      ++stats_.replica_timeouts;
+    }
+    state->finished = true;
+    stats_.delete_latency_us.Add(sim::ToMicros(sim_->now() - start));
+    cb(state->acks > 0);
+  };
+  for (KvServer* server : replicas) {
+    sim_->After(cfg_.network_delay, [this, server, key, state, finish]() {
+      server->Delete(key, [this, state, finish](bool ok) {
+        sim_->After(cfg_.network_delay, [state, finish, ok]() {
+          if (ok) {
+            ++state->acks;
+          }
+          if (--state->outstanding == 0) {
+            finish(false);
+          }
+        });
+      });
+    });
+  }
+  sim_->After(cfg_.op_timeout, [state, finish]() {
+    if (!state->finished && state->outstanding > 0) {
+      finish(true);
+    }
+  });
+  if (replicas.empty()) {
+    cb(false);
+  }
+}
+
+}  // namespace kv

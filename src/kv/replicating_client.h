@@ -1,0 +1,83 @@
+// The modified memcached client library from the paper (§6, "TCPStore"):
+// every key-value pair is stored on K servers chosen by K hash functions over
+// a consistent-hash ring, operations are issued to all replicas in parallel,
+// and long-lived connections are assumed (a fixed one-way network delay per
+// op rather than per-connection handshakes).
+//
+// Completion semantics:
+//   - Set/Delete: callback fires when every replica acked or timed out;
+//     ok == at least one replica acked.
+//   - Get: callback fires with the first hit; a miss is reported only after
+//     all replicas answered (or timed out) without a hit.
+//
+// There is no re-replication on server failure (paper: "flows finish quicker
+// than the replication latency").
+
+#ifndef SRC_KV_REPLICATING_CLIENT_H_
+#define SRC_KV_REPLICATING_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kv/hash_ring.h"
+#include "src/kv/kv_server.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace kv {
+
+struct ReplicatingClientConfig {
+  int replicas = 2;
+  // One-way client<->server network delay per op message (includes kernel
+  // and library overheads; calibrated so one blocking set costs ~0.4 ms and
+  // the two storage waits on Yoda's connection path total ~0.9 ms, Fig 9).
+  sim::Duration network_delay = sim::Usec(200);
+  // Deadline after which an unresponsive replica counts as failed.
+  sim::Duration op_timeout = sim::Msec(50);
+};
+
+struct ClientOpStats {
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t replica_timeouts = 0;
+  sim::Histogram get_latency_us;
+  sim::Histogram set_latency_us;
+  sim::Histogram delete_latency_us;
+};
+
+class ReplicatingClient {
+ public:
+  using GetCallback = std::function<void(std::optional<std::string>)>;
+  using AckCallback = std::function<void(bool ok)>;
+
+  ReplicatingClient(sim::Simulator* simulator, std::vector<KvServer*> servers,
+                    ReplicatingClientConfig config = {});
+  ReplicatingClient(const ReplicatingClient&) = delete;
+  ReplicatingClient& operator=(const ReplicatingClient&) = delete;
+
+  void Set(const std::string& key, std::string value, AckCallback cb);
+  void Get(const std::string& key, GetCallback cb);
+  void Delete(const std::string& key, AckCallback cb);
+
+  // Replica servers the ring selects for `key` (exposed for tests).
+  std::vector<KvServer*> ReplicasFor(const std::string& key) const;
+
+  ClientOpStats& stats() { return stats_; }
+  const ReplicatingClientConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulator* sim_;
+  ReplicatingClientConfig cfg_;
+  HashRing ring_;
+  std::unordered_map<std::string, KvServer*> by_id_;
+  ClientOpStats stats_;
+};
+
+}  // namespace kv
+
+#endif  // SRC_KV_REPLICATING_CLIENT_H_

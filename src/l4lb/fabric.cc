@@ -1,0 +1,86 @@
+#include "src/l4lb/fabric.h"
+
+namespace l4lb {
+
+L4Fabric::L4Fabric(sim::Simulator* simulator, net::Network* network, int num_muxes)
+    : sim_(simulator), net_(network) {
+  for (int i = 0; i < num_muxes; ++i) {
+    muxes_.push_back(std::make_unique<Mux>(i));
+  }
+}
+
+void L4Fabric::AttachVip(net::IpAddr vip) { net_->Attach(vip, this); }
+
+void L4Fabric::DetachVip(net::IpAddr vip) { net_->Detach(vip); }
+
+void L4Fabric::SetVipPool(net::IpAddr vip, const std::vector<net::IpAddr>& instances) {
+  for (auto& mux : muxes_) {
+    mux->SetPool(vip, instances);
+  }
+}
+
+void L4Fabric::SetVipPoolStaggered(net::IpAddr vip, std::vector<net::IpAddr> instances,
+                                   sim::Duration per_mux_delay) {
+  for (std::size_t i = 0; i < muxes_.size(); ++i) {
+    Mux* mux = muxes_[i].get();
+    sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                [mux, vip, instances]() { mux->SetPool(vip, instances); });
+  }
+}
+
+void L4Fabric::RemoveInstanceEverywhere(net::IpAddr instance) {
+  for (auto& mux : muxes_) {
+    mux->RemoveInstance(instance);
+  }
+  // Drop SNAT pins owned by the dead instance so server-side return traffic
+  // re-ECMPs to a survivor instead of blackholing.
+  for (auto it = snat_.begin(); it != snat_.end();) {
+    if (it->second == instance) {
+      it = snat_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void L4Fabric::RegisterSnat(const net::FiveTuple& server_side, net::IpAddr owner) {
+  snat_[server_side] = owner;
+}
+
+void L4Fabric::UnregisterSnat(const net::FiveTuple& server_side) { snat_.erase(server_side); }
+
+std::optional<net::IpAddr> L4Fabric::SnatOwner(const net::FiveTuple& server_side) const {
+  auto it = snat_.find(server_side);
+  if (it == snat_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void L4Fabric::HandlePacket(const net::Packet& packet) {
+  ++stats_.packets;
+  if (muxes_.empty()) {
+    ++stats_.dropped;
+    return;
+  }
+  // Router-level ECMP across muxes.
+  const std::size_t mux_idx =
+      net::FiveTupleHash{}(packet.tuple()) % muxes_.size();
+  std::optional<net::IpAddr> snat_hit =
+      snat_enabled_ ? SnatOwner(packet.tuple()) : std::nullopt;
+  // A SNAT pin to an instance the network knows is unreachable is useless;
+  // the failure path normally clears pins, but guard against races.
+  if (snat_hit && net_->IsDown(*snat_hit)) {
+    snat_hit = std::nullopt;
+  }
+  auto target = muxes_[mux_idx]->Route(packet, snat_hit);
+  if (!target) {
+    ++stats_.dropped;
+    return;
+  }
+  net::Packet fwd = packet;
+  fwd.encap_dst = *target;
+  net_->Send(std::move(fwd));
+}
+
+}  // namespace l4lb

@@ -1,0 +1,75 @@
+// L4Fabric: the cloud's L4 load-balancer service as seen by tenants.
+//
+// It attaches to the network at each VIP, spreads packets across several Mux
+// instances (router ECMP), and owns the shared SNAT table. Controller-driven
+// mapping changes can be applied atomically (tests) or staggered across muxes
+// (paper §4.5: "the VIP-to-YODA-instance mapping has to be changed on
+// multiple L4 LB instances, which is not atomic"), which is what creates the
+// transient mixed-traffic window the assignment ILP budgets for.
+
+#ifndef SRC_L4LB_FABRIC_H_
+#define SRC_L4LB_FABRIC_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/l4lb/mux.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace l4lb {
+
+struct FabricStats {
+  std::uint64_t packets = 0;
+  std::uint64_t dropped = 0;
+};
+
+class L4Fabric : public net::Node {
+ public:
+  L4Fabric(sim::Simulator* simulator, net::Network* network, int num_muxes);
+
+  // Route the VIP through this fabric (attaches this node at `vip`).
+  void AttachVip(net::IpAddr vip);
+  void DetachVip(net::IpAddr vip);
+
+  // --- controller API ---
+  // Applies the pool on all muxes at once.
+  void SetVipPool(net::IpAddr vip, const std::vector<net::IpAddr>& instances);
+  // Applies the pool one mux at a time, `per_mux_delay` apart (non-atomic
+  // update; during the window different muxes route differently).
+  void SetVipPoolStaggered(net::IpAddr vip, std::vector<net::IpAddr> instances,
+                           sim::Duration per_mux_delay);
+  // Failure path: removes the instance from every pool on every mux and
+  // clears its SNAT pins, so subsequent packets re-ECMP over survivors.
+  void RemoveInstanceEverywhere(net::IpAddr instance);
+
+  // --- SNAT API (used by L7 instances opening VIP-sourced connections) ---
+  // `server_side` is the tuple of *return* packets: (server -> VIP).
+  void RegisterSnat(const net::FiveTuple& server_side, net::IpAddr owner);
+  void UnregisterSnat(const net::FiveTuple& server_side);
+  std::optional<net::IpAddr> SnatOwner(const net::FiveTuple& server_side) const;
+  // Ablation hook: with pinning disabled, server->VIP return traffic is
+  // routed purely by ECMP, forcing non-owner instances to consult TCPStore.
+  void set_snat_enabled(bool enabled) { snat_enabled_ = enabled; }
+
+  // net::Node: a packet addressed to a VIP.
+  void HandlePacket(const net::Packet& packet) override;
+
+  const FabricStats& stats() const { return stats_; }
+  Mux& mux(int i) { return *muxes_[static_cast<std::size_t>(i)]; }
+  int mux_count() const { return static_cast<int>(muxes_.size()); }
+
+ private:
+  sim::Simulator* sim_;
+  net::Network* net_;
+  std::vector<std::unique_ptr<Mux>> muxes_;
+  bool snat_enabled_ = true;
+  std::unordered_map<net::FiveTuple, net::IpAddr, net::FiveTupleHash> snat_;
+  FabricStats stats_;
+};
+
+}  // namespace l4lb
+
+#endif  // SRC_L4LB_FABRIC_H_

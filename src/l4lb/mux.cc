@@ -1,0 +1,56 @@
+#include "src/l4lb/mux.h"
+
+#include <algorithm>
+
+#include "src/kv/hash_ring.h"
+
+namespace l4lb {
+
+net::IpAddr RendezvousPick(const net::FiveTuple& tuple, const std::vector<net::IpAddr>& pool) {
+  net::IpAddr best = 0;
+  std::uint64_t best_weight = 0;
+  for (net::IpAddr candidate : pool) {
+    std::uint64_t x = kv::Mix64((static_cast<std::uint64_t>(tuple.src) << 32) ^ tuple.dst);
+    x = kv::Mix64(x ^ (static_cast<std::uint64_t>(tuple.sport) << 16) ^ tuple.dport);
+    x = kv::Mix64(x ^ candidate);
+    if (x > best_weight || best == 0) {
+      best_weight = x;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+void Mux::SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances) {
+  pools_[vip] = std::move(instances);
+}
+
+void Mux::RemoveVip(net::IpAddr vip) { pools_.erase(vip); }
+
+void Mux::RemoveInstance(net::IpAddr instance) {
+  for (auto& [vip, pool] : pools_) {
+    pool.erase(std::remove(pool.begin(), pool.end(), instance), pool.end());
+  }
+}
+
+const std::vector<net::IpAddr>* Mux::PoolFor(net::IpAddr vip) const {
+  auto it = pools_.find(vip);
+  return it == pools_.end() ? nullptr : &it->second;
+}
+
+std::optional<net::IpAddr> Mux::Route(const net::Packet& packet,
+                                      std::optional<net::IpAddr> snat_hit) {
+  if (snat_hit) {
+    ++stats_.forwarded_snat;
+    return snat_hit;
+  }
+  const std::vector<net::IpAddr>* pool = PoolFor(packet.dst);
+  if (pool == nullptr || pool->empty()) {
+    ++stats_.dropped_no_pool;
+    return std::nullopt;
+  }
+  ++stats_.forwarded_ecmp;
+  return RendezvousPick(packet.tuple(), *pool);
+}
+
+}  // namespace l4lb

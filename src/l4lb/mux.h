@@ -1,0 +1,70 @@
+// Software mux of the cloud L4 LB (Ananta-style), one of several identical
+// instances. A mux holds the VIP -> {L7 instance} mapping installed by the
+// Yoda controller and forwards VIP traffic by rendezvous (highest-random-
+// weight) hashing of the 5-tuple over the live pool, so removing an instance
+// only remaps the flows that instance was handling.
+//
+// Forwarding preserves the original packet (dst stays the VIP) and sets the
+// IP-in-IP encapsulation destination, matching how Ananta/Duet deliver VIP
+// traffic to a DIP.
+//
+// The SNAT half (paper §3: Yoda uses "the SNAT functionality of the L4 LB")
+// pins server->VIP return traffic to the instance that opened the VIP-sourced
+// connection; when that instance dies the pin is dropped and return traffic
+// re-ECMPs over the survivors — which is what lets any Yoda instance take
+// over via TCPStore.
+
+#ifndef SRC_L4LB_MUX_H_
+#define SRC_L4LB_MUX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/packet.h"
+
+namespace l4lb {
+
+struct MuxStats {
+  std::uint64_t forwarded_ecmp = 0;
+  std::uint64_t forwarded_snat = 0;
+  std::uint64_t dropped_no_pool = 0;
+};
+
+class Mux {
+ public:
+  explicit Mux(int id) : id_(id) {}
+
+  int id() const { return id_; }
+
+  // Installs/overwrites the instance pool for a VIP on this mux.
+  void SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances);
+  void RemoveVip(net::IpAddr vip);
+  // Removes one instance from every pool (failure handling).
+  void RemoveInstance(net::IpAddr instance);
+
+  const std::vector<net::IpAddr>* PoolFor(net::IpAddr vip) const;
+
+  // Picks the forwarding target for `packet`, or nullopt to drop. `snat_hit`
+  // is the pre-resolved SNAT owner, if any (shared table lives in L4Fabric).
+  std::optional<net::IpAddr> Route(const net::Packet& packet,
+                                   std::optional<net::IpAddr> snat_hit);
+
+  const MuxStats& stats() const { return stats_; }
+
+ private:
+  int id_;
+  std::unordered_map<net::IpAddr, std::vector<net::IpAddr>> pools_;
+  MuxStats stats_;
+};
+
+// Rendezvous hash: returns the pool member with the highest hash weight for
+// this tuple; stable under removals of other members.
+net::IpAddr RendezvousPick(const net::FiveTuple& tuple, const std::vector<net::IpAddr>& pool);
+
+}  // namespace l4lb
+
+#endif  // SRC_L4LB_MUX_H_

@@ -1,0 +1,95 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace net {
+namespace {
+
+std::uint16_t RegionPairKey(Region a, Region b) {
+  auto x = static_cast<std::uint16_t>(a);
+  auto y = static_cast<std::uint16_t>(b);
+  if (x > y) {
+    std::swap(x, y);
+  }
+  return static_cast<std::uint16_t>((x << 8) | y);
+}
+
+}  // namespace
+
+void Network::Attach(IpAddr ip, Node* node, Region region) {
+  nodes_[ip] = node;
+  regions_[ip] = region;
+  down_.erase(ip);
+}
+
+void Network::Detach(IpAddr ip) {
+  nodes_.erase(ip);
+  regions_.erase(ip);
+  down_.erase(ip);
+}
+
+void Network::SetNodeDown(IpAddr ip, bool down) {
+  if (down) {
+    down_[ip] = true;
+  } else {
+    down_.erase(ip);
+  }
+}
+
+void Network::SetLatency(Region a, Region b, sim::Duration base, sim::Duration jitter) {
+  latency_[RegionPairKey(a, b)] = LatencySpec{base, jitter};
+}
+
+Region Network::RegionOf(IpAddr ip) const {
+  auto it = regions_.find(ip);
+  return it == regions_.end() ? Region::kDatacenter : it->second;
+}
+
+sim::Duration Network::DeliveryLatency(Region src_region, IpAddr dst) {
+  LatencySpec spec;
+  auto it = latency_.find(RegionPairKey(src_region, RegionOf(dst)));
+  if (it != latency_.end()) {
+    spec = it->second;
+  }
+  sim::Duration jitter = 0;
+  if (spec.jitter > 0) {
+    jitter = static_cast<sim::Duration>(rng_.UniformDouble() * static_cast<double>(spec.jitter));
+  }
+  return spec.base + jitter;
+}
+
+void Network::Send(Packet packet) {
+  ++stats_.sent;
+  if (packet.trace_id == 0) {
+    packet.trace_id = next_trace_id_++;
+  }
+  if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  const IpAddr route_dst = packet.encap_dst != 0 ? packet.encap_dst : packet.dst;
+  // Encapsulated packets are forwarded by the L4 mux, which lives in the
+  // datacenter — the inner source's region must not be charged again.
+  const Region src_region =
+      packet.encap_dst != 0 ? Region::kDatacenter : RegionOf(packet.src);
+  const sim::Duration latency = DeliveryLatency(src_region, route_dst);
+  sim_->After(latency, [this, route_dst, p = std::move(packet)]() {
+    auto it = nodes_.find(route_dst);
+    if (it == nodes_.end()) {
+      ++stats_.dropped_unroutable;
+      return;
+    }
+    if (down_.contains(route_dst)) {
+      ++stats_.dropped_down;
+      return;
+    }
+    ++stats_.delivered;
+    if (tap_) {
+      tap_(sim_->now(), p);
+    }
+    it->second->HandlePacket(p);
+  });
+}
+
+}  // namespace net

@@ -1,0 +1,105 @@
+// The simulated network fabric.
+//
+// Nodes attach at IP addresses; Network::Send schedules delivery after a
+// latency drawn from the (region-pair) latency model, with optional loss.
+// A node marked down blackholes traffic, which is exactly how a crashed VM
+// appears to its peers — in-flight state vanishes, packets are dropped and
+// senders discover the failure only through their own timers.
+//
+// Virtual IPs are attached like any other address (the L4 mux attaches at
+// the VIP), matching how VIP routes point at the L4 LB in a real DC.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace net {
+
+// Anything that can receive packets from the fabric.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void HandlePacket(const Packet& packet) = 0;
+};
+
+// Coarse placement used by the latency model.
+enum class Region : std::uint8_t {
+  kDatacenter = 0,  // intra-DC VMs: LB instances, servers, TCPStore.
+  kInternet = 1,    // external clients.
+};
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_down = 0;
+  std::uint64_t dropped_unroutable = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator* simulator, std::uint64_t seed)
+      : sim_(simulator), rng_(seed) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Attaches `node` at `ip`. Re-attaching replaces the previous binding.
+  void Attach(IpAddr ip, Node* node, Region region = Region::kDatacenter);
+  void Detach(IpAddr ip);
+  bool IsAttached(IpAddr ip) const { return nodes_.contains(ip); }
+
+  // Administrative up/down; a down node blackholes all traffic sent to it.
+  void SetNodeDown(IpAddr ip, bool down);
+  bool IsDown(IpAddr ip) const { return down_.contains(ip); }
+
+  // Latency model. Delivery latency = one-way base for the (src,dst) region
+  // pair + uniform jitter in [0, jitter].
+  void SetLatency(Region a, Region b, sim::Duration base, sim::Duration jitter = 0);
+
+  // Uniform random loss applied to every delivery (default 0).
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  // Sends `packet` toward packet.dst. Drops silently if unroutable/down/lost.
+  void Send(Packet packet);
+
+  // Observes every delivered packet (for tcpdump-style traces in benches).
+  using TapFn = std::function<void(sim::Time, const Packet&)>;
+  void set_tap(TapFn tap) { tap_ = std::move(tap); }
+
+  const NetworkStats& stats() const { return stats_; }
+  sim::Simulator* simulator() { return sim_; }
+
+ private:
+  sim::Duration DeliveryLatency(Region src_region, IpAddr dst);
+  Region RegionOf(IpAddr ip) const;
+
+  struct LatencySpec {
+    sim::Duration base = sim::Usec(250);
+    sim::Duration jitter = sim::Usec(50);
+  };
+
+  sim::Simulator* sim_;
+  sim::Rng rng_;
+  std::unordered_map<IpAddr, Node*> nodes_;
+  std::unordered_map<IpAddr, Region> regions_;
+  std::unordered_map<IpAddr, bool> down_;
+  // Keyed by (min(a,b) << 1 | cross) — symmetric region pairs.
+  std::unordered_map<std::uint16_t, LatencySpec> latency_;
+  double loss_rate_ = 0;
+  std::uint64_t next_trace_id_ = 1;
+  NetworkStats stats_;
+  TapFn tap_;
+};
+
+}  // namespace net
+
+#endif  // SRC_NET_NETWORK_H_

@@ -1,0 +1,88 @@
+#include "src/net/packet.h"
+
+#include <cstdio>
+
+namespace net {
+
+std::string IpToString(IpAddr ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+std::string FiveTuple::ToString() const {
+  return IpToString(src) + ":" + std::to_string(sport) + "->" + IpToString(dst) + ":" +
+         std::to_string(dport);
+}
+
+std::string Packet::ToString() const {
+  std::string f;
+  if (syn()) {
+    f += "S";
+  }
+  if (ack_flag()) {
+    f += "A";
+  }
+  if (fin()) {
+    f += "F";
+  }
+  if (rst()) {
+    f += "R";
+  }
+  if (has(kPsh)) {
+    f += "P";
+  }
+  return tuple().ToString() + " [" + f + "] seq=" + std::to_string(seq) +
+         " ack=" + std::to_string(ack) + " len=" + std::to_string(payload.size());
+}
+
+Packet MakeSyn(IpAddr src, Port sport, IpAddr dst, Port dport, std::uint32_t isn) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.sport = sport;
+  p.dport = dport;
+  p.seq = isn;
+  p.flags = kSyn;
+  return p;
+}
+
+Packet MakeSynAck(const Packet& syn, std::uint32_t isn) {
+  Packet p;
+  p.src = syn.dst;
+  p.dst = syn.src;
+  p.sport = syn.dport;
+  p.dport = syn.sport;
+  p.seq = isn;
+  p.ack = syn.seq + 1;
+  p.flags = kSyn | kAck;
+  return p;
+}
+
+Packet MakeAck(IpAddr src, Port sport, IpAddr dst, Port dport, std::uint32_t seq,
+               std::uint32_t ack) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.sport = sport;
+  p.dport = dport;
+  p.seq = seq;
+  p.ack = ack;
+  p.flags = kAck;
+  return p;
+}
+
+Packet MakeRst(const Packet& in_reply_to) {
+  Packet p;
+  p.src = in_reply_to.dst;
+  p.dst = in_reply_to.src;
+  p.sport = in_reply_to.dport;
+  p.dport = in_reply_to.sport;
+  p.seq = in_reply_to.ack;
+  p.ack = in_reply_to.seq + in_reply_to.SeqSpace();
+  p.flags = kRst | kAck;
+  return p;
+}
+
+}  // namespace net

@@ -1,0 +1,115 @@
+// In-simulation packet representation.
+//
+// A Packet carries the IPv4/TCP fields the Yoda data path actually inspects
+// and rewrites: addresses, ports, sequence/ack numbers and flags. The wire
+// codec in src/net/wire.h can round-trip a Packet through real byte-level
+// IPv4+TCP headers (with checksums) for components that want byte fidelity.
+
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace net {
+
+using IpAddr = std::uint32_t;
+using Port = std::uint16_t;
+
+// Builds an address from dotted-quad components: MakeIp(10, 0, 0, 1).
+constexpr IpAddr MakeIp(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  return (static_cast<IpAddr>(a) << 24) | (static_cast<IpAddr>(b) << 16) |
+         (static_cast<IpAddr>(c) << 8) | static_cast<IpAddr>(d);
+}
+
+std::string IpToString(IpAddr ip);
+
+// TCP flag bits (subset the system uses).
+enum TcpFlag : std::uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+};
+
+// Connection identity as seen on the wire.
+struct FiveTuple {
+  IpAddr src = 0;
+  IpAddr dst = 0;
+  Port sport = 0;
+  Port dport = 0;
+
+  FiveTuple Reversed() const { return FiveTuple{dst, src, dport, sport}; }
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  std::string ToString() const;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const {
+    std::size_t h = std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(t.src) << 32) | t.dst);
+    std::size_t h2 =
+        std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(t.sport) << 16) | t.dport);
+    return h ^ (h2 + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+};
+
+struct Packet {
+  IpAddr src = 0;
+  IpAddr dst = 0;
+  Port sport = 0;
+  Port dport = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::string payload;
+
+  // IP-in-IP encapsulation: when non-zero the fabric routes on this outer
+  // destination while the inner header (src/dst above) is preserved. Used by
+  // the L4 mux to deliver VIP traffic to a chosen L7 instance.
+  IpAddr encap_dst = 0;
+
+  // Monotonic id assigned by the network on first send; for tracing only.
+  std::uint64_t trace_id = 0;
+
+  bool has(TcpFlag f) const { return (flags & f) != 0; }
+  bool syn() const { return has(kSyn); }
+  bool ack_flag() const { return has(kAck); }
+  bool fin() const { return has(kFin); }
+  bool rst() const { return has(kRst); }
+
+  FiveTuple tuple() const { return FiveTuple{src, dst, sport, dport}; }
+
+  // Sequence space consumed by this segment (payload plus SYN/FIN flags).
+  std::uint32_t SeqSpace() const {
+    return static_cast<std::uint32_t>(payload.size()) + (syn() ? 1u : 0u) + (fin() ? 1u : 0u);
+  }
+
+  std::string ToString() const;
+};
+
+// Serial-number arithmetic (RFC 1982 style) for 32-bit TCP sequence numbers.
+inline bool SeqLt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline bool SeqLeq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline bool SeqGt(std::uint32_t a, std::uint32_t b) { return SeqLt(b, a); }
+inline bool SeqGeq(std::uint32_t a, std::uint32_t b) { return SeqLeq(b, a); }
+
+// Convenience constructors for common segment shapes.
+Packet MakeSyn(IpAddr src, Port sport, IpAddr dst, Port dport, std::uint32_t isn);
+Packet MakeSynAck(const Packet& syn, std::uint32_t isn);
+Packet MakeAck(IpAddr src, Port sport, IpAddr dst, Port dport, std::uint32_t seq,
+               std::uint32_t ack);
+Packet MakeRst(const Packet& in_reply_to);
+
+}  // namespace net
+
+#endif  // SRC_NET_PACKET_H_

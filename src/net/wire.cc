@@ -1,0 +1,227 @@
+#include "src/net/wire.h"
+
+#include <cstring>
+
+namespace net {
+namespace {
+
+constexpr std::size_t kIpv4HeaderLen = 20;
+constexpr std::size_t kTcpHeaderLen = 20;
+constexpr std::uint8_t kProtoTcp = 6;
+
+void PutU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void PutU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+void Fail(std::string* error, const char* msg) {
+  if (error != nullptr) {
+    *error = msg;
+  }
+}
+
+}  // namespace
+
+void ByteWriter::U8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::U16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void ByteWriter::U32(std::uint32_t v) {
+  U16(static_cast<std::uint16_t>(v >> 16));
+  U16(static_cast<std::uint16_t>(v & 0xffff));
+}
+
+void ByteWriter::U64(std::uint64_t v) {
+  U32(static_cast<std::uint32_t>(v >> 32));
+  U32(static_cast<std::uint32_t>(v & 0xffffffff));
+}
+
+void ByteWriter::Bytes(const std::string& s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::Str(const std::string& s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  Bytes(s);
+}
+
+std::optional<std::uint8_t> ByteReader::U8() {
+  if (pos_ + 1 > buf_.size()) {
+    return std::nullopt;
+  }
+  return buf_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::U16() {
+  if (pos_ + 2 > buf_.size()) {
+    return std::nullopt;
+  }
+  std::uint16_t v = GetU16(&buf_[pos_]);
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::U32() {
+  if (pos_ + 4 > buf_.size()) {
+    return std::nullopt;
+  }
+  std::uint32_t v = GetU32(&buf_[pos_]);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::U64() {
+  auto hi = U32();
+  auto lo = U32();
+  if (!hi || !lo) {
+    return std::nullopt;
+  }
+  return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+}
+
+std::optional<std::string> ByteReader::Bytes(std::size_t n) {
+  if (pos_ + n > buf_.size()) {
+    return std::nullopt;
+  }
+  std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return s;
+}
+
+std::optional<std::string> ByteReader::Str() {
+  auto n = U32();
+  if (!n) {
+    return std::nullopt;
+  }
+  return Bytes(*n);
+}
+
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < len) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<std::uint8_t> SerializePacket(const Packet& p) {
+  const std::size_t total = kIpv4HeaderLen + kTcpHeaderLen + p.payload.size();
+  std::vector<std::uint8_t> out(total, 0);
+  std::uint8_t* ip = out.data();
+  // IPv4 header.
+  ip[0] = 0x45;                                          // version 4, IHL 5.
+  PutU16(ip + 2, static_cast<std::uint16_t>(total));     // total length.
+  ip[8] = 64;                                            // TTL.
+  ip[9] = kProtoTcp;                                     // protocol.
+  PutU32(ip + 12, p.src);
+  PutU32(ip + 16, p.dst);
+  PutU16(ip + 10, 0);
+  PutU16(ip + 10, InternetChecksum(ip, kIpv4HeaderLen));
+
+  // TCP header.
+  std::uint8_t* tcp = out.data() + kIpv4HeaderLen;
+  PutU16(tcp + 0, p.sport);
+  PutU16(tcp + 2, p.dport);
+  PutU32(tcp + 4, p.seq);
+  PutU32(tcp + 8, p.ack);
+  tcp[12] = 5 << 4;  // data offset 5 words.
+  tcp[13] = p.flags;
+  PutU16(tcp + 14, p.window);
+  std::memcpy(tcp + kTcpHeaderLen, p.payload.data(), p.payload.size());
+
+  // TCP checksum over pseudo-header + segment.
+  const std::size_t seg_len = kTcpHeaderLen + p.payload.size();
+  std::vector<std::uint8_t> pseudo(12 + seg_len, 0);
+  PutU32(pseudo.data(), p.src);
+  PutU32(pseudo.data() + 4, p.dst);
+  pseudo[9] = kProtoTcp;
+  PutU16(pseudo.data() + 10, static_cast<std::uint16_t>(seg_len));
+  std::memcpy(pseudo.data() + 12, tcp, seg_len);
+  PutU16(tcp + 16, InternetChecksum(pseudo.data(), pseudo.size()));
+  return out;
+}
+
+std::optional<Packet> ParsePacket(const std::vector<std::uint8_t>& bytes, std::string* error) {
+  if (bytes.size() < kIpv4HeaderLen + kTcpHeaderLen) {
+    Fail(error, "datagram too short");
+    return std::nullopt;
+  }
+  const std::uint8_t* ip = bytes.data();
+  if ((ip[0] >> 4) != 4 || (ip[0] & 0x0f) != 5) {
+    Fail(error, "unsupported IP version or options");
+    return std::nullopt;
+  }
+  if (ip[9] != kProtoTcp) {
+    Fail(error, "not TCP");
+    return std::nullopt;
+  }
+  const std::size_t total = GetU16(ip + 2);
+  if (total != bytes.size()) {
+    Fail(error, "IP total length mismatch");
+    return std::nullopt;
+  }
+  if (InternetChecksum(ip, kIpv4HeaderLen) != 0) {
+    Fail(error, "bad IPv4 header checksum");
+    return std::nullopt;
+  }
+
+  Packet p;
+  p.src = GetU32(ip + 12);
+  p.dst = GetU32(ip + 16);
+  const std::uint8_t* tcp = bytes.data() + kIpv4HeaderLen;
+  if ((tcp[12] >> 4) != 5) {
+    Fail(error, "unsupported TCP options");
+    return std::nullopt;
+  }
+  p.sport = GetU16(tcp + 0);
+  p.dport = GetU16(tcp + 2);
+  p.seq = GetU32(tcp + 4);
+  p.ack = GetU32(tcp + 8);
+  p.flags = tcp[13];
+  p.window = GetU16(tcp + 14);
+  const std::size_t seg_len = bytes.size() - kIpv4HeaderLen;
+
+  // Validate TCP checksum over pseudo-header + segment.
+  std::vector<std::uint8_t> pseudo(12 + seg_len, 0);
+  PutU32(pseudo.data(), p.src);
+  PutU32(pseudo.data() + 4, p.dst);
+  pseudo[9] = kProtoTcp;
+  PutU16(pseudo.data() + 10, static_cast<std::uint16_t>(seg_len));
+  std::memcpy(pseudo.data() + 12, tcp, seg_len);
+  if (InternetChecksum(pseudo.data(), pseudo.size()) != 0) {
+    Fail(error, "bad TCP checksum");
+    return std::nullopt;
+  }
+  p.payload.assign(reinterpret_cast<const char*>(tcp + kTcpHeaderLen),
+                   seg_len - kTcpHeaderLen);
+  return p;
+}
+
+}  // namespace net

@@ -1,0 +1,71 @@
+// Byte-level codec: Packet <-> IPv4 + TCP headers with internet checksums.
+//
+// The simulator moves Packet structs directly for speed, but TCPStore values
+// and the wire tests use this codec to guarantee the structs carry exactly
+// what real headers can carry (no hidden side-channel state). The Yoda flow
+// state codec (src/core/flow_state.h) reuses the byte readers/writers here.
+
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace net {
+
+// Big-endian primitive writers/readers over a byte vector.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v);
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void Bytes(const std::string& s);
+  // Length-prefixed string (u32 length).
+  void Str(const std::string& s);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::optional<std::uint8_t> U8();
+  std::optional<std::uint16_t> U16();
+  std::optional<std::uint32_t> U32();
+  std::optional<std::uint64_t> U64();
+  std::optional<std::string> Bytes(std::size_t n);
+  std::optional<std::string> Str();
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+// RFC 1071 internet checksum over a byte range.
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len);
+
+// Serializes to a full IPv4 (20 B, no options) + TCP (20 B, no options)
+// datagram with valid IPv4 header checksum and TCP pseudo-header checksum.
+std::vector<std::uint8_t> SerializePacket(const Packet& p);
+
+// Parses and validates a datagram produced by SerializePacket. Returns
+// nullopt and fills `error` (if non-null) on malformed input or bad checksum.
+std::optional<Packet> ParsePacket(const std::vector<std::uint8_t>& bytes,
+                                  std::string* error = nullptr);
+
+}  // namespace net
+
+#endif  // SRC_NET_WIRE_H_

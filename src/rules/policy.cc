@@ -1,0 +1,60 @@
+#include "src/rules/policy.h"
+
+namespace rules {
+
+std::vector<Rule> Compile(const WeightedSplitPolicy& p) {
+  Rule r;
+  r.name = p.name;
+  r.priority = p.priority;
+  r.match = p.match;
+  r.action.type = ActionType::kWeightedSplit;
+  r.action.backends = p.backends;
+  return {r};
+}
+
+std::vector<Rule> Compile(const PrimaryBackupPolicy& p) {
+  Rule primary;
+  primary.name = p.name + "-primary";
+  primary.priority = p.priority;
+  primary.match = p.match;
+  primary.action.type = ActionType::kWeightedSplit;
+  primary.action.backends = p.primaries;
+
+  Rule backup;
+  backup.name = p.name + "-backup";
+  backup.priority = p.priority - 1;
+  backup.match = p.match;
+  backup.action.type = ActionType::kWeightedSplit;
+  backup.action.backends = p.backups;
+  return {primary, backup};
+}
+
+std::vector<Rule> Compile(const StickySessionPolicy& p) {
+  Rule sticky;
+  sticky.name = p.name + "-sticky";
+  sticky.priority = p.priority + 1;  // Affinity outranks the fallback split.
+  sticky.match = p.match;
+  sticky.match.cookie_name = p.cookie;
+  sticky.action.type = ActionType::kStickyTable;
+  sticky.action.sticky_cookie = p.cookie;
+
+  Rule fallback;
+  fallback.name = p.name + "-fallback";
+  fallback.priority = p.priority;
+  fallback.match = p.match;
+  fallback.action.type = ActionType::kWeightedSplit;
+  fallback.action.backends = p.fallback;
+  return {sticky, fallback};
+}
+
+std::vector<Rule> Compile(const LeastLoadedPolicy& p) {
+  Rule r;
+  r.name = p.name;
+  r.priority = p.priority;
+  r.match = p.match;
+  r.action.type = ActionType::kLeastLoaded;
+  r.action.backends = p.backends;
+  return {r};
+}
+
+}  // namespace rules

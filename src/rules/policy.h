@@ -1,0 +1,61 @@
+// Operator-facing policy interface (paper §5.1, Table 3).
+//
+// Online-service operators express *policies*; the Yoda controller compiles
+// them into prioritized rules. The priority field is what lets one match
+// condition express primary-backup pairs without rule blow-up.
+
+#ifndef SRC_RULES_POLICY_H_
+#define SRC_RULES_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/rules/rule.h"
+
+namespace rules {
+
+// "split traffic matching `match` across `backends` by weight" (rule 1).
+struct WeightedSplitPolicy {
+  std::string name;
+  int priority = 1;
+  Match match;
+  std::vector<Backend> backends;
+};
+
+// "prefer primaries; if all fail, use backups" (rules 2+3): compiles into two
+// rules with the same match at adjacent priorities.
+struct PrimaryBackupPolicy {
+  std::string name;
+  int priority = 2;  // Primary rule priority; backup gets priority-1.
+  Match match;
+  std::vector<Backend> primaries;
+  std::vector<Backend> backups;
+};
+
+// "requests carrying cookie `cookie` stick to their bound server, new
+// sessions fall through to `fallback` backends" (rule 4).
+struct StickySessionPolicy {
+  std::string name;
+  int priority = 0;
+  Match match;
+  std::string cookie;
+  std::vector<Backend> fallback;
+};
+
+// "always pick the least-loaded backend" (weights set to -1 in the paper's
+// interface; expressed directly here).
+struct LeastLoadedPolicy {
+  std::string name;
+  int priority = 1;
+  Match match;
+  std::vector<Backend> backends;
+};
+
+std::vector<Rule> Compile(const WeightedSplitPolicy& p);
+std::vector<Rule> Compile(const PrimaryBackupPolicy& p);
+std::vector<Rule> Compile(const StickySessionPolicy& p);
+std::vector<Rule> Compile(const LeastLoadedPolicy& p);
+
+}  // namespace rules
+
+#endif  // SRC_RULES_POLICY_H_

@@ -1,0 +1,254 @@
+#include "src/rules/rule.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/sim/metrics.h"
+
+namespace rules {
+namespace {
+
+void Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) {
+    *error = msg;
+  }
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    out.push_back(item);
+  }
+  return out;
+}
+
+// Parses "a.b.c.d" or "a.b.c.d:weight".
+std::optional<Backend> ParseBackend(const std::string& s, std::string* error) {
+  Backend b;
+  std::string ip_part = s;
+  std::size_t colon = s.find(':');
+  if (colon != std::string::npos) {
+    ip_part = s.substr(0, colon);
+    const std::string w = s.substr(colon + 1);
+    char* end = nullptr;
+    b.weight = std::strtod(w.c_str(), &end);
+    if (end != w.c_str() + w.size()) {
+      Fail(error, "bad backend weight: " + s);
+      return std::nullopt;
+    }
+  }
+  auto quads = Split(ip_part, '.');
+  if (quads.size() != 4) {
+    Fail(error, "bad backend ip: " + s);
+    return std::nullopt;
+  }
+  std::uint32_t ip = 0;
+  for (const auto& q : quads) {
+    unsigned v = 0;
+    auto [p, ec] = std::from_chars(q.data(), q.data() + q.size(), v);
+    if (ec != std::errc() || p != q.data() + q.size() || v > 255) {
+      Fail(error, "bad backend ip: " + s);
+      return std::nullopt;
+    }
+    ip = (ip << 8) | v;
+  }
+  b.ip = ip;
+  return b;
+}
+
+}  // namespace
+
+std::string Backend::ToString() const {
+  return net::IpToString(ip) + ":" + std::to_string(port) + "(w=" +
+         sim::FormatDouble(weight, 2) + ")";
+}
+
+bool GlobMatch(const std::string& pattern, const std::string& text) {
+  // Iterative glob with backtracking to the last '*'.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+bool Match::Matches(const http::Request& req) const {
+  if (url_glob && !GlobMatch(*url_glob, req.url)) {
+    return false;
+  }
+  if (host_glob) {
+    auto host = req.Header("host");
+    if (!host || !GlobMatch(*host_glob, *host)) {
+      return false;
+    }
+  }
+  if (method && *method != req.method) {
+    return false;
+  }
+  if (cookie_name) {
+    auto cookies = req.Cookies();
+    auto it = cookies.find(*cookie_name);
+    if (it == cookies.end()) {
+      return false;
+    }
+    if (cookie_value_glob && !GlobMatch(*cookie_value_glob, it->second)) {
+      return false;
+    }
+  }
+  if (header_name) {
+    auto v = req.Header(*header_name);
+    if (!v) {
+      return false;
+    }
+    if (header_value_glob && !GlobMatch(*header_value_glob, *v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Match::ToString() const {
+  std::string out;
+  auto add = [&out](const std::string& k, const std::optional<std::string>& v) {
+    if (v) {
+      if (!out.empty()) {
+        out += " ";
+      }
+      out += k + "=" + *v;
+    }
+  };
+  add("url", url_glob);
+  add("host", host_glob);
+  add("method", method);
+  add("cookie", cookie_name);
+  add("cookie-value", cookie_value_glob);
+  add("header", header_name);
+  add("header-value", header_value_glob);
+  return out.empty() ? "<any>" : out;
+}
+
+std::string Action::ToString() const {
+  std::string out;
+  switch (type) {
+    case ActionType::kWeightedSplit:
+      out = "split={";
+      break;
+    case ActionType::kStickyTable:
+      out = "table{" + sticky_cookie + "}={";
+      break;
+    case ActionType::kLeastLoaded:
+      out = "least={";
+      break;
+    case ActionType::kMirror:
+      out = "mirror={";
+      break;
+  }
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += backends[i].ToString();
+  }
+  return out + "}";
+}
+
+std::string Rule::ToString() const {
+  return name + " prio=" + std::to_string(priority) + " match(" + match.ToString() + ") " +
+         action.ToString();
+}
+
+std::optional<Rule> ParseRule(const std::string& spec, std::string* error) {
+  Rule rule;
+  bool have_action = false;
+  for (const std::string& tok : Split(spec, ' ')) {
+    if (tok.empty()) {
+      continue;
+    }
+    std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      Fail(error, "token missing '=': " + tok);
+      return std::nullopt;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "name") {
+      rule.name = value;
+    } else if (key == "priority") {
+      int prio = 0;
+      auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), prio);
+      if (ec != std::errc() || p != value.data() + value.size()) {
+        Fail(error, "bad priority: " + value);
+        return std::nullopt;
+      }
+      rule.priority = prio;
+    } else if (key == "url") {
+      rule.match.url_glob = value;
+    } else if (key == "host") {
+      rule.match.host_glob = value;
+    } else if (key == "method") {
+      rule.match.method = value;
+    } else if (key == "cookie") {
+      rule.match.cookie_name = value;
+    } else if (key == "cookie-value") {
+      rule.match.cookie_value_glob = value;
+    } else if (key == "header") {
+      rule.match.header_name = value;
+    } else if (key == "header-value") {
+      rule.match.header_value_glob = value;
+    } else if (key == "split" || key == "least" || key == "mirror") {
+      rule.action.type = key == "split"    ? ActionType::kWeightedSplit
+                         : key == "least" ? ActionType::kLeastLoaded
+                                          : ActionType::kMirror;
+      for (const std::string& be : Split(value, ',')) {
+        // In split form the last ':' separates the weight: "1.2.3.4:0.5".
+        auto backend = ParseBackend(be, error);
+        if (!backend) {
+          return std::nullopt;
+        }
+        if (rule.action.type != ActionType::kWeightedSplit) {
+          backend->weight = 1.0;
+        }
+        rule.action.backends.push_back(*backend);
+      }
+      have_action = true;
+    } else if (key == "table") {
+      rule.action.type = ActionType::kStickyTable;
+      rule.action.sticky_cookie = value;
+      have_action = true;
+    } else {
+      Fail(error, "unknown key: " + key);
+      return std::nullopt;
+    }
+  }
+  if (rule.name.empty()) {
+    Fail(error, "rule needs a name");
+    return std::nullopt;
+  }
+  if (!have_action) {
+    Fail(error, "rule needs an action (split=/least=/table=)");
+    return std::nullopt;
+  }
+  return rule;
+}
+
+}  // namespace rules

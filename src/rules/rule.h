@@ -1,0 +1,77 @@
+// L7 rule model (paper §4.4/§5.1): OpenFlow-like rules with match, action and
+// priority. Rules are scanned linearly in decreasing priority order, exactly
+// like HAProxy's chained table with Yoda's priority extension.
+
+#ifndef SRC_RULES_RULE_H_
+#define SRC_RULES_RULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/http/message.h"
+#include "src/net/packet.h"
+
+namespace rules {
+
+struct Backend {
+  net::IpAddr ip = 0;
+  net::Port port = 80;
+  double weight = 1.0;
+
+  bool operator==(const Backend& o) const { return ip == o.ip && port == o.port; }
+  std::string ToString() const;
+};
+
+// Glob matcher supporting '*' (any run) and '?' (any one char).
+bool GlobMatch(const std::string& pattern, const std::string& text);
+
+// Conjunctive match over the HTTP request fields the paper's policies use.
+struct Match {
+  std::optional<std::string> url_glob;
+  std::optional<std::string> host_glob;
+  std::optional<std::string> method;
+  std::optional<std::string> cookie_name;        // Cookie must be present...
+  std::optional<std::string> cookie_value_glob;  // ...and optionally match.
+  std::optional<std::string> header_name;        // Arbitrary header...
+  std::optional<std::string> header_value_glob;  // ...with value glob.
+
+  bool Matches(const http::Request& req) const;
+  std::string ToString() const;
+};
+
+enum class ActionType {
+  kWeightedSplit,  // Pick among backends proportionally to weight.
+  kStickyTable,    // Map a cookie value to a stable backend.
+  kLeastLoaded,    // Pick the backend with the fewest active connections.
+  kMirror,         // Send the request to ALL backends; first response wins.
+};
+
+struct Action {
+  ActionType type = ActionType::kWeightedSplit;
+  std::vector<Backend> backends;
+  std::string sticky_cookie;  // Cookie key for kStickyTable.
+
+  std::string ToString() const;
+};
+
+struct Rule {
+  std::string name;
+  int priority = 0;
+  Match match;
+  Action action;
+
+  std::string ToString() const;
+};
+
+// Parses the compact textual rule form used by tests/examples, e.g.
+//   "name=r-jpg2 priority=3 url=*.jpg split=10.0.2.1:0.5,10.0.3.1:0.5"
+//   "name=r-cookie priority=0 cookie=session table=session"
+//   "name=r-least priority=1 url=/api/* least=10.0.2.1,10.0.2.2"
+// Returns nullopt (with `error` filled) on malformed input.
+std::optional<Rule> ParseRule(const std::string& spec, std::string* error = nullptr);
+
+}  // namespace rules
+
+#endif  // SRC_RULES_RULE_H_

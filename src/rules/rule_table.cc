@@ -1,0 +1,139 @@
+#include "src/rules/rule_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace rules {
+
+std::optional<Backend> StickyTable::Find(const std::string& cookie_value) const {
+  auto it = bindings_.find(cookie_value);
+  if (it == bindings_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void StickyTable::Bind(const std::string& cookie_value, const Backend& backend) {
+  bindings_[cookie_value] = backend;
+}
+
+void RuleTable::Add(Rule rule) {
+  // Stable insertion point: after all rules with priority >= rule.priority.
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [&rule](const Rule& r) { return r.priority < rule.priority; });
+  rules_.insert(it, std::move(rule));
+}
+
+int RuleTable::Remove(const std::string& name) {
+  auto it = std::remove_if(rules_.begin(), rules_.end(),
+                           [&name](const Rule& r) { return r.name == name; });
+  int removed = static_cast<int>(rules_.end() - it);
+  rules_.erase(it, rules_.end());
+  return removed;
+}
+
+void RuleTable::ReplaceAll(std::vector<Rule> new_rules) {
+  rules_.clear();
+  for (Rule& r : new_rules) {
+    Add(std::move(r));
+  }
+}
+
+std::optional<Backend> RuleTable::Apply(const Rule& rule, const http::Request& req,
+                                        const SelectionContext& ctx) const {
+  auto healthy = [&ctx](const Backend& b) { return !ctx.is_healthy || ctx.is_healthy(b); };
+
+  switch (rule.action.type) {
+    case ActionType::kWeightedSplit: {
+      std::vector<const Backend*> alive;
+      std::vector<double> weights;
+      for (const Backend& b : rule.action.backends) {
+        if (healthy(b) && b.weight > 0) {
+          alive.push_back(&b);
+          weights.push_back(b.weight);
+        }
+      }
+      if (alive.empty()) {
+        return std::nullopt;
+      }
+      assert(ctx.rng != nullptr && "weighted split requires an Rng");
+      return *alive[ctx.rng->WeightedIndex(weights)];
+    }
+
+    case ActionType::kStickyTable: {
+      if (ctx.sticky == nullptr) {
+        return std::nullopt;
+      }
+      auto cookies = req.Cookies();
+      auto it = cookies.find(rule.action.sticky_cookie);
+      if (it == cookies.end()) {
+        return std::nullopt;
+      }
+      auto bound = ctx.sticky->Find(it->second);
+      if (bound && healthy(*bound)) {
+        return bound;
+      }
+      return std::nullopt;  // Unbound session: fall through to lower priority.
+    }
+
+    case ActionType::kMirror: {
+      // Handled in Select (needs to fill Selection::mirrors); Apply only
+      // reports the primary.
+      for (const Backend& b : rule.action.backends) {
+        if (healthy(b)) {
+          return b;
+        }
+      }
+      return std::nullopt;
+    }
+
+    case ActionType::kLeastLoaded: {
+      const Backend* best = nullptr;
+      int best_load = std::numeric_limits<int>::max();
+      for (const Backend& b : rule.action.backends) {
+        if (!healthy(b)) {
+          continue;
+        }
+        int load = ctx.load_of ? ctx.load_of(b) : 0;
+        if (load < best_load) {
+          best_load = load;
+          best = &b;
+        }
+      }
+      if (best == nullptr) {
+        return std::nullopt;
+      }
+      return *best;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Selection> RuleTable::Select(const http::Request& req,
+                                           const SelectionContext& ctx) const {
+  int scanned = 0;
+  for (const Rule& rule : rules_) {
+    ++scanned;
+    if (!rule.match.Matches(req)) {
+      continue;
+    }
+    auto backend = Apply(rule, req, ctx);
+    if (!backend) {
+      continue;  // Action could not produce a healthy backend; keep scanning.
+    }
+    Selection sel{*backend, rule.name, scanned, {}};
+    if (rule.action.type == ActionType::kMirror) {
+      auto healthy = [&ctx](const Backend& b) { return !ctx.is_healthy || ctx.is_healthy(b); };
+      for (const Backend& b : rule.action.backends) {
+        if (healthy(b) && !(b == *backend)) {
+          sel.mirrors.push_back(b);
+        }
+      }
+    }
+    return sel;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rules

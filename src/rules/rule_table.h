@@ -1,0 +1,82 @@
+// RuleTable: the HAProxy-style classifier with Yoda's priority extension.
+//
+// Selection scans rules linearly in decreasing priority order and applies the
+// first matching rule whose action can produce a *healthy* backend; if it
+// cannot (e.g. all primaries are down), the scan continues — this is how one
+// match condition at two priorities implements primary-backup (§5.1).
+//
+// The table reports how many rules each selection scanned so callers can
+// model lookup latency as a function of table size (Fig 6).
+
+#ifndef SRC_RULES_RULE_TABLE_H_
+#define SRC_RULES_RULE_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/rules/rule.h"
+#include "src/sim/random.h"
+
+namespace rules {
+
+// Session affinity storage for kStickyTable actions: cookie value -> backend.
+class StickyTable {
+ public:
+  std::optional<Backend> Find(const std::string& cookie_value) const;
+  void Bind(const std::string& cookie_value, const Backend& backend);
+  void Clear() { bindings_.clear(); }
+  std::size_t size() const { return bindings_.size(); }
+
+ private:
+  std::map<std::string, Backend> bindings_;
+};
+
+// Everything a selection may consult besides the request itself.
+struct SelectionContext {
+  sim::Rng* rng = nullptr;  // Required for kWeightedSplit.
+  // Health oracle; nullptr means "all healthy".
+  std::function<bool(const Backend&)> is_healthy;
+  // Active connection counts for kLeastLoaded; nullptr means "all zero".
+  std::function<int(const Backend&)> load_of;
+  StickyTable* sticky = nullptr;
+};
+
+struct Selection {
+  Backend backend;
+  std::string rule_name;
+  int rules_scanned = 0;
+  // kMirror: additional backends that receive a copy of the request; the
+  // first responder (primary or mirror) serves the client.
+  std::vector<Backend> mirrors;
+};
+
+class RuleTable {
+ public:
+  // Inserts a rule keeping the table ordered by decreasing priority
+  // (stable for equal priorities: earlier-added rules are scanned first).
+  void Add(Rule rule);
+  // Removes all rules with the given name; returns how many were removed.
+  int Remove(const std::string& name);
+  void Clear() { rules_.clear(); }
+  void ReplaceAll(std::vector<Rule> new_rules);
+
+  std::size_t size() const { return rules_.size(); }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  // Scans for the first applicable rule and picks a backend per its action.
+  // Returns nullopt when no rule matches or no healthy backend exists.
+  std::optional<Selection> Select(const http::Request& req, const SelectionContext& ctx) const;
+
+ private:
+  std::optional<Backend> Apply(const Rule& rule, const http::Request& req,
+                               const SelectionContext& ctx) const;
+
+  std::vector<Rule> rules_;  // Sorted by decreasing priority.
+};
+
+}  // namespace rules
+
+#endif  // SRC_RULES_RULE_TABLE_H_

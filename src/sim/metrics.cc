@@ -1,0 +1,110 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace sim {
+
+void Histogram::Add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  EnsureSorted();
+  return samples_.empty() ? 0 : samples_.front();
+}
+
+double Histogram::Max() const {
+  EnsureSorted();
+  return samples_.empty() ? 0 : samples_.back();
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  assert(p >= 0 && p <= 100);
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  auto idx = static_cast<std::size_t>(rank);
+  if (idx + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  double frac = rank - static_cast<double>(idx);
+  return samples_[idx] * (1 - frac) + samples_[idx + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> Histogram::Cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) {
+    return out;
+  }
+  EnsureSorted();
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points);
+    std::size_t idx = std::min(samples_.size() - 1,
+                               static_cast<std::size_t>(frac * static_cast<double>(samples_.size())));
+    out.emplace_back(samples_[idx], frac);
+  }
+  return out;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void WindowedRate::Record(Time now, double amount) {
+  FlushUpTo(now);
+  in_window_ += amount;
+}
+
+void WindowedRate::FlushUpTo(Time now) {
+  while (now >= window_start_ + window_) {
+    double rate = in_window_ / ToSeconds(window_);
+    closed_.emplace_back(window_start_, rate);
+    window_start_ += window_;
+    in_window_ = 0;
+  }
+}
+
+double UtilizationTracker::Utilization(Time now) const {
+  Duration elapsed = now - window_start_;
+  if (elapsed <= 0) {
+    return 0;
+  }
+  return static_cast<double>(busy_) / (static_cast<double>(elapsed) * capacity_);
+}
+
+void UtilizationTracker::Reset(Time now) {
+  window_start_ = now;
+  busy_ = 0;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace sim

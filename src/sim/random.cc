@@ -1,0 +1,78 @@
+#include "src/sim/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sim {
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Rng::LogNormalFromMedian(double median, double sigma) {
+  assert(median > 0);
+  std::lognormal_distribution<double> dist(std::log(median), sigma);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) {
+    return false;
+  }
+  if (p >= 1) {
+    return true;
+  }
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    cdf_[i] /= total;
+  }
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t i) const {
+  assert(i < cdf_.size());
+  if (i == 0) {
+    return cdf_[0];
+  }
+  return cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace sim

@@ -1,0 +1,82 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sim {
+
+void TimerHandle::Cancel() {
+  if (cancelled_ != nullptr) {
+    *cancelled_ = true;
+  }
+}
+
+bool TimerHandle::pending() const { return cancelled_ != nullptr && !*cancelled_; }
+
+TimerHandle Simulator::At(Time when, std::function<void()> fn, bool daemon) {
+  assert(when >= now_ && "cannot schedule events in the past");
+  Event ev;
+  ev.when = when < now_ ? now_ : when;
+  ev.seq = next_seq_++;
+  ev.daemon = daemon;
+  ev.fn = std::move(fn);
+  ev.cancelled = std::make_shared<bool>(false);
+  TimerHandle handle(ev.cancelled);
+  if (!daemon) {
+    ++queued_non_daemon_;
+  }
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+TimerHandle Simulator::After(Duration delay, std::function<void()> fn, bool daemon) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return At(now_ + delay, std::move(fn), daemon);
+}
+
+bool Simulator::RunOne() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (!ev.daemon) {
+      --queued_non_daemon_;
+    }
+    if (*ev.cancelled) {
+      continue;
+    }
+    now_ = ev.when;
+    *ev.cancelled = true;  // Marks the handle as no longer pending.
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  // Stop once only daemon events (self-rescheduling housekeeping) remain —
+  // otherwise a periodic monitor would keep the loop alive forever.
+  while (queued_non_daemon_ > 0 && RunOne()) {
+  }
+}
+
+void Simulator::RunUntil(Time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    RunOne();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+int Simulator::Step(int n) {
+  int done = 0;
+  while (done < n && RunOne()) {
+    ++done;
+  }
+  return done;
+}
+
+}  // namespace sim

@@ -1,0 +1,108 @@
+// Discrete-event simulator core.
+//
+// The Simulator owns a priority queue of timestamped callbacks. Events with
+// equal timestamps fire in insertion order (a monotonically increasing
+// sequence number breaks ties), which keeps runs deterministic regardless of
+// container implementation details.
+//
+// This is the substrate that replaces the paper's Azure testbed: every other
+// component (TCP endpoints, the L4 mux, Yoda instances, TCPStore servers,
+// clients) schedules its work through one Simulator instance.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace sim {
+
+// Handle for a scheduled event; allows cancellation before it fires.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly and on
+  // default-constructed handles.
+  void Cancel();
+
+  // True if the event is still pending (scheduled, not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when`. `when` must be >= now().
+  // Daemon events (background housekeeping like health-monitor ticks) do not
+  // keep Run() alive: the loop stops once only daemon events remain.
+  TimerHandle At(Time when, std::function<void()> fn, bool daemon = false);
+
+  // Schedules `fn` to run `delay` after now(). Negative delays clamp to 0.
+  TimerHandle After(Duration delay, std::function<void()> fn, bool daemon = false);
+
+  // Runs events until no non-daemon events remain.
+  void Run();
+
+  // Runs events with timestamp <= `deadline`, then advances now() to
+  // `deadline` (even if the queue still holds later events).
+  void RunUntil(Time deadline);
+
+  // Runs `n` events (or fewer if the queue drains). Returns events executed.
+  int Step(int n = 1);
+
+  // Number of events currently queued (including cancelled tombstones).
+  std::size_t queued_events() const { return queue_.size(); }
+
+  // Total events executed since construction; useful in tests.
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    bool daemon = false;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the next non-cancelled event. Returns false if queue empty.
+  bool RunOne();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  // Non-daemon events still in the queue (including cancelled tombstones,
+  // which are reconciled when popped).
+  std::uint64_t queued_non_daemon_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,126 @@
+#include "src/tls/tls.h"
+
+#include "src/kv/hash_ring.h"
+#include "src/net/wire.h"
+
+namespace tls {
+
+std::string EncodeRecord(const Record& record) {
+  net::ByteWriter w;
+  w.U8(static_cast<std::uint8_t>(record.type));
+  w.U32(static_cast<std::uint32_t>(record.payload.size()));
+  w.Bytes(record.payload);
+  auto bytes = w.Take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void RecordReader::Feed(std::string_view bytes) { buf_.append(bytes); }
+
+std::optional<Record> RecordReader::Next() {
+  if (buf_.size() < 5) {
+    return std::nullopt;
+  }
+  const auto type = static_cast<std::uint8_t>(buf_[0]);
+  const std::uint32_t len = (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[1])) << 24) |
+                            (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[2])) << 16) |
+                            (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[3])) << 8) |
+                            static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[4]));
+  if (buf_.size() < 5 + len) {
+    return std::nullopt;
+  }
+  Record r;
+  r.type = static_cast<RecordType>(type);
+  r.payload = buf_.substr(5, len);
+  buf_.erase(0, 5 + len);
+  return r;
+}
+
+std::string ClientHello::Serialize() const {
+  net::ByteWriter w;
+  w.U64(client_random);
+  auto bytes = w.Take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::optional<ClientHello> ClientHello::Parse(const std::string& payload) {
+  std::vector<std::uint8_t> buf(payload.begin(), payload.end());
+  net::ByteReader r(buf);
+  auto rand = r.U64();
+  if (!rand || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return ClientHello{*rand};
+}
+
+std::string ServerCertificate::Serialize() const {
+  net::ByteWriter w;
+  w.U64(server_random);
+  w.Str(certificate);
+  auto bytes = w.Take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::optional<ServerCertificate> ServerCertificate::Parse(const std::string& payload) {
+  std::vector<std::uint8_t> buf(payload.begin(), payload.end());
+  net::ByteReader r(buf);
+  auto rand = r.U64();
+  auto cert = r.Str();
+  if (!rand || !cert || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  ServerCertificate out;
+  out.server_random = *rand;
+  out.certificate = std::move(*cert);
+  return out;
+}
+
+std::uint64_t DeriveServerRandom(const std::string& certificate, std::uint64_t client_random) {
+  return kv::Mix64(kv::HashBytes(certificate) ^ client_random);
+}
+
+std::uint64_t DeriveSessionKey(std::uint64_t client_random, std::uint64_t server_random) {
+  return kv::Mix64(client_random ^ kv::Mix64(server_random));
+}
+
+std::string SealTicket(std::uint64_t session_key, std::uint64_t service_key) {
+  net::ByteWriter w;
+  w.U64(session_key ^ kv::Mix64(service_key));
+  w.U64(kv::Mix64(session_key ^ service_key));  // Integrity tag.
+  auto bytes = w.Take();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::optional<std::uint64_t> OpenTicket(const std::string& ticket, std::uint64_t service_key) {
+  std::vector<std::uint8_t> buf(ticket.begin(), ticket.end());
+  net::ByteReader r(buf);
+  auto sealed = r.U64();
+  auto tag = r.U64();
+  if (!sealed || !tag || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  const std::uint64_t key = *sealed ^ kv::Mix64(service_key);
+  if (kv::Mix64(key ^ service_key) != *tag) {
+    return std::nullopt;
+  }
+  return key;
+}
+
+std::string Crypt(std::uint64_t session_key, std::uint64_t stream_offset,
+                  std::string_view data) {
+  std::string out(data);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t pos = stream_offset + i;
+    const std::uint64_t word = kv::Mix64(session_key ^ (pos / 8));
+    const auto key_byte = static_cast<char>((word >> ((pos % 8) * 8)) & 0xff);
+    out[i] = static_cast<char>(out[i] ^ key_byte);
+  }
+  return out;
+}
+
+std::string CipherStream::Process(std::string_view data) {
+  std::string out = Crypt(key_, offset_, data);
+  offset_ += data.size();
+  return out;
+}
+
+}  // namespace tls

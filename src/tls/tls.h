@@ -1,0 +1,102 @@
+// TLS-lite: a miniature TLS stand-in for exercising Yoda's SSL termination
+// (paper §5.2) with the properties that matter to the LB design:
+//
+//   - the LB holds the per-VIP certificate and answers the handshake;
+//   - the handshake is *deterministic given the ClientHello*, so any Yoda
+//     instance resends an identical certificate flight ("On failure during
+//     certificate transfer, another YODA instance resends the entire
+//     certificate") and derives the same session key;
+//   - application data is framed in records and enciphered with the session
+//     key, so reading the HTTP request requires terminating the session;
+//   - the backend joins the session via a session-ticket record carrying the
+//     key (sealed under a service key it shares with the LB fleet), after
+//     which the LB tunnels the *encrypted* stream at L3 as usual.
+//
+// The "cipher" is a keystream XOR — this is a simulation of the protocol
+// dance, not of cryptography.
+
+#ifndef SRC_TLS_TLS_H_
+#define SRC_TLS_TLS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tls {
+
+enum class RecordType : std::uint8_t {
+  kClientHello = 1,
+  kServerCertificate = 2,
+  kClientFinished = 3,
+  kSessionTicket = 4,  // LB -> backend: join this session.
+  kApplicationData = 5,
+};
+
+struct Record {
+  RecordType type = RecordType::kApplicationData;
+  std::string payload;
+};
+
+// Record framing: [type u8][length u32 BE][payload].
+std::string EncodeRecord(const Record& record);
+
+// Incremental record reader over a TCP byte stream.
+class RecordReader {
+ public:
+  void Feed(std::string_view bytes);
+  // Removes and returns the next complete record, if any.
+  std::optional<Record> Next();
+
+ private:
+  std::string buf_;
+};
+
+// Handshake payloads.
+struct ClientHello {
+  std::uint64_t client_random = 0;
+  std::string Serialize() const;
+  static std::optional<ClientHello> Parse(const std::string& payload);
+};
+
+struct ServerCertificate {
+  std::uint64_t server_random = 0;
+  std::string certificate;  // The VIP's certificate blob.
+  std::string Serialize() const;
+  static std::optional<ServerCertificate> Parse(const std::string& payload);
+};
+
+// Key schedule: both sides derive the session key from the two randoms and
+// the certificate. Deterministic server_random = f(cert, client_random)
+// keeps every Yoda instance's handshake identical for a given client.
+std::uint64_t DeriveServerRandom(const std::string& certificate, std::uint64_t client_random);
+std::uint64_t DeriveSessionKey(std::uint64_t client_random, std::uint64_t server_random);
+
+// Session ticket: the key sealed under the fleet's service key.
+std::string SealTicket(std::uint64_t session_key, std::uint64_t service_key);
+std::optional<std::uint64_t> OpenTicket(const std::string& ticket, std::uint64_t service_key);
+
+// Keystream offset namespace for server->client data, so the two directions
+// never reuse keystream.
+constexpr std::uint64_t kServerDirectionOffset = 0x8000'0000'0000'0000ULL;
+
+// Stream cipher keyed by the session key + direction. Symmetric:
+// Crypt(Crypt(x)) == x for the same (key, offset).
+std::string Crypt(std::uint64_t session_key, std::uint64_t stream_offset,
+                  std::string_view data);
+
+// A streaming encrypt/decrypt context that tracks its offset.
+class CipherStream {
+ public:
+  explicit CipherStream(std::uint64_t session_key) : key_(session_key) {}
+  std::string Process(std::string_view data);
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace tls
+
+#endif  // SRC_TLS_TLS_H_

@@ -1,0 +1,352 @@
+#include "src/workload/browser_client.h"
+
+#include <utility>
+
+#include "src/kv/hash_ring.h"
+#include "src/tls/tls.h"
+
+namespace workload {
+
+// One logical fetch, possibly spanning several connection attempts and (for
+// FetchSequence) several requests on one connection.
+struct BrowserClient::Fetch {
+  BrowserClient* owner = nullptr;
+  net::IpAddr target = 0;
+  net::Port port = 80;
+  std::vector<std::string> urls;  // One entry for FetchObject.
+  std::size_t url_index = 0;
+  FetchOptions opts;
+  FetchCallback done;
+  std::function<void(std::vector<FetchResult>)> sequence_done;
+  std::vector<FetchResult> sequence_results;
+
+  sim::Time started = 0;
+  int attempts = 0;
+  bool finished = false;
+
+  std::unique_ptr<net::TcpEndpoint> ep;
+  net::FiveTuple tuple;
+  http::ResponseParser parser;
+  sim::TimerHandle timeout_timer;
+
+  // TLS state (per attempt).
+  tls::RecordReader tls_reader;
+  std::uint64_t tls_client_random = 0;
+  std::uint64_t tls_session_key = 0;
+  bool tls_ready = false;
+  std::uint64_t tls_out_offset = 0;
+  std::uint64_t tls_in_offset = 0;
+  std::string tls_certificate;
+};
+
+BrowserClient::BrowserClient(sim::Simulator* simulator, net::Network* network, net::IpAddr ip,
+                             std::uint64_t seed)
+    : sim_(simulator), net_(network), ip_(ip), rng_(seed) {
+  // Spread ephemeral port ranges across clients, as real OSes randomize
+  // them. This matters to Yoda: the server-side flow identity is
+  // (backend, VIP, client port) — the client's port is reused as the
+  // VIP-side source port (Fig 4) — so two clients sharing a port number and
+  // a backend would collide.
+  next_port_ = static_cast<net::Port>(10'000 + (kv::Mix64(ip) % 55) * 1'000);
+  net_->Attach(ip_, this, net::Region::kInternet);
+}
+
+BrowserClient::~BrowserClient() = default;
+
+net::Port BrowserClient::NextPort() {
+  net::Port p = next_port_++;
+  if (next_port_ < 10'000) {
+    next_port_ = 10'000;
+  }
+  return p;
+}
+
+void BrowserClient::HandlePacket(const net::Packet& p) {
+  auto it = demux_.find(p.tuple());
+  if (it == demux_.end()) {
+    return;
+  }
+  std::shared_ptr<Fetch> fetch = it->second;
+  if (fetch->ep != nullptr) {
+    fetch->ep->HandlePacket(p);
+  }
+}
+
+void BrowserClient::FetchObject(net::IpAddr target, net::Port port, const std::string& url,
+                                const FetchOptions& options, FetchCallback done) {
+  auto fetch = std::make_shared<Fetch>();
+  fetch->owner = this;
+  fetch->target = target;
+  fetch->port = port;
+  fetch->urls = {url};
+  fetch->opts = options;
+  fetch->done = std::move(done);
+  fetch->started = sim_->now();
+  StartAttempt(fetch);
+}
+
+void BrowserClient::FetchSequence(net::IpAddr target, net::Port port,
+                                  const std::vector<std::string>& urls,
+                                  const FetchOptions& options,
+                                  std::function<void(std::vector<FetchResult>)> done) {
+  auto fetch = std::make_shared<Fetch>();
+  fetch->owner = this;
+  fetch->target = target;
+  fetch->port = port;
+  fetch->urls = urls;
+  fetch->opts = options;
+  fetch->opts.version = "HTTP/1.1";
+  fetch->sequence_done = std::move(done);
+  fetch->started = sim_->now();
+  StartAttempt(fetch);
+}
+
+void BrowserClient::StartAttempt(const std::shared_ptr<Fetch>& fetch) {
+  ++fetch->attempts;
+  fetch->parser = http::ResponseParser();
+
+  const net::Port sport = NextPort();
+  fetch->tuple = net::FiveTuple{fetch->target, ip_, fetch->port, sport};
+  demux_[fetch->tuple] = fetch;
+
+  fetch->ep = std::make_unique<net::TcpEndpoint>(
+      sim_, [this](net::Packet p) { net_->Send(std::move(p)); }, tcp_);
+
+  auto send_request = [this, fetch]() {
+    std::string wire;
+    const std::size_t first = fetch->url_index;
+    const std::size_t last = fetch->opts.pipeline ? fetch->urls.size() - 1 : fetch->url_index;
+    for (std::size_t i = first; i <= last; ++i) {
+      http::Request req = http::MakeGet(fetch->urls[i], fetch->opts.host, fetch->opts.version);
+      if (!fetch->opts.cookie.empty()) {
+        req.SetHeader("cookie", fetch->opts.cookie);
+      }
+      if (fetch->opts.version == "HTTP/1.1" && i + 1 == fetch->urls.size()) {
+        req.SetHeader("connection", "close");
+      }
+      wire += req.Serialize();
+    }
+    if (fetch->opts.use_tls) {
+      std::string sealed = tls::Crypt(fetch->tls_session_key, fetch->tls_out_offset, wire);
+      fetch->tls_out_offset += wire.size();
+      wire = tls::EncodeRecord({tls::RecordType::kApplicationData, std::move(sealed)});
+    }
+    fetch->ep->Send(wire);
+  };
+
+  if (fetch->opts.use_tls) {
+    // HTTPS: open with a ClientHello; the request follows the handshake.
+    fetch->tls_reader = tls::RecordReader();
+    fetch->tls_ready = false;
+    fetch->tls_out_offset = 0;
+    fetch->tls_in_offset = 0;
+    fetch->tls_client_random = rng_.engine()();
+    fetch->ep->set_on_connected([fetch]() {
+      tls::ClientHello hello{fetch->tls_client_random};
+      fetch->ep->Send(tls::EncodeRecord({tls::RecordType::kClientHello, hello.Serialize()}));
+    });
+  } else {
+    fetch->ep->set_on_connected(send_request);
+  }
+
+  fetch->ep->set_on_data([this, fetch, send_request](std::string_view raw) {
+    if (fetch->finished) {
+      return;
+    }
+    std::string_view bytes = raw;
+    std::string plaintext;
+    if (fetch->opts.use_tls) {
+      fetch->tls_reader.Feed(raw);
+      while (auto record = fetch->tls_reader.Next()) {
+        if (record->type == tls::RecordType::kServerCertificate && !fetch->tls_ready) {
+          auto cert = tls::ServerCertificate::Parse(record->payload);
+          if (!cert) {
+            continue;
+          }
+          fetch->tls_certificate = cert->certificate;
+          fetch->tls_session_key =
+              tls::DeriveSessionKey(fetch->tls_client_random, cert->server_random);
+          fetch->tls_ready = true;
+          fetch->ep->Send(tls::EncodeRecord({tls::RecordType::kClientFinished, ""}));
+          send_request();
+        } else if (record->type == tls::RecordType::kApplicationData && fetch->tls_ready) {
+          plaintext += tls::Crypt(fetch->tls_session_key,
+                                  tls::kServerDirectionOffset + fetch->tls_in_offset,
+                                  record->payload);
+          fetch->tls_in_offset += record->payload.size();
+        }
+      }
+      if (plaintext.empty()) {
+        return;
+      }
+      bytes = plaintext;
+    }
+    if (fetch->parser.Feed(bytes) != http::ParseStatus::kComplete) {
+      return;
+    }
+    // Pipelined responses can complete several at once; drain them in order.
+    while (fetch->parser.status() == http::ParseStatus::kComplete && !fetch->finished) {
+      http::Response resp = fetch->parser.TakeResponse();
+      FetchResult r;
+      r.ok = resp.status >= 200 && resp.status < 400;
+      r.status = resp.status;
+      r.bytes = resp.body.size();
+      r.latency = sim_->now() - fetch->started;
+      r.retries_used = fetch->attempts - 1;
+      r.tls_certificate = fetch->tls_certificate;
+      if (fetch->sequence_done) {
+        fetch->sequence_results.push_back(r);
+        ++fetch->url_index;
+        if (fetch->url_index < fetch->urls.size()) {
+          if (!fetch->opts.pipeline) {
+            send_request();
+            return;
+          }
+          continue;  // Pipelined: the next response is already inbound.
+        }
+        fetch->ep->Close();
+        FinishFetch(fetch, r);
+        return;
+      }
+      fetch->ep->Close();
+      FinishFetch(fetch, r);
+      return;
+    }
+  });
+
+  fetch->ep->set_on_reset([this, fetch]() {
+    if (fetch->finished) {
+      return;
+    }
+    if (fetch->attempts <= fetch->opts.retries) {
+      demux_.erase(fetch->tuple);
+      StartAttempt(fetch);  // Browser retries on connection reset.
+      return;
+    }
+    FetchResult r;
+    r.reset = true;
+    r.latency = sim_->now() - fetch->started;
+    r.retries_used = fetch->attempts - 1;
+    FinishFetch(fetch, r);
+  });
+  fetch->ep->set_on_failed([this, fetch]() {
+    if (fetch->finished) {
+      return;
+    }
+    FetchResult r;
+    r.timed_out = true;
+    r.latency = sim_->now() - fetch->started;
+    r.retries_used = fetch->attempts - 1;
+    FinishFetch(fetch, r);
+  });
+
+  // Browser HTTP timeout for this attempt.
+  fetch->timeout_timer.Cancel();
+  fetch->timeout_timer = sim_->After(fetch->opts.http_timeout, [this, fetch]() {
+    if (fetch->finished) {
+      return;
+    }
+    fetch->ep->Abort();
+    if (fetch->attempts <= fetch->opts.retries) {
+      demux_.erase(fetch->tuple);
+      StartAttempt(fetch);  // Browser re-issues the request after timeout.
+      return;
+    }
+    FetchResult r;
+    r.timed_out = true;
+    r.latency = sim_->now() - fetch->started;
+    r.retries_used = fetch->attempts - 1;
+    FinishFetch(fetch, r);
+  });
+
+  // The demux tuple is keyed on *incoming* packets (src=server, sport=server
+  // port, dport=our local port); connect from the local port accordingly.
+  fetch->ep->Connect(ip_, fetch->tuple.dport, fetch->target, fetch->port,
+                     static_cast<std::uint32_t>(rng_.UniformInt(1, 1u << 30)));
+}
+
+void BrowserClient::FinishFetch(const std::shared_ptr<Fetch>& fetch, FetchResult result) {
+  if (fetch->finished) {
+    return;
+  }
+  fetch->finished = true;
+  fetch->timeout_timer.Cancel();
+  // Keep the endpoint alive until teardown completes; reclaim the tuple soon.
+  sim_->After(sim::Sec(3), [this, tuple = fetch->tuple]() { demux_.erase(tuple); });
+  if (fetch->sequence_done) {
+    if (!result.ok && fetch->sequence_results.size() < fetch->urls.size()) {
+      fetch->sequence_results.push_back(result);
+    }
+    fetch->sequence_done(std::move(fetch->sequence_results));
+    return;
+  }
+  if (fetch->done) {
+    fetch->done(result);
+  }
+}
+
+void BrowserClient::FetchPage(net::IpAddr target, net::Port port, const std::string& html_url,
+                              const std::vector<std::string>& embedded,
+                              const FetchOptions& options, FetchCallback done) {
+  auto remaining = std::make_shared<std::vector<std::string>>(embedded);
+  auto aggregate = std::make_shared<FetchResult>();
+  const sim::Time started = sim_->now();
+  auto step = std::make_shared<std::function<void(const FetchResult&)>>();
+  *step = [this, target, port, remaining, aggregate, started, done, step,
+           options](const FetchResult& r) {
+    aggregate->ok = aggregate->ok || r.ok;
+    aggregate->bytes += r.bytes;
+    aggregate->timed_out = aggregate->timed_out || r.timed_out;
+    aggregate->reset = aggregate->reset || r.reset;
+    aggregate->retries_used += r.retries_used;
+    if ((!r.ok) || remaining->empty()) {
+      aggregate->ok = r.ok && !aggregate->timed_out && !aggregate->reset;
+      aggregate->latency = sim_->now() - started;
+      done(*aggregate);
+      return;
+    }
+    const std::string next = remaining->front();
+    remaining->erase(remaining->begin());
+    FetchObject(target, port, next, options, *step);
+  };
+  FetchObject(target, port, html_url, options, *step);
+}
+
+OpenLoopGenerator::OpenLoopGenerator(sim::Simulator* simulator,
+                                     std::vector<BrowserClient*> clients, std::uint64_t seed,
+                                     Config config)
+    : sim_(simulator), clients_(std::move(clients)), rng_(seed), cfg_(config) {}
+
+void OpenLoopGenerator::Start() {
+  end_time_ = sim_->now() + cfg_.duration;
+  ScheduleNext(sim_->now());
+}
+
+void OpenLoopGenerator::ScheduleNext(sim::Time when) {
+  if (when >= end_time_) {
+    return;
+  }
+  sim_->At(when, [this]() {
+    ++issued_;
+    BrowserClient* client =
+        clients_[static_cast<std::size_t>(rng_.UniformInt(0, static_cast<std::int64_t>(
+                                                                 clients_.size()) - 1))];
+    const std::string& url =
+        cfg_.urls[static_cast<std::size_t>(rng_.UniformInt(0, static_cast<std::int64_t>(
+                                                                  cfg_.urls.size()) - 1))];
+    client->FetchObject(cfg_.target, cfg_.port, url, cfg_.fetch, [this](const FetchResult& r) {
+      if (r.ok) {
+        ++completed_;
+        latency_ms_.Add(sim::ToMillis(r.latency));
+      } else {
+        ++failed_;
+      }
+    });
+    // Schedule the next arrival lazily so the event queue stays small.
+    const double mean_gap = 1.0 / cfg_.requests_per_second;
+    const double gap = cfg_.poisson ? rng_.Exponential(mean_gap) : mean_gap;
+    ScheduleNext(sim_->now() + sim::FromSeconds(gap));
+  });
+}
+
+}  // namespace workload

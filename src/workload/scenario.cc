@@ -1,0 +1,372 @@
+#include "src/workload/scenario.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+namespace workload {
+namespace {
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string tok;
+  while (ss >> tok) {
+    out.push_back(tok);
+  }
+  return out;
+}
+
+bool ParseInt(const std::string& s, long long* out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+void Fail(std::string* error, int line_no, const std::string& msg) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + msg;
+  }
+}
+
+// Joins tokens [from..) back into one string (rule specs contain spaces).
+std::string JoinFrom(const std::vector<std::string>& toks, std::size_t from) {
+  std::string out;
+  for (std::size_t i = from; i < toks.size(); ++i) {
+    if (i > from) {
+      out += " ";
+    }
+    out += toks[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<sim::Duration> ParseDuration(const std::string& token) {
+  std::size_t i = 0;
+  while (i < token.size() && (std::isdigit(static_cast<unsigned char>(token[i])) != 0)) {
+    ++i;
+  }
+  if (i == 0) {
+    return std::nullopt;
+  }
+  long long value = 0;
+  if (!ParseInt(token.substr(0, i), &value)) {
+    return std::nullopt;
+  }
+  const std::string unit = token.substr(i);
+  if (unit == "ms") {
+    return sim::Msec(value);
+  }
+  if (unit == "s" || unit.empty()) {
+    return sim::Sec(value);
+  }
+  if (unit == "m") {
+    return sim::Minutes(value);
+  }
+  if (unit == "us") {
+    return sim::Usec(value);
+  }
+  return std::nullopt;
+}
+
+std::optional<net::IpAddr> ParseIp(const std::string& token) {
+  std::uint32_t ip = 0;
+  std::size_t start = 0;
+  for (int quad = 0; quad < 4; ++quad) {
+    const std::size_t dot = token.find('.', start);
+    const bool last = quad == 3;
+    if (last != (dot == std::string::npos)) {
+      return std::nullopt;
+    }
+    const std::string part = token.substr(start, last ? std::string::npos : dot - start);
+    long long v = 0;
+    if (!ParseInt(part, &v) || v < 0 || v > 255) {
+      return std::nullopt;
+    }
+    ip = (ip << 8) | static_cast<std::uint32_t>(v);
+    start = dot + 1;
+  }
+  return ip;
+}
+
+std::optional<Scenario> ParseScenario(const std::string& text, std::string* error) {
+  Scenario sc;
+  sc.testbed.yoda_instances = 2;
+  sc.testbed.backends = 3;
+
+  auto find_vip = [&sc](net::IpAddr vip) -> Scenario::VipDef* {
+    for (auto& def : sc.vips) {
+      if (def.vip == vip) {
+        return &def;
+      }
+    }
+    return nullptr;
+  };
+
+  std::stringstream ss(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    auto toks = Tokens(line);
+    if (toks.empty()) {
+      continue;
+    }
+    const std::string& cmd = toks[0];
+
+    auto need = [&](std::size_t n) {
+      if (toks.size() < n + 1) {
+        Fail(error, line_no, cmd + " needs " + std::to_string(n) + " argument(s)");
+        return false;
+      }
+      return true;
+    };
+
+    long long n = 0;
+    if (cmd == "seed" || cmd == "instances" || cmd == "spares" || cmd == "backends" ||
+        cmd == "kv-servers" || cmd == "kv-replicas" || cmd == "clients" || cmd == "muxes") {
+      if (!need(1) || !ParseInt(toks[1], &n) || n < 0) {
+        Fail(error, line_no, "bad count for " + cmd);
+        return std::nullopt;
+      }
+      if (cmd == "seed") {
+        sc.testbed.seed = static_cast<std::uint64_t>(n);
+      } else if (cmd == "instances") {
+        sc.testbed.yoda_instances = static_cast<int>(n);
+      } else if (cmd == "spares") {
+        sc.testbed.spare_instances = static_cast<int>(n);
+      } else if (cmd == "backends") {
+        sc.testbed.backends = static_cast<int>(n);
+      } else if (cmd == "kv-servers") {
+        sc.testbed.kv_servers = static_cast<int>(n);
+      } else if (cmd == "kv-replicas") {
+        sc.testbed.kv_replicas = static_cast<int>(n);
+      } else if (cmd == "clients") {
+        sc.testbed.clients = static_cast<int>(n);
+      } else {
+        sc.testbed.muxes = static_cast<int>(n);
+      }
+    } else if (cmd == "vip") {
+      if (!need(1)) {
+        return std::nullopt;
+      }
+      auto vip = ParseIp(toks[1]);
+      if (!vip) {
+        Fail(error, line_no, "bad vip address: " + toks[1]);
+        return std::nullopt;
+      }
+      sc.vips.push_back(Scenario::VipDef{*vip, {}, std::nullopt, 0});
+    } else if (cmd == "rule") {
+      if (!need(2)) {
+        return std::nullopt;
+      }
+      auto vip = ParseIp(toks[1]);
+      Scenario::VipDef* def = vip ? find_vip(*vip) : nullptr;
+      if (def == nullptr) {
+        Fail(error, line_no, "rule for undefined vip: " + toks[1]);
+        return std::nullopt;
+      }
+      std::string rule_err;
+      auto rule = rules::ParseRule(JoinFrom(toks, 2), &rule_err);
+      if (!rule) {
+        Fail(error, line_no, "bad rule: " + rule_err);
+        return std::nullopt;
+      }
+      def->vip_rules.push_back(*rule);
+    } else if (cmd == "tls") {
+      // tls <vip> cert <blob> key <n>
+      if (!need(5) || toks[2] != "cert" || toks[4] != "key") {
+        Fail(error, line_no, "usage: tls <vip> cert <blob> key <n>");
+        return std::nullopt;
+      }
+      auto vip = ParseIp(toks[1]);
+      Scenario::VipDef* def = vip ? find_vip(*vip) : nullptr;
+      if (def == nullptr || !ParseInt(toks[5], &n)) {
+        Fail(error, line_no, "bad tls directive");
+        return std::nullopt;
+      }
+      def->tls_cert = toks[3];
+      def->tls_key = static_cast<std::uint64_t>(n);
+    } else if (cmd == "at") {
+      if (!need(2)) {
+        return std::nullopt;
+      }
+      auto when = ParseDuration(toks[1]);
+      if (!when) {
+        Fail(error, line_no, "bad time: " + toks[1]);
+        return std::nullopt;
+      }
+      ScenarioEvent ev;
+      ev.at = *when;
+      ev.action = toks[2];
+      ev.args.assign(toks.begin() + 3, toks.end());
+      ev.raw = JoinFrom(toks, 3);
+      sc.events.push_back(std::move(ev));
+    } else if (cmd == "run-until") {
+      if (!need(1)) {
+        return std::nullopt;
+      }
+      auto until = ParseDuration(toks[1]);
+      if (!until) {
+        Fail(error, line_no, "bad time: " + toks[1]);
+        return std::nullopt;
+      }
+      sc.run_until = *until;
+    } else {
+      Fail(error, line_no, "unknown directive: " + cmd);
+      return std::nullopt;
+    }
+  }
+  if (sc.vips.empty()) {
+    Fail(error, 0, "scenario defines no vip");
+    return std::nullopt;
+  }
+  return sc;
+}
+
+ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log) {
+  TestbedConfig cfg = scenario.testbed;
+  for (const auto& def : scenario.vips) {
+    if (def.tls_cert) {
+      cfg.server_template.tls_service_key = def.tls_key;
+    }
+  }
+  Testbed tb(cfg);
+  ScenarioReport report;
+  auto say = [log, &tb](const std::string& msg) {
+    if (log != nullptr) {
+      *log << "  [" << sim::FormatDouble(sim::ToMillis(tb.sim.now()), 0) << " ms] " << msg
+           << "\n";
+    }
+  };
+
+  for (const auto& def : scenario.vips) {
+    tb.controller->DefineVip(def.vip, 80, def.vip_rules);
+    if (def.tls_cert) {
+      for (auto& inst : tb.instances) {
+        inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
+      }
+      for (auto& inst : tb.spares) {
+        inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
+      }
+    }
+  }
+  tb.controller->Start();
+
+  sim::Rng rng(scenario.testbed.seed ^ 0x5ce9a210ULL);
+  // Load generators keep per-generator state via shared_ptr closures.
+  auto start_load = [&](net::IpAddr vip, double rate, sim::Duration duration, bool use_tls) {
+    const sim::Time end = tb.sim.now() + duration;
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&, vip, rate, end, use_tls, tick]() {
+      if (tb.sim.now() > end) {
+        return;
+      }
+      auto* client = tb.clients[static_cast<std::size_t>(rng.UniformInt(
+                                    0, static_cast<std::int64_t>(tb.clients.size()) - 1))].get();
+      const auto& obj = tb.catalog->objects()[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(tb.catalog->objects().size()) - 1))];
+      FetchOptions opts;
+      opts.use_tls = use_tls;
+      client->FetchObject(vip, 80, obj.url, opts, [&report, &tb](const FetchResult& r) {
+        if (r.ok) {
+          ++report.requests_ok;
+          report.latency_ms.Add(sim::ToMillis(r.latency));
+        } else {
+          ++report.requests_failed;
+        }
+      });
+      tb.sim.After(sim::FromSeconds(rng.Exponential(1.0 / rate)), *tick);
+    };
+    (*tick)();
+  };
+
+  for (const ScenarioEvent& ev : scenario.events) {
+    tb.sim.At(ev.at, [&, ev]() {
+      long long idx = 0;
+      if (ev.action == "fail-instance" && !ev.args.empty()) {
+        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+        say("FAIL instance " + ev.args[0]);
+        tb.FailInstance(static_cast<int>(idx));
+      } else if (ev.action == "recover-instance" && !ev.args.empty()) {
+        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+        say("recover instance " + ev.args[0]);
+        tb.RecoverInstance(static_cast<int>(idx));
+      } else if (ev.action == "fail-backend" && !ev.args.empty()) {
+        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+        say("FAIL backend " + ev.args[0]);
+        tb.FailBackend(static_cast<int>(idx));
+      } else if (ev.action == "recover-backend" && !ev.args.empty()) {
+        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+        say("recover backend " + ev.args[0]);
+        tb.RecoverBackend(static_cast<int>(idx));
+      } else if (ev.action == "fail-kv" && !ev.args.empty()) {
+        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+        say("FAIL kv server " + ev.args[0]);
+        tb.FailKvServer(static_cast<int>(idx));
+      } else if (ev.action == "add-instance") {
+        if (!tb.spares.empty()) {
+          say("activating spare instance");
+          tb.controller->AddInstance(tb.spares.back().get());
+          // Hand ownership bookkeeping stays in the testbed; pools follow.
+          std::vector<net::IpAddr> pool;
+          for (auto* inst : tb.controller->ActiveInstances()) {
+            pool.push_back(inst->ip());
+          }
+          for (const auto& def : scenario.vips) {
+            tb.fabric.SetVipPoolStaggered(def.vip, pool, sim::Msec(50));
+          }
+        }
+      } else if (ev.action == "assign") {
+        say("running many-to-many assignment round");
+        tb.controller->RunAssignmentRoundNow();
+      } else if (ev.action == "load" && ev.args.size() >= 5) {
+        auto vip = ParseIp(ev.args[0]);
+        double rate = std::strtod(ev.args[2].c_str(), nullptr);
+        auto duration = ParseDuration(ev.args[4]);
+        const bool use_tls = ev.args.size() > 5 && ev.args[5] == "tls";
+        if (vip && duration && rate > 0) {
+          say("load " + ev.args[0] + " @" + ev.args[2] + "/s for " + ev.args[4]);
+          start_load(*vip, rate, *duration, use_tls);
+        }
+      } else if (ev.action == "update-rules" && ev.args.size() >= 2) {
+        auto vip = ParseIp(ev.args[0]);
+        auto rule = rules::ParseRule(JoinFrom(ev.args, 1));
+        if (vip && rule) {
+          say("update rules for " + ev.args[0]);
+          tb.controller->UpdateVipRules(*vip, {*rule});
+        }
+      }
+    });
+  }
+
+  if (scenario.run_until > 0) {
+    tb.sim.RunUntil(scenario.run_until);
+  } else {
+    tb.sim.Run();
+  }
+
+  for (auto& inst : tb.instances) {
+    report.takeovers +=
+        inst->stats().takeovers_client_side + inst->stats().takeovers_server_side;
+    report.reswitches += inst->stats().reswitches;
+  }
+  for (auto& inst : tb.spares) {
+    report.takeovers +=
+        inst->stats().takeovers_client_side + inst->stats().takeovers_server_side;
+  }
+  report.failures_detected = tb.controller->detected_failures();
+  report.controller_events = tb.controller->events();
+  return report;
+}
+
+}  // namespace workload

@@ -1,0 +1,88 @@
+// Scenario runner: a small text DSL that assembles a testbed, drives load,
+// injects failures and policy changes on a timeline, and reports results.
+// This is what `tools/yodasim` executes, so experiments can be scripted
+// without writing C++.
+//
+//   # comments and blank lines are ignored
+//   seed 42
+//   instances 4
+//   spares 2
+//   backends 6
+//   kv-servers 3
+//   kv-replicas 2
+//   clients 4
+//   vip 10.200.0.1                       # define a VIP (port 80)
+//   rule 10.200.0.1 name=r1 priority=1 url=* split=10.3.0.1,10.3.0.2
+//   tls 10.200.0.1 cert MY-CERT key 4242 # enable SSL termination
+//   at 0ms load 10.200.0.1 rate 200 duration 10s [tls]
+//   at 5s fail-instance 0
+//   at 6s recover-instance 0
+//   at 7s fail-backend 1
+//   at 8s recover-backend 1
+//   at 9s fail-kv 0
+//   at 9s update-rules 10.200.0.1 name=r2 priority=2 url=* split=10.3.0.3
+//   at 10s add-instance                  # activate one spare
+//   at 11s assign                        # many-to-many assignment round
+//
+// Backend i is 10.3.0.(i+1); instance i is 10.1.0.(i+1) (the Testbed plan).
+
+#ifndef SRC_WORKLOAD_SCENARIO_H_
+#define SRC_WORKLOAD_SCENARIO_H_
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/workload/testbed.h"
+
+namespace workload {
+
+struct ScenarioEvent {
+  sim::Time at = 0;
+  std::string action;  // First token after the time.
+  std::vector<std::string> args;
+  std::string raw;  // Original tail for rule specs.
+};
+
+struct Scenario {
+  TestbedConfig testbed;
+  struct VipDef {
+    net::IpAddr vip = 0;
+    std::vector<rules::Rule> vip_rules;
+    std::optional<std::string> tls_cert;
+    std::uint64_t tls_key = 0;
+  };
+  std::vector<VipDef> vips;
+  std::vector<ScenarioEvent> events;
+  sim::Duration run_until = 0;  // 0 = run to completion.
+};
+
+// Parses the DSL. Returns nullopt and fills `error` (with a line number) on
+// malformed input.
+std::optional<Scenario> ParseScenario(const std::string& text, std::string* error = nullptr);
+
+// Parses "250ms" / "5s" / "2m" into a Duration; nullopt on bad syntax.
+std::optional<sim::Duration> ParseDuration(const std::string& token);
+
+// Parses dotted-quad "10.0.0.1"; nullopt on bad syntax.
+std::optional<net::IpAddr> ParseIp(const std::string& token);
+
+struct ScenarioReport {
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t takeovers = 0;
+  std::uint64_t reswitches = 0;
+  int failures_detected = 0;
+  sim::Histogram latency_ms;
+  std::vector<yoda::ControllerEvent> controller_events;
+};
+
+// Builds the testbed, schedules the events, runs the simulation and returns
+// the aggregate report. `log` (optional) receives progress lines.
+ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log = nullptr);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,141 @@
+#include "src/workload/testbed.h"
+
+namespace workload {
+
+Testbed::Testbed(TestbedConfig config)
+    : cfg(std::move(config)),
+      sim(),
+      network(&sim, cfg.seed ^ 0x6e6574ULL),
+      fabric(&sim, &network, cfg.muxes) {
+  network.SetLatency(net::Region::kDatacenter, net::Region::kDatacenter, cfg.dc_latency,
+                     cfg.dc_jitter);
+  network.SetLatency(net::Region::kDatacenter, net::Region::kInternet, cfg.internet_latency,
+                     cfg.internet_jitter);
+  network.SetLatency(net::Region::kInternet, net::Region::kInternet, cfg.internet_latency,
+                     cfg.internet_jitter);
+
+  // TCPStore fleet.
+  for (int i = 0; i < cfg.kv_servers; ++i) {
+    kv_servers.push_back(
+        std::make_unique<kv::KvServer>(&sim, "kv-" + std::to_string(i), cfg.kv));
+  }
+  std::vector<kv::KvServer*> kv_ptrs;
+  for (auto& s : kv_servers) {
+    kv_ptrs.push_back(s.get());
+  }
+  kv::ReplicatingClientConfig kv_client_cfg = cfg.kv_client;
+  kv_client_cfg.replicas = cfg.kv_replicas;
+  kv_client = std::make_unique<kv::ReplicatingClient>(&sim, kv_ptrs, kv_client_cfg);
+  store = std::make_unique<yoda::TcpStore>(kv_client.get());
+
+  if (cfg.build_catalog) {
+    sim::Rng catalog_rng(cfg.seed ^ 0x636174ULL);
+    catalog = std::make_unique<ObjectCatalog>(catalog_rng, cfg.catalog);
+  }
+
+  // Yoda instances (+ spares).
+  for (int i = 0; i < cfg.yoda_instances + cfg.spare_instances; ++i) {
+    yoda::YodaInstanceConfig icfg = cfg.instance_template;
+    icfg.ip = instance_ip(i);
+    auto inst = std::make_unique<yoda::YodaInstance>(&sim, &network, &fabric, store.get(),
+                                                     cfg.seed ^ (0x1000ULL + i), icfg);
+    if (i < cfg.yoda_instances) {
+      instances.push_back(std::move(inst));
+    } else {
+      spares.push_back(std::move(inst));
+    }
+  }
+
+  // Baseline proxies.
+  for (int i = 0; i < cfg.baseline_proxies; ++i) {
+    baseline::ProxyConfig pcfg = cfg.proxy_template;
+    pcfg.ip = proxy_ip(i);
+    proxies.push_back(
+        std::make_unique<baseline::ProxyInstance>(&sim, &network, cfg.seed ^ (0x2000ULL + i),
+                                                  pcfg));
+  }
+
+  // Backend web servers.
+  for (int i = 0; i < cfg.backends; ++i) {
+    HttpServerConfig scfg = cfg.server_template;
+    scfg.ip = backend_ip(i);
+    scfg.processing_delay = cfg.server_processing;
+    scfg.tcp = cfg.server_tcp;
+    servers.push_back(std::make_unique<HttpServerNode>(&sim, &network, catalog.get(),
+                                                       cfg.seed ^ (0x3000ULL + i), scfg));
+  }
+
+  // Clients (Internet region).
+  for (int i = 0; i < cfg.clients; ++i) {
+    clients.push_back(
+        std::make_unique<BrowserClient>(&sim, &network, client_ip(i), cfg.seed ^ (0x4000ULL + i)));
+  }
+
+  controller = std::make_unique<yoda::Controller>(&sim, &network, &fabric, cfg.controller);
+  for (auto& inst : instances) {
+    controller->AddInstance(inst.get());
+  }
+  for (auto& inst : spares) {
+    controller->AddSpareInstance(inst.get());
+  }
+  for (auto& s : kv_servers) {
+    controller->AddKvServer(s.get());
+  }
+  for (int i = 0; i < cfg.backends; ++i) {
+    controller->AddBackend(backend_ip(i));
+  }
+}
+
+std::vector<rules::Rule> Testbed::EqualSplitRules(int first_backend, int count,
+                                                  const std::string& name,
+                                                  const std::string& url_glob) {
+  rules::Rule r;
+  r.name = name;
+  r.priority = 1;
+  r.match.url_glob = url_glob;
+  r.action.type = rules::ActionType::kWeightedSplit;
+  for (int i = 0; i < count; ++i) {
+    r.action.backends.push_back(rules::Backend{backend_ip(first_backend + i), 80, 1.0});
+  }
+  return {r};
+}
+
+void Testbed::DefineDefaultVipAndStart() {
+  controller->DefineVip(vip(0), 80, EqualSplitRules(0, cfg.backends));
+  controller->Start();
+}
+
+void Testbed::InstallProxyRules(const std::vector<rules::Rule>& proxy_rules) {
+  for (auto& p : proxies) {
+    p->InstallRules(proxy_rules);
+  }
+}
+
+void Testbed::FailInstance(int i) {
+  instances[static_cast<std::size_t>(i)]->Fail();
+  network.SetNodeDown(instance_ip(i), true);
+}
+
+void Testbed::RecoverInstance(int i) {
+  instances[static_cast<std::size_t>(i)]->Recover();
+  network.SetNodeDown(instance_ip(i), false);
+}
+
+void Testbed::FailProxy(int i) {
+  proxies[static_cast<std::size_t>(i)]->Fail();
+  network.SetNodeDown(proxy_ip(i), true);
+}
+
+void Testbed::FailBackend(int i) {
+  servers[static_cast<std::size_t>(i)]->Fail();
+  network.SetNodeDown(backend_ip(i), true);
+}
+
+void Testbed::RecoverBackend(int i) {
+  servers[static_cast<std::size_t>(i)]->Recover();
+  network.SetNodeDown(backend_ip(i), false);
+}
+
+void Testbed::FailKvServer(int i) { kv_servers[static_cast<std::size_t>(i)]->Fail(); }
+
+}  // namespace workload

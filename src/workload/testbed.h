@@ -1,0 +1,112 @@
+// Testbed: one-call assembly of the paper's §7 evaluation environment —
+// network fabric, L4 muxes, TCPStore (memcached fleet + replicating client),
+// Yoda instances, controller, backend web servers, catalog and clients.
+// Integration tests, examples and benches all build on this instead of
+// hand-wiring sixty objects.
+//
+// Default layout mirrors the Azure testbed: Yoda instances 10.1.0.x,
+// TCPStore 10.2.0.x, backends 10.3.0.x, baseline proxies 10.4.0.x, clients
+// 10.9.0.x (Internet region), VIPs 10.200.0.x.
+
+#ifndef SRC_WORKLOAD_TESTBED_H_
+#define SRC_WORKLOAD_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/proxy_instance.h"
+#include "src/core/controller.h"
+#include "src/core/tcp_store.h"
+#include "src/core/yoda_instance.h"
+#include "src/kv/kv_server.h"
+#include "src/kv/replicating_client.h"
+#include "src/l4lb/fabric.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/workload/browser_client.h"
+#include "src/workload/http_server_node.h"
+#include "src/workload/object_catalog.h"
+
+namespace workload {
+
+struct TestbedConfig {
+  std::uint64_t seed = 42;
+  int yoda_instances = 4;
+  int spare_instances = 0;
+  int baseline_proxies = 0;
+  int kv_servers = 3;
+  int kv_replicas = 2;
+  int backends = 6;
+  int muxes = 4;
+  int clients = 4;
+  // Latency model: campus clients to the Azure DC, and intra-DC.
+  sim::Duration internet_latency = sim::Msec(33);
+  sim::Duration internet_jitter = sim::Msec(3);
+  sim::Duration dc_latency = sim::Usec(250);
+  sim::Duration dc_jitter = sim::Usec(50);
+  sim::Duration server_processing = sim::Msec(1);
+  bool build_catalog = true;
+  CatalogConfig catalog;
+  yoda::YodaInstanceConfig instance_template;  // ip is overwritten per instance.
+  baseline::ProxyConfig proxy_template;        // ip is overwritten per proxy.
+  yoda::ControllerConfig controller;
+  kv::KvServerConfig kv;
+  kv::ReplicatingClientConfig kv_client;
+  net::TcpConfig server_tcp;
+  HttpServerConfig server_template;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // --- address plan ---
+  net::IpAddr instance_ip(int i) const { return net::MakeIp(10, 1, 0, static_cast<std::uint8_t>(i + 1)); }
+  net::IpAddr kv_ip(int i) const { return net::MakeIp(10, 2, 0, static_cast<std::uint8_t>(i + 1)); }
+  net::IpAddr backend_ip(int i) const { return net::MakeIp(10, 3, 0, static_cast<std::uint8_t>(i + 1)); }
+  net::IpAddr proxy_ip(int i) const { return net::MakeIp(10, 4, 0, static_cast<std::uint8_t>(i + 1)); }
+  net::IpAddr client_ip(int i) const { return net::MakeIp(10, 9, 0, static_cast<std::uint8_t>(i + 1)); }
+  net::IpAddr vip(int i = 0) const { return net::MakeIp(10, 200, 0, static_cast<std::uint8_t>(i + 1)); }
+
+  // Equal-weight split rule over backends [first, first+count).
+  std::vector<rules::Rule> EqualSplitRules(int first_backend, int count,
+                                           const std::string& name = "r-default",
+                                           const std::string& url_glob = "*");
+
+  // Defines vip(0) with an equal split over all backends and starts the
+  // controller monitor.
+  void DefineDefaultVipAndStart();
+
+  // Installs rules on all baseline proxies.
+  void InstallProxyRules(const std::vector<rules::Rule>& proxy_rules);
+
+  // Crash helpers (instance/proxy/kv/backend): mark down + drop state.
+  void FailInstance(int i);
+  void RecoverInstance(int i);
+  void FailProxy(int i);
+  void FailBackend(int i);
+  void RecoverBackend(int i);
+  void FailKvServer(int i);
+
+  // --- components (construction order matters; declared accordingly) ---
+  TestbedConfig cfg;
+  sim::Simulator sim;
+  net::Network network;
+  l4lb::L4Fabric fabric;
+  std::vector<std::unique_ptr<kv::KvServer>> kv_servers;
+  std::unique_ptr<kv::ReplicatingClient> kv_client;
+  std::unique_ptr<yoda::TcpStore> store;
+  std::unique_ptr<ObjectCatalog> catalog;
+  std::vector<std::unique_ptr<yoda::YodaInstance>> instances;
+  std::vector<std::unique_ptr<yoda::YodaInstance>> spares;
+  std::vector<std::unique_ptr<baseline::ProxyInstance>> proxies;
+  std::vector<std::unique_ptr<HttpServerNode>> servers;
+  std::vector<std::unique_ptr<BrowserClient>> clients;
+  std::unique_ptr<yoda::Controller> controller;
+};
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_TESTBED_H_

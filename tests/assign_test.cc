@@ -1,0 +1,360 @@
+// VIP-assignment tests: the Fig 7 model, the independent validator, the
+// greedy heuristic against the exact branch-and-bound, and update planning.
+
+#include <gtest/gtest.h>
+
+#include "src/assign/exact_solver.h"
+#include "src/assign/greedy_solver.h"
+#include "src/assign/problem.h"
+#include "src/assign/update_planner.h"
+#include "src/assign/validator.h"
+#include "src/sim/random.h"
+
+namespace assign {
+namespace {
+
+VipSpec Vip(int id, double traffic, int rules, int replicas, int failures) {
+  VipSpec v;
+  v.id = id;
+  v.traffic = traffic;
+  v.rules = rules;
+  v.replicas = replicas;
+  v.failures = failures;
+  return v;
+}
+
+Problem SmallProblem() {
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.rule_capacity = 2000;
+  p.max_instances = 16;
+  p.vips = {Vip(0, 0.8, 300, 2, 1), Vip(1, 0.5, 400, 2, 0), Vip(2, 0.3, 200, 1, 0),
+            Vip(3, 0.2, 100, 3, 1)};
+  return p;
+}
+
+TEST(Problem, Totals) {
+  Problem p = SmallProblem();
+  EXPECT_NEAR(p.TotalTraffic(), 1.8, 1e-9);
+  EXPECT_EQ(p.TotalRules(), 1000);
+  EXPECT_FALSE(p.Summary().empty());
+}
+
+TEST(Problem, ShareAfterFailures) {
+  EXPECT_DOUBLE_EQ(Vip(0, 1.0, 0, 4, 2).ShareAfterFailures(), 0.5);
+  EXPECT_DOUBLE_EQ(Vip(0, 0.9, 0, 3, 0).ShareAfterFailures(), 0.3);
+}
+
+TEST(Problem, AllToAllAssignsEverythingEverywhere) {
+  Problem p = SmallProblem();
+  Assignment a = AllToAll(p, 5);
+  EXPECT_EQ(a.UsedInstanceCount(), 5);
+  for (const auto& insts : a.vip_instances) {
+    EXPECT_EQ(insts.size(), 5u);
+  }
+  auto rules = a.InstanceRules(p);
+  for (int r : rules) {
+    EXPECT_EQ(r, p.TotalRules());
+  }
+}
+
+TEST(Problem, MinInstancesByTraffic) {
+  Problem p = SmallProblem();
+  EXPECT_EQ(MinInstancesByTraffic(p), 2);  // ceil(1.8 / 1.0).
+}
+
+TEST(Validator, AcceptsFeasibleAssignment) {
+  Problem p = SmallProblem();
+  Assignment a;
+  a.vip_instances = {{0, 1}, {2, 3}, {2}, {0, 1, 3}};
+  auto r = Validate(p, a);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+}
+
+TEST(Validator, CatchesReplicaCountViolation) {
+  Problem p = SmallProblem();
+  Assignment a;
+  a.vip_instances = {{0}, {2, 3}, {2}, {0, 1, 3}};  // VIP 0 wants 2 replicas.
+  auto r = Validate(p, a);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("Eq 3"), std::string::npos);
+}
+
+TEST(Validator, CatchesTrafficOverload) {
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.vips = {Vip(0, 2.0, 10, 1, 0), Vip(1, 0.5, 10, 1, 0)};
+  Assignment a;
+  a.vip_instances = {{0}, {0}};
+  auto r = Validate(p, a);
+  EXPECT_FALSE(r.ok);
+  bool found = false;
+  for (const auto& v : r.violations) {
+    found = found || v.find("Eq 1") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, CatchesRuleOverflow) {
+  Problem p;
+  p.rule_capacity = 100;
+  p.vips = {Vip(0, 0.1, 80, 1, 0), Vip(1, 0.1, 50, 1, 0)};
+  Assignment a;
+  a.vip_instances = {{0}, {0}};
+  auto r = Validate(p, a);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("Eq 2"), std::string::npos);
+}
+
+TEST(Validator, CatchesDuplicatesAndRangeErrors) {
+  Problem p = SmallProblem();
+  Assignment a;
+  a.vip_instances = {{0, 0}, {2, 99}, {2}, {0, 1, 3}};
+  auto r = Validate(p, a);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GE(r.violations.size(), 2u);
+}
+
+TEST(Validator, CatchesUnsatisfiableFailureSpec) {
+  Problem p;
+  p.vips = {Vip(0, 0.1, 10, 2, 2)};  // f_v >= n_v.
+  Assignment a;
+  a.vip_instances = {{0, 1}};
+  EXPECT_FALSE(Validate(p, a).ok);
+}
+
+TEST(MigratedFraction, CountsLostReplicaShares) {
+  Problem p;
+  p.vips = {Vip(0, 1.0, 10, 2, 0), Vip(1, 1.0, 10, 2, 0)};
+  Assignment from;
+  from.vip_instances = {{0, 1}, {2, 3}};
+  Assignment to_same = from;
+  EXPECT_DOUBLE_EQ(MigratedTrafficFraction(p, from, to_same), 0.0);
+  Assignment to;
+  to.vip_instances = {{0, 2}, {2, 3}};  // VIP 0 lost instance 1 (half its traffic).
+  EXPECT_NEAR(MigratedTrafficFraction(p, from, to), 0.25, 1e-9);
+}
+
+TEST(TransientLoads, BudgetsMaxOfOldAndNewShares) {
+  Problem p;
+  p.vips = {Vip(0, 1.0, 10, 2, 0)};
+  Assignment old_a;
+  old_a.vip_instances = {{0, 1}};
+  Assignment new_a;
+  new_a.vip_instances = {{1, 2}};
+  auto loads = TransientLoads(p, old_a, new_a);
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_DOUBLE_EQ(loads[0], 0.5);  // Old only.
+  EXPECT_DOUBLE_EQ(loads[1], 0.5);  // Both; max(0.5, 0.5).
+  EXPECT_DOUBLE_EQ(loads[2], 0.5);  // New only.
+}
+
+TEST(GreedySolver, FeasibleOnSmallProblem) {
+  Problem p = SmallProblem();
+  GreedySolver solver;
+  auto result = solver.Solve(p);
+  ASSERT_TRUE(result.feasible) << result.note;
+  auto check = Validate(p, result.assignment);
+  EXPECT_TRUE(check.ok) << (check.violations.empty() ? "" : check.violations[0]);
+}
+
+TEST(GreedySolver, InfeasibleWhenRulesCannotFit) {
+  Problem p;
+  p.rule_capacity = 50;
+  p.max_instances = 2;
+  p.vips = {Vip(0, 0.1, 100, 1, 0)};  // More rules than any instance holds.
+  GreedySolver solver;
+  EXPECT_FALSE(solver.Solve(p).feasible);
+}
+
+TEST(GreedySolver, RejectsUnsatisfiableFailureSpec) {
+  Problem p;
+  p.vips = {Vip(0, 0.1, 10, 1, 1)};
+  GreedySolver solver;
+  EXPECT_FALSE(solver.Solve(p).feasible);
+}
+
+TEST(ExactSolver, MatchesHandComputedOptimum) {
+  // Two VIPs, each 0.6 post-failure share: they cannot share one instance,
+  // but each pair of replicas can interleave across 2 instances? No:
+  // 0.6 + 0.6 > 1.0, so replicas must not co-locate -> 2 instances minimum.
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.max_instances = 6;
+  p.vips = {Vip(0, 0.6, 10, 1, 0), Vip(1, 0.6, 10, 1, 0)};
+  ExactSolver solver;
+  auto result = solver.Solve(p);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.instances_used, 2);
+}
+
+TEST(ExactSolver, PacksWhenSharesFit) {
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.max_instances = 6;
+  p.vips = {Vip(0, 0.4, 10, 1, 0), Vip(1, 0.5, 10, 1, 0)};
+  ExactSolver solver;
+  auto result = solver.Solve(p);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.instances_used, 1);
+}
+
+TEST(ExactSolver, RespectsReplicaAntiAffinity) {
+  // One VIP, 3 replicas: replicas are distinct instances, so >= 3 used.
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.max_instances = 8;
+  p.vips = {Vip(0, 0.9, 10, 3, 1)};
+  ExactSolver solver;
+  auto result = solver.Solve(p);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.instances_used, 3);
+}
+
+// Property: on random small problems, greedy is feasible whenever exact is,
+// and within 2x of optimal instance count (typically equal or +1).
+class GreedyVsExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyVsExact, GreedyNearOptimal) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.rule_capacity = 1000;
+  p.max_instances = 10;
+  const int n = static_cast<int>(rng.UniformInt(2, 6));
+  for (int i = 0; i < n; ++i) {
+    const int replicas = static_cast<int>(rng.UniformInt(1, 3));
+    const int failures = static_cast<int>(rng.UniformInt(0, replicas - 1));
+    p.vips.push_back(Vip(i, 0.1 + rng.UniformDouble() * 0.7,
+                         static_cast<int>(rng.UniformInt(10, 400)), replicas, failures));
+  }
+  ExactSolver exact(2'000'000);
+  GreedySolver greedy;
+  auto e = exact.Solve(p);
+  auto g = greedy.Solve(p);
+  ASSERT_EQ(e.feasible, g.feasible);
+  if (!e.feasible) {
+    return;
+  }
+  auto check = Validate(p, g.assignment);
+  ASSERT_TRUE(check.ok) << check.violations[0];
+  EXPECT_GE(g.instances_used, e.instances_used);
+  EXPECT_LE(g.instances_used, e.instances_used + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, GreedyVsExact, ::testing::Range(1, 21));
+
+TEST(ExactSolver, NodeBudgetExhaustionIsReported) {
+  // A deliberately tight budget cannot prove optimality.
+  sim::Rng rng(31);
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.max_instances = 12;
+  for (int i = 0; i < 8; ++i) {
+    p.vips.push_back(Vip(i, 0.2 + rng.UniformDouble() * 0.5, 50, 2, 1));
+  }
+  ExactSolver tiny(50);
+  auto result = tiny.Solve(p);
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_LE(result.nodes_explored, 51u);
+}
+
+TEST(GreedySolver, UpdateRoundPrefersOldPlacement) {
+  Problem p = SmallProblem();
+  GreedySolver solver;
+  auto first = solver.Solve(p);
+  ASSERT_TRUE(first.feasible);
+  // Slightly perturb traffic; the new solution should barely migrate.
+  for (auto& v : p.vips) {
+    v.traffic *= 1.02;
+  }
+  p.migration_limit = 0.10;
+  SolveOptions opts;
+  opts.previous = &first.assignment;
+  opts.limit_transient = true;
+  opts.limit_migration = true;
+  auto second = solver.Solve(p, opts);
+  ASSERT_TRUE(second.feasible) << second.note;
+  EXPECT_LE(MigratedTrafficFraction(p, first.assignment, second.assignment), 0.10 + 1e-9);
+  auto check = ValidateUpdate(p, first.assignment, second.assignment);
+  EXPECT_TRUE(check.ok) << (check.violations.empty() ? "" : check.violations[0]);
+}
+
+TEST(GreedySolver, RelaxesDeltaWhenInfeasible) {
+  // Old assignment concentrates everything on instances that cannot hold the
+  // grown traffic; heavy migration is unavoidable.
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.rule_capacity = 2000;
+  p.max_instances = 12;
+  p.vips = {Vip(0, 0.3, 10, 1, 0), Vip(1, 0.3, 10, 1, 0), Vip(2, 0.3, 10, 1, 0)};
+  GreedySolver solver;
+  auto first = solver.Solve(p);
+  ASSERT_TRUE(first.feasible);
+  // Traffic triples: each VIP now needs its own instance.
+  for (auto& v : p.vips) {
+    v.traffic = 0.9;
+  }
+  p.migration_limit = 0.0;  // No migration allowed: must relax.
+  SolveOptions opts;
+  opts.previous = &first.assignment;
+  opts.limit_transient = false;
+  opts.limit_migration = true;
+  auto second = solver.Solve(p, opts);
+  ASSERT_TRUE(second.feasible) << second.note;
+  EXPECT_GT(second.effective_migration_limit, 0.0);
+}
+
+TEST(UpdatePlanner, ReportsDeltasAndMigration) {
+  Problem p;
+  p.vips = {Vip(0, 1.0, 10, 2, 0), Vip(1, 0.4, 10, 1, 0)};
+  Assignment old_a;
+  old_a.vip_instances = {{0, 1}, {2}};
+  Assignment new_a;
+  new_a.vip_instances = {{1, 2}, {2}};
+  auto plan = PlanUpdate(p, old_a, new_a);
+  ASSERT_EQ(plan.deltas.size(), 1u);
+  EXPECT_EQ(plan.deltas[0].vip_id, 0);
+  EXPECT_EQ(plan.deltas[0].added_instances, std::vector<int>{2});
+  EXPECT_EQ(plan.deltas[0].removed_instances, std::vector<int>{0});
+  EXPECT_NEAR(plan.migrated_fraction, 0.5 / 1.4, 1e-9);
+  EXPECT_EQ(plan.instances_before, 3);
+  EXPECT_EQ(plan.instances_after, 2);
+}
+
+TEST(UpdatePlanner, FlagsTransientOverload) {
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.vips = {Vip(0, 1.0, 10, 1, 0), Vip(1, 1.0, 10, 1, 0)};
+  Assignment old_a;
+  old_a.vip_instances = {{0}, {1}};
+  Assignment new_a;
+  new_a.vip_instances = {{1}, {0}};  // Swap: both instances transiently 2x.
+  auto plan = PlanUpdate(p, old_a, new_a);
+  EXPECT_EQ(plan.overloaded_instances.size(), 2u);
+  EXPECT_TRUE(plan.pre_overloaded_instances.empty());
+}
+
+TEST(GreedySolver, ScalesToTraceSizedProblem) {
+  sim::Rng rng(99);
+  Problem p;
+  p.traffic_capacity = 1.0;
+  p.rule_capacity = 2000;
+  p.max_instances = 0;  // Unbounded pool.
+  for (int i = 0; i < 120; ++i) {
+    const double traffic = 0.02 + rng.UniformDouble() * 1.5;
+    const int replicas = std::max(1, static_cast<int>(4 * traffic));
+    p.vips.push_back(Vip(i, traffic, static_cast<int>(rng.UniformInt(20, 1500)),
+                         replicas, replicas / 2));
+  }
+  GreedySolver solver;
+  auto result = solver.Solve(p);
+  ASSERT_TRUE(result.feasible) << result.note;
+  auto check = Validate(p, result.assignment);
+  EXPECT_TRUE(check.ok) << check.violations[0];
+  EXPECT_GE(result.instances_used, MinInstancesByTraffic(p));
+}
+
+}  // namespace
+}  // namespace assign

@@ -1,0 +1,291 @@
+// Controller tests: monitor, VIP lifecycle ordering, health propagation,
+// elastic scaling and the many-to-many assignment path.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/testbed.h"
+
+namespace yoda {
+namespace {
+
+using workload::Testbed;
+using workload::TestbedConfig;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Testbed> tb;
+
+  void Build(TestbedConfig cfg = {}) {
+    cfg.build_catalog = false;  // Pure control-plane tests.
+    tb = std::make_unique<Testbed>(cfg);
+  }
+};
+
+TEST_F(ControllerTest, DefineVipInstallsRulesOnAllActiveInstances) {
+  Build();
+  tb->controller->DefineVip(tb->vip(), 80, tb->EqualSplitRules(0, 3));
+  for (auto& inst : tb->instances) {
+    EXPECT_TRUE(inst->ServesVip(tb->vip()));
+    EXPECT_EQ(inst->RuleCount(tb->vip()), 1);
+  }
+  const auto* pool = tb->fabric.mux(0).PoolFor(tb->vip());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->size(), tb->instances.size());
+}
+
+TEST_F(ControllerTest, RemoveVipUnmapsBeforeDroppingRules) {
+  Build();
+  tb->controller->DefineVip(tb->vip(), 80, tb->EqualSplitRules(0, 3));
+  tb->controller->RemoveVip(tb->vip());
+  EXPECT_FALSE(tb->network.IsAttached(tb->vip()));
+  for (auto& inst : tb->instances) {
+    EXPECT_FALSE(inst->ServesVip(tb->vip()));
+  }
+}
+
+TEST_F(ControllerTest, UpdateRulesReplacesTables) {
+  Build();
+  tb->controller->DefineVip(tb->vip(), 80, tb->EqualSplitRules(0, 3));
+  auto wider = tb->EqualSplitRules(0, 6);
+  auto extra = tb->EqualSplitRules(0, 2, "r-extra", "*.css");
+  wider.push_back(extra[0]);
+  tb->controller->UpdateVipRules(tb->vip(), wider);
+  for (auto& inst : tb->instances) {
+    EXPECT_EQ(inst->RuleCount(tb->vip()), 2);
+  }
+}
+
+TEST_F(ControllerTest, UpdateRulesForUnknownVipIsNoop) {
+  Build();
+  tb->controller->UpdateVipRules(tb->vip(3), tb->EqualSplitRules(0, 1));
+  for (auto& inst : tb->instances) {
+    EXPECT_FALSE(inst->ServesVip(tb->vip(3)));
+  }
+}
+
+TEST_F(ControllerTest, MonitorDetectsInstanceFailureWithin600ms) {
+  Build();
+  tb->DefineDefaultVipAndStart();
+  tb->FailInstance(1);
+  tb->sim.RunUntil(tb->sim.now() + sim::Msec(650));
+  EXPECT_EQ(tb->controller->detected_failures(), 1);
+  EXPECT_EQ(tb->controller->ActiveInstances().size(), tb->instances.size() - 1);
+  const auto* pool = tb->fabric.mux(0).PoolFor(tb->vip());
+  for (net::IpAddr ip : *pool) {
+    EXPECT_NE(ip, tb->instance_ip(1));
+  }
+}
+
+TEST_F(ControllerTest, MonitorTickIsIdempotentForSameFailure) {
+  Build();
+  tb->DefineDefaultVipAndStart();
+  tb->FailInstance(0);
+  tb->controller->MonitorTick();
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->detected_failures(), 1);
+}
+
+TEST_F(ControllerTest, BackendHealthPropagatesDownAndUp) {
+  Build();
+  tb->DefineDefaultVipAndStart();
+  tb->FailBackend(2);
+  tb->controller->MonitorTick();
+  // Health is pushed into every instance's selection oracle: verify via a
+  // selection that skips the dead backend (probabilistically exercised in
+  // integration tests; here check the controller saw it).
+  bool logged_fail = false;
+  for (const auto& ev : tb->controller->events()) {
+    logged_fail = logged_fail || ev.what.find("failed") != std::string::npos;
+  }
+  EXPECT_TRUE(logged_fail);
+  tb->RecoverBackend(2);
+  tb->controller->MonitorTick();
+  bool logged_recover = false;
+  for (const auto& ev : tb->controller->events()) {
+    logged_recover = logged_recover || ev.what.find("recovered") != std::string::npos;
+  }
+  EXPECT_TRUE(logged_recover);
+}
+
+TEST_F(ControllerTest, LateInstanceReceivesExistingVips) {
+  TestbedConfig cfg;
+  cfg.spare_instances = 1;
+  Build(cfg);
+  tb->controller->DefineVip(tb->vip(), 80, tb->EqualSplitRules(0, 3));
+  tb->controller->DefineVip(tb->vip(1), 80, tb->EqualSplitRules(3, 3));
+  YodaInstance* spare = tb->spares[0].get();
+  EXPECT_FALSE(spare->ServesVip(tb->vip()));
+  tb->controller->AddInstance(spare);
+  EXPECT_TRUE(spare->ServesVip(tb->vip()));
+  EXPECT_TRUE(spare->ServesVip(tb->vip(1)));
+}
+
+TEST_F(ControllerTest, AutoScaleConsumesSparesUnderSyntheticLoad) {
+  TestbedConfig cfg;
+  cfg.yoda_instances = 2;
+  cfg.spare_instances = 2;
+  cfg.controller.auto_scale = true;
+  cfg.controller.scale_out_cpu = 0.5;
+  cfg.controller.scale_out_step = 1;
+  Build(cfg);
+  tb->DefineDefaultVipAndStart();
+  // Synthetically saturate the CPU model.
+  for (auto& inst : tb->instances) {
+    for (int i = 0; i < 100'000; ++i) {
+      inst->cpu().ChargeConnection();
+    }
+  }
+  tb->sim.RunUntil(sim::Msec(700));
+  EXPECT_EQ(tb->controller->ActiveInstances().size(), 3u);
+  tb->sim.RunUntil(tb->sim.now() + sim::Msec(700));
+  // CPU windows were reset after scaling; no further scale-out.
+  EXPECT_LE(tb->controller->ActiveInstances().size(), 4u);
+}
+
+TEST_F(ControllerTest, ManyToManyAssignsSubsetsAndProgramsPools) {
+  TestbedConfig cfg;
+  cfg.yoda_instances = 6;
+  Build(cfg);
+  // Three VIPs with different demands.
+  tb->controller->DefineVip(tb->vip(0), 80, tb->EqualSplitRules(0, 2, "r0"));
+  tb->controller->DefineVip(tb->vip(1), 80, tb->EqualSplitRules(2, 2, "r1"));
+  tb->controller->DefineVip(tb->vip(2), 80, tb->EqualSplitRules(4, 2, "r2"));
+  std::map<net::IpAddr, Controller::VipDemand> demand;
+  demand[tb->vip(0)] = {0.6, 3, 1};
+  demand[tb->vip(1)] = {0.3, 2, 0};
+  demand[tb->vip(2)] = {0.1, 1, 0};
+  ASSERT_TRUE(tb->controller->ApplyManyToMany(demand, 1.0, 2000));
+  tb->sim.RunUntil(tb->sim.now() + sim::Sec(1));  // Staggered pools converge.
+
+  EXPECT_EQ(tb->controller->AssignedInstances(tb->vip(0)).size(), 3u);
+  EXPECT_EQ(tb->controller->AssignedInstances(tb->vip(1)).size(), 2u);
+  EXPECT_EQ(tb->controller->AssignedInstances(tb->vip(2)).size(), 1u);
+
+  // Rules live only on assigned instances; pools match the assignment.
+  for (int v = 0; v < 3; ++v) {
+    const auto assigned = tb->controller->AssignedInstances(tb->vip(v));
+    const std::set<net::IpAddr> assigned_set(assigned.begin(), assigned.end());
+    int serving = 0;
+    for (auto& inst : tb->instances) {
+      if (inst->ServesVip(tb->vip(v))) {
+        ++serving;
+        EXPECT_TRUE(assigned_set.contains(inst->ip()));
+      }
+    }
+    EXPECT_EQ(serving, static_cast<int>(assigned.size()));
+    const auto* pool = tb->fabric.mux(tb->fabric.mux_count() - 1).PoolFor(tb->vip(v));
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(std::set<net::IpAddr>(pool->begin(), pool->end()), assigned_set);
+  }
+}
+
+TEST_F(ControllerTest, ManyToManySecondRoundLimitsMigration) {
+  TestbedConfig cfg;
+  cfg.yoda_instances = 6;
+  Build(cfg);
+  tb->controller->DefineVip(tb->vip(0), 80, tb->EqualSplitRules(0, 2, "r0"));
+  tb->controller->DefineVip(tb->vip(1), 80, tb->EqualSplitRules(2, 2, "r1"));
+  std::map<net::IpAddr, Controller::VipDemand> demand;
+  demand[tb->vip(0)] = {0.5, 2, 0};
+  demand[tb->vip(1)] = {0.4, 2, 0};
+  ASSERT_TRUE(tb->controller->ApplyManyToMany(demand, 1.0, 2000));
+  const auto before0 = tb->controller->AssignedInstances(tb->vip(0));
+  // Slightly different demand: assignment should barely move.
+  demand[tb->vip(0)] = {0.55, 2, 0};
+  ASSERT_TRUE(tb->controller->ApplyManyToMany(demand, 1.0, 2000));
+  const auto after0 = tb->controller->AssignedInstances(tb->vip(0));
+  EXPECT_EQ(before0, after0);
+}
+
+TEST_F(ControllerTest, ManyToManyInfeasibleWhenDemandExceedsFleet) {
+  TestbedConfig cfg;
+  cfg.yoda_instances = 2;
+  Build(cfg);
+  tb->controller->DefineVip(tb->vip(0), 80, tb->EqualSplitRules(0, 2, "r0"));
+  std::map<net::IpAddr, Controller::VipDemand> demand;
+  demand[tb->vip(0)] = {5.0, 2, 1};  // 5 instance-capacities over 2 instances.
+  EXPECT_FALSE(tb->controller->ApplyManyToMany(demand, 1.0, 2000));
+}
+
+TEST_F(ControllerTest, FailureInManyToManyModeShrinksOnlyAffectedPools) {
+  TestbedConfig cfg;
+  cfg.yoda_instances = 4;
+  Build(cfg);
+  tb->controller->DefineVip(tb->vip(0), 80, tb->EqualSplitRules(0, 2, "r0"));
+  std::map<net::IpAddr, Controller::VipDemand> demand;
+  demand[tb->vip(0)] = {0.4, 2, 0};
+  ASSERT_TRUE(tb->controller->ApplyManyToMany(demand, 1.0, 2000));
+  tb->sim.RunUntil(tb->sim.now() + sim::Sec(1));
+  const auto assigned = tb->controller->AssignedInstances(tb->vip(0));
+  ASSERT_EQ(assigned.size(), 2u);
+  // Fail one assigned instance.
+  int victim = -1;
+  for (std::size_t i = 0; i < tb->instances.size(); ++i) {
+    if (tb->instances[i]->ip() == assigned[0]) {
+      victim = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(victim, 0);
+  tb->FailInstance(victim);
+  tb->controller->MonitorTick();
+  const auto after = tb->controller->AssignedInstances(tb->vip(0));
+  EXPECT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0], assigned[1]);
+}
+
+TEST_F(ControllerTest, PeriodicAssignmentFollowsMeasuredTraffic) {
+  TestbedConfig cfg;
+  cfg.yoda_instances = 6;
+  cfg.build_catalog = true;
+  tb = std::make_unique<Testbed>(cfg);
+  tb->controller->DefineVip(tb->vip(0), 80, tb->EqualSplitRules(0, 3, "r0"));
+  tb->controller->DefineVip(tb->vip(1), 80, tb->EqualSplitRules(3, 3, "r1"));
+  tb->controller->Start();
+  Controller::PeriodicAssignmentConfig pcfg;
+  pcfg.interval = sim::Sec(10);
+  pcfg.traffic_capacity = 20.0;  // 20 new conns/s per instance.
+  tb->controller->EnablePeriodicAssignment(pcfg);
+
+  // Drive heavy traffic at vip(0) and a trickle at vip(1) for 25 s.
+  sim::Rng rng(4);
+  std::function<void(sim::Time, int, double)> drive = [&](sim::Time when, int vip_idx,
+                                                          double rate) {
+    if (when > sim::Sec(25)) {
+      return;
+    }
+    tb->sim.At(when, [&, vip_idx, rate]() {
+      tb->clients[0]->FetchObject(tb->vip(vip_idx), 80, tb->catalog->objects()[0].url, {},
+                                  [](const workload::FetchResult&) {});
+      drive(tb->sim.now() + sim::FromSeconds(rng.Exponential(1.0 / rate)), vip_idx, rate);
+    });
+  };
+  drive(sim::Msec(1), 0, 60.0);  // 60 conns/s => n_v capped at the 6-instance fleet.
+  drive(sim::Msec(2), 1, 2.0);   // 2 conns/s  => n_v = 1.
+
+  // Inspect the assignment while traffic is flowing (a later idle round
+  // would legitimately shrink everything back down).
+  tb->sim.RunUntil(sim::Sec(21));
+  EXPECT_GE(tb->controller->assignment_rounds(), 2);
+  const auto hot = tb->controller->AssignedInstances(tb->vip(0));
+  const auto cold = tb->controller->AssignedInstances(tb->vip(1));
+  ASSERT_FALSE(hot.empty());
+  ASSERT_FALSE(cold.empty());
+  EXPECT_GT(hot.size(), cold.size());
+  EXPECT_EQ(cold.size(), 1u);
+  tb->sim.Run();
+  // Idle rounds after the load ends consolidate back to few instances.
+  EXPECT_LE(tb->controller->AssignedInstances(tb->vip(0)).size(), hot.size());
+}
+
+TEST_F(ControllerTest, EventsCarryTimestamps) {
+  Build();
+  tb->controller->DefineVip(tb->vip(), 80, tb->EqualSplitRules(0, 1));
+  ASSERT_FALSE(tb->controller->events().empty());
+  EXPECT_GE(tb->controller->events().back().when, 0);
+  EXPECT_FALSE(tb->controller->events().back().what.empty());
+}
+
+}  // namespace
+}  // namespace yoda

@@ -1,0 +1,157 @@
+// FlowState codec, keys and deterministic ISN tests.
+
+#include <gtest/gtest.h>
+
+#include "src/core/flow_state.h"
+#include "src/sim/random.h"
+
+namespace yoda {
+namespace {
+
+FlowState Sample() {
+  FlowState s;
+  s.stage = FlowStage::kTunneling;
+  s.client_ip = net::MakeIp(93, 184, 216, 34);
+  s.client_port = 51'234;
+  s.vip = net::MakeIp(10, 200, 0, 1);
+  s.vip_port = 80;
+  s.client_isn = 0x12345678;
+  s.lb_isn = 0x9abcdef0;
+  s.backend_ip = net::MakeIp(10, 3, 0, 7);
+  s.backend_port = 80;
+  s.server_isn = 0x55aa55aa;
+  s.seq_delta_s2c = s.lb_isn - s.server_isn;
+  s.seq_delta_c2s = 0;
+  s.pipeline_request_ends = {120, 240};
+  return s;
+}
+
+TEST(FlowStateCodec, RoundTripsTunnelingState) {
+  FlowState s = Sample();
+  auto parsed = FlowState::Parse(s.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, s);
+}
+
+TEST(FlowStateCodec, RoundTripsConnectionState) {
+  FlowState s;
+  s.stage = FlowStage::kConnection;
+  s.client_ip = 1;
+  s.client_port = 2;
+  s.vip = 3;
+  s.vip_port = 4;
+  s.client_isn = 5;
+  s.lb_isn = 6;
+  auto parsed = FlowState::Parse(s.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, s);
+  EXPECT_EQ(parsed->stage, FlowStage::kConnection);
+}
+
+TEST(FlowStateCodec, RejectsGarbage) {
+  EXPECT_FALSE(FlowState::Parse("").has_value());
+  EXPECT_FALSE(FlowState::Parse("short").has_value());
+  EXPECT_FALSE(FlowState::Parse(std::string(100, '\xff')).has_value());
+}
+
+TEST(FlowStateCodec, RejectsTruncation) {
+  const std::string wire = Sample().Serialize();
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(FlowState::Parse(wire.substr(0, wire.size() - cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(FlowStateCodec, RejectsTrailingBytes) {
+  EXPECT_FALSE(FlowState::Parse(Sample().Serialize() + "x").has_value());
+}
+
+TEST(FlowStateCodec, RejectsWrongVersion) {
+  std::string wire = Sample().Serialize();
+  wire[0] = 99;
+  EXPECT_FALSE(FlowState::Parse(wire).has_value());
+}
+
+// Property: random states round-trip exactly.
+class FlowStateFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowStateFuzz, RandomRoundTrip) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  FlowState s;
+  s.stage = rng.Bernoulli(0.5) ? FlowStage::kTunneling : FlowStage::kConnection;
+  s.client_ip = static_cast<net::IpAddr>(rng.UniformInt(0, 0xffffffffLL));
+  s.client_port = static_cast<net::Port>(rng.UniformInt(0, 65535));
+  s.vip = static_cast<net::IpAddr>(rng.UniformInt(0, 0xffffffffLL));
+  s.vip_port = static_cast<net::Port>(rng.UniformInt(0, 65535));
+  s.client_isn = static_cast<std::uint32_t>(rng.UniformInt(0, 0xffffffffLL));
+  s.lb_isn = static_cast<std::uint32_t>(rng.UniformInt(0, 0xffffffffLL));
+  s.backend_ip = static_cast<net::IpAddr>(rng.UniformInt(0, 0xffffffffLL));
+  s.backend_port = static_cast<net::Port>(rng.UniformInt(0, 65535));
+  s.server_isn = static_cast<std::uint32_t>(rng.UniformInt(0, 0xffffffffLL));
+  s.seq_delta_s2c = s.lb_isn - s.server_isn;
+  s.seq_delta_c2s = static_cast<std::uint32_t>(rng.UniformInt(0, 0xffffffffLL));
+  const int pipeline = static_cast<int>(rng.UniformInt(0, 5));
+  for (int i = 0; i < pipeline; ++i) {
+    s.pipeline_request_ends.push_back(static_cast<std::uint32_t>(rng.UniformInt(0, 1 << 30)));
+  }
+  auto parsed = FlowState::Parse(s.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, FlowStateFuzz, ::testing::Range(0, 25));
+
+TEST(FlowKeys, ClientAndServerKeysAreDistinctNamespaces) {
+  const std::string c = ClientFlowKey(1, 80, 2, 3);
+  const std::string s = ServerFlowKey(1, 80, 2, 3);
+  EXPECT_NE(c, s);
+  EXPECT_EQ(c[0], 'c');
+  EXPECT_EQ(s[0], 's');
+}
+
+TEST(FlowKeys, DistinctFlowsDistinctKeys) {
+  EXPECT_NE(ClientFlowKey(1, 80, 2, 3), ClientFlowKey(1, 80, 2, 4));
+  EXPECT_NE(ClientFlowKey(1, 80, 2, 3), ClientFlowKey(1, 81, 2, 3));
+  EXPECT_NE(ServerFlowKey(9, 80, 1, 3), ServerFlowKey(9, 80, 1, 4));
+}
+
+TEST(DeterministicIsn, SameInputsSameIsn) {
+  // The paper's core trick: every instance generates the same SYN-ACK ISN
+  // for a given client, so SYN-ACK state never needs storing.
+  const std::uint32_t a = DeterministicLbIsn(10, 80, 1234, 5678);
+  const std::uint32_t b = DeterministicLbIsn(10, 80, 1234, 5678);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeterministicIsn, DifferentClientsDiffer) {
+  const std::uint32_t base = DeterministicLbIsn(10, 80, 1234, 5678);
+  EXPECT_NE(base, DeterministicLbIsn(10, 80, 1234, 5679));
+  EXPECT_NE(base, DeterministicLbIsn(10, 80, 1235, 5678));
+  EXPECT_NE(base, DeterministicLbIsn(11, 80, 1234, 5678));
+}
+
+TEST(DeterministicIsn, ReasonablySpreadOverSeqSpace) {
+  sim::Rng rng(3);
+  std::uint32_t min = 0xffffffff;
+  std::uint32_t max = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t isn =
+        DeterministicLbIsn(static_cast<net::IpAddr>(rng.UniformInt(0, 0xffffffffLL)), 80,
+                           static_cast<net::IpAddr>(rng.UniformInt(0, 0xffffffffLL)),
+                           static_cast<net::Port>(rng.UniformInt(0, 65535)));
+    min = std::min(min, isn);
+    max = std::max(max, isn);
+  }
+  EXPECT_LT(min, 0x10000000u);
+  EXPECT_GT(max, 0xf0000000u);
+}
+
+TEST(FlowStateToString, MentionsStageAndEndpoints) {
+  const std::string s = Sample().ToString();
+  EXPECT_NE(s.find("TUNNEL"), std::string::npos);
+  EXPECT_NE(s.find("10.200.0.1"), std::string::npos);
+  EXPECT_NE(s.find("10.3.0.7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace yoda

@@ -1,0 +1,370 @@
+// TCPStore substrate tests: consistent hashing, the memcached-style server
+// and the replicating client library.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/kv/hash_ring.h"
+#include "src/kv/kv_server.h"
+#include "src/kv/replicating_client.h"
+
+namespace kv {
+namespace {
+
+TEST(Hashing, Deterministic) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_EQ(Mix64(42), Mix64(42));
+}
+
+TEST(HashRing, LookupConsistentAcrossCalls) {
+  HashRing ring;
+  ring.AddServer("s1");
+  ring.AddServer("s2");
+  ring.AddServer("s3");
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(ring.Lookup(key), ring.Lookup(key));
+  }
+}
+
+TEST(HashRing, KeysSpreadAcrossServers) {
+  HashRing ring;
+  for (int i = 0; i < 10; ++i) {
+    ring.AddServer("server-" + std::to_string(i));
+  }
+  std::map<std::string, int> counts;
+  const int keys = 10'000;
+  for (int i = 0; i < keys; ++i) {
+    counts[ring.Lookup("key-" + std::to_string(i))] += 1;
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [server, n] : counts) {
+    EXPECT_GT(n, keys / 10 / 3) << server;  // No server starved badly.
+    EXPECT_LT(n, keys / 10 * 3) << server;  // No server hogging.
+  }
+}
+
+TEST(HashRing, RemovalOnlyMovesRemovedServersKeys) {
+  HashRing ring;
+  for (int i = 0; i < 8; ++i) {
+    ring.AddServer("s" + std::to_string(i));
+  }
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    before[key] = ring.Lookup(key);
+  }
+  ring.RemoveServer("s3");
+  int moved_not_from_s3 = 0;
+  for (const auto& [key, owner] : before) {
+    const std::string now = ring.Lookup(key);
+    if (owner != "s3") {
+      if (now != owner) {
+        ++moved_not_from_s3;
+      }
+    } else {
+      EXPECT_NE(now, "s3");
+    }
+  }
+  EXPECT_EQ(moved_not_from_s3, 0);  // Consistent hashing property.
+}
+
+TEST(HashRing, ReplicasAreDistinct) {
+  HashRing ring;
+  for (int i = 0; i < 6; ++i) {
+    ring.AddServer("s" + std::to_string(i));
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto reps = ring.Replicas("k" + std::to_string(i), 3);
+    ASSERT_EQ(reps.size(), 3u);
+    std::set<std::string> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(HashRing, ReplicasCappedByServerCount) {
+  HashRing ring;
+  ring.AddServer("only");
+  auto reps = ring.Replicas("k", 3);
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0], "only");
+}
+
+TEST(HashRing, EmptyRingReturnsEmpty) {
+  HashRing ring;
+  EXPECT_EQ(ring.Lookup("k"), "");
+  EXPECT_TRUE(ring.Replicas("k", 2).empty());
+}
+
+TEST(HashRing, DuplicateAddIsIdempotent) {
+  HashRing ring;
+  ring.AddServer("s");
+  ring.AddServer("s");
+  EXPECT_EQ(ring.server_count(), 1u);
+  ring.RemoveServer("s");
+  EXPECT_EQ(ring.server_count(), 0u);
+  ring.RemoveServer("s");  // No crash.
+}
+
+// Property: for any fleet size, K=2 replica sets stay balanced and distinct.
+class RingBalanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingBalanceSweep, ReplicaLoadStaysBalanced) {
+  const int servers = GetParam();
+  HashRing ring;
+  for (int i = 0; i < servers; ++i) {
+    ring.AddServer("kv-" + std::to_string(i));
+  }
+  std::map<std::string, int> load;
+  const int keys = 6'000;
+  for (int i = 0; i < keys; ++i) {
+    for (const std::string& r : ring.Replicas("flow:" + std::to_string(i), 2)) {
+      load[r] += 1;
+    }
+  }
+  const double expected = 2.0 * keys / servers;
+  for (const auto& [server, n] : load) {
+    EXPECT_GT(n, expected * 0.5) << server;
+    EXPECT_LT(n, expected * 1.6) << server;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FleetSizes, RingBalanceSweep, ::testing::Values(2, 3, 5, 8, 16, 32));
+
+class KvServerTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  KvServer server{&simulator, "kv-0"};
+};
+
+TEST_F(KvServerTest, SetThenGet) {
+  bool set_ok = false;
+  std::optional<std::string> got;
+  server.Set("k", "v", [&set_ok](bool ok) { set_ok = ok; });
+  simulator.Run();
+  EXPECT_TRUE(set_ok);
+  server.Get("k", [&got](std::optional<std::string> v) { got = std::move(v); });
+  simulator.Run();
+  EXPECT_EQ(got, "v");
+  EXPECT_EQ(server.stats().hits, 1u);
+}
+
+TEST_F(KvServerTest, GetMissingIsMiss) {
+  std::optional<std::string> got = "sentinel";
+  server.Get("nope", [&got](std::optional<std::string> v) { got = std::move(v); });
+  simulator.Run();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(server.stats().misses, 1u);
+}
+
+TEST_F(KvServerTest, DeleteRemoves) {
+  server.Set("k", "v", [](bool) {});
+  simulator.Run();
+  bool deleted = false;
+  server.Delete("k", [&deleted](bool ok) { deleted = ok; });
+  simulator.Run();
+  EXPECT_TRUE(deleted);
+  EXPECT_EQ(server.item_count(), 0u);
+  bool deleted_again = true;
+  server.Delete("k", [&deleted_again](bool ok) { deleted_again = ok; });
+  simulator.Run();
+  EXPECT_FALSE(deleted_again);
+}
+
+TEST_F(KvServerTest, OverwriteUpdatesValue) {
+  server.Set("k", "v1", [](bool) {});
+  server.Set("k", "v2", [](bool) {});
+  simulator.Run();
+  std::optional<std::string> got;
+  server.Get("k", [&got](std::optional<std::string> v) { got = std::move(v); });
+  simulator.Run();
+  EXPECT_EQ(got, "v2");
+  EXPECT_EQ(server.item_count(), 1u);
+}
+
+TEST(KvServerLru, EvictsLeastRecentlyUsed) {
+  sim::Simulator simulator;
+  KvServerConfig cfg;
+  cfg.max_items = 3;
+  KvServer server(&simulator, "kv", cfg);
+  server.Set("a", "1", [](bool) {});
+  server.Set("b", "2", [](bool) {});
+  server.Set("c", "3", [](bool) {});
+  simulator.Run();
+  // Touch "a" so "b" becomes the LRU victim.
+  server.Get("a", [](std::optional<std::string>) {});
+  simulator.Run();
+  server.Set("d", "4", [](bool) {});
+  simulator.Run();
+  EXPECT_EQ(server.stats().evictions, 1u);
+  std::optional<std::string> b = std::nullopt;
+  bool b_answered = false;
+  server.Get("b", [&](std::optional<std::string> v) {
+    b = std::move(v);
+    b_answered = true;
+  });
+  simulator.Run();
+  EXPECT_TRUE(b_answered);
+  EXPECT_FALSE(b.has_value());
+}
+
+TEST_F(KvServerTest, FailClearsContentsAndDropsOps) {
+  server.Set("k", "v", [](bool) {});
+  simulator.Run();
+  server.Fail();
+  EXPECT_EQ(server.item_count(), 0u);
+  bool answered = false;
+  server.Get("k", [&answered](std::optional<std::string>) { answered = true; });
+  simulator.Run();
+  EXPECT_FALSE(answered);
+  EXPECT_EQ(server.stats().dropped_while_down, 1u);
+  server.Recover();
+  server.Set("k2", "v2", [](bool) {});
+  simulator.Run();
+  EXPECT_EQ(server.item_count(), 1u);
+}
+
+TEST_F(KvServerTest, QueueingDelaysOpsUnderLoad) {
+  // 1000 ops submitted at t=0 with ~11 us service: completion spreads out.
+  int completed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    server.Set("k" + std::to_string(i), "v", [&completed](bool) { ++completed; });
+  }
+  simulator.RunUntil(sim::Msec(1));
+  EXPECT_LT(completed, 1000);
+  simulator.Run();
+  EXPECT_EQ(completed, 1000);
+  EXPECT_GT(server.QueueDelayNow(), -1);  // API smoke.
+}
+
+TEST_F(KvServerTest, CpuUtilizationTracksLoad) {
+  server.ResetCpuWindow(0);
+  for (int i = 0; i < 10'000; ++i) {
+    server.Set("k" + std::to_string(i), "v", [](bool) {});
+  }
+  simulator.Run();
+  // 10K ops * 11 us = 110 ms busy; over the elapsed window it must be > 0.
+  EXPECT_GT(server.CpuUtilization(simulator.now()), 0.5);
+}
+
+class ReplicatingClientTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  std::vector<std::unique_ptr<KvServer>> servers;
+  std::unique_ptr<ReplicatingClient> client;
+
+  void SetUp() override {
+    for (int i = 0; i < 5; ++i) {
+      servers.push_back(std::make_unique<KvServer>(&simulator, "kv-" + std::to_string(i)));
+    }
+    std::vector<KvServer*> ptrs;
+    for (auto& s : servers) {
+      ptrs.push_back(s.get());
+    }
+    ReplicatingClientConfig cfg;
+    cfg.replicas = 2;
+    client = std::make_unique<ReplicatingClient>(&simulator, ptrs, cfg);
+  }
+};
+
+TEST_F(ReplicatingClientTest, SetWritesToTwoServers) {
+  bool ok = false;
+  client->Set("flow-1", "state", [&ok](bool v) { ok = v; });
+  simulator.Run();
+  EXPECT_TRUE(ok);
+  int copies = 0;
+  for (auto& s : servers) {
+    copies += static_cast<int>(s->item_count());
+  }
+  EXPECT_EQ(copies, 2);
+}
+
+TEST_F(ReplicatingClientTest, GetAfterSet) {
+  client->Set("k", "v", [](bool) {});
+  simulator.Run();
+  std::optional<std::string> got;
+  client->Get("k", [&got](std::optional<std::string> v) { got = std::move(v); });
+  simulator.Run();
+  EXPECT_EQ(got, "v");
+}
+
+TEST_F(ReplicatingClientTest, GetMissAfterAllReplicasAnswer) {
+  std::optional<std::string> got = "sentinel";
+  bool answered = false;
+  client->Get("missing", [&](std::optional<std::string> v) {
+    got = std::move(v);
+    answered = true;
+  });
+  simulator.Run();
+  EXPECT_TRUE(answered);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST_F(ReplicatingClientTest, SurvivesOneReplicaFailure) {
+  client->Set("flow", "precious", [](bool) {});
+  simulator.Run();
+  // Kill exactly the replicas' first server.
+  auto replicas = client->ReplicasFor("flow");
+  ASSERT_EQ(replicas.size(), 2u);
+  replicas[0]->Fail();
+  std::optional<std::string> got;
+  client->Get("flow", [&got](std::optional<std::string> v) { got = std::move(v); });
+  simulator.Run();
+  EXPECT_EQ(got, "precious");  // Second replica still has it.
+}
+
+TEST_F(ReplicatingClientTest, LosesDataWhenAllReplicasFail) {
+  client->Set("flow", "gone", [](bool) {});
+  simulator.Run();
+  for (KvServer* s : client->ReplicasFor("flow")) {
+    s->Fail();
+  }
+  std::optional<std::string> got = "sentinel";
+  bool answered = false;
+  client->Get("flow", [&](std::optional<std::string> v) {
+    got = std::move(v);
+    answered = true;
+  });
+  simulator.Run();
+  EXPECT_TRUE(answered);  // Timeout fired.
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST_F(ReplicatingClientTest, DeleteRemovesAllReplicas) {
+  client->Set("k", "v", [](bool) {});
+  simulator.Run();
+  bool ok = false;
+  client->Delete("k", [&ok](bool v) { ok = v; });
+  simulator.Run();
+  EXPECT_TRUE(ok);
+  for (auto& s : servers) {
+    EXPECT_EQ(s->item_count(), 0u);
+  }
+}
+
+TEST_F(ReplicatingClientTest, LatencyHistogramsPopulated) {
+  for (int i = 0; i < 100; ++i) {
+    client->Set("k" + std::to_string(i), "v", [](bool) {});
+  }
+  simulator.Run();
+  EXPECT_EQ(client->stats().set_latency_us.count(), 100u);
+  // Two network hops (~120 us each) plus ~11 us service.
+  EXPECT_GT(client->stats().set_latency_us.Mean(), 200.0);
+  EXPECT_LT(client->stats().set_latency_us.Mean(), 2'000.0);
+}
+
+TEST_F(ReplicatingClientTest, ReplicaChoiceIsStable) {
+  auto a = client->ReplicasFor("some-key");
+  auto b = client->ReplicasFor("some-key");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->id(), b[i]->id());
+  }
+}
+
+}  // namespace
+}  // namespace kv

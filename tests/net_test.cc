@@ -1,0 +1,352 @@
+// Unit tests for packets, sequence arithmetic, the wire codec and the fabric.
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+#include "src/net/packet.h"
+#include "src/net/wire.h"
+#include "src/sim/random.h"
+
+namespace net {
+namespace {
+
+TEST(IpAddr, MakeAndFormat) {
+  IpAddr ip = MakeIp(10, 1, 0, 7);
+  EXPECT_EQ(ip, 0x0a010007u);
+  EXPECT_EQ(IpToString(ip), "10.1.0.7");
+  EXPECT_EQ(IpToString(MakeIp(255, 255, 255, 255)), "255.255.255.255");
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  FiveTuple t{MakeIp(1, 2, 3, 4), MakeIp(5, 6, 7, 8), 100, 200};
+  FiveTuple r = t.Reversed();
+  EXPECT_EQ(r.src, t.dst);
+  EXPECT_EQ(r.dst, t.src);
+  EXPECT_EQ(r.sport, t.dport);
+  EXPECT_EQ(r.dport, t.sport);
+  EXPECT_EQ(r.Reversed(), t);
+}
+
+TEST(FiveTuple, HashDistinguishesPorts) {
+  FiveTupleHash h;
+  FiveTuple a{1, 2, 10, 20};
+  FiveTuple b{1, 2, 10, 21};
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(Packet, FlagsAndSeqSpace) {
+  Packet p;
+  p.flags = kSyn;
+  EXPECT_TRUE(p.syn());
+  EXPECT_FALSE(p.ack_flag());
+  EXPECT_EQ(p.SeqSpace(), 1u);
+  p.flags = kFin | kAck;
+  p.payload = "abc";
+  EXPECT_EQ(p.SeqSpace(), 4u);
+  p.flags = kAck;
+  EXPECT_EQ(p.SeqSpace(), 3u);
+}
+
+TEST(SeqArithmetic, HandlesWraparound) {
+  EXPECT_TRUE(SeqLt(0xfffffff0u, 0x10u));  // Wrapped comparison.
+  EXPECT_TRUE(SeqGt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(SeqLeq(5u, 5u));
+  EXPECT_TRUE(SeqGeq(5u, 5u));
+  EXPECT_FALSE(SeqLt(5u, 5u));
+  EXPECT_TRUE(SeqLt(1u, 2u));
+}
+
+TEST(PacketFactories, SynSynAckAckRst) {
+  Packet syn = MakeSyn(1, 10, 2, 80, 1000);
+  EXPECT_TRUE(syn.syn());
+  EXPECT_FALSE(syn.ack_flag());
+  EXPECT_EQ(syn.seq, 1000u);
+
+  Packet synack = MakeSynAck(syn, 5000);
+  EXPECT_TRUE(synack.syn());
+  EXPECT_TRUE(synack.ack_flag());
+  EXPECT_EQ(synack.ack, 1001u);
+  EXPECT_EQ(synack.src, syn.dst);
+  EXPECT_EQ(synack.dport, syn.sport);
+
+  Packet ack = MakeAck(1, 10, 2, 80, 1001, 5001);
+  EXPECT_TRUE(ack.ack_flag());
+  EXPECT_FALSE(ack.syn());
+
+  Packet rst = MakeRst(syn);
+  EXPECT_TRUE(rst.rst());
+  EXPECT_EQ(rst.dst, syn.src);
+}
+
+TEST(Wire, RoundTripPlainPacket) {
+  Packet p;
+  p.src = MakeIp(10, 0, 0, 1);
+  p.dst = MakeIp(10, 0, 0, 2);
+  p.sport = 12345;
+  p.dport = 80;
+  p.seq = 0xdeadbeef;
+  p.ack = 0xfeedface;
+  p.flags = kAck | kPsh;
+  p.window = 4096;
+  p.payload = "GET / HTTP/1.0\r\n\r\n";
+  auto bytes = SerializePacket(p);
+  std::string error;
+  auto parsed = ParsePacket(bytes, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->src, p.src);
+  EXPECT_EQ(parsed->dst, p.dst);
+  EXPECT_EQ(parsed->sport, p.sport);
+  EXPECT_EQ(parsed->dport, p.dport);
+  EXPECT_EQ(parsed->seq, p.seq);
+  EXPECT_EQ(parsed->ack, p.ack);
+  EXPECT_EQ(parsed->flags, p.flags);
+  EXPECT_EQ(parsed->window, p.window);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Wire, RoundTripEmptyPayload) {
+  Packet p = MakeSyn(MakeIp(1, 1, 1, 1), 1, MakeIp(2, 2, 2, 2), 2, 42);
+  auto parsed = ParsePacket(SerializePacket(p));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, "");
+  EXPECT_TRUE(parsed->syn());
+}
+
+TEST(Wire, DetectsCorruptedPayload) {
+  Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.payload = "hello world";
+  auto bytes = SerializePacket(p);
+  bytes[45] ^= 0xff;  // Flip a payload byte.
+  std::string error;
+  EXPECT_FALSE(ParsePacket(bytes, &error).has_value());
+  EXPECT_EQ(error, "bad TCP checksum");
+}
+
+TEST(Wire, DetectsCorruptedIpHeader) {
+  Packet p;
+  p.src = 1;
+  p.dst = 2;
+  auto bytes = SerializePacket(p);
+  bytes[12] ^= 0x01;  // Source IP byte.
+  std::string error;
+  EXPECT_FALSE(ParsePacket(bytes, &error).has_value());
+  EXPECT_EQ(error, "bad IPv4 header checksum");
+}
+
+TEST(Wire, RejectsTruncatedDatagram) {
+  std::vector<std::uint8_t> bytes(10, 0);
+  std::string error;
+  EXPECT_FALSE(ParsePacket(bytes, &error).has_value());
+  EXPECT_EQ(error, "datagram too short");
+}
+
+TEST(Wire, RejectsLengthMismatch) {
+  Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.payload = "abc";
+  auto bytes = SerializePacket(p);
+  bytes.push_back(0);  // Trailing garbage.
+  std::string error;
+  EXPECT_FALSE(ParsePacket(bytes, &error).has_value());
+  EXPECT_EQ(error, "IP total length mismatch");
+}
+
+TEST(Wire, ChecksumOfZeroesIsAllOnes) {
+  std::uint8_t zeroes[8] = {0};
+  EXPECT_EQ(InternetChecksum(zeroes, 8), 0xffff);
+}
+
+// Property: random packets round-trip byte-exactly through the wire codec.
+class WireFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireFuzz, RandomPacketRoundTrip) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  Packet p;
+  p.src = static_cast<IpAddr>(rng.UniformInt(0, 0xffffffffLL));
+  p.dst = static_cast<IpAddr>(rng.UniformInt(0, 0xffffffffLL));
+  p.sport = static_cast<Port>(rng.UniformInt(0, 65535));
+  p.dport = static_cast<Port>(rng.UniformInt(0, 65535));
+  p.seq = static_cast<std::uint32_t>(rng.UniformInt(0, 0xffffffffLL));
+  p.ack = static_cast<std::uint32_t>(rng.UniformInt(0, 0xffffffffLL));
+  p.flags = static_cast<std::uint8_t>(rng.UniformInt(0, 31));
+  p.window = static_cast<std::uint16_t>(rng.UniformInt(0, 65535));
+  const auto len = static_cast<std::size_t>(rng.UniformInt(0, 1400));
+  p.payload.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    p.payload.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  auto parsed = ParsePacket(SerializePacket(p));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, p.src);
+  EXPECT_EQ(parsed->dst, p.dst);
+  EXPECT_EQ(parsed->sport, p.sport);
+  EXPECT_EQ(parsed->dport, p.dport);
+  EXPECT_EQ(parsed->seq, p.seq);
+  EXPECT_EQ(parsed->ack, p.ack);
+  EXPECT_EQ(parsed->flags, p.flags);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, WireFuzz, ::testing::Range(0, 20));
+
+TEST(Wire, EverySingleByteFlipIsDetected) {
+  Packet p;
+  p.src = MakeIp(10, 0, 0, 1);
+  p.dst = MakeIp(10, 0, 0, 2);
+  p.sport = 1234;
+  p.dport = 80;
+  p.seq = 42;
+  p.flags = kAck | kPsh;
+  p.payload = "integrity matters";
+  const auto bytes = SerializePacket(p);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto corrupted = bytes;
+    corrupted[i] ^= 0x01;
+    auto parsed = ParsePacket(corrupted);
+    // Either rejected outright, or (for non-covered fields like TTL) the
+    // parse differs... but our codec covers everything with one of the two
+    // checksums, so every flip must be caught.
+    EXPECT_FALSE(parsed.has_value()) << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(Wire, ByteWriterReaderRoundTrip) {
+  ByteWriter w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.Str("hello");
+  auto data = w.Take();
+  ByteReader r(data);
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.U8().has_value());  // Past the end.
+}
+
+// ---------------------------------------------------------------------------
+// Network fabric.
+// ---------------------------------------------------------------------------
+
+class Collector : public Node {
+ public:
+  void HandlePacket(const Packet& p) override { received.push_back(p); }
+  std::vector<Packet> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  Network network{&simulator, 99};
+  Collector a, b;
+  const IpAddr ip_a = MakeIp(10, 0, 0, 1);
+  const IpAddr ip_b = MakeIp(10, 0, 0, 2);
+
+  void SetUp() override {
+    network.Attach(ip_a, &a);
+    network.Attach(ip_b, &b);
+  }
+
+  Packet PacketAB() {
+    Packet p;
+    p.src = ip_a;
+    p.dst = ip_b;
+    p.payload = "x";
+    return p;
+  }
+};
+
+TEST_F(NetworkTest, DeliversToAttachedNode) {
+  network.Send(PacketAB());
+  simulator.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].payload, "x");
+  EXPECT_EQ(network.stats().delivered, 1u);
+}
+
+TEST_F(NetworkTest, AppliesRegionLatency) {
+  network.SetLatency(Region::kDatacenter, Region::kDatacenter, sim::Msec(5), 0);
+  sim::Time delivered_at = -1;
+  network.set_tap([&delivered_at](sim::Time t, const Packet&) { delivered_at = t; });
+  network.Send(PacketAB());
+  simulator.Run();
+  EXPECT_EQ(delivered_at, sim::Msec(5));
+}
+
+TEST_F(NetworkTest, CrossRegionLatencyDiffers) {
+  Collector c;
+  const IpAddr ip_c = MakeIp(10, 9, 0, 1);
+  network.Attach(ip_c, &c, Region::kInternet);
+  network.SetLatency(Region::kDatacenter, Region::kInternet, sim::Msec(33), 0);
+  network.SetLatency(Region::kDatacenter, Region::kDatacenter, sim::Usec(250), 0);
+  Packet p = PacketAB();
+  p.dst = ip_c;
+  network.Send(p);
+  simulator.Run();
+  EXPECT_EQ(simulator.now(), sim::Msec(33));
+}
+
+TEST_F(NetworkTest, DownNodeBlackholes) {
+  network.SetNodeDown(ip_b, true);
+  network.Send(PacketAB());
+  simulator.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(network.stats().dropped_down, 1u);
+  network.SetNodeDown(ip_b, false);
+  network.Send(PacketAB());
+  simulator.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, UnroutableDropsSilently) {
+  Packet p = PacketAB();
+  p.dst = MakeIp(99, 99, 99, 99);
+  network.Send(p);
+  simulator.Run();
+  EXPECT_EQ(network.stats().dropped_unroutable, 1u);
+}
+
+TEST_F(NetworkTest, LossRateDropsApproximately) {
+  network.set_loss_rate(0.5);
+  for (int i = 0; i < 2000; ++i) {
+    network.Send(PacketAB());
+  }
+  simulator.Run();
+  EXPECT_NEAR(static_cast<double>(b.received.size()), 1000, 120);
+}
+
+TEST_F(NetworkTest, EncapRoutesOnOuterDestination) {
+  Packet p = PacketAB();
+  p.encap_dst = ip_a;  // Inner dst is b, outer says deliver to a.
+  network.Send(p);
+  simulator.Run();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(a.received[0].dst, ip_b);  // Inner header preserved.
+}
+
+TEST_F(NetworkTest, DetachMakesUnroutable) {
+  network.Detach(ip_b);
+  EXPECT_FALSE(network.IsAttached(ip_b));
+  network.Send(PacketAB());
+  simulator.Run();
+  EXPECT_EQ(network.stats().dropped_unroutable, 1u);
+}
+
+TEST_F(NetworkTest, TraceIdsAssignedMonotonically) {
+  network.Send(PacketAB());
+  network.Send(PacketAB());
+  simulator.Run();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_LT(b.received[0].trace_id, b.received[1].trace_id);
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,149 @@
+// Scenario DSL tests: parsing, error reporting, and end-to-end runs.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/scenario.h"
+
+namespace workload {
+namespace {
+
+TEST(ParseDuration, Units) {
+  EXPECT_EQ(ParseDuration("250ms"), sim::Msec(250));
+  EXPECT_EQ(ParseDuration("5s"), sim::Sec(5));
+  EXPECT_EQ(ParseDuration("2m"), sim::Minutes(2));
+  EXPECT_EQ(ParseDuration("7us"), sim::Usec(7));
+  EXPECT_EQ(ParseDuration("9"), sim::Sec(9));
+  EXPECT_FALSE(ParseDuration("ms").has_value());
+  EXPECT_FALSE(ParseDuration("5h").has_value());
+  EXPECT_FALSE(ParseDuration("abc").has_value());
+}
+
+TEST(ParseIp, DottedQuads) {
+  EXPECT_EQ(ParseIp("10.200.0.1"), net::MakeIp(10, 200, 0, 1));
+  EXPECT_EQ(ParseIp("0.0.0.0"), 0u);
+  EXPECT_EQ(ParseIp("255.255.255.255"), 0xffffffffu);
+  EXPECT_FALSE(ParseIp("10.0.0").has_value());
+  EXPECT_FALSE(ParseIp("10.0.0.0.1").has_value());
+  EXPECT_FALSE(ParseIp("10.0.0.256").has_value());
+  EXPECT_FALSE(ParseIp("ten.0.0.1").has_value());
+}
+
+TEST(ParseScenario, MinimalScenario) {
+  std::string error;
+  auto sc = ParseScenario(R"(
+    # comment
+    seed 9
+    instances 3
+    backends 4
+    vip 10.200.0.1
+    rule 10.200.0.1 name=r priority=1 url=* split=10.3.0.1,10.3.0.2
+    at 0ms load 10.200.0.1 rate 50 duration 2s
+    at 1s fail-instance 0
+  )", &error);
+  ASSERT_TRUE(sc.has_value()) << error;
+  EXPECT_EQ(sc->testbed.seed, 9u);
+  EXPECT_EQ(sc->testbed.yoda_instances, 3);
+  EXPECT_EQ(sc->testbed.backends, 4);
+  ASSERT_EQ(sc->vips.size(), 1u);
+  EXPECT_EQ(sc->vips[0].vip_rules.size(), 1u);
+  ASSERT_EQ(sc->events.size(), 2u);
+  EXPECT_EQ(sc->events[1].action, "fail-instance");
+  EXPECT_EQ(sc->events[1].at, sim::Sec(1));
+}
+
+TEST(ParseScenario, TlsDirective) {
+  std::string error;
+  auto sc = ParseScenario(R"(
+    vip 10.200.0.1
+    rule 10.200.0.1 name=r split=10.3.0.1
+    tls 10.200.0.1 cert MY-CERT key 99
+  )", &error);
+  ASSERT_TRUE(sc.has_value()) << error;
+  ASSERT_TRUE(sc->vips[0].tls_cert.has_value());
+  EXPECT_EQ(*sc->vips[0].tls_cert, "MY-CERT");
+  EXPECT_EQ(sc->vips[0].tls_key, 99u);
+}
+
+TEST(ParseScenario, ErrorsCarryLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(ParseScenario("vip 10.0.0.1\nbogus-directive 1\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseScenario("rule 10.0.0.1 name=r split=10.3.0.1\n", &error).has_value());
+  EXPECT_NE(error.find("undefined vip"), std::string::npos);
+  EXPECT_FALSE(ParseScenario("vip not-an-ip\n", &error).has_value());
+  EXPECT_FALSE(ParseScenario("vip 10.0.0.1\nrule 10.0.0.1 nonsense\n", &error).has_value());
+  EXPECT_FALSE(ParseScenario("instances abc\n", &error).has_value());
+  EXPECT_FALSE(ParseScenario("# only comments\n", &error).has_value());  // No vip.
+}
+
+TEST(RunScenario, PlainLoadCompletes) {
+  auto sc = ParseScenario(R"(
+    seed 5
+    instances 2
+    backends 3
+    vip 10.200.0.1
+    rule 10.200.0.1 name=r priority=1 url=* split=10.3.0.1,10.3.0.2,10.3.0.3
+    at 0ms load 10.200.0.1 rate 40 duration 2s
+  )");
+  ASSERT_TRUE(sc.has_value());
+  ScenarioReport report = RunScenario(*sc);
+  EXPECT_GT(report.requests_ok, 50u);
+  EXPECT_EQ(report.requests_failed, 0u);
+  EXPECT_GT(report.latency_ms.Percentile(50), 50.0);
+}
+
+TEST(RunScenario, FailureEventIsTransparent) {
+  auto sc = ParseScenario(R"(
+    seed 6
+    instances 4
+    backends 4
+    vip 10.200.0.1
+    rule 10.200.0.1 name=r priority=1 url=* split=10.3.0.1,10.3.0.2
+    at 0ms load 10.200.0.1 rate 60 duration 4s
+    at 1s fail-instance 0
+  )");
+  ASSERT_TRUE(sc.has_value());
+  ScenarioReport report = RunScenario(*sc);
+  EXPECT_EQ(report.requests_failed, 0u);
+  EXPECT_EQ(report.failures_detected, 1);
+  EXPECT_FALSE(report.controller_events.empty());
+}
+
+TEST(RunScenario, TlsLoadWorks) {
+  auto sc = ParseScenario(R"(
+    seed 8
+    instances 2
+    backends 3
+    vip 10.200.0.1
+    rule 10.200.0.1 name=r priority=1 url=* split=10.3.0.1,10.3.0.2
+    tls 10.200.0.1 cert TESTCERT key 77
+    at 0ms load 10.200.0.1 rate 30 duration 2s tls
+  )");
+  ASSERT_TRUE(sc.has_value());
+  ScenarioReport report = RunScenario(*sc);
+  EXPECT_GT(report.requests_ok, 30u);
+  EXPECT_EQ(report.requests_failed, 0u);
+}
+
+TEST(RunScenario, UpdateRulesMidRun) {
+  auto sc = ParseScenario(R"(
+    seed 10
+    instances 2
+    backends 3
+    vip 10.200.0.1
+    rule 10.200.0.1 name=r priority=1 url=* split=10.3.0.1
+    at 0ms load 10.200.0.1 rate 40 duration 3s
+    at 1s update-rules 10.200.0.1 name=r2 priority=2 url=* split=10.3.0.2
+  )");
+  ASSERT_TRUE(sc.has_value());
+  ScenarioReport report = RunScenario(*sc);
+  EXPECT_EQ(report.requests_failed, 0u);
+  bool updated = false;
+  for (const auto& ev : report.controller_events) {
+    updated = updated || ev.what.find("update rules") != std::string::npos;
+  }
+  EXPECT_TRUE(updated);
+}
+
+}  // namespace
+}  // namespace workload

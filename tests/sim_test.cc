@@ -1,0 +1,363 @@
+// Unit tests for the discrete-event simulator core, RNG and metrics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(Usec(1), 1'000);
+  EXPECT_EQ(Msec(1), 1'000'000);
+  EXPECT_EQ(Sec(1), 1'000'000'000);
+  EXPECT_EQ(Minutes(2), Sec(120));
+  EXPECT_EQ(Hours(1), Minutes(60));
+  EXPECT_DOUBLE_EQ(ToSeconds(Sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Msec(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMicros(Usec(9)), 9.0);
+  EXPECT_EQ(FromSeconds(1.5), Msec(1500));
+  EXPECT_EQ(FromMillis(2.5), Usec(2500));
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(Msec(30), [&order]() { order.push_back(3); });
+  sim.At(Msec(10), [&order]() { order.push_back(1); });
+  sim.At(Msec(20), [&order]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Msec(30));
+}
+
+TEST(Simulator, EqualTimestampsFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(Msec(5), [&order, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  Time fired_at = -1;
+  sim.At(Msec(10), [&sim, &fired_at]() {
+    sim.After(Msec(5), [&sim, &fired_at]() { fired_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, Msec(15));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.After(-Msec(5), [&fired]() { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  TimerHandle h = sim.At(Msec(10), [&fired]() { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireIsSafe) {
+  Simulator sim;
+  TimerHandle h = sim.At(Msec(1), []() {});
+  sim.Run();
+  EXPECT_FALSE(h.pending());
+  h.Cancel();  // No crash.
+}
+
+TEST(Simulator, DefaultHandleIsSafe) {
+  TimerHandle h;
+  EXPECT_FALSE(h.pending());
+  h.Cancel();
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(Msec(10), [&fired]() { ++fired; });
+  sim.At(Msec(50), [&fired]() { ++fired; });
+  sim.RunUntil(Msec(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Msec(20));
+  sim.RunUntil(Msec(60));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.At(Msec(20), [&fired]() { fired = true; });
+  sim.RunUntil(Msec(20));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepExecutesBoundedEvents) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.At(Msec(i), [&fired]() { ++fired; });
+  }
+  EXPECT_EQ(sim.Step(2), 2);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Step(10), 3);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.Step(), 0);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) {
+      sim.After(Msec(1), recurse);
+    }
+  };
+  sim.After(Msec(1), recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+TEST(Simulator, DaemonEventsDoNotKeepRunAlive) {
+  Simulator sim;
+  int daemon_ticks = 0;
+  // A self-rescheduling daemon (like the controller's health monitor).
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [&sim, &daemon_ticks, loop]() {
+    ++daemon_ticks;
+    sim.After(Msec(100), *loop, /*daemon=*/true);
+  };
+  sim.After(Msec(100), *loop, /*daemon=*/true);
+  bool work_done = false;
+  sim.At(Msec(450), [&work_done]() { work_done = true; });
+  sim.Run();  // Must terminate despite the immortal daemon.
+  EXPECT_TRUE(work_done);
+  EXPECT_EQ(daemon_ticks, 4);  // 100, 200, 300, 400 ms fired before 450 ms.
+  EXPECT_EQ(sim.now(), Msec(450));
+}
+
+TEST(Simulator, RunUntilExecutesDaemonEventsInWindow) {
+  Simulator sim;
+  int ticks = 0;
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [&sim, &ticks, loop]() {
+    ++ticks;
+    sim.After(Msec(100), *loop, /*daemon=*/true);
+  };
+  sim.After(Msec(100), *loop, /*daemon=*/true);
+  sim.RunUntil(Msec(1000));  // RunUntil drives daemons up to the deadline.
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(sim.now(), Msec(1000));
+}
+
+TEST(Simulator, CancelledNonDaemonEventDoesNotBlockTermination) {
+  Simulator sim;
+  TimerHandle h = sim.At(Msec(10), []() { FAIL() << "cancelled event ran"; });
+  h.Cancel();
+  sim.Run();  // Terminates immediately.
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(3);
+  double total = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    total += rng.Exponential(4.0);
+  }
+  EXPECT_NEAR(total / n, 4.0, 0.1);
+}
+
+TEST(Rng, LogNormalMedianApproximatelyCorrect) {
+  Rng rng(4);
+  std::vector<double> v;
+  for (int i = 0; i < 50'001; ++i) {
+    v.push_back(rng.LogNormalFromMedian(46'000, 1.1));
+  }
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  EXPECT_NEAR(v[v.size() / 2], 46'000, 2'500);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(6);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40'000; ++i) {
+    counts[rng.WeightedIndex(weights)] += 1;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Zipf, MostPopularRankDominates) {
+  Rng rng(7);
+  ZipfDistribution zipf(100, 1.2);
+  int rank0 = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) == 0) {
+      ++rank0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(rank0) / n, zipf.Pmf(0), 0.02);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(50));
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution zipf(50, 0.9);
+  double total = 0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) {
+    total += zipf.Pmf(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Histogram, MeanMinMax) {
+  Histogram h;
+  h.Add(1);
+  h.Add(5);
+  h.Add(3);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.Mean(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(Histogram, PercentilesInterpolate) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(i);
+  }
+  EXPECT_NEAR(h.Percentile(0), 1, 1e-9);
+  EXPECT_NEAR(h.Percentile(100), 100, 1e-9);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(90), 90.1, 0.2);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Histogram h;
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(rng.UniformDouble());
+  }
+  auto cdf = h.Cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.Add(1);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(WindowedRate, ComputesPerSecondRates) {
+  WindowedRate rate(Sec(1));
+  for (int i = 0; i < 10; ++i) {
+    rate.Record(Msec(i * 100));  // 10 events in the first second.
+  }
+  rate.Record(Msec(1500));  // 1 event in the second second.
+  rate.FlushUpTo(Sec(3));
+  ASSERT_GE(rate.Windows().size(), 2u);
+  EXPECT_DOUBLE_EQ(rate.Windows()[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(rate.Windows()[1].second, 1.0);
+  EXPECT_DOUBLE_EQ(rate.Windows()[2].second, 0.0);
+}
+
+TEST(UtilizationTracker, ComputesBusyFraction) {
+  UtilizationTracker t(1.0);
+  t.Reset(0);
+  t.AddBusy(Msec(250));
+  EXPECT_NEAR(t.Utilization(Sec(1)), 0.25, 1e-9);
+}
+
+TEST(UtilizationTracker, MultiCoreCapacityScales) {
+  UtilizationTracker t(4.0);
+  t.Reset(0);
+  t.AddBusy(Sec(2));
+  EXPECT_NEAR(t.Utilization(Sec(1)), 0.5, 1e-9);
+}
+
+TEST(UtilizationTracker, ResetStartsNewWindow) {
+  UtilizationTracker t(1.0);
+  t.AddBusy(Msec(500));
+  t.Reset(Sec(1));
+  EXPECT_NEAR(t.Utilization(Sec(2)), 0.0, 1e-9);
+}
+
+TEST(FormatDouble, Formats) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,357 @@
+// TcpEndpoint state-machine tests: two endpoints talking across the
+// simulated fabric, including loss, reordering-by-jitter, teardown and abort.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/net/network.h"
+#include "src/net/tcp_endpoint.h"
+
+namespace net {
+namespace {
+
+class EndpointNode : public Node {
+ public:
+  void HandlePacket(const Packet& p) override {
+    if (ep != nullptr) {
+      ep->HandlePacket(p);
+    }
+  }
+  TcpEndpoint* ep = nullptr;
+};
+
+class TcpTest : public ::testing::Test {
+ protected:
+  static constexpr IpAddr kClientIp = MakeIp(10, 0, 0, 1);
+  static constexpr IpAddr kServerIp = MakeIp(10, 0, 0, 2);
+
+  sim::Simulator simulator;
+  Network network{&simulator, 17};
+  EndpointNode client_node, server_node;
+  std::unique_ptr<TcpEndpoint> client, server;
+  std::string client_received, server_received;
+  bool client_connected = false, server_connected = false;
+  bool client_closed = false, server_closed = false;
+  bool client_reset = false, client_failed = false;
+
+  void SetUp() override {
+    network.Attach(kClientIp, &client_node);
+    network.Attach(kServerIp, &server_node);
+    network.SetLatency(Region::kDatacenter, Region::kDatacenter, sim::Msec(1), 0);
+
+    TcpConfig cfg;
+    client = std::make_unique<TcpEndpoint>(
+        &simulator, [this](Packet p) { network.Send(std::move(p)); }, cfg);
+    server = std::make_unique<TcpEndpoint>(
+        &simulator, [this](Packet p) { network.Send(std::move(p)); }, cfg);
+    client_node.ep = client.get();
+    server_node.ep = server.get();
+
+    client->set_on_data([this](std::string_view d) { client_received.append(d); });
+    server->set_on_data([this](std::string_view d) { server_received.append(d); });
+    client->set_on_connected([this]() { client_connected = true; });
+    server->set_on_connected([this]() { server_connected = true; });
+    client->set_on_closed([this]() { client_closed = true; });
+    server->set_on_closed([this]() { server_closed = true; });
+    client->set_on_reset([this]() { client_reset = true; });
+    client->set_on_failed([this]() { client_failed = true; });
+
+    // Server adopts the first SYN it sees.
+    server_node.ep = nullptr;
+    server_syn_hook_.ep = server.get();
+    network.Attach(kServerIp, &server_syn_hook_);
+  }
+
+  // Wrapper node that passively opens on SYN, then delegates.
+  class AcceptingNode : public Node {
+   public:
+    void HandlePacket(const Packet& p) override {
+      if (p.syn() && !p.ack_flag() && ep->state() == TcpState::kClosed) {
+        ep->AcceptFrom(p, 777'000);
+        return;
+      }
+      ep->HandlePacket(p);
+    }
+    TcpEndpoint* ep = nullptr;
+  };
+  AcceptingNode server_syn_hook_;
+
+  void Connect() { client->Connect(kClientIp, 5555, kServerIp, 80, 111'000); }
+};
+
+TEST_F(TcpTest, ThreeWayHandshake) {
+  Connect();
+  simulator.Run();
+  EXPECT_TRUE(client_connected);
+  EXPECT_TRUE(server_connected);
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+  EXPECT_EQ(server->state(), TcpState::kEstablished);
+  EXPECT_EQ(client->snd_isn(), 111'000u);
+  EXPECT_EQ(client->rcv_isn(), 777'000u);
+}
+
+TEST_F(TcpTest, ClientToServerData) {
+  Connect();
+  client->Send("hello tcp");
+  simulator.Run();
+  EXPECT_EQ(server_received, "hello tcp");
+}
+
+TEST_F(TcpTest, ServerToClientDataAfterConnect) {
+  server->set_on_connected([this]() { server->Send("welcome"); });
+  Connect();
+  simulator.Run();
+  EXPECT_EQ(client_received, "welcome");
+}
+
+TEST_F(TcpTest, BidirectionalEcho) {
+  server->set_on_data([this](std::string_view d) {
+    server_received.append(d);
+    server->Send("echo:" + std::string(d));
+  });
+  Connect();
+  client->Send("ping");
+  simulator.Run();
+  EXPECT_EQ(server_received, "ping");
+  EXPECT_EQ(client_received, "echo:ping");
+}
+
+TEST_F(TcpTest, LargeTransferSegmentsAndReassembles) {
+  Connect();
+  std::string big(100'000, 'a');
+  for (std::size_t i = 0; i < big.size(); i += 1000) {
+    big[i] = static_cast<char>('A' + (i / 1000) % 26);
+  }
+  client->Send(big);
+  simulator.Run();
+  EXPECT_EQ(server_received, big);
+  EXPECT_GT(client->stats().segments_sent, big.size() / 1400);
+}
+
+TEST_F(TcpTest, SendBeforeEstablishedIsBuffered) {
+  Connect();
+  client->Send("early");  // Still in SYN_SENT.
+  simulator.Run();
+  EXPECT_EQ(server_received, "early");
+}
+
+TEST_F(TcpTest, SurvivesHeavyLoss) {
+  network.set_loss_rate(0.15);
+  Connect();
+  std::string payload(30'000, 'z');
+  client->Send(payload);
+  simulator.Run();
+  EXPECT_EQ(server_received, payload);
+  EXPECT_GT(client->stats().retransmits, 0u);
+}
+
+TEST_F(TcpTest, GracefulCloseFromClient) {
+  Connect();
+  client->Send("bye");
+  simulator.RunUntil(sim::Msec(100));
+  client->Close();
+  simulator.Run();
+  EXPECT_EQ(server_received, "bye");
+  // Server saw the FIN and closed; client cycled through TIME_WAIT.
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(server->state(), TcpState::kCloseWait);
+  server->Close();
+  simulator.Run();
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpTest, CloseWithPendingDataDrainsFirst) {
+  Connect();
+  std::string payload(20'000, 'q');
+  client->Send(payload);
+  client->Close();  // FIN must trail the data.
+  simulator.Run();
+  EXPECT_EQ(server_received, payload);
+  EXPECT_TRUE(server_closed);
+}
+
+TEST_F(TcpTest, ServerInitiatedClose) {
+  server->set_on_connected([this]() {
+    server->Send("done");
+    server->Close();
+  });
+  Connect();
+  simulator.Run();
+  EXPECT_EQ(client_received, "done");
+  EXPECT_TRUE(client_closed);
+  client->Close();
+  simulator.Run();
+  EXPECT_EQ(server->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpTest, AbortSendsRst) {
+  Connect();
+  simulator.RunUntil(sim::Msec(50));
+  ASSERT_TRUE(server_connected);
+  server->Abort();
+  simulator.Run();
+  EXPECT_TRUE(client_reset);
+  EXPECT_EQ(client->state(), TcpState::kReset);
+}
+
+TEST_F(TcpTest, SynRetransmitsWhenServerUnreachable) {
+  network.SetNodeDown(kServerIp, true);
+  Connect();
+  simulator.RunUntil(sim::Sec(4));
+  EXPECT_EQ(client->state(), TcpState::kSynSent);
+  EXPECT_GT(client->stats().retransmits, 0u);
+  // Recover before retries exhaust: the connection completes.
+  network.SetNodeDown(kServerIp, false);
+  simulator.Run();
+  EXPECT_TRUE(client_connected);
+}
+
+TEST_F(TcpTest, ConnectFailsAfterRetriesExhaust) {
+  network.SetNodeDown(kServerIp, true);
+  Connect();
+  simulator.Run();
+  EXPECT_TRUE(client_failed);
+  EXPECT_EQ(client->state(), TcpState::kReset);
+}
+
+TEST_F(TcpTest, DataRetransmitGivesUpEventually) {
+  Connect();
+  simulator.RunUntil(sim::Msec(50));
+  ASSERT_TRUE(client_connected);
+  network.SetNodeDown(kServerIp, true);
+  client->Send("lost into the void");
+  simulator.Run();
+  EXPECT_TRUE(client_failed);
+}
+
+TEST_F(TcpTest, RetransmissionTimelineFollows300msBackoff) {
+  // Fig 12(b): first data retransmit ~300 ms after the drop, next ~600 ms.
+  Connect();
+  simulator.RunUntil(sim::Msec(50));
+  network.SetNodeDown(kServerIp, true);
+  const sim::Time sent_at = simulator.now();
+  std::vector<sim::Time> tx_times;
+  network.set_tap([&tx_times](sim::Time, const Packet&) {});
+  client->Send("x");
+  simulator.RunUntil(sent_at + sim::Msec(1000));
+  // stats.timeouts counts RTO fires: ~2 within the first second (300+600).
+  EXPECT_GE(client->stats().timeouts, 2u);
+  EXPECT_LE(client->stats().timeouts, 3u);
+}
+
+TEST_F(TcpTest, DuplicateSynAckIsReAcked) {
+  Connect();
+  simulator.RunUntil(sim::Msec(100));
+  ASSERT_TRUE(client_connected);
+  // Replay the server's SYN-ACK at the client.
+  Packet dup;
+  dup.src = kServerIp;
+  dup.dst = kClientIp;
+  dup.sport = 80;
+  dup.dport = 5555;
+  dup.seq = 777'000;
+  dup.ack = 111'001;
+  dup.flags = kSyn | kAck;
+  client->HandlePacket(dup);
+  simulator.Run();
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+}
+
+TEST_F(TcpTest, StatsCountBytes) {
+  Connect();
+  client->Send("12345");
+  simulator.Run();
+  EXPECT_EQ(server->stats().bytes_delivered, 5u);
+  EXPECT_GE(client->stats().bytes_sent, 5u);
+}
+
+TEST_F(TcpTest, StateNamesAreStable) {
+  EXPECT_STREQ(TcpStateName(TcpState::kClosed), "CLOSED");
+  EXPECT_STREQ(TcpStateName(TcpState::kEstablished), "ESTABLISHED");
+  EXPECT_STREQ(TcpStateName(TcpState::kTimeWait), "TIME_WAIT");
+  EXPECT_STREQ(TcpStateName(TcpState::kReset), "RESET");
+}
+
+// Jitter shuffles delivery order; reassembly must still produce the stream.
+TEST_F(TcpTest, ReorderingToleratedViaJitter) {
+  network.SetLatency(Region::kDatacenter, Region::kDatacenter, sim::Usec(100), sim::Usec(900));
+  Connect();
+  std::string payload;
+  for (int i = 0; i < 5000; ++i) {
+    payload += static_cast<char>('a' + i % 26);
+  }
+  client->Send(payload);
+  simulator.Run();
+  EXPECT_EQ(server_received, payload);
+}
+
+// Property sweep: the byte stream survives any loss rate / seed combination.
+struct LossCase {
+  double loss;
+  int seed;
+};
+
+class TcpLossSweep : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(TcpLossSweep, StreamIntegrityUnderLoss) {
+  const LossCase c = GetParam();
+  sim::Simulator simulator;
+  Network network(&simulator, static_cast<std::uint64_t>(c.seed));
+  network.SetLatency(Region::kDatacenter, Region::kDatacenter, sim::Msec(1), sim::Usec(500));
+  network.set_loss_rate(c.loss);
+
+  EndpointNode a_node, b_node;
+  network.Attach(MakeIp(10, 0, 0, 1), &a_node);
+  TcpEndpoint a(&simulator, [&network](Packet p) { network.Send(std::move(p)); }, {});
+  TcpEndpoint b(&simulator, [&network](Packet p) { network.Send(std::move(p)); }, {});
+  a_node.ep = &a;
+  std::string received;
+  b.set_on_data([&received](std::string_view d) { received.append(d); });
+  // Accept-on-SYN shim.
+  class Acceptor : public Node {
+   public:
+    void HandlePacket(const Packet& p) override {
+      if (p.syn() && !p.ack_flag() && ep->state() == TcpState::kClosed) {
+        ep->AcceptFrom(p, 1'000'000);
+        return;
+      }
+      ep->HandlePacket(p);
+    }
+    TcpEndpoint* ep = nullptr;
+  } acceptor;
+  acceptor.ep = &b;
+  network.Attach(MakeIp(10, 0, 0, 2), &acceptor);
+
+  a.Connect(MakeIp(10, 0, 0, 1), 999, MakeIp(10, 0, 0, 2), 80, 5'000);
+  std::string payload;
+  sim::Rng rng(static_cast<std::uint64_t>(c.seed) + 1);
+  for (int i = 0; i < 40'000; ++i) {
+    payload.push_back(static_cast<char>('a' + rng.UniformInt(0, 25)));
+  }
+  a.Send(payload);
+  simulator.Run();
+  EXPECT_EQ(received, payload) << "loss=" << c.loss << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TcpLossSweep,
+                         ::testing::Values(LossCase{0.01, 1}, LossCase{0.05, 2},
+                                           LossCase{0.10, 3}, LossCase{0.20, 4},
+                                           LossCase{0.30, 5}, LossCase{0.10, 6},
+                                           LossCase{0.10, 7}, LossCase{0.05, 8}));
+
+TEST_F(TcpTest, FastRetransmitOnDupAcks) {
+  // Lossy enough to trigger dup-acks on a long transfer.
+  network.set_loss_rate(0.03);
+  Connect();
+  std::string payload(200'000, 'f');
+  client->Send(payload);
+  simulator.Run();
+  EXPECT_EQ(server_received, payload);
+  EXPECT_GT(client->stats().fast_retransmits + client->stats().timeouts, 0u);
+}
+
+}  // namespace
+}  // namespace net
