@@ -155,6 +155,9 @@ void SnatPinningStudy() {
     std::printf("%-10s %-22llu %-22llu (%d/%d ok)\n", enabled != 0 ? "on" : "off",
                 static_cast<unsigned long long>(tb.store->stats().lookups),
                 static_cast<unsigned long long>(takeovers), ok, done);
+    if (enabled == 0) {
+      tb.PrintMetricsSnapshot("metrics registry snapshot (SNAT-off run)");
+    }
   }
   std::printf("(without the pin the server's SYN-ACK sprays to instances that cannot yet\n"
               " find the flow — the reverse key only exists after storage-b, which the\n"

@@ -11,13 +11,14 @@
 
 #include "src/kv/kv_server.h"
 #include "src/kv/replicating_client.h"
+#include "src/obs/registry.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 
 namespace {
 
 double RunAndMeasureCpu(int replicas, double ops_per_server, int servers_n,
-                        sim::Duration duration) {
+                        sim::Duration duration, obs::Registry* registry = nullptr) {
   sim::Simulator simulator;
   std::vector<std::unique_ptr<kv::KvServer>> servers;
   for (int i = 0; i < servers_n; ++i) {
@@ -29,6 +30,7 @@ double RunAndMeasureCpu(int replicas, double ops_per_server, int servers_n,
   }
   kv::ReplicatingClientConfig cfg;
   cfg.replicas = replicas;
+  cfg.registry = registry;
   kv::ReplicatingClient client(&simulator, ptrs, cfg);
   sim::Rng rng(99);
 
@@ -65,9 +67,11 @@ int main() {
 
   std::printf("%-18s %-16s %-16s %-10s\n", "client ops/s/srv", "cpu%% default",
               "cpu%% 2-replica", "ratio");
+  obs::Registry metrics;  // Captures the 2-replica run at the top rate.
   for (double rate : {4'000.0, 20'000.0, 40'000.0}) {
     const double one = RunAndMeasureCpu(1, rate, kServers, kDuration);
-    const double two = RunAndMeasureCpu(2, rate, kServers, kDuration);
+    const double two = RunAndMeasureCpu(2, rate, kServers, kDuration,
+                                        rate == 40'000.0 ? &metrics : nullptr);
     std::printf("%-18.0f %-16.2f %-16.2f %-10.2f\n", rate, one, two, two / one);
   }
 
@@ -79,5 +83,7 @@ int main() {
   std::printf("%-44s %-10s %-10s\n", "persistence CPU ratio", "~2x", "see table");
   std::printf("%-44s %-10s %-10.1f\n", "Yoda instances per TCPStore server",
               "6.6", 80'000.0 / 12'000.0);
+  std::printf("\n--- metrics registry snapshot (2-replica run at 40K ops/s/server) ---\n%s",
+              metrics.TextTable().c_str());
   return 0;
 }

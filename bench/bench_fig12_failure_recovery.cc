@@ -207,6 +207,7 @@ void PacketTimelineSection() {
   }
   std::printf("(expected shape: gap at the failure; server retransmits ~+300 ms to the dead\n"
               " instance; ~+600 ms retransmit lands on a survivor via TCPStore; stream resumes)\n");
+  tb.PrintMetricsSnapshot("metrics registry snapshot (timeline run)");
 }
 
 }  // namespace

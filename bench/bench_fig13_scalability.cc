@@ -115,5 +115,6 @@ int main() {
   std::printf("%-44s %-12s %llu/%llu\n", "broken flows during scaling", "0",
               static_cast<unsigned long long>(failed),
               static_cast<unsigned long long>(ok + failed));
+  tb.PrintMetricsSnapshot();
   return 0;
 }

@@ -122,5 +122,6 @@ int main() {
   std::printf("%-40s %-10s %llu/%llu\n", "broken flows across 3 policy updates", "0",
               static_cast<unsigned long long>(failed),
               static_cast<unsigned long long>(ok + failed));
+  tb.PrintMetricsSnapshot();
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "src/assign/greedy_solver.h"
 #include "src/assign/update_planner.h"
 #include "src/assign/validator.h"
+#include "src/obs/registry.h"
 #include "src/sim/random.h"
 #include "src/workload/trace.h"
 
@@ -43,6 +44,15 @@ int main() {
   workload::BinProblemConfig bin_cfg;  // R_y = 2K rules (5 ms target, Fig 6).
   std::printf("trace: %zu VIPs, %d rules total, T_y=1.0, R_y=%d, n_v=4*t_v/T_y, delta=10%%\n\n",
               trace.vips.size(), trace.TotalRules(), bin_cfg.rule_capacity);
+
+  // Local registry so this bench dumps the same uniform snapshot as the
+  // testbed-backed ones (the solver has no simulator to report into).
+  obs::Registry metrics;
+  obs::Counter& rounds_ctr = metrics.GetCounter("assign.rounds");
+  obs::Counter& infeasible_ctr = metrics.GetCounter("assign.infeasible_rounds");
+  sim::Histogram& solve_ms_hist = metrics.GetHistogram("assign.solve_ms");
+  sim::Histogram& migrated_hist =
+      metrics.GetHistogram("assign.migrated_pct", obs::Labels{{"mode", "limit"}});
 
   assign::GreedySolver solver;
   assign::Assignment prev_nolimit;
@@ -79,8 +89,11 @@ int main() {
     auto limit = solver.Solve(p, limit_opts);
     const auto t1 = std::chrono::steady_clock::now();
     solve_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    rounds_ctr.Inc();
+    solve_ms_hist.Add(solve_ms.back());
 
     if (!no_limit.feasible || !limit.feasible) {
+      infeasible_ctr.Inc();
       std::printf("%-6zu INFEASIBLE (%s)\n", bin,
                   (no_limit.feasible ? limit.note : no_limit.note).c_str());
       continue;
@@ -128,6 +141,7 @@ int main() {
       overload_limit_pct.push_back(ovl_lim);
       migrated_nolimit_pct.push_back(mig_nolim);
       migrated_limit_pct.push_back(mig_lim);
+      migrated_hist.Add(mig_lim);
     }
 
     if (bin % (step * 4) == 0) {
@@ -159,5 +173,6 @@ int main() {
               Median(migrated_limit_pct));
   std::printf("%-52s %-14s %-14.1f\n", "solver time per round (ms)", "3920 (CPLEX)",
               Median(solve_ms));
+  std::printf("\n--- metrics registry snapshot ---\n%s", metrics.TextTable().c_str());
   return 0;
 }

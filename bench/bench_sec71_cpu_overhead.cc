@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/workload/browser_client.h"
@@ -18,6 +19,7 @@ namespace {
 struct CpuRun {
   double cpu_pct = 0;
   std::uint64_t completed = 0;
+  std::string metrics_table;  // Registry snapshot of the run's testbed.
 };
 
 CpuRun Run(bool use_yoda, double rate, std::size_t object_size, sim::Duration duration) {
@@ -74,6 +76,7 @@ CpuRun Run(bool use_yoda, double rate, std::size_t object_size, sim::Duration du
   out.completed = completed;
   out.cpu_pct = 100.0 * (use_yoda ? tb.instances[0]->cpu().Utilization(duration)
                                   : tb.proxies[0]->cpu().Utilization(duration));
+  out.metrics_table = tb.metrics.TextTable();
   return out;
 }
 
@@ -91,11 +94,13 @@ int main() {
     double rate;
     std::size_t size;
   };
+  std::string last_yoda_table;
   for (const Case& c : {Case{"small (10 KB), 300 r/s", 300, 10'000},
                         Case{"small (10 KB), 600 r/s", 600, 10'000},
                         Case{"large (300 KB), 40 r/s", 40, 300'000}}) {
     CpuRun yoda = Run(true, c.rate, c.size, kDuration);
     CpuRun haproxy = Run(false, c.rate, c.size, kDuration);
+    last_yoda_table = std::move(yoda.metrics_table);
     std::printf("%-26s %-12.1f %-12.1f %-8.2f   (ok: %llu/%llu)\n", c.name, yoda.cpu_pct,
                 haproxy.cpu_pct, yoda.cpu_pct / haproxy.cpu_pct,
                 static_cast<unsigned long long>(yoda.completed),
@@ -103,5 +108,7 @@ int main() {
   }
   std::printf("\npaper ratio: ~2.2x on small requests (user/kernel copies); the Memcached\n");
   std::printf("client is negligible, so an in-kernel Yoda is projected at HAProxy's CPU.\n");
+  std::printf("\n--- metrics registry snapshot (large-flow Yoda run) ---\n%s",
+              last_yoda_table.c_str());
   return 0;
 }

@@ -28,6 +28,7 @@ struct Outcome {
   bool reset = false;
   double latency_s = 0;
   double baseline_s = 0;
+  std::string metrics_table;  // Registry snapshot of the site's testbed.
 };
 
 Outcome RunSite(const SiteProfile& site) {
@@ -57,6 +58,7 @@ Outcome RunSite(const SiteProfile& site) {
                              });
     tb.sim.Run();
     if (!done) {
+      out.metrics_table = tb.metrics.TextTable();
       return out;
     }
   }
@@ -96,12 +98,14 @@ Outcome RunSite(const SiteProfile& site) {
   }
   tb.sim.Run();
   if (!done) {
+    out.metrics_table = tb.metrics.TextTable();
     return out;
   }
   out.ok = result.ok;
   out.timed_out = result.timed_out;
   out.reset = result.reset;
   out.latency_s = sim::ToSeconds(result.latency);
+  out.metrics_table = tb.metrics.TextTable();
   return out;
 }
 
@@ -123,8 +127,10 @@ int main() {
 
   std::printf("%-16s %-18s %-20s %-14s %-12s\n", "website", "paper impact",
               "measured impact", "load time (s)", "baseline (s)");
+  std::string last_table;
   for (const SiteProfile& site : sites) {
     Outcome out = RunSite(site);
+    last_table = std::move(out.metrics_table);
     std::string impact;
     if (out.reset) {
       impact = "session reset";
@@ -141,5 +147,6 @@ int main() {
   std::printf("\nMechanism check: page sites hang for the full browser HTTP timeout\n");
   std::printf("(blackholed proxy); session sites see an immediate RST from the\n");
   std::printf("restarted, state-less proxy process.\n");
+  std::printf("\n--- metrics registry snapshot (last site's run) ---\n%s", last_table.c_str());
   return 0;
 }

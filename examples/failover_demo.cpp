@@ -79,5 +79,6 @@ int main() {
   std::printf("TCPStore takeovers: %llu client-side, %llu server-side\n",
               static_cast<unsigned long long>(client_takeovers),
               static_cast<unsigned long long>(server_takeovers));
+  tb.PrintMetricsSnapshot();
   return broken == 0 ? 0 : 1;
 }

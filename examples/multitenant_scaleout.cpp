@@ -17,6 +17,7 @@
 #include "src/assign/greedy_solver.h"
 #include "src/assign/update_planner.h"
 #include "src/assign/validator.h"
+#include "src/obs/registry.h"
 #include "src/sim/random.h"
 #include "src/workload/trace.h"
 
@@ -35,6 +36,12 @@ int main() {
   for (const auto& vip : trace.vips) {
     standalone_instances += std::ceil(vip.MaxRate() / bcfg.traffic_capacity);
   }
+
+  obs::Registry metrics;
+  obs::Counter& rounds_ctr = metrics.GetCounter("assign.rounds");
+  sim::Histogram& instances_hist = metrics.GetHistogram("assign.instances_used");
+  sim::Histogram& migrated_hist =
+      metrics.GetHistogram("assign.migrated_pct", obs::Labels{{"mode", "limit"}});
 
   assign::GreedySolver solver;
   assign::Assignment prev;
@@ -61,8 +68,12 @@ int main() {
       return 1;
     }
     if (have_prev) {
-      migrated_total += assign::MigratedTrafficFraction(p, prev, result.assignment);
+      const double migrated = assign::MigratedTrafficFraction(p, prev, result.assignment);
+      migrated_total += migrated;
+      migrated_hist.Add(100.0 * migrated);
     }
+    rounds_ctr.Inc();
+    instances_hist.Add(result.instances_used);
     yoda_instance_hours += result.instances_used;
     a2a_instance_hours += assign::MinInstancesByTraffic(p);
     prev = std::move(result.assignment);
@@ -87,5 +98,6 @@ int main() {
               standalone_instances / yoda_avg);
   std::printf("%-46s %10.1f%% per round (delta=10%% budget)\n",
               "average flow migration:", 100.0 * migrated_total / std::max(1, rounds - 1));
+  std::printf("\n--- metrics registry snapshot ---\n%s", metrics.TextTable().c_str());
   return 0;
 }

@@ -105,5 +105,6 @@ int main() {
   }
   std::printf("4 requests with cookie sid=alice (one backend should own all 4):\n");
   shares();
+  tb.PrintMetricsSnapshot();
   return 0;
 }

@@ -61,5 +61,6 @@ int main() {
                 static_cast<unsigned long long>(inst->stats().flows_started),
                 static_cast<unsigned long long>(inst->stats().packets_tunneled));
   }
+  tb.PrintMetricsSnapshot();
   return 0;
 }

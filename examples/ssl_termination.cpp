@@ -77,5 +77,6 @@ int main() {
   std::printf("certificate presented: %s\n", result.tls_certificate.c_str());
   std::printf("wire audit: %ld encrypted data packets, %ld plaintext HTTP sightings\n",
               encrypted_payloads, plaintext_sightings);
+  tb.PrintMetricsSnapshot();
   return result.ok && plaintext_sightings == 0 ? 0 : 1;
 }

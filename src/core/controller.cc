@@ -8,9 +8,23 @@ namespace yoda {
 
 Controller::Controller(sim::Simulator* simulator, net::Network* network, l4lb::L4Fabric* fabric,
                        ControllerConfig config)
-    : sim_(simulator), net_(network), fabric_(fabric), cfg_(config) {}
+    : sim_(simulator), net_(network), fabric_(fabric), cfg_(config) {
+  if (cfg_.registry != nullptr) {
+    monitor_ticks_ctr_ = &cfg_.registry->GetCounter("controller.monitor_ticks");
+    detected_failures_ctr_ = &cfg_.registry->GetCounter("controller.detected_failures");
+    rule_updates_ctr_ = &cfg_.registry->GetCounter("controller.rule_updates");
+    pool_updates_ctr_ = &cfg_.registry->GetCounter("controller.pool_updates");
+    spares_activated_ctr_ = &cfg_.registry->GetCounter("controller.spares_activated");
+  }
+}
 
 void Controller::Log(const std::string& what) { events_.push_back({sim_->now(), what}); }
+
+void Controller::SystemEvent(obs::EventType type, std::uint32_t where, std::uint64_t detail) {
+  if (cfg_.recorder != nullptr) {
+    cfg_.recorder->RecordSystem(sim_->now(), type, where, detail);
+  }
+}
 
 void Controller::AddInstance(YodaInstance* instance) {
   active_.push_back(instance);
@@ -49,8 +63,16 @@ void Controller::DefineVip(net::IpAddr vip, net::Port vip_port,
   for (YodaInstance* i : active_) {
     i->InstallVip(vip, vip_port, vip_rules);
   }
+  SystemEvent(obs::EventType::kRuleUpdate, vip, vip_rules.size());
+  if (rule_updates_ctr_ != nullptr) {
+    rule_updates_ctr_->Inc();
+  }
   fabric_->AttachVip(vip);
   fabric_->SetVipPool(vip, ActiveIps());
+  SystemEvent(obs::EventType::kPoolUpdate, vip, active_.size());
+  if (pool_updates_ctr_ != nullptr) {
+    pool_updates_ctr_->Inc();
+  }
   Log("define vip " + net::IpToString(vip) + " (" + std::to_string(vip_rules.size()) +
       " rules)");
 }
@@ -75,6 +97,10 @@ void Controller::UpdateVipRules(net::IpAddr vip, std::vector<rules::Rule> vip_ru
   for (YodaInstance* i : active_) {
     i->InstallVip(vip, it->second.port, vip_rules);
   }
+  SystemEvent(obs::EventType::kRuleUpdate, vip, vip_rules.size());
+  if (rule_updates_ctr_ != nullptr) {
+    rule_updates_ctr_->Inc();
+  }
   Log("update rules for vip " + net::IpToString(vip));
 }
 
@@ -94,6 +120,9 @@ void Controller::Start() {
 }
 
 void Controller::MonitorTick() {
+  if (monitor_ticks_ctr_ != nullptr) {
+    monitor_ticks_ctr_->Inc();
+  }
   // Yoda instances: the monitor's ping is modelled as reachability.
   std::vector<YodaInstance*> failed;
   for (YodaInstance* i : active_) {
@@ -110,6 +139,7 @@ void Controller::MonitorTick() {
     const bool up = !net_->IsDown(b);
     if (backend_up_[b] != up) {
       backend_up_[b] = up;
+      SystemEvent(up ? obs::EventType::kBackendUp : obs::EventType::kBackendDown, b);
       for (YodaInstance* i : active_) {
         i->SetBackendHealth(b, up);
       }
@@ -144,6 +174,10 @@ void Controller::MonitorTick() {
 
 void Controller::HandleInstanceFailure(YodaInstance* instance) {
   ++detected_failures_;
+  if (detected_failures_ctr_ != nullptr) {
+    detected_failures_ctr_->Inc();
+  }
+  SystemEvent(obs::EventType::kInstanceDown, instance->ip());
   Log("yoda instance " + net::IpToString(instance->ip()) + " failed; removed from L4 mappings");
   // Remove from every VIP pool on every mux and clear its SNAT pins: the
   // fabric immediately re-ECMPs its traffic over the survivors.
@@ -157,6 +191,10 @@ void Controller::ActivateSpare() {
   YodaInstance* spare = spares_.back();
   spares_.pop_back();
   AddInstance(spare);
+  SystemEvent(obs::EventType::kSpareActivated, spare->ip());
+  if (spares_activated_ctr_ != nullptr) {
+    spares_activated_ctr_->Inc();
+  }
   Log("activated spare instance " + net::IpToString(spare->ip()));
 }
 
@@ -231,6 +269,10 @@ bool Controller::ApplyManyToMany(const std::map<net::IpAddr, VipDemand>& demand,
     }
     assignment_[vip] = pool;
     fabric_->SetVipPoolStaggered(vip, pool, cfg_.mux_stagger);
+    SystemEvent(obs::EventType::kPoolUpdate, vip, pool.size());
+    if (pool_updates_ctr_ != nullptr) {
+      pool_updates_ctr_->Inc();
+    }
   }
   last_solution_ = std::move(result.assignment);
   last_solution_vips_ = std::move(vip_order);
@@ -314,6 +356,10 @@ void Controller::ReprogramAllPools(bool staggered) {
       fabric_->SetVipPoolStaggered(vip, ips, cfg_.mux_stagger);
     } else {
       fabric_->SetVipPool(vip, ips);
+    }
+    SystemEvent(obs::EventType::kPoolUpdate, vip, ips.size());
+    if (pool_updates_ctr_ != nullptr) {
+      pool_updates_ctr_->Inc();
     }
   }
 }

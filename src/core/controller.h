@@ -41,6 +41,11 @@ struct ControllerConfig {
   // (hysteresis against transient spikes).
   int scale_out_ticks = 1;
   sim::Duration cpu_window = sim::Sec(1);
+  // Observability sinks: control-plane happenings (instance/backend health
+  // flips, rule swaps, pool reprogramming, spare activation) land in the
+  // recorder's system-event log; counters mirror into "controller.*".
+  obs::Registry* registry = nullptr;
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct ControllerEvent {
@@ -111,6 +116,7 @@ class Controller {
 
  private:
   void Log(const std::string& what);
+  void SystemEvent(obs::EventType type, std::uint32_t where, std::uint64_t detail = 0);
   void HandleInstanceFailure(YodaInstance* instance);
   void ActivateSpare();
   std::vector<net::IpAddr> ActiveIps() const;
@@ -137,6 +143,13 @@ class Controller {
   int over_threshold_ticks_ = 0;
   int detected_failures_ = 0;
   std::vector<ControllerEvent> events_;
+
+  // Registry counters (null without a registry in the config).
+  obs::Counter* monitor_ticks_ctr_ = nullptr;
+  obs::Counter* detected_failures_ctr_ = nullptr;
+  obs::Counter* rule_updates_ctr_ = nullptr;
+  obs::Counter* pool_updates_ctr_ = nullptr;
+  obs::Counter* spares_activated_ctr_ = nullptr;
 
   void AssignmentRoundFromCounters();
 

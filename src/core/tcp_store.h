@@ -16,6 +16,9 @@
 
 #include "src/core/flow_state.h"
 #include "src/kv/replicating_client.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
 
 namespace yoda {
 
@@ -32,7 +35,12 @@ class TcpStore {
   using Ack = std::function<void(bool ok)>;
   using Lookup = std::function<void(std::optional<FlowState>)>;
 
-  explicit TcpStore(kv::ReplicatingClient* client) : client_(client) {}
+  // `simulator`/`recorder` enable per-flow storage trace events
+  // (kStorageAWrite*, kStorageBWrite*, kStoreLookup*); `registry` mirrors
+  // the stats struct into "tcpstore.*" counters. All three are optional.
+  explicit TcpStore(kv::ReplicatingClient* client, sim::Simulator* simulator = nullptr,
+                    obs::FlightRecorder* recorder = nullptr,
+                    obs::Registry* registry = nullptr);
   TcpStore(const TcpStore&) = delete;
   TcpStore& operator=(const TcpStore&) = delete;
 
@@ -59,7 +67,24 @@ class TcpStore {
   kv::ReplicatingClient* client() { return client_; }
 
  private:
+  // Registry mirrors of the stats struct (null without a registry).
+  struct StatCounters {
+    obs::Counter* connection_writes = nullptr;
+    obs::Counter* tunneling_writes = nullptr;
+    obs::Counter* lookups = nullptr;
+    obs::Counter* lookup_hits = nullptr;
+    obs::Counter* deletes = nullptr;
+  };
+
+  void Trace(const obs::FlowId& flow, obs::EventType type, std::uint64_t detail = 0);
+  static obs::FlowId FlowIdOf(const FlowState& state) {
+    return obs::FlowId{state.vip, state.vip_port, state.client_ip, state.client_port};
+  }
+
   kv::ReplicatingClient* client_;
+  sim::Simulator* sim_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  StatCounters ctr_;
   TcpStoreStats stats_;
 };
 

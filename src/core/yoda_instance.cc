@@ -24,6 +24,26 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
       rng_(seed),
       cfg_(config),
       cpu_(config.cpu_costs, config.cores) {
+  registry_ = cfg_.registry;
+  if (registry_ == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  recorder_ = cfg_.recorder;
+  const obs::Labels labels{{"instance", obs::FormatIp(cfg_.ip)}};
+  auto counter = [&](const char* name) { return &registry_->GetCounter(name, labels); };
+  ctr_.flows_started = counter("yoda.flows_started");
+  ctr_.flows_completed = counter("yoda.flows_completed");
+  ctr_.takeovers_client_side = counter("yoda.takeovers_client_side");
+  ctr_.takeovers_server_side = counter("yoda.takeovers_server_side");
+  ctr_.takeover_misses = counter("yoda.takeover_misses");
+  ctr_.packets_tunneled = counter("yoda.packets_tunneled");
+  ctr_.reswitches = counter("yoda.reswitches");
+  ctr_.rules_scanned_total = counter("yoda.rules_scanned_total");
+  ctr_.selections = counter("yoda.selections");
+  ctr_.no_backend_resets = counter("yoda.no_backend_resets");
+  ctr_.dropped_unknown_vip = counter("yoda.dropped_unknown_vip");
+  connection_phase_ms_ = &registry_->GetHistogram("yoda.connection_phase_ms", labels);
   net_->Attach(cfg_.ip, this);
   if (cfg_.flow_idle_timeout > 0) {
     auto scan = std::make_shared<std::function<void()>>();
@@ -51,6 +71,42 @@ void YodaInstance::IdleScan() {
 }
 
 YodaInstance::~YodaInstance() = default;
+
+YodaInstanceStats YodaInstance::stats() const {
+  YodaInstanceStats s;
+  s.flows_started = ctr_.flows_started->value();
+  s.flows_completed = ctr_.flows_completed->value();
+  s.takeovers_client_side = ctr_.takeovers_client_side->value();
+  s.takeovers_server_side = ctr_.takeovers_server_side->value();
+  s.takeover_misses = ctr_.takeover_misses->value();
+  s.packets_tunneled = ctr_.packets_tunneled->value();
+  s.reswitches = ctr_.reswitches->value();
+  s.rules_scanned_total = ctr_.rules_scanned_total->value();
+  s.selections = ctr_.selections->value();
+  s.no_backend_resets = ctr_.no_backend_resets->value();
+  s.dropped_unknown_vip = ctr_.dropped_unknown_vip->value();
+  return s;
+}
+
+YodaInstance::VipCounters& YodaInstance::VipCountersFor(net::IpAddr vip) {
+  auto it = vip_counters_.find(vip);
+  if (it == vip_counters_.end()) {
+    const obs::Labels labels{{"instance", obs::FormatIp(cfg_.ip)},
+                             {"vip", obs::FormatIp(vip)}};
+    VipCounters c;
+    c.new_connections = &registry_->GetCounter("yoda.vip.new_connections", labels);
+    c.bytes = &registry_->GetCounter("yoda.vip.bytes", labels);
+    it = vip_counters_.emplace(vip, c).first;
+  }
+  return it->second;
+}
+
+void YodaInstance::Trace(const FlowKey& key, obs::EventType type, std::uint64_t detail) {
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::FlowId{key.vip, key.vip_port, key.client_ip, key.client_port},
+                      sim_->now(), type, cfg_.ip, detail);
+  }
+}
 
 void YodaInstance::InstallVip(net::IpAddr vip, net::Port vip_port,
                               std::vector<rules::Rule> vip_rules) {
@@ -111,7 +167,7 @@ void YodaInstance::Emit(net::Packet p) { net_->Send(std::move(p)); }
 
 void YodaInstance::EmitForwarded(net::Packet p) {
   cpu_.ChargePacket();
-  ++stats_.packets_tunneled;
+  ctr_.packets_tunneled->Inc();
   sim_->After(cfg_.cpu_costs.forward_delay, [this, p = std::move(p)]() mutable {
     if (!failed_) {
       net_->Send(std::move(p));
@@ -121,6 +177,7 @@ void YodaInstance::EmitForwarded(net::Packet p) {
 
 void YodaInstance::MeterVip(net::IpAddr vip, const net::Packet& p) {
   traffic_[vip].bytes += p.payload.size();
+  VipCountersFor(vip).bytes->Add(p.payload.size());
 }
 
 std::map<net::IpAddr, VipTraffic> YodaInstance::DrainTrafficCounters() {
@@ -135,7 +192,7 @@ void YodaInstance::HandlePacket(const net::Packet& p) {
   }
   VipState* vip = FindVip(p.dst);
   if (vip == nullptr) {
-    ++stats_.dropped_unknown_vip;
+    ctr_.dropped_unknown_vip->Inc();
     return;
   }
   MeterVip(p.dst, p);
@@ -148,7 +205,7 @@ void YodaInstance::HandlePacket(const net::Packet& p) {
   } else if (server_index_.contains(p.tuple()) || vip->backends.contains(p.src)) {
     HandleServerSide(p, *vip);
   } else {
-    ++stats_.dropped_unknown_vip;
+    ctr_.dropped_unknown_vip->Inc();
   }
 }
 
@@ -223,8 +280,10 @@ void YodaInstance::StartNewFlow(const net::Packet& syn, VipState& vip) {
   flow->client_facing_nxt = flow->st.lb_isn + 1;
   flow->assembled_end = syn.seq + 1;
   flows_[key] = std::move(flow);
-  ++stats_.flows_started;
+  ctr_.flows_started->Inc();
   traffic_[syn.dst].new_connections += 1;
+  VipCountersFor(syn.dst).new_connections->Inc();
+  Trace(key, obs::EventType::kClientSyn);
   cpu_.ChargeConnection();
 
   // storage-a: persist the SYN capture *before* answering (Fig 3).
@@ -262,6 +321,7 @@ void YodaInstance::SendSynAck(const FlowKey& key, const LocalFlow& flow) {
   p.seq = flow.st.lb_isn;
   p.ack = flow.st.client_isn + 1;
   p.flags = net::kSyn | net::kAck;
+  Trace(key, obs::EventType::kSynAckSent);
   Emit(std::move(p));
 }
 
@@ -420,8 +480,8 @@ std::optional<rules::Selection> YodaInstance::SelectBackend(VipState& vip,
   };
   auto sel = vip.table.Select(req, ctx);
   if (sel) {
-    ++stats_.selections;
-    stats_.rules_scanned_total += static_cast<std::uint64_t>(sel->rules_scanned);
+    ctr_.selections->Inc();
+    ctr_.rules_scanned_total->Add(static_cast<std::uint64_t>(sel->rules_scanned));
     cpu_.ChargeRuleScan(sel->rules_scanned);
   }
   return sel;
@@ -448,7 +508,7 @@ void YodaInstance::TrySelectAndConnect(const FlowKey& key, LocalFlow& flow, VipS
   flow.started = sim_->now();  // Fig 9 "Connection" measurement starts here.
   auto sel = SelectBackend(vip, flow.parser.request());
   if (!sel) {
-    ++stats_.no_backend_resets;
+    ctr_.no_backend_resets->Inc();
     net::Packet rst;
     rst.src = key.vip;
     rst.sport = key.vip_port;
@@ -461,6 +521,8 @@ void YodaInstance::TrySelectAndConnect(const FlowKey& key, LocalFlow& flow, VipS
     CleanupFlow(key, /*remove_from_store=*/true);
     return;
   }
+  Trace(key, obs::EventType::kBackendSelected,
+        static_cast<std::uint64_t>(sel->rules_scanned));
   BindStickyIfNeeded(vip, flow.parser.request(), sel->backend);
   flow.st.backend_ip = sel->backend.ip;
   flow.st.backend_port = sel->backend.port;
@@ -499,6 +561,8 @@ void YodaInstance::SendServerSyn(const FlowKey& key, LocalFlow& flow) {
   server_index_[server_side] = key;
   Emit(std::move(syn));
   ++flow.server_syn_attempts;
+  Trace(key, obs::EventType::kServerSyn,
+        static_cast<std::uint64_t>(flow.server_syn_attempts));
   if (flow.server_syn_attempts <= cfg_.server_syn_retries) {
     flow.server_syn_timer = sim_->After(cfg_.server_syn_timeout, [this, key]() {
       LocalFlow* f = FindFlow(key);
@@ -611,6 +675,7 @@ void YodaInstance::OnServerSynAck(const FlowKey& key, LocalFlow& flow, const net
       return;
     }
     f->established = true;
+    Trace(key, obs::EventType::kEstablished);
     const net::FiveTuple server_side{f->st.backend_ip, key.vip, f->st.backend_port,
                                      key.client_port};
     server_index_[server_side] = key;
@@ -618,13 +683,14 @@ void YodaInstance::OnServerSynAck(const FlowKey& key, LocalFlow& flow, const net
     if (!f->mirror_legs.empty()) {
       LaunchMirrorLegs(key, *f);
     }
-    ++stats_.flows_completed;
+    ctr_.flows_completed->Inc();
   });
 }
 
 void YodaInstance::ForwardRequestToServer(const FlowKey& key, LocalFlow& flow) {
+  Trace(key, obs::EventType::kRequestForwarded);
   if (flow.started != 0) {
-    connection_phase_ms_.Add(sim::ToMillis(sim_->now() - flow.started));
+    connection_phase_ms_->Add(sim::ToMillis(sim_->now() - flow.started));
     flow.started = 0;  // Count the initial leg once (not re-switches).
   }
   // Handshake-completing ACK, carrying the buffered client bytes (the HTTP
@@ -711,6 +777,7 @@ void YodaInstance::TunnelFromClient(const FlowKey& key, LocalFlow& flow, VipStat
   out.encap_dst = 0;
   if (p.fin()) {
     flow.fin_from_client = true;
+    Trace(key, obs::EventType::kFin, 0);
   }
   EmitForwarded(std::move(out));
   MaybeScheduleCleanup(key, flow);
@@ -825,6 +892,7 @@ void YodaInstance::InspectClientStream(const FlowKey& key, LocalFlow& flow, VipS
   }
   if (p.fin()) {
     flow.fin_from_client = true;
+    Trace(key, obs::EventType::kFin, 0);
     net::Packet fin;
     fin.src = key.vip;
     fin.sport = key.client_port;
@@ -840,7 +908,8 @@ void YodaInstance::InspectClientStream(const FlowKey& key, LocalFlow& flow, VipS
 
 void YodaInstance::ReSwitch(const FlowKey& key, LocalFlow& flow, VipState& vip,
                             const rules::Backend& new_backend) {
-  ++stats_.reswitches;
+  ctr_.reswitches->Inc();
+  Trace(key, obs::EventType::kReSwitch, new_backend.ip);
   // Close the old server connection and drop its return pin.
   const net::FiveTuple old_side{flow.st.backend_ip, key.vip, flow.st.backend_port,
                                 key.client_port};
@@ -902,6 +971,7 @@ void YodaInstance::TunnelFromServer(const FlowKey& key, LocalFlow& flow, const n
   }
   if (p.fin()) {
     flow.fin_from_server = true;
+    Trace(key, obs::EventType::kFin, 1);
   }
   if (!p.payload.empty() && flow.outstanding_requests > 0) {
     // Track response completion for re-switch gating (cheap heuristic: a
@@ -997,6 +1067,7 @@ void YodaInstance::PromoteMirrorWinner(const FlowKey& key, LocalFlow& flow,
                                        LocalFlow::MirrorLeg& leg,
                                        const net::Packet& first_data) {
   flow.mirror_decided = true;
+  Trace(key, obs::EventType::kMirrorPromote, leg.ip);
   // The old primary loses: reset it and drop its pins before retargeting.
   {
     net::Packet rst;
@@ -1069,11 +1140,12 @@ void YodaInstance::TakeoverClientSide(const FlowKey& key, const net::Packet& p) 
                              return;
                            }
                            if (!st) {
-                             ++stats_.takeover_misses;
+                             ctr_.takeover_misses->Inc();
                              flows_.erase(key);
                              return;
                            }
-                           ++stats_.takeovers_client_side;
+                           ctr_.takeovers_client_side->Inc();
+                           Trace(key, obs::EventType::kTakeoverClient);
                            AdoptFlow(key, *st);
                          });
 }
@@ -1089,12 +1161,13 @@ void YodaInstance::TakeoverServerSide(const net::Packet& p, VipState& vip) {
                              return;
                            }
                            if (!st || st->stage != FlowStage::kTunneling) {
-                             ++stats_.takeover_misses;
+                             ctr_.takeover_misses->Inc();
                              return;
                            }
-                           ++stats_.takeovers_server_side;
+                           ctr_.takeovers_server_side->Inc();
                            const FlowKey key{st->vip, st->vip_port, st->client_ip,
                                              st->client_port};
+                           Trace(key, obs::EventType::kTakeoverServer);
                            if (FindFlow(key) == nullptr) {
                              AdoptFlow(key, *st);
                            }
@@ -1194,6 +1267,7 @@ void YodaInstance::CleanupFlow(const FlowKey& key, bool remove_from_store) {
   if (remove_from_store && flow->storage_a_done) {
     store_->Remove(flow->st, [](bool) {});
   }
+  Trace(key, obs::EventType::kCleanup);
   flows_.erase(key);
 }
 

@@ -41,6 +41,8 @@
 #include "src/http/parser.h"
 #include "src/l4lb/fabric.h"
 #include "src/net/network.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/rules/rule_table.h"
 #include "src/sim/random.h"
 #include "src/tls/tls.h"
@@ -69,6 +71,11 @@ struct YodaInstanceConfig {
   // Inspect client bytes on HTTP/1.1 connections and re-switch backends
   // between requests (§5.2).
   bool http11_reswitch = true;
+  // Observability sinks, normally the testbed-owned registry/recorder. A
+  // null registry makes the instance keep a private one (counters still
+  // work); a null recorder disables flow tracing.
+  obs::Registry* registry = nullptr;
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct YodaInstanceStats {
@@ -126,12 +133,20 @@ class YodaInstance : public net::Node {
   void HandlePacket(const net::Packet& packet) override;
 
   CpuModel& cpu() { return cpu_; }
-  const YodaInstanceStats& stats() const { return stats_; }
+  // Snapshot assembled from the registry counters (labelled with this
+  // instance's ip), so the legacy struct view and the exported metrics can
+  // never disagree.
+  YodaInstanceStats stats() const;
   std::size_t active_flows() const { return flows_.size(); }
 
+  // The registry this instance reports into (the shared one from the config,
+  // or the private fallback).
+  obs::Registry& registry() { return *registry_; }
+
   // Backend-connection duration (server selection -> request forwarded to
-  // the backend), Fig 9's "Connection" component.
-  sim::Histogram& connection_phase_ms() { return connection_phase_ms_; }
+  // the backend), Fig 9's "Connection" component. Lives in the registry as
+  // "yoda.connection_phase_ms".
+  sim::Histogram& connection_phase_ms() { return *connection_phase_ms_; }
 
   // Reads and clears the per-VIP traffic window.
   std::map<net::IpAddr, VipTraffic> DrainTrafficCounters();
@@ -270,6 +285,9 @@ class YodaInstance : public net::Node {
   void Emit(net::Packet p);           // Raw send (control packets).
   void MeterVip(net::IpAddr vip, const net::Packet& p);
 
+  // Appends a flight-recorder event for `key` (no-op without a recorder).
+  void Trace(const FlowKey& key, obs::EventType type, std::uint64_t detail = 0);
+
   sim::Simulator* sim_;
   net::Network* net_;
   l4lb::L4Fabric* fabric_;
@@ -288,8 +306,33 @@ class YodaInstance : public net::Node {
   std::unordered_map<net::IpAddr, VipTraffic> traffic_;
   std::unordered_map<net::IpAddr, int> backend_load_;  // Active flows per backend.
 
-  YodaInstanceStats stats_;
-  sim::Histogram connection_phase_ms_;
+  // Registry-backed counters (resolved once at construction; hot paths bump
+  // pointers, never build label strings).
+  struct StatCounters {
+    obs::Counter* flows_started = nullptr;
+    obs::Counter* flows_completed = nullptr;
+    obs::Counter* takeovers_client_side = nullptr;
+    obs::Counter* takeovers_server_side = nullptr;
+    obs::Counter* takeover_misses = nullptr;
+    obs::Counter* packets_tunneled = nullptr;
+    obs::Counter* reswitches = nullptr;
+    obs::Counter* rules_scanned_total = nullptr;
+    obs::Counter* selections = nullptr;
+    obs::Counter* no_backend_resets = nullptr;
+    obs::Counter* dropped_unknown_vip = nullptr;
+  };
+  struct VipCounters {
+    obs::Counter* new_connections = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  VipCounters& VipCountersFor(net::IpAddr vip);
+
+  std::unique_ptr<obs::Registry> owned_registry_;  // Fallback when cfg has none.
+  obs::Registry* registry_ = nullptr;              // Never null after ctor.
+  obs::FlightRecorder* recorder_ = nullptr;        // Null disables tracing.
+  StatCounters ctr_;
+  std::unordered_map<net::IpAddr, VipCounters> vip_counters_;
+  sim::Histogram* connection_phase_ms_ = nullptr;  // Registry-owned.
 };
 
 }  // namespace yoda

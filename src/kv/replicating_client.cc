@@ -23,6 +23,15 @@ ReplicatingClient::ReplicatingClient(sim::Simulator* simulator, std::vector<KvSe
     ring_.AddServer(s->id());
     by_id_[s->id()] = s;
   }
+  if (cfg_.registry != nullptr) {
+    ctr_.gets = &cfg_.registry->GetCounter("kv.client.gets");
+    ctr_.sets = &cfg_.registry->GetCounter("kv.client.sets");
+    ctr_.deletes = &cfg_.registry->GetCounter("kv.client.deletes");
+    ctr_.replica_timeouts = &cfg_.registry->GetCounter("kv.client.replica_timeouts");
+    ctr_.get_latency_us = &cfg_.registry->GetHistogram("kv.client.get_latency_us");
+    ctr_.set_latency_us = &cfg_.registry->GetHistogram("kv.client.set_latency_us");
+    ctr_.delete_latency_us = &cfg_.registry->GetHistogram("kv.client.delete_latency_us");
+  }
 }
 
 std::vector<KvServer*> ReplicatingClient::ReplicasFor(const std::string& key) const {
@@ -35,6 +44,9 @@ std::vector<KvServer*> ReplicatingClient::ReplicasFor(const std::string& key) co
 
 void ReplicatingClient::Set(const std::string& key, std::string value, AckCallback cb) {
   ++stats_.sets;
+  if (ctr_.sets != nullptr) {
+    ctr_.sets->Inc();
+  }
   const sim::Time start = sim_->now();
   auto replicas = ReplicasFor(key);
   auto state = std::make_shared<FanOut>();
@@ -45,9 +57,16 @@ void ReplicatingClient::Set(const std::string& key, std::string value, AckCallba
     }
     if (timed_out) {
       ++stats_.replica_timeouts;
+      if (ctr_.replica_timeouts != nullptr) {
+        ctr_.replica_timeouts->Inc();
+      }
     }
     state->finished = true;
-    stats_.set_latency_us.Add(sim::ToMicros(sim_->now() - start));
+    const double us = sim::ToMicros(sim_->now() - start);
+    stats_.set_latency_us.Add(us);
+    if (ctr_.set_latency_us != nullptr) {
+      ctr_.set_latency_us->Add(us);
+    }
     cb(state->acks > 0);
   };
   for (KvServer* server : replicas) {
@@ -75,6 +94,9 @@ void ReplicatingClient::Set(const std::string& key, std::string value, AckCallba
 
 void ReplicatingClient::Get(const std::string& key, GetCallback cb) {
   ++stats_.gets;
+  if (ctr_.gets != nullptr) {
+    ctr_.gets->Inc();
+  }
   const sim::Time start = sim_->now();
   auto replicas = ReplicasFor(key);
   auto state = std::make_shared<FanOut>();
@@ -85,9 +107,16 @@ void ReplicatingClient::Get(const std::string& key, GetCallback cb) {
     }
     if (timed_out) {
       ++stats_.replica_timeouts;
+      if (ctr_.replica_timeouts != nullptr) {
+        ctr_.replica_timeouts->Inc();
+      }
     }
     state->finished = true;
-    stats_.get_latency_us.Add(sim::ToMicros(sim_->now() - start));
+    const double us = sim::ToMicros(sim_->now() - start);
+    stats_.get_latency_us.Add(us);
+    if (ctr_.get_latency_us != nullptr) {
+      ctr_.get_latency_us->Add(us);
+    }
     cb(state->value);
   };
   for (KvServer* server : replicas) {
@@ -117,6 +146,9 @@ void ReplicatingClient::Get(const std::string& key, GetCallback cb) {
 
 void ReplicatingClient::Delete(const std::string& key, AckCallback cb) {
   ++stats_.deletes;
+  if (ctr_.deletes != nullptr) {
+    ctr_.deletes->Inc();
+  }
   const sim::Time start = sim_->now();
   auto replicas = ReplicasFor(key);
   auto state = std::make_shared<FanOut>();
@@ -127,9 +159,16 @@ void ReplicatingClient::Delete(const std::string& key, AckCallback cb) {
     }
     if (timed_out) {
       ++stats_.replica_timeouts;
+      if (ctr_.replica_timeouts != nullptr) {
+        ctr_.replica_timeouts->Inc();
+      }
     }
     state->finished = true;
-    stats_.delete_latency_us.Add(sim::ToMicros(sim_->now() - start));
+    const double us = sim::ToMicros(sim_->now() - start);
+    stats_.delete_latency_us.Add(us);
+    if (ctr_.delete_latency_us != nullptr) {
+      ctr_.delete_latency_us->Add(us);
+    }
     cb(state->acks > 0);
   };
   for (KvServer* server : replicas) {

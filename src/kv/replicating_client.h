@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/kv/hash_ring.h"
+#include "src/obs/registry.h"
 #include "src/kv/kv_server.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
@@ -38,6 +39,9 @@ struct ReplicatingClientConfig {
   sim::Duration network_delay = sim::Usec(200);
   // Deadline after which an unresponsive replica counts as failed.
   sim::Duration op_timeout = sim::Msec(50);
+  // Optional metrics sink: mirrors op counts and latency histograms into
+  // "kv.client.*" instruments.
+  obs::Registry* registry = nullptr;
 };
 
 struct ClientOpStats {
@@ -71,10 +75,22 @@ class ReplicatingClient {
   const ReplicatingClientConfig& config() const { return cfg_; }
 
  private:
+  // Registry mirrors of the stats struct (null without a registry).
+  struct StatCounters {
+    obs::Counter* gets = nullptr;
+    obs::Counter* sets = nullptr;
+    obs::Counter* deletes = nullptr;
+    obs::Counter* replica_timeouts = nullptr;
+    sim::Histogram* get_latency_us = nullptr;
+    sim::Histogram* set_latency_us = nullptr;
+    sim::Histogram* delete_latency_us = nullptr;
+  };
+
   sim::Simulator* sim_;
   ReplicatingClientConfig cfg_;
   HashRing ring_;
   std::unordered_map<std::string, KvServer*> by_id_;
+  StatCounters ctr_;
   ClientOpStats stats_;
 };
 

@@ -9,6 +9,14 @@ L4Fabric::L4Fabric(sim::Simulator* simulator, net::Network* network, int num_mux
   }
 }
 
+void L4Fabric::SetObservability(obs::Registry* registry, obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  if (registry != nullptr) {
+    packets_ctr_ = &registry->GetCounter("l4.fabric.packets");
+    dropped_ctr_ = &registry->GetCounter("l4.fabric.dropped");
+  }
+}
+
 void L4Fabric::AttachVip(net::IpAddr vip) { net_->Attach(vip, this); }
 
 void L4Fabric::DetachVip(net::IpAddr vip) { net_->Detach(vip); }
@@ -59,8 +67,14 @@ std::optional<net::IpAddr> L4Fabric::SnatOwner(const net::FiveTuple& server_side
 
 void L4Fabric::HandlePacket(const net::Packet& packet) {
   ++stats_.packets;
+  if (packets_ctr_ != nullptr) {
+    packets_ctr_->Inc();
+  }
   if (muxes_.empty()) {
     ++stats_.dropped;
+    if (dropped_ctr_ != nullptr) {
+      dropped_ctr_->Inc();
+    }
     return;
   }
   // Router-level ECMP across muxes.
@@ -76,7 +90,17 @@ void L4Fabric::HandlePacket(const net::Packet& packet) {
   auto target = muxes_[mux_idx]->Route(packet, snat_hit);
   if (!target) {
     ++stats_.dropped;
+    if (dropped_ctr_ != nullptr) {
+      dropped_ctr_->Inc();
+    }
     return;
+  }
+  // Trace where the fabric sent each flow's opening SYN: the first hop of
+  // the flow's timeline, before any instance has seen it.
+  if (recorder_ != nullptr && packet.syn() && !packet.ack_flag()) {
+    recorder_->Record(
+        obs::FlowId{packet.dst, packet.dport, packet.src, packet.sport}, sim_->now(),
+        obs::EventType::kMuxForward, static_cast<std::uint32_t>(mux_idx), *target);
   }
   net::Packet fwd = packet;
   fwd.encap_dst = *target;

@@ -17,6 +17,8 @@
 
 #include "src/l4lb/mux.h"
 #include "src/net/network.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace l4lb {
@@ -57,6 +59,11 @@ class L4Fabric : public net::Node {
   // net::Node: a packet addressed to a VIP.
   void HandlePacket(const net::Packet& packet) override;
 
+  // Hooks the fabric into the observability layer: fabric/mux counters
+  // mirror into "l4.*" instruments, and every routed client SYN records a
+  // kMuxForward trace event (where = mux id, detail = target instance).
+  void SetObservability(obs::Registry* registry, obs::FlightRecorder* recorder);
+
   const FabricStats& stats() const { return stats_; }
   Mux& mux(int i) { return *muxes_[static_cast<std::size_t>(i)]; }
   int mux_count() const { return static_cast<int>(muxes_.size()); }
@@ -68,6 +75,9 @@ class L4Fabric : public net::Node {
   bool snat_enabled_ = true;
   std::unordered_map<net::FiveTuple, net::IpAddr, net::FiveTupleHash> snat_;
   FabricStats stats_;
+  obs::Counter* packets_ctr_ = nullptr;
+  obs::Counter* dropped_ctr_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace l4lb

@@ -1,0 +1,125 @@
+#include "src/obs/analyzer.h"
+
+#include <algorithm>
+
+namespace obs {
+
+FlowBreakdown AnalyzeFlow(const std::vector<TraceEvent>& events) {
+  FlowBreakdown out;
+  // First occurrence of each phase boundary. Later occurrences (storage-b
+  // refreshes during HTTP/1.1 pipelining, re-switch SYNs) are not part of
+  // the initial connection path.
+  sim::Time a_start = -1, a_done = -1, b_start = -1, b_done = -1;
+  sim::Time selected = -1, server_syn = -1, forwarded = -1;
+  for (const TraceEvent& ev : events) {
+    switch (ev.type) {
+      case EventType::kStorageAWriteStart:
+        if (a_start < 0) {
+          a_start = ev.at;
+        }
+        break;
+      case EventType::kStorageAWriteDone:
+        if (a_done < 0) {
+          a_done = ev.at;
+        }
+        break;
+      case EventType::kStorageBWriteStart:
+        if (b_start < 0) {
+          b_start = ev.at;
+        }
+        break;
+      case EventType::kStorageBWriteDone:
+        if (b_done < 0) {
+          b_done = ev.at;
+        }
+        break;
+      case EventType::kBackendSelected:
+        if (selected < 0) {
+          selected = ev.at;
+          out.rules_scanned = static_cast<int>(ev.detail);
+        }
+        break;
+      case EventType::kServerSyn:
+        if (server_syn < 0) {
+          server_syn = ev.at;
+        }
+        break;
+      case EventType::kRequestForwarded:
+        if (forwarded < 0) {
+          forwarded = ev.at;
+        }
+        break;
+      case EventType::kEstablished:
+        out.established = true;
+        break;
+      case EventType::kTakeoverClient:
+      case EventType::kTakeoverServer:
+        ++out.takeovers;
+        break;
+      case EventType::kReSwitch:
+        ++out.reswitches;
+        break;
+      default:
+        break;
+    }
+  }
+  if (a_start >= 0 && a_done >= a_start) {
+    out.storage_a_ms = sim::ToMillis(a_done - a_start);
+  }
+  if (b_start >= 0 && b_done >= b_start) {
+    out.storage_b_ms = sim::ToMillis(b_done - b_start);
+  }
+  out.storage_ms = out.storage_a_ms + out.storage_b_ms;
+  if (selected >= 0 && forwarded >= selected) {
+    out.connection_ms = sim::ToMillis(forwarded - selected);
+  }
+  if (selected >= 0 && server_syn >= selected) {
+    out.rule_scan_ms = sim::ToMillis(server_syn - selected);
+  }
+  return out;
+}
+
+BreakdownReport ReconstructBreakdown(const FlightRecorder& recorder) {
+  BreakdownReport report;
+  recorder.ForEachFlow([&report](const FlowId&, const std::vector<TraceEvent>& events) {
+    ++report.flows_seen;
+    const FlowBreakdown fb = AnalyzeFlow(events);
+    report.takeovers += static_cast<std::uint64_t>(fb.takeovers);
+    report.reswitches += static_cast<std::uint64_t>(fb.reswitches);
+    if (!fb.established) {
+      return;
+    }
+    ++report.flows_established;
+    report.connection_ms.Add(fb.connection_ms);
+    report.storage_ms.Add(fb.storage_ms);
+    report.rule_scan_ms.Add(fb.rule_scan_ms);
+  });
+  return report;
+}
+
+std::vector<TakeoverRecord> TakeoverTimeline(const FlightRecorder& recorder) {
+  std::vector<TakeoverRecord> out;
+  recorder.ForEachFlow([&out](const FlowId& id, const std::vector<TraceEvent>& events) {
+    for (const TraceEvent& ev : events) {
+      if (ev.type == EventType::kTakeoverClient || ev.type == EventType::kTakeoverServer) {
+        out.push_back(TakeoverRecord{id, ev});
+      }
+    }
+  });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TakeoverRecord& a, const TakeoverRecord& b) {
+                     return a.event.at < b.event.at;
+                   });
+  return out;
+}
+
+bool TimestampsMonotonic(const std::vector<TraceEvent>& events) {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].at < events[i - 1].at) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace obs

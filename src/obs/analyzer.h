@@ -1,0 +1,63 @@
+// Post-hoc trace analysis: reconstructs the paper's evaluation artifacts —
+// the Fig 9 connection-phase latency decomposition and per-flow takeover
+// timelines — directly from FlightRecorder events, so benches report from
+// the recording rather than from their own timers.
+
+#ifndef SRC_OBS_ANALYZER_H_
+#define SRC_OBS_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/sim/metrics.h"
+
+namespace obs {
+
+// One flow's reconstructed phases, all in milliseconds of simulated time.
+struct FlowBreakdown {
+  bool established = false;  // kEstablished present.
+  // storage-a / storage-b blocking waits (write start -> ack).
+  double storage_a_ms = 0;
+  double storage_b_ms = 0;
+  double storage_ms = 0;  // a + b: the TCPStore cost on the connection path.
+  // Fig 9 "Connection": backend selection -> request forwarded to backend.
+  double connection_ms = 0;
+  // Rule scan + connection processing: selection -> server SYN emitted.
+  double rule_scan_ms = 0;
+  int takeovers = 0;
+  int reswitches = 0;
+  int rules_scanned = 0;  // detail of the first kBackendSelected.
+};
+
+// Analyzes one flow's events (oldest-first, as returned by
+// FlightRecorder::Events).
+FlowBreakdown AnalyzeFlow(const std::vector<TraceEvent>& events);
+
+// Aggregated decomposition over every recorded flow.
+struct BreakdownReport {
+  sim::Histogram connection_ms;
+  sim::Histogram storage_ms;
+  sim::Histogram rule_scan_ms;
+  std::uint64_t flows_seen = 0;
+  std::uint64_t flows_established = 0;
+  std::uint64_t takeovers = 0;
+  std::uint64_t reswitches = 0;
+};
+BreakdownReport ReconstructBreakdown(const FlightRecorder& recorder);
+
+// Every takeover adoption across all flows, ordered by time — the raw
+// material for Table 1 / Fig 12 style failure-impact timelines.
+struct TakeoverRecord {
+  FlowId flow;
+  TraceEvent event;  // kTakeoverClient or kTakeoverServer; where = adopter.
+};
+std::vector<TakeoverRecord> TakeoverTimeline(const FlightRecorder& recorder);
+
+// True when the events' timestamps never decrease (recording order is
+// chronological by construction; a violation means a recorder bug).
+bool TimestampsMonotonic(const std::vector<TraceEvent>& events);
+
+}  // namespace obs
+
+#endif  // SRC_OBS_ANALYZER_H_

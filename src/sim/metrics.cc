@@ -1,7 +1,6 @@
 #include "src/sim/metrics.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
@@ -43,7 +42,14 @@ double Histogram::Percentile(double p) const {
     return 0;
   }
   EnsureSorted();
-  assert(p >= 0 && p <= 100);
+  // Clamp rather than assert: the assert vanishes in release builds, and a
+  // negative p would otherwise wrap the index computation below.
+  if (p <= 0) {
+    return samples_.front();
+  }
+  if (p >= 100) {
+    return samples_.back();
+  }
   double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   auto idx = static_cast<std::size_t>(rank);
   if (idx + 1 >= samples_.size()) {

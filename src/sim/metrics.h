@@ -25,7 +25,8 @@ class Histogram {
   double Mean() const;
   double Min() const;
   double Max() const;
-  // p in [0, 100]; nearest-rank percentile.
+  // Linearly interpolated percentile. p is clamped to [0, 100]; an empty
+  // histogram reports 0.
   double Percentile(double p) const;
 
   // Returns (value, cumulative fraction) pairs at `points` evenly spaced

@@ -26,6 +26,9 @@ TimerHandle Simulator::At(Time when, std::function<void()> fn, bool daemon) {
     ++queued_non_daemon_;
   }
   queue_.push(std::move(ev));
+  if (queue_.size() > queue_high_water_) {
+    queue_high_water_ = queue_.size();
+  }
   return handle;
 }
 

@@ -71,6 +71,10 @@ class Simulator {
   // Number of events currently queued (including cancelled tombstones).
   std::size_t queued_events() const { return queue_.size(); }
 
+  // Deepest the event queue has ever been (including cancelled tombstones);
+  // an observability gauge for sizing and leak spotting.
+  std::size_t queue_high_water() const { return queue_high_water_; }
+
   // Total events executed since construction; useful in tests.
   std::uint64_t executed_events() const { return executed_; }
 
@@ -95,6 +99,7 @@ class Simulator {
   bool RunOne();
 
   Time now_ = 0;
+  std::size_t queue_high_water_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   // Non-daemon events still in the queue (including cancelled tombstones,

@@ -233,7 +233,8 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
   return sc;
 }
 
-ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log) {
+ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
+                           const std::function<void(Testbed&)>& after_run) {
   TestbedConfig cfg = scenario.testbed;
   for (const auto& def : scenario.vips) {
     if (def.tls_cert) {
@@ -366,6 +367,16 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log) {
   }
   report.failures_detected = tb.controller->detected_failures();
   report.controller_events = tb.controller->events();
+  report.metrics_table = tb.metrics.TextTable();
+  report.metrics_jsonl = tb.metrics.JsonLines();
+  {
+    std::ostringstream traces;
+    tb.flight.ExportJsonLines(traces);
+    report.traces_jsonl = traces.str();
+  }
+  if (after_run) {
+    after_run(tb);
+  }
   return report;
 }
 

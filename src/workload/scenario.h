@@ -29,6 +29,7 @@
 #ifndef SRC_WORKLOAD_SCENARIO_H_
 #define SRC_WORKLOAD_SCENARIO_H_
 
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <optional>
@@ -77,11 +78,21 @@ struct ScenarioReport {
   int failures_detected = 0;
   sim::Histogram latency_ms;
   std::vector<yoda::ControllerEvent> controller_events;
+  // Uniform observability snapshot, taken after the run: the registry as an
+  // aligned text table and as JSON lines, plus the flight recorder's flow
+  // traces as JSON lines (see src/obs/).
+  std::string metrics_table;
+  std::string metrics_jsonl;
+  std::string traces_jsonl;
 };
 
 // Builds the testbed, schedules the events, runs the simulation and returns
-// the aggregate report. `log` (optional) receives progress lines.
-ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log = nullptr);
+// the aggregate report. `log` (optional) receives progress lines. `after_run`
+// (optional) is invoked on the testbed after the simulation finishes but
+// before teardown — tools use it to inspect the flight recorder and metrics
+// registry directly.
+ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log = nullptr,
+                           const std::function<void(Testbed&)>& after_run = nullptr);
 
 }  // namespace workload
 

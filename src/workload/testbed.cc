@@ -1,5 +1,7 @@
 #include "src/workload/testbed.h"
 
+#include <cstdio>
+
 namespace workload {
 
 Testbed::Testbed(TestbedConfig config)
@@ -7,6 +9,8 @@ Testbed::Testbed(TestbedConfig config)
       sim(),
       network(&sim, cfg.seed ^ 0x6e6574ULL),
       fabric(&sim, &network, cfg.muxes) {
+  obs::BindSimulatorGauges(metrics, sim);
+  fabric.SetObservability(&metrics, &flight);
   network.SetLatency(net::Region::kDatacenter, net::Region::kDatacenter, cfg.dc_latency,
                      cfg.dc_jitter);
   network.SetLatency(net::Region::kDatacenter, net::Region::kInternet, cfg.internet_latency,
@@ -25,8 +29,9 @@ Testbed::Testbed(TestbedConfig config)
   }
   kv::ReplicatingClientConfig kv_client_cfg = cfg.kv_client;
   kv_client_cfg.replicas = cfg.kv_replicas;
+  kv_client_cfg.registry = &metrics;
   kv_client = std::make_unique<kv::ReplicatingClient>(&sim, kv_ptrs, kv_client_cfg);
-  store = std::make_unique<yoda::TcpStore>(kv_client.get());
+  store = std::make_unique<yoda::TcpStore>(kv_client.get(), &sim, &flight, &metrics);
 
   if (cfg.build_catalog) {
     sim::Rng catalog_rng(cfg.seed ^ 0x636174ULL);
@@ -37,6 +42,8 @@ Testbed::Testbed(TestbedConfig config)
   for (int i = 0; i < cfg.yoda_instances + cfg.spare_instances; ++i) {
     yoda::YodaInstanceConfig icfg = cfg.instance_template;
     icfg.ip = instance_ip(i);
+    icfg.registry = &metrics;
+    icfg.recorder = &flight;
     auto inst = std::make_unique<yoda::YodaInstance>(&sim, &network, &fabric, store.get(),
                                                      cfg.seed ^ (0x1000ULL + i), icfg);
     if (i < cfg.yoda_instances) {
@@ -71,7 +78,10 @@ Testbed::Testbed(TestbedConfig config)
         std::make_unique<BrowserClient>(&sim, &network, client_ip(i), cfg.seed ^ (0x4000ULL + i)));
   }
 
-  controller = std::make_unique<yoda::Controller>(&sim, &network, &fabric, cfg.controller);
+  yoda::ControllerConfig ctl_cfg = cfg.controller;
+  ctl_cfg.registry = &metrics;
+  ctl_cfg.recorder = &flight;
+  controller = std::make_unique<yoda::Controller>(&sim, &network, &fabric, ctl_cfg);
   for (auto& inst : instances) {
     controller->AddInstance(inst.get());
   }
@@ -109,6 +119,10 @@ void Testbed::InstallProxyRules(const std::vector<rules::Rule>& proxy_rules) {
   for (auto& p : proxies) {
     p->InstallRules(proxy_rules);
   }
+}
+
+void Testbed::PrintMetricsSnapshot(const char* title) const {
+  std::printf("\n--- %s ---\n%s", title, metrics.TextTable().c_str());
 }
 
 void Testbed::FailInstance(int i) {

@@ -22,6 +22,8 @@
 #include "src/kv/replicating_client.h"
 #include "src/l4lb/fabric.h"
 #include "src/net/network.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/workload/browser_client.h"
 #include "src/workload/http_server_node.h"
@@ -82,6 +84,10 @@ class Testbed {
   // Installs rules on all baseline proxies.
   void InstallProxyRules(const std::vector<rules::Rule>& proxy_rules);
 
+  // Uniform end-of-run observability dump used by benches and examples:
+  // prints the metrics registry as an aligned text table to stdout.
+  void PrintMetricsSnapshot(const char* title = "metrics registry snapshot") const;
+
   // Crash helpers (instance/proxy/kv/backend): mark down + drop state.
   void FailInstance(int i);
   void RecoverInstance(int i);
@@ -93,6 +99,10 @@ class Testbed {
   // --- components (construction order matters; declared accordingly) ---
   TestbedConfig cfg;
   sim::Simulator sim;
+  // Shared observability: every component reports into this registry, and
+  // every flow's lifecycle lands in this flight recorder.
+  obs::Registry metrics;
+  obs::FlightRecorder flight;
   net::Network network;
   l4lb::L4Fabric fabric;
   std::vector<std::unique_ptr<kv::KvServer>> kv_servers;

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "src/obs/registry.h"
 #include "src/sim/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -179,6 +180,32 @@ TEST(Simulator, CancelledNonDaemonEventDoesNotBlockTermination) {
   EXPECT_EQ(sim.executed_events(), 0u);
 }
 
+TEST(Simulator, QueueHighWaterTracksDeepestQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.queue_high_water(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    sim.At(Msec(i), []() {});
+  }
+  EXPECT_EQ(sim.queue_high_water(), 5u);
+  sim.Run();
+  // Draining the queue does not lower the high-water mark.
+  EXPECT_EQ(sim.queue_high_water(), 5u);
+  EXPECT_EQ(sim.queued_events(), 0u);
+}
+
+TEST(Simulator, EventLoopGaugesReadLiveThroughRegistry) {
+  Simulator sim;
+  obs::Registry reg;
+  obs::BindSimulatorGauges(reg, sim);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("sim.events_executed").value(), 0.0);
+  for (int i = 0; i < 3; ++i) {
+    sim.At(Msec(i), []() {});
+  }
+  sim.Run();
+  EXPECT_DOUBLE_EQ(reg.GetGauge("sim.events_executed").value(), 3.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("sim.queue_depth_high_water").value(), 3.0);
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(7);
   Rng b(7);
@@ -296,6 +323,32 @@ TEST(Histogram, PercentilesInterpolate) {
   EXPECT_NEAR(h.Percentile(100), 100, 1e-9);
   EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
   EXPECT_NEAR(h.Percentile(90), 90.1, 0.2);
+}
+
+TEST(Histogram, PercentileSingleSampleIsThatSample) {
+  Histogram h;
+  h.Add(7.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 7.5);
+}
+
+TEST(Histogram, PercentileEndpointsAreMinAndMax) {
+  Histogram h;
+  h.Add(3);
+  h.Add(1);
+  h.Add(2);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 3);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeRequests) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  EXPECT_DOUBLE_EQ(h.Percentile(-10), 1);
+  EXPECT_DOUBLE_EQ(h.Percentile(250), 3);
 }
 
 TEST(Histogram, CdfIsMonotone) {

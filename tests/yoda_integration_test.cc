@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/kv/hash_ring.h"
 #include "src/rules/policy.h"
 #include "src/workload/testbed.h"
@@ -863,6 +865,56 @@ TEST_P(FailureTimingSweep, FlowSurvivesFailureAtAnyPoint) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Offsets, FailureTimingSweep, ::testing::Range(1, 26));
+
+TEST(YodaInstanceTraffic, DrainTrafficCountersAttributesPerVipAndClearsWindow) {
+  // No controller monitor here: MonitorTick drains the same counters, which
+  // would race with the assertions below.
+  Testbed tb;
+  tb.controller->DefineVip(tb.vip(0), 80, tb.EqualSplitRules(0, tb.cfg.backends));
+  tb.controller->DefineVip(tb.vip(1), 80,
+                           tb.EqualSplitRules(0, tb.cfg.backends, "r-vip2"));
+
+  for (int v = 0; v < 2; ++v) {
+    bool ok = false;
+    tb.clients[static_cast<std::size_t>(v)]->FetchObject(
+        tb.vip(v), 80, tb.catalog->objects()[0].url, {},
+        [&ok](const FetchResult& r) { ok = r.ok; });
+    tb.sim.Run();
+    ASSERT_TRUE(ok) << "vip " << v;
+  }
+
+  // Each VIP's window holds exactly its own connection, with bytes metered.
+  std::map<net::IpAddr, VipTraffic> total;
+  for (auto& inst : tb.instances) {
+    for (const auto& [vip, traffic] : inst->DrainTrafficCounters()) {
+      total[vip].new_connections += traffic.new_connections;
+      total[vip].bytes += traffic.bytes;
+    }
+  }
+  ASSERT_TRUE(total.contains(tb.vip(0)));
+  ASSERT_TRUE(total.contains(tb.vip(1)));
+  EXPECT_EQ(total[tb.vip(0)].new_connections, 1u);
+  EXPECT_EQ(total[tb.vip(1)].new_connections, 1u);
+  EXPECT_GT(total[tb.vip(0)].bytes, 0u);
+  EXPECT_GT(total[tb.vip(1)].bytes, 0u);
+
+  // The drain emptied every window.
+  for (auto& inst : tb.instances) {
+    EXPECT_TRUE(inst->DrainTrafficCounters().empty());
+  }
+
+  // The cumulative registry counters are NOT windowed: they still hold the
+  // totals after the drain.
+  for (int v = 0; v < 2; ++v) {
+    std::uint64_t registered = 0;
+    for (auto& inst : tb.instances) {
+      const obs::Labels labels{{"instance", obs::FormatIp(inst->ip())},
+                               {"vip", obs::FormatIp(tb.vip(v))}};
+      registered += tb.metrics.GetCounter("yoda.vip.new_connections", labels).value();
+    }
+    EXPECT_EQ(registered, 1u) << "vip " << v;
+  }
+}
 
 }  // namespace
 }  // namespace yoda

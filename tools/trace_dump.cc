@@ -1,0 +1,154 @@
+// trace_dump: run a Yoda scenario file and dump the flight recorder.
+//
+//   trace_dump <scenario-file>             # human-readable flow timelines
+//   trace_dump <scenario-file> --json      # raw trace JSON lines
+//   trace_dump <scenario-file> --metrics   # registry snapshot (text table)
+//   trace_dump <scenario-file> --flows N   # limit timeline output to N flows
+//
+// The human-readable view prints each recorded flow's event timeline, the
+// controller's system events, the reconstructed Fig 9 latency decomposition
+// and the takeover timeline — everything derived from obs:: trace events,
+// not from workload-side timers. See src/workload/scenario.h for the DSL.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/analyzer.h"
+#include "src/workload/scenario.h"
+
+namespace {
+
+void PrintFlowTimelines(const workload::Testbed& tb, std::size_t max_flows) {
+  std::size_t shown = 0;
+  tb.flight.ForEachFlow([&](const obs::FlowId& id, const std::vector<obs::TraceEvent>& events) {
+    if (shown >= max_flows) {
+      return;
+    }
+    ++shown;
+    std::printf("flow %s:%u -> %s:%u\n", obs::FormatIp(id.client_ip).c_str(), id.client_port,
+                obs::FormatIp(id.vip).c_str(), id.vip_port);
+    for (const obs::TraceEvent& ev : events) {
+      std::printf("  %10.3f ms  %-18s", sim::ToMillis(ev.at), obs::EventTypeName(ev.type));
+      if (ev.where != 0) {
+        std::printf("  @%s", obs::FormatIp(ev.where).c_str());
+      }
+      if (ev.detail != 0) {
+        std::printf("  detail=%llu", static_cast<unsigned long long>(ev.detail));
+      }
+      std::printf("\n");
+    }
+  });
+  if (tb.flight.flow_count() > shown) {
+    std::printf("... %zu more flows (raise --flows)\n", tb.flight.flow_count() - shown);
+  }
+}
+
+void PrintSystemEvents(const workload::Testbed& tb) {
+  if (tb.flight.system_events().empty()) {
+    return;
+  }
+  std::printf("\nsystem events:\n");
+  for (const obs::TraceEvent& ev : tb.flight.system_events()) {
+    std::printf("  %10.3f ms  %-18s  @%s  detail=%llu\n", sim::ToMillis(ev.at),
+                obs::EventTypeName(ev.type), obs::FormatIp(ev.where).c_str(),
+                static_cast<unsigned long long>(ev.detail));
+  }
+}
+
+void PrintAnalysis(const workload::Testbed& tb) {
+  const obs::BreakdownReport br = obs::ReconstructBreakdown(tb.flight);
+  std::printf("\nreconstructed breakdown (%llu flows, %llu established):\n",
+              static_cast<unsigned long long>(br.flows_seen),
+              static_cast<unsigned long long>(br.flows_established));
+  if (!br.connection_ms.empty()) {
+    std::printf("  connection: P50 %.2f ms  P99 %.2f ms\n", br.connection_ms.Percentile(50),
+                br.connection_ms.Percentile(99));
+    std::printf("  storage:    P50 %.2f ms  P99 %.2f ms\n", br.storage_ms.Percentile(50),
+                br.storage_ms.Percentile(99));
+    std::printf("  rule scan:  P50 %.2f ms  P99 %.2f ms\n", br.rule_scan_ms.Percentile(50),
+                br.rule_scan_ms.Percentile(99));
+  }
+  const auto takeovers = obs::TakeoverTimeline(tb.flight);
+  if (!takeovers.empty()) {
+    std::printf("\ntakeover timeline (%zu adoptions):\n", takeovers.size());
+    for (const obs::TakeoverRecord& t : takeovers) {
+      std::printf("  %10.3f ms  %-14s  flow %s:%u  adopter %s\n",
+                  sim::ToMillis(t.event.at), obs::EventTypeName(t.event.type),
+                  obs::FormatIp(t.flow.client_ip).c_str(), t.flow.client_port,
+                  obs::FormatIp(t.event.where).c_str());
+    }
+  }
+  if (tb.flight.dropped_flows() > 0 || tb.flight.overwritten_events() > 0) {
+    std::printf("\nrecorder bounds hit: %llu flows dropped, %llu events overwritten\n",
+                static_cast<unsigned long long>(tb.flight.dropped_flows()),
+                static_cast<unsigned long long>(tb.flight.overwritten_events()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool json = false;
+  bool metrics = false;
+  std::size_t max_flows = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--flows" && i + 1 < argc) {
+      max_flows = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s <scenario-file> [--json] [--metrics] [--flows N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s <scenario-file> [--json] [--metrics] [--flows N]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string error;
+  auto scenario = workload::ParseScenario(buf.str(), &error);
+  if (!scenario) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  workload::ScenarioReport report =
+      workload::RunScenario(*scenario, nullptr, [&](workload::Testbed& tb) {
+        if (json) {
+          return;  // The report string carries the full dump.
+        }
+        PrintFlowTimelines(tb, max_flows);
+        PrintSystemEvents(tb);
+        PrintAnalysis(tb);
+        if (metrics) {
+          std::printf("\n--- metrics registry ---\n%s", tb.metrics.TextTable().c_str());
+        }
+      });
+  if (json) {
+    std::fputs(report.traces_jsonl.c_str(), stdout);
+    if (metrics) {
+      std::fputs(report.metrics_jsonl.c_str(), stdout);
+    }
+  }
+  return 0;
+}
