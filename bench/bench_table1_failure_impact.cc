@@ -29,7 +29,25 @@ struct Outcome {
   double latency_s = 0;
   double baseline_s = 0;
   std::string metrics_table;  // Registry snapshot of the site's testbed.
+  std::string fault_timeline;  // kFaultInjected/kFaultCleared system events.
 };
+
+std::string FaultTimeline(const workload::Testbed& tb) {
+  std::string out;
+  for (const obs::TraceEvent& ev : tb.flight.system_events()) {
+    if (ev.type != obs::EventType::kFaultInjected &&
+        ev.type != obs::EventType::kFaultCleared) {
+      continue;
+    }
+    char line[128];
+    std::snprintf(line, sizeof(line), "  t=%8.1f ms  %s  %-12s @ %s\n", sim::ToMillis(ev.at),
+                  ev.type == obs::EventType::kFaultInjected ? "apply" : "clear",
+                  fault::FaultKindName(static_cast<fault::FaultKind>(ev.detail)),
+                  obs::FormatIp(ev.where).c_str());
+    out += line;
+  }
+  return out;
+}
 
 Outcome RunSite(const SiteProfile& site) {
   workload::TestbedConfig cfg;
@@ -83,8 +101,10 @@ Outcome RunSite(const SiteProfile& site) {
                                  done = true;
                                });
     tb.sim.RunUntil(tb.sim.now() + sim::Msec(160));
-    tb.proxies[0]->Fail();
-    tb.proxies[0]->Recover();  // Process restart: TCP state is gone.
+    // Through the fault plane: crash then immediate cold restart — the
+    // supervisor brings the process back with its TCP state gone.
+    tb.faults->CrashNode(tb.proxy_ip(0));
+    tb.faults->RestartNode(tb.proxy_ip(0), fault::FaultPlane::RestartMode::kCold);
   } else {
     tb.clients[0]->FetchPage(tb.proxy_ip(0), 80, page.html_url, page.embedded, opts,
                              [&](const workload::FetchResult& r) {
@@ -94,7 +114,7 @@ Outcome RunSite(const SiteProfile& site) {
     // Kill mid-page (one object's connection is established and in flight);
     // the proxy host stays down: packets blackhole until the HTTP timeout.
     tb.sim.RunUntil(tb.sim.now() + sim::Msec(400));
-    tb.FailProxy(0);
+    tb.faults->CrashNode(tb.proxy_ip(0));
   }
   tb.sim.Run();
   if (!done) {
@@ -106,6 +126,7 @@ Outcome RunSite(const SiteProfile& site) {
   out.reset = result.reset;
   out.latency_s = sim::ToSeconds(result.latency);
   out.metrics_table = tb.metrics.TextTable();
+  out.fault_timeline = FaultTimeline(tb);
   return out;
 }
 
@@ -128,9 +149,11 @@ int main() {
   std::printf("%-16s %-18s %-20s %-14s %-12s\n", "website", "paper impact",
               "measured impact", "load time (s)", "baseline (s)");
   std::string last_table;
+  std::string last_faults;
   for (const SiteProfile& site : sites) {
     Outcome out = RunSite(site);
     last_table = std::move(out.metrics_table);
+    last_faults = std::move(out.fault_timeline);
     std::string impact;
     if (out.reset) {
       impact = "session reset";
@@ -147,6 +170,8 @@ int main() {
   std::printf("\nMechanism check: page sites hang for the full browser HTTP timeout\n");
   std::printf("(blackholed proxy); session sites see an immediate RST from the\n");
   std::printf("restarted, state-less proxy process.\n");
+  std::printf("\n--- fault-plane timeline (last site's run, from the flight recorder) ---\n%s",
+              last_faults.c_str());
   std::printf("\n--- metrics registry snapshot (last site's run) ---\n%s", last_table.c_str());
   return 0;
 }

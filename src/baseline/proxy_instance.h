@@ -62,6 +62,8 @@ class ProxyInstance : public net::Node {
   bool failed() const { return failed_; }
 
   void HandlePacket(const net::Packet& packet) override;
+  // Cold restart (Network::RestartNode): the process comes back empty.
+  void OnColdRestart() override { Fail(); Recover(); }
 
   yoda::CpuModel& cpu() { return cpu_; }
   const ProxyStats& stats() const { return stats_; }

@@ -123,15 +123,56 @@ void Controller::MonitorTick() {
   if (monitor_ticks_ctr_ != nullptr) {
     monitor_ticks_ctr_->Inc();
   }
-  // Yoda instances: the monitor's ping is modelled as reachability.
+  // Yoda instances: the monitor's ping is a ProbePath probe (so fault-plane
+  // partitions and loss overlays cost it probes, but gray SYN-filters do
+  // not), folded through per-instance hysteresis.
   std::vector<YodaInstance*> failed;
   for (YodaInstance* i : active_) {
-    if (net_->IsDown(i->ip()) || i->failed()) {
+    HealthState& hs = health_[i->ip()];
+    if (ProbeInstance(i)) {
+      hs.miss_streak = 0;
+      continue;
+    }
+    ++hs.miss_streak;
+    if (hs.miss_streak >= cfg_.fail_after_misses) {
       failed.push_back(i);
+    } else {
+      SystemEvent(obs::EventType::kInstanceSuspected, i->ip(),
+                  static_cast<std::uint64_t>(hs.miss_streak));
+      Log("yoda instance " + net::IpToString(i->ip()) + " suspected (miss " +
+          std::to_string(hs.miss_streak) + "/" + std::to_string(cfg_.fail_after_misses) +
+          "); still pooled");
     }
   }
   for (YodaInstance* i : failed) {
     HandleInstanceFailure(i);
+  }
+
+  // Suspended instances: count healthy probes toward readmission.
+  if (cfg_.readmit_instances) {
+    for (auto it = suspended_.begin(); it != suspended_.end();) {
+      YodaInstance* i = *it;
+      HealthState& hs = health_[i->ip()];
+      if (!ProbeInstance(i)) {
+        hs.success_streak = 0;
+        ++it;
+        continue;
+      }
+      ++hs.success_streak;
+      if (hs.success_streak < hs.required_successes) {
+        ++it;
+        continue;
+      }
+      it = suspended_.erase(it);
+      hs.miss_streak = 0;
+      hs.success_streak = 0;
+      AddInstance(i);  // Reinstalls every VIP's rules + backend health.
+      ReprogramAllPools(/*staggered=*/false);
+      ++readmissions_;
+      SystemEvent(obs::EventType::kInstanceReadmitted, i->ip());
+      Log("yoda instance " + net::IpToString(i->ip()) + " readmitted after " +
+          std::to_string(hs.required_successes) + " healthy probes");
+    }
   }
 
   // Backend servers: health propagated to every instance's selection oracle.
@@ -172,6 +213,10 @@ void Controller::MonitorTick() {
   }
 }
 
+bool Controller::ProbeInstance(YodaInstance* instance) const {
+  return !instance->failed() && net_->ProbePath(/*src=*/0, instance->ip());
+}
+
 void Controller::HandleInstanceFailure(YodaInstance* instance) {
   ++detected_failures_;
   if (detected_failures_ctr_ != nullptr) {
@@ -185,6 +230,21 @@ void Controller::HandleInstanceFailure(YodaInstance* instance) {
   active_.erase(std::remove(active_.begin(), active_.end(), instance), active_.end());
   ReprogramAllPools(/*staggered=*/false);
   over_threshold_ticks_ = 0;
+  if (cfg_.readmit_instances) {
+    HealthState& hs = health_[instance->ip()];
+    hs.miss_streak = 0;
+    hs.success_streak = 0;
+    // Flap suppression: a repeat offender must prove itself for longer.
+    if (hs.required_successes > 0) {
+      ++hs.flaps;
+    }
+    int required = cfg_.readmit_after_successes;
+    for (int f = 0; f < hs.flaps && required < cfg_.readmit_penalty_cap; ++f) {
+      required *= 2;
+    }
+    hs.required_successes = std::min(required, cfg_.readmit_penalty_cap);
+    suspended_.push_back(instance);
+  }
 }
 
 void Controller::ActivateSpare() {

@@ -34,6 +34,19 @@ namespace yoda {
 struct ControllerConfig {
   sim::Duration monitor_interval = sim::Msec(600);
   sim::Duration mux_stagger = sim::Msec(50);
+  // Health-check hysteresis. An instance is declared dead only after this
+  // many CONSECUTIVE missed probes (1 = paper behavior: first miss kills).
+  // Probes ride Network::ProbePath, so a gray SYN-filter does not blind the
+  // monitor, but a lossy link or partition does cost it probes.
+  int fail_after_misses = 1;
+  // Readmission: when enabled, a removed instance is parked as "suspended"
+  // and re-pooled after this many consecutive healthy probes. Disabled keeps
+  // the paper's remove-forever semantics.
+  bool readmit_instances = false;
+  int readmit_after_successes = 2;
+  // Flap suppression: every failure after a readmission doubles the healthy
+  // streak required next time, capped at this many probes.
+  int readmit_penalty_cap = 8;
   bool auto_scale = false;
   double scale_out_cpu = 0.75;  // Mean utilization that triggers scale-out.
   int scale_out_step = 3;       // Instances added per trigger.
@@ -111,8 +124,10 @@ class Controller {
   void MonitorTick();
 
   std::vector<YodaInstance*> ActiveInstances() const { return active_; }
+  std::vector<YodaInstance*> SuspendedInstances() const { return suspended_; }
   const std::vector<ControllerEvent>& events() const { return events_; }
   int detected_failures() const { return detected_failures_; }
+  int readmissions() const { return readmissions_; }
 
  private:
   void Log(const std::string& what);
@@ -127,7 +142,19 @@ class Controller {
   l4lb::L4Fabric* fabric_;
   ControllerConfig cfg_;
 
+  // Per-instance probe hysteresis state, keyed by instance ip.
+  struct HealthState {
+    int miss_streak = 0;
+    int success_streak = 0;
+    int flaps = 0;  // Failures observed after at least one readmission.
+    int required_successes = 0;
+  };
+  bool ProbeInstance(YodaInstance* instance) const;
+
   std::vector<YodaInstance*> active_;
+  std::vector<YodaInstance*> suspended_;
+  std::map<net::IpAddr, HealthState> health_;
+  int readmissions_ = 0;
   std::vector<YodaInstance*> spares_;
   std::vector<kv::KvServer*> kv_servers_;
   std::vector<net::IpAddr> backends_;

@@ -37,6 +37,7 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
   ctr_.takeovers_client_side = counter("yoda.takeovers_client_side");
   ctr_.takeovers_server_side = counter("yoda.takeovers_server_side");
   ctr_.takeover_misses = counter("yoda.takeover_misses");
+  ctr_.takeover_retries = counter("yoda.takeover_retries");
   ctr_.packets_tunneled = counter("yoda.packets_tunneled");
   ctr_.reswitches = counter("yoda.reswitches");
   ctr_.rules_scanned_total = counter("yoda.rules_scanned_total");
@@ -79,6 +80,7 @@ YodaInstanceStats YodaInstance::stats() const {
   s.takeovers_client_side = ctr_.takeovers_client_side->value();
   s.takeovers_server_side = ctr_.takeovers_server_side->value();
   s.takeover_misses = ctr_.takeover_misses->value();
+  s.takeover_retries = ctr_.takeover_retries->value();
   s.packets_tunneled = ctr_.packets_tunneled->value();
   s.reswitches = ctr_.reswitches->value();
   s.rules_scanned_total = ctr_.rules_scanned_total->value();
@@ -148,6 +150,11 @@ void YodaInstance::Fail() {
 }
 
 void YodaInstance::Recover() { failed_ = false; }
+
+void YodaInstance::OnColdRestart() {
+  Fail();
+  Recover();
+}
 
 YodaInstance::VipState* YodaInstance::FindVip(net::IpAddr vip) {
   auto it = vips_.find(vip);
@@ -254,6 +261,8 @@ void YodaInstance::HandleClientSide(const net::Packet& p, VipState& vip) {
       rst.encap_dst = 0;
       EmitForwarded(std::move(rst));
     }
+    Trace(key, obs::EventType::kFlowReset,
+          static_cast<std::uint64_t>(obs::FlowResetReason::kClientAbort));
     CleanupFlow(key, /*remove_from_store=*/true);
     return;
   }
@@ -518,11 +527,14 @@ void YodaInstance::TrySelectAndConnect(const FlowKey& key, LocalFlow& flow, VipS
     rst.ack = flow.assembled_end;
     rst.flags = net::kRst | net::kAck;
     Emit(std::move(rst));
+    Trace(key, obs::EventType::kFlowReset,
+          static_cast<std::uint64_t>(obs::FlowResetReason::kNoBackend));
     CleanupFlow(key, /*remove_from_store=*/true);
     return;
   }
   Trace(key, obs::EventType::kBackendSelected,
         static_cast<std::uint64_t>(sel->rules_scanned));
+  Trace(key, obs::EventType::kBackendPinned, sel->backend.ip);
   BindStickyIfNeeded(vip, flow.parser.request(), sel->backend);
   flow.st.backend_ip = sel->backend.ip;
   flow.st.backend_port = sel->backend.port;
@@ -945,6 +957,7 @@ void YodaInstance::ReSwitch(const FlowKey& key, LocalFlow& flow, VipState& vip,
   flow.pending_request.clear();
   flow.assembled_end = flow.inspect_next_seq;
   flow.st.pipeline_request_ends.clear();
+  Trace(key, obs::EventType::kBackendPinned, new_backend.ip);
   SendServerSyn(key, flow);
   (void)vip;
 }
@@ -1090,6 +1103,7 @@ void YodaInstance::PromoteMirrorWinner(const FlowKey& key, LocalFlow& flow,
   flow.st.seq_delta_s2c = flow.client_facing_nxt - (leg.server_isn + 1);
   const net::FiveTuple winner_side{leg.ip, key.vip, leg.port, key.client_port};
   server_index_[winner_side] = key;
+  Trace(key, obs::EventType::kBackendPinned, leg.ip);
   store_->StoreTunnelingState(flow.st, [](bool) {});
   KillLosingLegs(key, flow, leg.ip);
   TunnelFromServer(key, flow, first_data);
@@ -1128,56 +1142,131 @@ void YodaInstance::TakeoverClientSide(const FlowKey& key, const net::Packet& p) 
   }
   auto flow = std::make_unique<LocalFlow>();
   flow->lookup_pending = true;
+  flow->last_packet = sim_->now();
   flow->stalled.push_back(p);
   flows_[key] = std::move(flow);
-  store_->LookupByClient(key.vip, key.vip_port, key.client_ip, key.client_port,
-                         [this, key](std::optional<FlowState> st) {
-                           if (failed_) {
-                             return;
-                           }
-                           LocalFlow* f = FindFlow(key);
-                           if (f == nullptr) {
-                             return;
-                           }
-                           if (!st) {
-                             ctr_.takeover_misses->Inc();
-                             flows_.erase(key);
-                             return;
-                           }
-                           ctr_.takeovers_client_side->Inc();
-                           Trace(key, obs::EventType::kTakeoverClient);
-                           AdoptFlow(key, *st);
-                         });
+  ClientTakeoverLookup(key, /*attempt=*/0);
+}
+
+void YodaInstance::ClientTakeoverLookup(const FlowKey& key, int attempt) {
+  store_->LookupByClient(
+      key.vip, key.vip_port, key.client_ip, key.client_port,
+      [this, key, attempt](std::optional<FlowState> st) {
+        if (failed_) {
+          return;
+        }
+        LocalFlow* f = FindFlow(key);
+        if (f == nullptr) {
+          return;
+        }
+        if (!st) {
+          // A miss may just mean a lagging or restarting replica: re-fetch
+          // with doubling backoff before giving up on the flow.
+          if (attempt < cfg_.takeover_retry_limit) {
+            ctr_.takeover_retries->Inc();
+            Trace(key, obs::EventType::kTakeoverRetry,
+                  static_cast<std::uint64_t>(attempt + 1));
+            sim::Duration backoff = cfg_.takeover_retry_backoff;
+            for (int i = 0; i < attempt; ++i) {
+              backoff *= 2;
+            }
+            sim_->After(backoff, [this, key, attempt]() {
+              if (failed_) {
+                return;
+              }
+              LocalFlow* f2 = FindFlow(key);
+              if (f2 == nullptr || !f2->lookup_pending) {
+                return;
+              }
+              ClientTakeoverLookup(key, attempt + 1);
+            });
+            return;
+          }
+          ctr_.takeover_misses->Inc();
+          ResetFlowToClient(key, obs::FlowResetReason::kTakeoverMiss);
+          return;
+        }
+        ctr_.takeovers_client_side->Inc();
+        Trace(key, obs::EventType::kTakeoverClient);
+        AdoptFlow(key, *st);
+      });
+}
+
+void YodaInstance::ResetFlowToClient(const FlowKey& key, obs::FlowResetReason reason) {
+  // An explicit RST beats a silent drop: the client learns immediately
+  // instead of retransmitting into a void until its own timers expire.
+  LocalFlow* f = FindFlow(key);
+  net::Packet rst;
+  rst.src = key.vip;
+  rst.sport = key.vip_port;
+  rst.dst = key.client_ip;
+  rst.dport = key.client_port;
+  rst.flags = net::kRst | net::kAck;
+  if (f != nullptr && !f->stalled.empty()) {
+    const net::Packet& last = f->stalled.back();
+    rst.seq = last.ack;
+    rst.ack = last.seq + last.SeqSpace();
+  }
+  Emit(std::move(rst));
+  Trace(key, obs::EventType::kFlowReset, static_cast<std::uint64_t>(reason));
+  flows_.erase(key);
 }
 
 void YodaInstance::TakeoverServerSide(const net::Packet& p, VipState& vip) {
-  // Server-side identity: (backend=src, bport=sport, vip=dst, cport=dport).
-  const net::FiveTuple tuple = p.tuple();
-  // A placeholder keyed only by the server tuple: the client key arrives
-  // with the flow state.
-  store_->LookupByServer(p.src, p.sport, p.dst, p.dport,
-                         [this, p](std::optional<FlowState> st) {
-                           if (failed_) {
-                             return;
-                           }
-                           if (!st || st->stage != FlowStage::kTunneling) {
-                             ctr_.takeover_misses->Inc();
-                             return;
-                           }
-                           ctr_.takeovers_server_side->Inc();
-                           const FlowKey key{st->vip, st->vip_port, st->client_ip,
-                                             st->client_port};
-                           Trace(key, obs::EventType::kTakeoverServer);
-                           if (FindFlow(key) == nullptr) {
-                             AdoptFlow(key, *st);
-                           }
-                           LocalFlow* f = FindFlow(key);
-                           if (f != nullptr && f->established) {
-                             TunnelFromServer(key, *f, p);
-                           }
-                         });
-  (void)tuple;
+  // Server-side identity: (backend=src, bport=sport, vip=dst, cport=dport);
+  // the client key arrives with the flow state.
+  ServerTakeoverLookup(p, /*attempt=*/0);
   (void)vip;
+}
+
+void YodaInstance::ServerTakeoverLookup(const net::Packet& p, int attempt) {
+  store_->LookupByServer(
+      p.src, p.sport, p.dst, p.dport, [this, p, attempt](std::optional<FlowState> st) {
+        if (failed_) {
+          return;
+        }
+        if (!st || st->stage != FlowStage::kTunneling) {
+          // RSTs for unknown flows are not worth recovering (and answering
+          // them with more RSTs would only make noise).
+          if (!p.rst() && attempt < cfg_.takeover_retry_limit) {
+            ctr_.takeover_retries->Inc();
+            sim::Duration backoff = cfg_.takeover_retry_backoff;
+            for (int i = 0; i < attempt; ++i) {
+              backoff *= 2;
+            }
+            sim_->After(backoff, [this, p, attempt]() {
+              if (!failed_) {
+                ServerTakeoverLookup(p, attempt + 1);
+              }
+            });
+            return;
+          }
+          ctr_.takeover_misses->Inc();
+          if (!p.rst()) {
+            // Final miss: reset the orphaned server leg so the backend does
+            // not hold the connection open forever.
+            net::Packet rst;
+            rst.src = p.dst;
+            rst.sport = p.dport;
+            rst.dst = p.src;
+            rst.dport = p.sport;
+            rst.seq = p.ack;
+            rst.flags = net::kRst;
+            Emit(std::move(rst));
+          }
+          return;
+        }
+        ctr_.takeovers_server_side->Inc();
+        const FlowKey key{st->vip, st->vip_port, st->client_ip, st->client_port};
+        Trace(key, obs::EventType::kTakeoverServer);
+        if (FindFlow(key) == nullptr) {
+          AdoptFlow(key, *st);
+        }
+        LocalFlow* f = FindFlow(key);
+        if (f != nullptr && f->established) {
+          TunnelFromServer(key, *f, p);
+        }
+      });
 }
 
 void YodaInstance::AdoptFlow(const FlowKey& key, const FlowState& st) {
@@ -1194,6 +1283,11 @@ void YodaInstance::AdoptFlow(const FlowKey& key, const FlowState& st) {
   flow->storage_a_done = true;
   flow->client_facing_nxt = st.lb_isn + 1;
   backend_load_[st.backend_ip] += st.stage == FlowStage::kTunneling ? 1 : 0;
+  if (st.backend_ip != 0) {
+    // The pin travelled with the flow state; re-assert it in the trace so
+    // pin-stability checks see the adopter agreeing with the original.
+    Trace(key, obs::EventType::kBackendPinned, st.backend_ip);
+  }
 
   if (st.stage == FlowStage::kTunneling) {
     flow->established = true;

@@ -67,6 +67,13 @@ struct YodaInstanceConfig {
   // Resend the server-side SYN if no SYN-ACK within this long.
   sim::Duration server_syn_timeout = sim::Sec(3);
   int server_syn_retries = 2;
+  // A TCPStore miss during takeover is treated as recoverable (the replica
+  // may be lagging or mid-restart): the lookup is re-issued up to this many
+  // times with doubling backoff. Only after the final miss is the flow
+  // explicitly reset toward the client (kFlowReset/kTakeoverMiss) instead of
+  // silently dropped. 0 restores the drop-on-first-miss behavior.
+  int takeover_retry_limit = 2;
+  sim::Duration takeover_retry_backoff = sim::Msec(5);
   std::uint32_t mss = 1400;
   // Inspect client bytes on HTTP/1.1 connections and re-switch backends
   // between requests (§5.2).
@@ -83,7 +90,8 @@ struct YodaInstanceStats {
   std::uint64_t flows_completed = 0;
   std::uint64_t takeovers_client_side = 0;
   std::uint64_t takeovers_server_side = 0;
-  std::uint64_t takeover_misses = 0;
+  std::uint64_t takeover_misses = 0;   // Final misses (after retries).
+  std::uint64_t takeover_retries = 0;  // Re-issued takeover lookups.
   std::uint64_t packets_tunneled = 0;
   std::uint64_t reswitches = 0;
   std::uint64_t rules_scanned_total = 0;
@@ -131,6 +139,9 @@ class YodaInstance : public net::Node {
 
   // net::Node.
   void HandlePacket(const net::Packet& packet) override;
+  // Cold restart (Network::RestartNode): the rebooted VM comes back with no
+  // flow state — exactly a Fail() followed by Recover().
+  void OnColdRestart() override;
 
   CpuModel& cpu() { return cpu_; }
   // Snapshot assembled from the registry counters (labelled with this
@@ -265,6 +276,11 @@ class YodaInstance : public net::Node {
   void TakeoverClientSide(const FlowKey& key, const net::Packet& p);
   void TakeoverServerSide(const net::Packet& p, VipState& vip);
   void AdoptFlow(const FlowKey& key, const FlowState& st);
+  // Bounded re-fetch plumbing for TCPStore misses during takeover.
+  void ClientTakeoverLookup(const FlowKey& key, int attempt);
+  void ServerTakeoverLookup(const net::Packet& p, int attempt);
+  // Explicit reset toward the client; removes the local flow entry.
+  void ResetFlowToClient(const FlowKey& key, obs::FlowResetReason reason);
 
   void LaunchMirrorLegs(const FlowKey& key, LocalFlow& flow);
   // Returns true if the packet was consumed as mirror-leg traffic.
@@ -314,6 +330,7 @@ class YodaInstance : public net::Node {
     obs::Counter* takeovers_client_side = nullptr;
     obs::Counter* takeovers_server_side = nullptr;
     obs::Counter* takeover_misses = nullptr;
+    obs::Counter* takeover_retries = nullptr;
     obs::Counter* packets_tunneled = nullptr;
     obs::Counter* reswitches = nullptr;
     obs::Counter* rules_scanned_total = nullptr;

@@ -1,0 +1,231 @@
+#include "src/fault/chaos.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace fault {
+namespace {
+
+// Flow label for violation messages.
+std::string FlowLabel(const obs::FlowId& id) {
+  std::ostringstream os;
+  os << net::IpToString(id.vip) << ':' << id.vip_port << '<'
+     << net::IpToString(id.client_ip) << ':' << id.client_port;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ChaosEpisode::Describe() const {
+  std::ostringstream os;
+  os << "t=[" << sim::ToMillis(at) << "ms," << sim::ToMillis(until) << "ms] "
+     << FaultKindName(kind) << " @ " << net::IpToString(target);
+  return os.str();
+}
+
+std::vector<ChaosEpisode> RandomSchedule(FaultPlane& plane, sim::Rng& rng,
+                                         const ChaosOptions& opts) {
+  // Kinds we can draw given the candidate lists.
+  std::vector<FaultKind> kinds;
+  if (!opts.links.empty()) {
+    kinds.push_back(FaultKind::kLinkLoss);
+    kinds.push_back(FaultKind::kPartition);
+  }
+  if (!opts.instances.empty()) {
+    kinds.push_back(FaultKind::kNodeDelay);
+    kinds.push_back(FaultKind::kGray);
+    if (opts.allow_crash) {
+      kinds.push_back(FaultKind::kCrash);
+    }
+  }
+  if (!opts.kv_nodes.empty()) {
+    kinds.push_back(FaultKind::kKvSlow);
+  }
+
+  std::vector<ChaosEpisode> episodes;
+  if (kinds.empty() || opts.episodes <= 0) {
+    return episodes;
+  }
+  // Crashed targets must not crash again before their restart fires.
+  std::map<net::IpAddr, sim::Time> crash_busy_until;
+
+  for (int i = 0; i < opts.episodes; ++i) {
+    ChaosEpisode ep;
+    ep.kind = kinds[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+    ep.at = opts.window_start +
+            static_cast<sim::Time>(rng.UniformInt(
+                0, static_cast<std::int64_t>(opts.window_end - opts.window_start)));
+    ep.until = ep.at + opts.min_duration +
+               static_cast<sim::Duration>(rng.UniformInt(
+                   0, static_cast<std::int64_t>(opts.max_duration - opts.min_duration)));
+
+    switch (ep.kind) {
+      case FaultKind::kLinkLoss: {
+        const auto& link = opts.links[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(opts.links.size()) - 1))];
+        const double p = 0.2 + 0.7 * rng.UniformDouble();
+        ep.target = link.first;
+        plane.Schedule(ep.at, [link, p](FaultPlane& fp) {
+          fp.SetLinkLoss(link.first, link.second, p);
+        });
+        plane.Schedule(ep.until, [link](FaultPlane& fp) {
+          fp.SetLinkLoss(link.first, link.second, 0);
+        });
+        break;
+      }
+      case FaultKind::kPartition: {
+        const auto& link = opts.links[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(opts.links.size()) - 1))];
+        ep.target = link.first;
+        plane.Schedule(ep.at, [link](FaultPlane& fp) {
+          fp.Partition(link.first, link.second);
+        });
+        plane.Schedule(ep.until, [link](FaultPlane& fp) {
+          fp.Heal(link.first, link.second);
+        });
+        break;
+      }
+      case FaultKind::kNodeDelay: {
+        ep.target = opts.instances[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(opts.instances.size()) - 1))];
+        const sim::Duration d =
+            sim::Msec(1) + static_cast<sim::Duration>(rng.UniformInt(0, sim::Msec(9)));
+        const net::IpAddr t = ep.target;
+        plane.Schedule(ep.at, [t, d](FaultPlane& fp) { fp.SetNodeDelay(t, d); });
+        plane.Schedule(ep.until, [t](FaultPlane& fp) { fp.SetNodeDelay(t, 0); });
+        break;
+      }
+      case FaultKind::kGray: {
+        ep.target = opts.instances[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(opts.instances.size()) - 1))];
+        const double p = 0.6 + 0.4 * rng.UniformDouble();
+        const net::IpAddr t = ep.target;
+        const std::string id = "chaos-gray-" + std::to_string(i);
+        // The classic gray failure: pure SYNs toward the instance die, while
+        // established traffic (and kAck-shaped health probes) pass.
+        auto pred = [t](const net::Packet& p) {
+          return p.dst == t && p.syn() && !p.ack_flag();
+        };
+        plane.Schedule(ep.at, [id, pred, p](FaultPlane& fp) { fp.SetGray(id, pred, p); });
+        plane.Schedule(ep.until, [id](FaultPlane& fp) { fp.ClearGray(id); });
+        break;
+      }
+      case FaultKind::kCrash: {
+        ep.target = opts.instances[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(opts.instances.size()) - 1))];
+        // No overlapping crash on the same target: shift past the pending
+        // restart (a deterministic adjustment, no extra draws).
+        const sim::Time busy = crash_busy_until[ep.target];
+        if (ep.at <= busy) {
+          const sim::Duration len = ep.until - ep.at;
+          ep.at = busy + sim::Msec(1);
+          ep.until = ep.at + len;
+        }
+        crash_busy_until[ep.target] = ep.until;
+        const bool cold = rng.Bernoulli(0.5);
+        const net::IpAddr t = ep.target;
+        plane.Schedule(ep.at, [t](FaultPlane& fp) { fp.CrashNode(t); });
+        plane.Schedule(ep.until, [t, cold](FaultPlane& fp) {
+          fp.RestartNode(t, cold ? FaultPlane::RestartMode::kCold
+                                 : FaultPlane::RestartMode::kWarm);
+        });
+        break;
+      }
+      case FaultKind::kKvSlow: {
+        ep.target = opts.kv_nodes[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(opts.kv_nodes.size()) - 1))];
+        const sim::Duration d =
+            sim::Msec(2) + static_cast<sim::Duration>(rng.UniformInt(0, sim::Msec(18)));
+        const net::IpAddr t = ep.target;
+        plane.Schedule(ep.at, [t, d](FaultPlane& fp) { fp.SlowKv(t, d); });
+        plane.Schedule(ep.until, [t](FaultPlane& fp) { fp.SlowKv(t, 0); });
+        break;
+      }
+      default:
+        break;
+    }
+    episodes.push_back(ep);
+  }
+  return episodes;
+}
+
+SoakReport CheckSoakInvariants(const obs::FlightRecorder& recorder,
+                               const SoakExpectations& expectations) {
+  SoakReport report;
+  recorder.ForEachFlow([&](const obs::FlowId& id, const std::vector<obs::TraceEvent>& events) {
+    ++report.flows_checked;
+    bool terminated = false;
+    bool touched_crashed = false;
+    bool admitted = false;
+    sim::Time prev = 0;
+    std::uint64_t pin = 0;
+    net::IpAddr pin_where = 0;
+    bool switch_since_pin = false;
+    bool takeover_since_pin = false;
+    for (const obs::TraceEvent& ev : events) {
+      if (ev.at < prev) {
+        report.violations.push_back("non-monotone timestamps in flow " + FlowLabel(id));
+      }
+      prev = ev.at;
+      if (expectations.crashed.contains(ev.where)) {
+        touched_crashed = true;
+      }
+      switch (ev.type) {
+        case obs::EventType::kClientSyn:
+          // A fresh SYN admission starts a new incarnation of this flow id
+          // (e.g. a retransmitted SYN landing on a survivor after its first
+          // owner died pre-SYN-ACK). Pin stability is per incarnation.
+          pin = 0;
+          switch_since_pin = false;
+          admitted = true;
+          break;
+        case obs::EventType::kTakeoverClient:
+        case obs::EventType::kTakeoverServer:
+          takeover_since_pin = true;
+          admitted = true;
+          break;
+        case obs::EventType::kCleanup:
+        case obs::EventType::kFlowReset:
+          terminated = true;
+          break;
+        case obs::EventType::kReSwitch:
+        case obs::EventType::kMirrorPromote:
+          switch_since_pin = true;
+          break;
+        case obs::EventType::kBackendPinned: {
+          // A pin may move only across an explicit re-switch/promote, or when
+          // the flow was taken over off a crashed instance — the pin may have
+          // died with the VM before reaching the TCPStore, in which case the
+          // adopter legitimately re-runs backend selection.
+          const bool crash_repin =
+              takeover_since_pin && expectations.crashed.contains(pin_where);
+          if (pin != 0 && ev.detail != pin && !switch_since_pin && !crash_repin) {
+            report.violations.push_back("backend pin changed without re-switch in flow " +
+                                        FlowLabel(id));
+          }
+          pin = ev.detail;
+          pin_where = ev.where;
+          switch_since_pin = false;
+          takeover_since_pin = false;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (terminated) {
+      ++report.terminated;
+    } else if (!admitted) {
+      ++report.not_admitted;  // Only mux-scope events: the SYN died en route.
+    } else if (touched_crashed) {
+      ++report.exempted;
+    } else {
+      report.violations.push_back("flow never terminated: " + FlowLabel(id));
+    }
+  });
+  return report;
+}
+
+}  // namespace fault

@@ -1,0 +1,90 @@
+// Chaos-soak building blocks: randomized (but seed-deterministic) fault
+// schedules, and post-hoc invariant checking over flight-recorder traces.
+//
+// RandomSchedule draws a whole fault timeline up front from the caller's Rng
+// — every episode's kind, target, start and duration — and installs it on a
+// FaultPlane via Schedule(). Because no draw happens at fire time, the same
+// seed always produces the same timeline no matter how the simulation
+// interleaves, which is what makes multi-seed soaks reproducible and
+// bisectable.
+//
+// CheckSoakInvariants replays a FlightRecorder and verifies the properties
+// the chaos soak asserts:
+//   - event timestamps are monotone within each flow;
+//   - every admitted flow reaches an explicit terminal event (kCleanup or
+//     kFlowReset) — flows whose last-known instance crashed are exempt (their
+//     state legitimately vanished with the VM);
+//   - a flow's backend pin (kBackendPinned detail) only changes across an
+//     intervening kReSwitch / kMirrorPromote — never silently mid-flow. Two
+//     exceptions reset the check: a second kClientSyn (a retransmitted SYN
+//     admitted by a survivor starts a new incarnation of the flow id), and a
+//     takeover off a crashed instance (the pin may have died with the VM
+//     before reaching the TCPStore, so the adopter re-runs selection).
+
+#ifndef SRC_FAULT_CHAOS_H_
+#define SRC_FAULT_CHAOS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fault/fault_plane.h"
+#include "src/obs/trace.h"
+#include "src/sim/random.h"
+
+namespace fault {
+
+struct ChaosOptions {
+  // Injection window: episodes start in [window_start, window_end].
+  sim::Time window_start = sim::Msec(50);
+  sim::Time window_end = sim::Msec(400);
+  // Number of fault episodes to draw.
+  int episodes = 6;
+  // Episode duration is uniform in [min_duration, max_duration].
+  sim::Duration min_duration = sim::Msec(5);
+  sim::Duration max_duration = sim::Msec(80);
+  // Candidate targets. Empty lists disable the corresponding fault kinds.
+  std::vector<net::IpAddr> instances;                        // crash/gray targets
+  std::vector<net::IpAddr> kv_nodes;                         // slowness targets
+  std::vector<std::pair<net::IpAddr, net::IpAddr>> links;    // loss/partition pairs
+  bool allow_crash = true;  // Instance crashes (cold or warm restart after).
+};
+
+// One drawn episode, for logging and debugging soak failures.
+struct ChaosEpisode {
+  sim::Time at = 0;
+  sim::Time until = 0;
+  FaultKind kind = FaultKind::kLinkLoss;
+  net::IpAddr target = 0;
+  std::string Describe() const;
+};
+
+// Draws `opts.episodes` fault episodes from `rng` and installs inject/clear
+// pairs on `plane`. Returns the drawn timeline (in draw order).
+std::vector<ChaosEpisode> RandomSchedule(FaultPlane& plane, sim::Rng& rng,
+                                         const ChaosOptions& opts);
+
+struct SoakExpectations {
+  // Instances that crashed during the run; flows last seen there are exempt
+  // from the must-terminate invariant.
+  std::set<net::IpAddr> crashed;
+};
+
+struct SoakReport {
+  std::vector<std::string> violations;
+  std::size_t flows_checked = 0;
+  std::size_t terminated = 0;    // Flows with an explicit terminal event.
+  std::size_t exempted = 0;      // Non-terminated flows excused by a crash.
+  std::size_t not_admitted = 0;  // Never reached an instance (SYN died en route);
+                                 // the must-terminate invariant does not apply.
+  bool ok() const { return violations.empty(); }
+};
+
+SoakReport CheckSoakInvariants(const obs::FlightRecorder& recorder,
+                               const SoakExpectations& expectations);
+
+}  // namespace fault
+
+#endif  // SRC_FAULT_CHAOS_H_

@@ -16,6 +16,16 @@ sim::Time KvServer::ScheduleOp() {
   return done;
 }
 
+void KvServer::Respond(std::function<void()> deliver) {
+  if (response_delay_ > 0) {
+    // Gray failure: the op already executed (store mutated, CPU charged);
+    // only the answer limps back late.
+    sim_->After(response_delay_, std::move(deliver));
+  } else {
+    deliver();
+  }
+}
+
 sim::Duration KvServer::QueueDelayNow() const {
   const sim::Time now = sim_->now();
   return busy_until_ > now ? busy_until_ - now : 0;
@@ -53,11 +63,11 @@ void KvServer::Get(const std::string& key, GetCallback cb) {
     auto it = items_.find(key);
     if (it == items_.end()) {
       ++stats_.misses;
-      cb(std::nullopt);
+      Respond([cb = std::move(cb)]() { cb(std::nullopt); });
     } else {
       ++stats_.hits;
       Touch(key);
-      cb(it->second.value);
+      Respond([cb = std::move(cb), value = it->second.value]() { cb(value); });
     }
   });
 }
@@ -82,7 +92,7 @@ void KvServer::Set(const std::string& key, std::string value, AckCallback cb) {
       it->second.value = std::move(value);
       Touch(key);
     }
-    cb(true);
+    Respond([cb = std::move(cb)]() { cb(true); });
   });
 }
 
@@ -101,9 +111,9 @@ void KvServer::Delete(const std::string& key, AckCallback cb) {
     if (it != items_.end()) {
       lru_.erase(it->second.lru_pos);
       items_.erase(it);
-      cb(true);
+      Respond([cb = std::move(cb)]() { cb(true); });
     } else {
-      cb(false);
+      Respond([cb = std::move(cb)]() { cb(false); });
     }
   });
 }

@@ -62,6 +62,13 @@ class KvServer {
   void Recover();
   bool failed() const { return failed_; }
 
+  // Gray failure: the server keeps answering, but every response is delayed
+  // by `d` on top of queueing + service time (models a replica with a sick
+  // disk or a saturated NIC). 0 clears. The queue itself is unaffected, so
+  // CPU accounting (Fig 11) stays truthful.
+  void set_response_delay(sim::Duration d) { response_delay_ = d; }
+  sim::Duration response_delay() const { return response_delay_; }
+
   std::size_t item_count() const { return items_.size(); }
   const KvServerStats& stats() const { return stats_; }
 
@@ -76,6 +83,8 @@ class KvServer {
  private:
   // Returns the completion time for an op submitted now.
   sim::Time ScheduleOp();
+  // Delivers a response now, or after response_delay_ when gray-slow.
+  void Respond(std::function<void()> deliver);
   void Touch(const std::string& key);
   void EvictIfNeeded();
 
@@ -93,6 +102,7 @@ class KvServer {
   std::list<std::string> lru_;  // Front = most recently used.
 
   sim::Time busy_until_ = 0;
+  sim::Duration response_delay_ = 0;
   sim::UtilizationTracker cpu_{1.0};
   KvServerStats stats_;
 };

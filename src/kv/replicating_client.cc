@@ -5,16 +5,51 @@
 namespace kv {
 namespace {
 
-// Book-keeping for one fan-out operation: fires `done` exactly once, after
-// all replicas answered or the timeout fired.
-struct FanOut {
+// Book-keeping for one write (Set/Delete) attempt: fires `done` exactly once,
+// after all replicas answered or the timeout fired.
+struct WriteOp {
   int outstanding = 0;
   int acks = 0;
   bool finished = false;
-  std::optional<std::string> value;
 };
 
+void Bump(obs::Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) {
+    c->Add(n);
+  }
+}
+
 }  // namespace
+
+// One in-flight Get attempt across the key's replicas.
+struct ReplicatingClient::GetOp {
+  struct Slot {
+    KvServer* server = nullptr;
+    bool started = false;
+    bool answered = false;
+    bool hit = false;
+    bool hedged = false;  // Launched by the hedge timer (not by a miss).
+  };
+
+  std::string key;
+  std::vector<Slot> slots;
+  int started = 0;
+  int answered = 0;
+  bool finished = false;
+  bool timed_out = false;  // Some queried replica exhausted its op_timeout.
+  std::optional<std::string> value;
+  int winner = -1;
+  std::function<void(std::optional<std::string>, bool indefinite)> done;
+
+  int NextUnstarted() const {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].started) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
 
 ReplicatingClient::ReplicatingClient(sim::Simulator* simulator, std::vector<KvServer*> servers,
                                      ReplicatingClientConfig config)
@@ -28,6 +63,10 @@ ReplicatingClient::ReplicatingClient(sim::Simulator* simulator, std::vector<KvSe
     ctr_.sets = &cfg_.registry->GetCounter("kv.client.sets");
     ctr_.deletes = &cfg_.registry->GetCounter("kv.client.deletes");
     ctr_.replica_timeouts = &cfg_.registry->GetCounter("kv.client.replica_timeouts");
+    ctr_.retries = &cfg_.registry->GetCounter("kv.client.retries");
+    ctr_.hedged_gets = &cfg_.registry->GetCounter("kv.client.hedged_gets");
+    ctr_.hedge_wins = &cfg_.registry->GetCounter("kv.client.hedge_wins");
+    ctr_.read_repairs = &cfg_.registry->GetCounter("kv.client.read_repairs");
     ctr_.get_latency_us = &cfg_.registry->GetHistogram("kv.client.get_latency_us");
     ctr_.set_latency_us = &cfg_.registry->GetHistogram("kv.client.set_latency_us");
     ctr_.delete_latency_us = &cfg_.registry->GetHistogram("kv.client.delete_latency_us");
@@ -42,32 +81,39 @@ std::vector<KvServer*> ReplicatingClient::ReplicasFor(const std::string& key) co
   return out;
 }
 
-void ReplicatingClient::Set(const std::string& key, std::string value, AckCallback cb) {
-  ++stats_.sets;
-  if (ctr_.sets != nullptr) {
-    ctr_.sets->Inc();
+sim::Duration ReplicatingClient::BackoffFor(int attempt) const {
+  sim::Duration d = cfg_.retry_backoff;
+  for (int i = 0; i < attempt; ++i) {
+    d *= 2;
   }
-  const sim::Time start = sim_->now();
+  return d;
+}
+
+void ReplicatingClient::CountReplicaTimeouts(std::uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  stats_.replica_timeouts += n;
+  Bump(ctr_.replica_timeouts, n);
+}
+
+// --- writes -----------------------------------------------------------------
+
+void ReplicatingClient::SetAttempt(const std::string& key, const std::string& value,
+                                   std::function<void(bool, bool)> done) {
   auto replicas = ReplicasFor(key);
-  auto state = std::make_shared<FanOut>();
+  if (replicas.empty()) {
+    done(false, false);
+    return;
+  }
+  auto state = std::make_shared<WriteOp>();
   state->outstanding = static_cast<int>(replicas.size());
-  auto finish = [this, state, start, cb](bool timed_out) {
+  auto finish = [state, done = std::move(done)](bool timed_out) {
     if (state->finished) {
       return;
     }
-    if (timed_out) {
-      ++stats_.replica_timeouts;
-      if (ctr_.replica_timeouts != nullptr) {
-        ctr_.replica_timeouts->Inc();
-      }
-    }
     state->finished = true;
-    const double us = sim::ToMicros(sim_->now() - start);
-    stats_.set_latency_us.Add(us);
-    if (ctr_.set_latency_us != nullptr) {
-      ctr_.set_latency_us->Add(us);
-    }
-    cb(state->acks > 0);
+    done(state->acks > 0, timed_out && state->acks == 0);
   };
   for (KvServer* server : replicas) {
     // Request travels one network delay; the ack travels one back.
@@ -82,94 +128,31 @@ void ReplicatingClient::Set(const std::string& key, std::string value, AckCallba
       });
     });
   }
-  sim_->After(cfg_.op_timeout, [state, finish]() {
-    if (!state->finished && state->outstanding > 0) {
-      finish(true);
-    }
+  sim_->After(cfg_.op_timeout, [this, state, finish]() {
+    // Attribution: replicas still silent when the deadline passed, whether or
+    // not the op itself already completed off the others.
+    CountReplicaTimeouts(static_cast<std::uint64_t>(state->outstanding > 0 ? state->outstanding : 0));
+    finish(true);
   });
-  if (replicas.empty()) {
-    cb(false);
-  }
 }
 
-void ReplicatingClient::Get(const std::string& key, GetCallback cb) {
-  ++stats_.gets;
-  if (ctr_.gets != nullptr) {
-    ctr_.gets->Inc();
-  }
-  const sim::Time start = sim_->now();
+void ReplicatingClient::DeleteAttempt(const std::string& key,
+                                      std::function<void(bool, bool)> done) {
   auto replicas = ReplicasFor(key);
-  auto state = std::make_shared<FanOut>();
+  if (replicas.empty()) {
+    done(false, false);
+    return;
+  }
+  auto state = std::make_shared<WriteOp>();
   state->outstanding = static_cast<int>(replicas.size());
-  auto finish = [this, state, start, cb](bool timed_out) {
+  // `acks` counts replicas that actually deleted something; a unanimous
+  // "not found" is a definitive false, not grounds for a retry.
+  auto finish = [state, done = std::move(done)](bool timed_out) {
     if (state->finished) {
       return;
     }
-    if (timed_out) {
-      ++stats_.replica_timeouts;
-      if (ctr_.replica_timeouts != nullptr) {
-        ctr_.replica_timeouts->Inc();
-      }
-    }
     state->finished = true;
-    const double us = sim::ToMicros(sim_->now() - start);
-    stats_.get_latency_us.Add(us);
-    if (ctr_.get_latency_us != nullptr) {
-      ctr_.get_latency_us->Add(us);
-    }
-    cb(state->value);
-  };
-  for (KvServer* server : replicas) {
-    sim_->After(cfg_.network_delay, [this, server, key, state, finish]() {
-      server->Get(key, [this, state, finish](std::optional<std::string> v) {
-        sim_->After(cfg_.network_delay, [state, finish, v = std::move(v)]() {
-          --state->outstanding;
-          if (v.has_value()) {
-            state->value = std::move(v);
-            finish(false);  // First hit wins.
-          } else if (state->outstanding == 0) {
-            finish(false);  // All replicas answered; miss.
-          }
-        });
-      });
-    });
-  }
-  sim_->After(cfg_.op_timeout, [state, finish]() {
-    if (!state->finished) {
-      finish(true);
-    }
-  });
-  if (replicas.empty()) {
-    cb(std::nullopt);
-  }
-}
-
-void ReplicatingClient::Delete(const std::string& key, AckCallback cb) {
-  ++stats_.deletes;
-  if (ctr_.deletes != nullptr) {
-    ctr_.deletes->Inc();
-  }
-  const sim::Time start = sim_->now();
-  auto replicas = ReplicasFor(key);
-  auto state = std::make_shared<FanOut>();
-  state->outstanding = static_cast<int>(replicas.size());
-  auto finish = [this, state, start, cb](bool timed_out) {
-    if (state->finished) {
-      return;
-    }
-    if (timed_out) {
-      ++stats_.replica_timeouts;
-      if (ctr_.replica_timeouts != nullptr) {
-        ctr_.replica_timeouts->Inc();
-      }
-    }
-    state->finished = true;
-    const double us = sim::ToMicros(sim_->now() - start);
-    stats_.delete_latency_us.Add(us);
-    if (ctr_.delete_latency_us != nullptr) {
-      ctr_.delete_latency_us->Add(us);
-    }
-    cb(state->acks > 0);
+    done(state->acks > 0, timed_out && state->acks == 0);
   };
   for (KvServer* server : replicas) {
     sim_->After(cfg_.network_delay, [this, server, key, state, finish]() {
@@ -185,14 +168,245 @@ void ReplicatingClient::Delete(const std::string& key, AckCallback cb) {
       });
     });
   }
-  sim_->After(cfg_.op_timeout, [state, finish]() {
-    if (!state->finished && state->outstanding > 0) {
-      finish(true);
+  sim_->After(cfg_.op_timeout, [this, state, finish]() {
+    CountReplicaTimeouts(static_cast<std::uint64_t>(state->outstanding > 0 ? state->outstanding : 0));
+    finish(true);
+  });
+}
+
+void ReplicatingClient::RunSet(const std::string& key, const std::string& value, int attempt,
+                               sim::Time start, AckCallback cb) {
+  SetAttempt(key, value, [this, key, value, attempt, start, cb](bool ok, bool indefinite) {
+    if (!ok && indefinite && attempt < cfg_.max_retries) {
+      ++stats_.retries;
+      Bump(ctr_.retries);
+      sim_->After(BackoffFor(attempt), [this, key, value, attempt, start, cb]() {
+        RunSet(key, value, attempt + 1, start, cb);
+      });
+      return;
+    }
+    const double us = sim::ToMicros(sim_->now() - start);
+    stats_.set_latency_us.Add(us);
+    if (ctr_.set_latency_us != nullptr) {
+      ctr_.set_latency_us->Add(us);
+    }
+    cb(ok);
+  });
+}
+
+void ReplicatingClient::RunDelete(const std::string& key, int attempt, sim::Time start,
+                                  AckCallback cb) {
+  DeleteAttempt(key, [this, key, attempt, start, cb](bool ok, bool indefinite) {
+    if (!ok && indefinite && attempt < cfg_.max_retries) {
+      ++stats_.retries;
+      Bump(ctr_.retries);
+      sim_->After(BackoffFor(attempt), [this, key, attempt, start, cb]() {
+        RunDelete(key, attempt + 1, start, cb);
+      });
+      return;
+    }
+    const double us = sim::ToMicros(sim_->now() - start);
+    stats_.delete_latency_us.Add(us);
+    if (ctr_.delete_latency_us != nullptr) {
+      ctr_.delete_latency_us->Add(us);
+    }
+    cb(ok);
+  });
+}
+
+void ReplicatingClient::Set(const std::string& key, std::string value, AckCallback cb) {
+  ++stats_.sets;
+  Bump(ctr_.sets);
+  RunSet(key, value, 0, sim_->now(), std::move(cb));
+}
+
+void ReplicatingClient::Delete(const std::string& key, AckCallback cb) {
+  ++stats_.deletes;
+  Bump(ctr_.deletes);
+  RunDelete(key, 0, sim_->now(), std::move(cb));
+}
+
+// --- reads ------------------------------------------------------------------
+
+void ReplicatingClient::StartGetSlot(const std::shared_ptr<GetOp>& op, std::size_t i,
+                                     bool hedged) {
+  GetOp::Slot& slot = op->slots[i];
+  slot.started = true;
+  slot.hedged = hedged;
+  ++op->started;
+  if (hedged) {
+    ++stats_.hedged_gets;
+    Bump(ctr_.hedged_gets);
+  }
+  if (cfg_.read_mode == ReadMode::kSingle) {
+    // Sequential baseline: each replica gets the full op_timeout to itself.
+    sim_->After(cfg_.op_timeout, [this, op, i]() {
+      if (op->slots[i].answered) {
+        return;
+      }
+      CountReplicaTimeouts(1);
+      if (op->finished) {
+        return;
+      }
+      op->timed_out = true;
+      const int next = op->NextUnstarted();
+      if (next >= 0) {
+        StartGetSlot(op, static_cast<std::size_t>(next), false);
+      } else {
+        FinishGet(op);
+      }
+    });
+  }
+  sim_->After(cfg_.network_delay, [this, op, i]() {
+    op->slots[i].server->Get(op->key, [this, op, i](std::optional<std::string> v) {
+      sim_->After(cfg_.network_delay, [this, op, i, v = std::move(v)]() {
+        OnGetAnswer(op, i, std::move(v));
+      });
+    });
+  });
+}
+
+void ReplicatingClient::OnGetAnswer(const std::shared_ptr<GetOp>& op, std::size_t i,
+                                    std::optional<std::string> v) {
+  GetOp::Slot& slot = op->slots[i];
+  slot.answered = true;
+  slot.hit = v.has_value();
+  ++op->answered;
+  if (op->finished) {
+    return;  // Late answer; recorded only for timeout attribution.
+  }
+  if (v.has_value()) {
+    op->value = std::move(v);
+    op->winner = static_cast<int>(i);
+    FinishGet(op);
+    return;
+  }
+  // Definitive miss from this replica.
+  if (cfg_.read_mode != ReadMode::kFanout) {
+    const int next = op->NextUnstarted();
+    if (next >= 0) {
+      StartGetSlot(op, static_cast<std::size_t>(next), false);
+      return;
+    }
+  }
+  if (op->answered == op->started &&
+      op->started == static_cast<int>(op->slots.size())) {
+    FinishGet(op);  // Every replica answered; clean miss.
+  }
+}
+
+void ReplicatingClient::FinishGet(const std::shared_ptr<GetOp>& op) {
+  op->finished = true;
+  if (op->value.has_value()) {
+    if (op->winner >= 0 && op->slots[static_cast<std::size_t>(op->winner)].hedged) {
+      ++stats_.hedge_wins;
+      Bump(ctr_.hedge_wins);
+    }
+    if (cfg_.read_repair) {
+      // Heal replicas that definitively missed (a silent replica may just be
+      // down; writing at it would teach us nothing).
+      for (GetOp::Slot& slot : op->slots) {
+        if (slot.started && slot.answered && !slot.hit) {
+          ++stats_.read_repairs;
+          Bump(ctr_.read_repairs);
+          KvServer* server = slot.server;
+          sim_->After(cfg_.network_delay,
+                      [server, key = op->key, value = *op->value]() {
+                        server->Set(key, value, [](bool) {});
+                      });
+        }
+      }
+    }
+  }
+  op->done(op->value, !op->value.has_value() && op->timed_out);
+}
+
+void ReplicatingClient::GetAttempt(const std::string& key,
+                                   std::function<void(std::optional<std::string>, bool)> done) {
+  auto replicas = ReplicasFor(key);
+  if (replicas.empty()) {
+    done(std::nullopt, false);
+    return;
+  }
+  auto op = std::make_shared<GetOp>();
+  op->key = key;
+  op->done = std::move(done);
+  op->slots.reserve(replicas.size());
+  for (KvServer* server : replicas) {
+    op->slots.push_back(GetOp::Slot{server});
+  }
+  switch (cfg_.read_mode) {
+    case ReadMode::kFanout:
+      for (std::size_t i = 0; i < op->slots.size(); ++i) {
+        StartGetSlot(op, i, false);
+      }
+      break;
+    case ReadMode::kSingle:
+      StartGetSlot(op, 0, false);  // Per-slot timeouts armed in StartGetSlot.
+      return;
+    case ReadMode::kHedged: {
+      StartGetSlot(op, 0, false);
+      // Hedge chain: every hedge_delay of overall silence launches one more
+      // replica, until an answer arrives or the replicas run out.
+      auto arm_hedge = std::make_shared<std::function<void()>>();
+      *arm_hedge = [this, op, arm_hedge]() {
+        sim_->After(cfg_.hedge_delay, [this, op, arm_hedge]() {
+          if (op->finished) {
+            return;
+          }
+          const int next = op->NextUnstarted();
+          if (next < 0) {
+            return;
+          }
+          StartGetSlot(op, static_cast<std::size_t>(next), true);
+          (*arm_hedge)();
+        });
+      };
+      (*arm_hedge)();
+      break;
+    }
+  }
+  // Shared deadline for the parallel modes (kSingle pays per slot instead).
+  sim_->After(cfg_.op_timeout, [this, op]() {
+    std::uint64_t silent = 0;
+    for (const GetOp::Slot& slot : op->slots) {
+      if (slot.started && !slot.answered) {
+        ++silent;
+      }
+    }
+    CountReplicaTimeouts(silent);
+    if (!op->finished) {
+      op->timed_out = true;
+      FinishGet(op);
     }
   });
-  if (replicas.empty()) {
-    cb(false);
-  }
+}
+
+void ReplicatingClient::RunGet(const std::string& key, int attempt, sim::Time start,
+                               GetCallback cb) {
+  GetAttempt(key, [this, key, attempt, start, cb](std::optional<std::string> v,
+                                                  bool indefinite) {
+    if (!v.has_value() && indefinite && attempt < cfg_.max_retries) {
+      ++stats_.retries;
+      Bump(ctr_.retries);
+      sim_->After(BackoffFor(attempt), [this, key, attempt, start, cb]() {
+        RunGet(key, attempt + 1, start, cb);
+      });
+      return;
+    }
+    const double us = sim::ToMicros(sim_->now() - start);
+    stats_.get_latency_us.Add(us);
+    if (ctr_.get_latency_us != nullptr) {
+      ctr_.get_latency_us->Add(us);
+    }
+    cb(std::move(v));
+  });
+}
+
+void ReplicatingClient::Get(const std::string& key, GetCallback cb) {
+  ++stats_.gets;
+  Bump(ctr_.gets);
+  RunGet(key, 0, sim_->now(), std::move(cb));
 }
 
 }  // namespace kv

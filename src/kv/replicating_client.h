@@ -8,10 +8,24 @@
 //   - Set/Delete: callback fires when every replica acked or timed out;
 //     ok == at least one replica acked.
 //   - Get: callback fires with the first hit; a miss is reported only after
-//     all replicas answered (or timed out) without a hit.
+//     all queried replicas answered (or timed out) without a hit.
 //
-// There is no re-replication on server failure (paper: "flows finish quicker
-// than the replication latency").
+// Degraded-mode hardening (off by default so the paper-faithful behavior is
+// unchanged):
+//   - Read modes: kFanout (paper default — all replicas in parallel),
+//     kSingle (one replica at a time, advancing only on answer or full
+//     op_timeout: the timeout-only baseline), kHedged (start one replica,
+//     launch the next if no answer within hedge_delay — cuts the tail when a
+//     replica is slow or dead without doubling steady-state load).
+//   - Per-op retry with exponential backoff (max_retries > 0): an op that
+//     ends with no definitive answer (no ack / timed-out miss) is re-issued
+//     after retry_backoff, doubling per attempt.
+//   - Read repair (read_repair = true): a Get hit re-installs the value on
+//     replicas that answered "miss", healing a cold-restarted replica.
+//
+// There is no background re-replication on server failure (paper: "flows
+// finish quicker than the replication latency"); read repair is the only —
+// request-driven — healing path.
 
 #ifndef SRC_KV_REPLICATING_CLIENT_H_
 #define SRC_KV_REPLICATING_CLIENT_H_
@@ -31,6 +45,13 @@
 
 namespace kv {
 
+// How Get spreads load across the key's replicas.
+enum class ReadMode : std::uint8_t {
+  kFanout = 0,  // All replicas in parallel; first hit wins (paper behavior).
+  kSingle = 1,  // Sequential; each replica gets the full op_timeout.
+  kHedged = 2,  // Sequential, but the next replica starts after hedge_delay.
+};
+
 struct ReplicatingClientConfig {
   int replicas = 2;
   // One-way client<->server network delay per op message (includes kernel
@@ -39,6 +60,16 @@ struct ReplicatingClientConfig {
   sim::Duration network_delay = sim::Usec(200);
   // Deadline after which an unresponsive replica counts as failed.
   sim::Duration op_timeout = sim::Msec(50);
+  // Read spreading; see ReadMode.
+  ReadMode read_mode = ReadMode::kFanout;
+  // kHedged only: silence interval before the next replica is queried.
+  sim::Duration hedge_delay = sim::Msec(5);
+  // Re-issues per op after an indefinite outcome (0 = paper behavior).
+  int max_retries = 0;
+  // First retry delay; doubles per subsequent attempt.
+  sim::Duration retry_backoff = sim::Msec(2);
+  // Re-install a Get hit on replicas that answered "miss".
+  bool read_repair = false;
   // Optional metrics sink: mirrors op counts and latency histograms into
   // "kv.client.*" instruments.
   obs::Registry* registry = nullptr;
@@ -48,7 +79,14 @@ struct ClientOpStats {
   std::uint64_t gets = 0;
   std::uint64_t sets = 0;
   std::uint64_t deletes = 0;
+  // Replica attempts (not ops) still unanswered when their op_timeout
+  // elapsed — per-replica attribution, counted even when the op itself
+  // finished early off another replica.
   std::uint64_t replica_timeouts = 0;
+  std::uint64_t retries = 0;       // Re-issued ops (any type).
+  std::uint64_t hedged_gets = 0;   // Hedge legs actually launched.
+  std::uint64_t hedge_wins = 0;    // Gets whose winning hit came from a hedge leg.
+  std::uint64_t read_repairs = 0;  // Replicas healed by read repair.
   sim::Histogram get_latency_us;
   sim::Histogram set_latency_us;
   sim::Histogram delete_latency_us;
@@ -75,12 +113,41 @@ class ReplicatingClient {
   const ReplicatingClientConfig& config() const { return cfg_; }
 
  private:
+  // One attempt = one round over the replicas. The bool pair is
+  // (ok/hit, indefinite): `indefinite` means no replica gave a definitive
+  // answer, which is what retries key on.
+  void SetAttempt(const std::string& key, const std::string& value,
+                  std::function<void(bool ok, bool indefinite)> done);
+  void DeleteAttempt(const std::string& key,
+                     std::function<void(bool ok, bool indefinite)> done);
+  void GetAttempt(const std::string& key,
+                  std::function<void(std::optional<std::string>, bool indefinite)> done);
+
+  void RunSet(const std::string& key, const std::string& value, int attempt,
+              sim::Time start, AckCallback cb);
+  void RunDelete(const std::string& key, int attempt, sim::Time start, AckCallback cb);
+  void RunGet(const std::string& key, int attempt, sim::Time start, GetCallback cb);
+
+  // One in-flight Get attempt (defined in the .cc).
+  struct GetOp;
+  void StartGetSlot(const std::shared_ptr<GetOp>& op, std::size_t i, bool hedged);
+  void OnGetAnswer(const std::shared_ptr<GetOp>& op, std::size_t i,
+                   std::optional<std::string> v);
+  void FinishGet(const std::shared_ptr<GetOp>& op);
+
+  sim::Duration BackoffFor(int attempt) const;
+  void CountReplicaTimeouts(std::uint64_t n);
+
   // Registry mirrors of the stats struct (null without a registry).
   struct StatCounters {
     obs::Counter* gets = nullptr;
     obs::Counter* sets = nullptr;
     obs::Counter* deletes = nullptr;
     obs::Counter* replica_timeouts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* hedged_gets = nullptr;
+    obs::Counter* hedge_wins = nullptr;
+    obs::Counter* read_repairs = nullptr;
     sim::Histogram* get_latency_us = nullptr;
     sim::Histogram* set_latency_us = nullptr;
     sim::Histogram* delete_latency_us = nullptr;

@@ -37,6 +37,31 @@ void Network::SetNodeDown(IpAddr ip, bool down) {
   }
 }
 
+void Network::RestartNode(IpAddr ip) {
+  auto it = nodes_.find(ip);
+  if (it == nodes_.end()) {
+    return;
+  }
+  it->second->OnColdRestart();
+  down_.erase(ip);
+}
+
+bool Network::ProbePath(IpAddr src, IpAddr dst) {
+  if (!nodes_.contains(dst) || down_.contains(dst)) {
+    return false;
+  }
+  if (fault_hook_) {
+    Packet probe;
+    probe.src = src;
+    probe.dst = dst;
+    probe.flags = kAck;  // Plain keep-alive shape; gray SYN-filters miss it.
+    if (fault_hook_(probe, dst).drop) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void Network::SetLatency(Region a, Region b, sim::Duration base, sim::Duration jitter) {
   latency_[RegionPairKey(a, b)] = LatencySpec{base, jitter};
 }
@@ -64,16 +89,28 @@ void Network::Send(Packet packet) {
   if (packet.trace_id == 0) {
     packet.trace_id = next_trace_id_++;
   }
+  const IpAddr route_dst = packet.encap_dst != 0 ? packet.encap_dst : packet.dst;
+  // The fault hook runs first (the cut cable beats the weather) and with its
+  // own RNG, so a hook that never fires leaves the network's conditional
+  // draws — loss only when loss_rate_ > 0, jitter only when the pair's
+  // jitter > 0 — exactly where a hook-less run would have them.
+  FaultVerdict fault;
+  if (fault_hook_) {
+    fault = fault_hook_(packet, route_dst);
+    if (fault.drop) {
+      ++stats_.dropped_fault;
+      return;
+    }
+  }
   if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
     ++stats_.dropped_loss;
     return;
   }
-  const IpAddr route_dst = packet.encap_dst != 0 ? packet.encap_dst : packet.dst;
   // Encapsulated packets are forwarded by the L4 mux, which lives in the
   // datacenter — the inner source's region must not be charged again.
   const Region src_region =
       packet.encap_dst != 0 ? Region::kDatacenter : RegionOf(packet.src);
-  const sim::Duration latency = DeliveryLatency(src_region, route_dst);
+  const sim::Duration latency = DeliveryLatency(src_region, route_dst) + fault.extra_delay;
   sim_->After(latency, [this, route_dst, p = std::move(packet)]() {
     auto it = nodes_.find(route_dst);
     if (it == nodes_.end()) {

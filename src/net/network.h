@@ -29,6 +29,10 @@ class Node {
  public:
   virtual ~Node() = default;
   virtual void HandlePacket(const Packet& packet) = 0;
+  // Invoked by Network::RestartNode before the node is revived: a cold
+  // restart (rebooted VM) must drop all volatile per-connection state. The
+  // default keeps everything (stateless nodes need no action).
+  virtual void OnColdRestart() {}
 };
 
 // Coarse placement used by the latency model.
@@ -43,6 +47,15 @@ struct NetworkStats {
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_down = 0;
   std::uint64_t dropped_unroutable = 0;
+  std::uint64_t dropped_fault = 0;  // Dropped by the fault-injection hook.
+};
+
+// Verdict of the fault-injection hook for one delivery attempt. The hook is
+// consulted once per Send, before the network's own loss draw; any extra
+// delay is added on top of the latency-model delivery time.
+struct FaultVerdict {
+  bool drop = false;
+  sim::Duration extra_delay = 0;
 };
 
 class Network {
@@ -58,8 +71,21 @@ class Network {
   bool IsAttached(IpAddr ip) const { return nodes_.contains(ip); }
 
   // Administrative up/down; a down node blackholes all traffic sent to it.
+  //
+  // Restart semantics: `SetNodeDown(ip, false)` is a WARM revive — the
+  // attached object keeps all of its state (models a healed partition or a
+  // process that was paused, not killed; established TCP connections
+  // survive). For a COLD restart (rebooted VM: endpoint state, flow tables
+  // and caches are gone) use RestartNode, which calls Node::OnColdRestart
+  // before reviving. Both are exposed so failure experiments can model
+  // either recovery mode explicitly.
   void SetNodeDown(IpAddr ip, bool down);
   bool IsDown(IpAddr ip) const { return down_.contains(ip); }
+
+  // Cold restart: clears the node's volatile state (Node::OnColdRestart),
+  // then revives it. The attachment itself survives — a rebooted VM comes
+  // back at the same address. No-op if nothing is attached at `ip`.
+  void RestartNode(IpAddr ip);
 
   // Latency model. Delivery latency = one-way base for the (src,dst) region
   // pair + uniform jitter in [0, jitter].
@@ -67,6 +93,24 @@ class Network {
 
   // Uniform random loss applied to every delivery (default 0).
   void set_loss_rate(double p) { loss_rate_ = p; }
+
+  // Fault-injection hook (see src/fault). Consulted once per Send with the
+  // packet and the resolved routing destination (outer encap header when
+  // present). Determinism contract: the network's own RNG draws are
+  // CONDITIONAL — the loss draw happens only when loss_rate_ > 0 and the
+  // jitter draw only when the region pair's jitter > 0 — and the hook must
+  // bring its own RNG (the fault plane does). Installing a hook that never
+  // fires therefore leaves a same-seed run bit-identical to a hook-less run;
+  // see net_test's determinism regression.
+  using FaultHook = std::function<FaultVerdict(const Packet&, IpAddr route_dst)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  // Control-plane probe: true if a minimal packet src -> dst would currently
+  // be delivered (dst attached, not down, and not dropped by the fault
+  // hook). Draws nothing from the network RNG; loss decisions come from the
+  // fault hook's own RNG, so probes are deterministic and do not perturb
+  // data-path draws. The monitor's health checks are built on this.
+  bool ProbePath(IpAddr src, IpAddr dst);
 
   // Sends `packet` toward packet.dst. Drops silently if unroutable/down/lost.
   void Send(Packet packet);
@@ -98,6 +142,7 @@ class Network {
   std::uint64_t next_trace_id_ = 1;
   NetworkStats stats_;
   TapFn tap_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace net

@@ -58,6 +58,20 @@ const char* EventTypeName(EventType type) {
       return "RuleUpdate";
     case EventType::kSpareActivated:
       return "SpareActivated";
+    case EventType::kBackendPinned:
+      return "BackendPinned";
+    case EventType::kFlowReset:
+      return "FlowReset";
+    case EventType::kTakeoverRetry:
+      return "TakeoverRetry";
+    case EventType::kInstanceSuspected:
+      return "InstanceSuspected";
+    case EventType::kInstanceReadmitted:
+      return "InstanceReadmitted";
+    case EventType::kFaultInjected:
+      return "FaultInjected";
+    case EventType::kFaultCleared:
+      return "FaultCleared";
   }
   return "Unknown";
 }

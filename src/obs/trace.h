@@ -60,6 +60,27 @@ enum class EventType : std::uint8_t {
                          // detail=pool size.
   kRuleUpdate,           // VIP rules swapped. where=vip, detail=rule count.
   kSpareActivated,       // Elastic scale-out activated a spare. where=instance.
+  // --- flow scope (failure-path hardening) ---
+  kBackendPinned,        // Flow's backend binding set. detail=backend ip. A
+                         // pin may only change after kReSwitch/kMirrorPromote.
+  kFlowReset,            // Flow explicitly reset toward the client/backend.
+                         // detail=reason (see FlowResetReason).
+  kTakeoverRetry,        // Takeover lookup missed; bounded re-fetch scheduled.
+                         // detail=attempt #.
+  // --- system scope (monitor hysteresis / fault plane) ---
+  kInstanceSuspected,    // Probe missed; instance still in pools. detail=miss #.
+  kInstanceReadmitted,   // Suspended instance probed healthy and re-pooled.
+  kFaultInjected,        // Fault plane applied a fault. where=target,
+                         // detail=fault kind.
+  kFaultCleared,         // Fault plane removed a fault. where=target,
+                         // detail=fault kind.
+};
+
+// detail payload of kFlowReset.
+enum class FlowResetReason : std::uint64_t {
+  kNoBackend = 1,        // No healthy backend for the request.
+  kTakeoverMiss = 2,     // TCPStore had no state after bounded re-fetches.
+  kClientAbort = 3,      // Client sent RST.
 };
 
 // Short stable name ("ClientSyn", "TakeoverClient", ...) for dumps.

@@ -20,6 +20,11 @@ void HttpServerNode::Fail() {
 
 void HttpServerNode::Recover() { failed_ = false; }
 
+void HttpServerNode::OnColdRestart() {
+  Fail();
+  Recover();
+}
+
 std::uint64_t HttpServerNode::DrainRequestCounter() {
   const std::uint64_t n = window_requests_;
   window_requests_ = 0;

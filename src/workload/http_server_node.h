@@ -50,6 +50,8 @@ class HttpServerNode : public net::Node {
   void Fail();
   void Recover();
   bool failed() const { return failed_; }
+  // Cold restart (Network::RestartNode): connections are gone, server is up.
+  void OnColdRestart() override;
 
   // Per-server tuning (e.g. a deliberately slow replica in mirroring tests).
   void set_processing_delay(sim::Duration d) { cfg_.processing_delay = d; }

@@ -94,6 +94,94 @@ Testbed::Testbed(TestbedConfig config)
   for (int i = 0; i < cfg.backends; ++i) {
     controller->AddBackend(backend_ip(i));
   }
+
+  // Fault plane last: it installs itself as the network's fault hook and
+  // needs the component lists above to route crash/restart/kv-slow events.
+  faults = std::make_unique<fault::FaultPlane>(&sim, &network, cfg.seed ^ 0x66617574ULL,
+                                               fault::FaultPlaneConfig{&flight});
+  faults->set_crash_handler([this](net::IpAddr ip) {
+    if (yoda::YodaInstance* inst = InstanceByIp(ip)) {
+      inst->Fail();
+    }
+    if (HttpServerNode* srv = ServerByIp(ip)) {
+      srv->Fail();
+    }
+    if (kv::KvServer* s = KvByIp(ip)) {
+      s->Fail();
+    }
+    if (baseline::ProxyInstance* p = ProxyByIp(ip)) {
+      p->Fail();
+    }
+    network.SetNodeDown(ip, true);
+  });
+  faults->set_restart_handler([this](net::IpAddr ip, fault::FaultPlane::RestartMode mode) {
+    if (kv::KvServer* s = KvByIp(ip)) {
+      // KV servers live off-network; both modes amount to Recover (memcached
+      // restarts empty either way — RAM contents are gone).
+      s->Recover();
+      return;
+    }
+    if (mode == fault::FaultPlane::RestartMode::kCold) {
+      network.RestartNode(ip);  // OnColdRestart clears endpoint state, revives.
+      return;
+    }
+    if (yoda::YodaInstance* inst = InstanceByIp(ip)) {
+      inst->Recover();
+    }
+    if (HttpServerNode* srv = ServerByIp(ip)) {
+      srv->Recover();
+    }
+    if (baseline::ProxyInstance* p = ProxyByIp(ip)) {
+      p->Recover();
+    }
+    network.SetNodeDown(ip, false);
+  });
+  faults->set_kv_slow_handler([this](net::IpAddr ip, sim::Duration d) {
+    if (kv::KvServer* s = KvByIp(ip)) {
+      s->set_response_delay(d);
+    }
+  });
+}
+
+yoda::YodaInstance* Testbed::InstanceByIp(net::IpAddr ip) {
+  for (auto& inst : instances) {
+    if (inst->ip() == ip) {
+      return inst.get();
+    }
+  }
+  for (auto& inst : spares) {
+    if (inst->ip() == ip) {
+      return inst.get();
+    }
+  }
+  return nullptr;
+}
+
+HttpServerNode* Testbed::ServerByIp(net::IpAddr ip) {
+  for (auto& srv : servers) {
+    if (srv->ip() == ip) {
+      return srv.get();
+    }
+  }
+  return nullptr;
+}
+
+kv::KvServer* Testbed::KvByIp(net::IpAddr ip) {
+  for (int i = 0; i < cfg.kv_servers; ++i) {
+    if (kv_ip(i) == ip) {
+      return kv_servers[static_cast<std::size_t>(i)].get();
+    }
+  }
+  return nullptr;
+}
+
+baseline::ProxyInstance* Testbed::ProxyByIp(net::IpAddr ip) {
+  for (auto& p : proxies) {
+    if (p->ip() == ip) {
+      return p.get();
+    }
+  }
+  return nullptr;
 }
 
 std::vector<rules::Rule> Testbed::EqualSplitRules(int first_backend, int count,

@@ -16,6 +16,7 @@
 
 #include "src/baseline/proxy_instance.h"
 #include "src/core/controller.h"
+#include "src/fault/fault_plane.h"
 #include "src/core/tcp_store.h"
 #include "src/core/yoda_instance.h"
 #include "src/kv/kv_server.h"
@@ -96,6 +97,17 @@ class Testbed {
   void RecoverBackend(int i);
   void FailKvServer(int i);
 
+  // Fault-plane crash/restart routed through the wired handlers: CrashInstance
+  // drops state and blackholes the address; RestartInstance brings it back
+  // warm (revive only) or cold (Network::RestartNode -> OnColdRestart).
+  void CrashInstance(int i) { faults->CrashNode(instance_ip(i)); }
+  void RestartInstance(int i, fault::FaultPlane::RestartMode mode =
+                                  fault::FaultPlane::RestartMode::kCold) {
+    faults->RestartNode(instance_ip(i), mode);
+  }
+  // KV replica answers, but `d` late (0 clears).
+  void SlowKvServer(int i, sim::Duration d) { faults->SlowKv(kv_ip(i), d); }
+
   // --- components (construction order matters; declared accordingly) ---
   TestbedConfig cfg;
   sim::Simulator sim;
@@ -115,6 +127,17 @@ class Testbed {
   std::vector<std::unique_ptr<HttpServerNode>> servers;
   std::vector<std::unique_ptr<BrowserClient>> clients;
   std::unique_ptr<yoda::Controller> controller;
+  // Fault-injection plane: installed as the network's fault hook, seeded from
+  // cfg.seed, with crash/restart/kv-slow handlers mapped to the components
+  // above. With no faults scheduled it never draws, so same-seed runs stay
+  // bit-identical to pre-fault-plane builds.
+  std::unique_ptr<fault::FaultPlane> faults;
+
+ private:
+  yoda::YodaInstance* InstanceByIp(net::IpAddr ip);
+  HttpServerNode* ServerByIp(net::IpAddr ip);
+  kv::KvServer* KvByIp(net::IpAddr ip);
+  baseline::ProxyInstance* ProxyByIp(net::IpAddr ip);
 };
 
 }  // namespace workload

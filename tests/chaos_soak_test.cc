@@ -1,0 +1,170 @@
+// Chaos soak (ctest label: "soak"): randomized-but-deterministic fault
+// timelines against the full testbed under open-loop load, with post-hoc
+// invariant checking over the flight-recorder traces.
+//
+// Invariants asserted per seed:
+//   - every flow admitted by an instance reaches an explicit terminal event
+//     (kCleanup or kFlowReset), unless its instance crashed mid-run;
+//   - per-flow backend pinning never changes without a re-switch/promote;
+//   - event timestamps are monotone within each flow;
+//   - no flow is silently stuck past the run deadline (the invariant above,
+//     applied after a post-load drain window that exceeds the idle GC);
+//   - same-seed runs export byte-identical JSONL traces.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fault/chaos.h"
+#include "src/workload/testbed.h"
+
+namespace workload {
+namespace {
+
+struct SoakOutcome {
+  fault::SoakReport report;
+  std::vector<fault::ChaosEpisode> episodes;
+  std::string jsonl;
+  std::uint64_t completed = 0;
+  std::uint64_t issued = 0;
+};
+
+SoakOutcome RunSoak(std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  cfg.yoda_instances = 3;
+  cfg.backends = 4;
+  cfg.clients = 4;
+  // Soak-speed GC so "stuck" is observable within the run (a flow alive past
+  // idle_timeout after the load stops would fail the terminate invariant).
+  cfg.instance_template.flow_idle_timeout = sim::Msec(400);
+  cfg.instance_template.idle_scan_interval = sim::Msec(100);
+  cfg.instance_template.server_syn_timeout = sim::Msec(150);
+  // Failure-path hardening under test: monitor hysteresis + readmission,
+  // KV retries + hedged reads, bounded takeover re-fetch (on by default).
+  cfg.controller.monitor_interval = sim::Msec(50);
+  cfg.controller.fail_after_misses = 3;
+  cfg.controller.readmit_instances = true;
+  cfg.controller.readmit_after_successes = 2;
+  cfg.kv_client.max_retries = 2;
+  cfg.kv_client.read_mode = kv::ReadMode::kHedged;
+  cfg.kv_client.hedge_delay = sim::Msec(2);
+  cfg.kv_client.op_timeout = sim::Msec(20);
+  Testbed tb(cfg);
+  tb.DefineDefaultVipAndStart();
+
+  // Fault timeline: drawn up front, entirely from this seeded Rng.
+  fault::ChaosOptions opts;
+  opts.window_start = sim::Msec(100);
+  opts.window_end = sim::Msec(900);
+  opts.episodes = 8;
+  opts.min_duration = sim::Msec(10);
+  opts.max_duration = sim::Msec(100);
+  for (int i = 0; i < cfg.yoda_instances; ++i) {
+    opts.instances.push_back(tb.instance_ip(i));
+  }
+  for (int i = 0; i < cfg.kv_servers; ++i) {
+    opts.kv_nodes.push_back(tb.kv_ip(i));
+  }
+  opts.links = {{tb.instance_ip(0), tb.backend_ip(0)},
+                {tb.instance_ip(1), tb.backend_ip(1)}};
+  sim::Rng chaos_rng(seed ^ 0xc4a05c4a05ULL);
+  SoakOutcome out;
+  out.episodes = fault::RandomSchedule(*tb.faults, chaos_rng, opts);
+
+  // Open-loop load across the fault window. Small objects keep per-fetch
+  // latency a few RTTs so the 2 s browser timeout marks genuinely dead flows,
+  // not slow transfers.
+  OpenLoopGenerator::Config gcfg;
+  gcfg.requests_per_second = 250;
+  gcfg.duration = sim::Msec(1000);
+  gcfg.target = tb.vip();
+  gcfg.fetch.http_timeout = sim::Sec(2);
+  gcfg.fetch.retries = 1;
+  for (const WebObject& o : tb.catalog->objects()) {
+    if (o.size <= 40'000) {
+      gcfg.urls.push_back(o.url);
+    }
+    if (gcfg.urls.size() == 8) {
+      break;
+    }
+  }
+  EXPECT_FALSE(gcfg.urls.empty());
+  std::vector<BrowserClient*> clients;
+  for (auto& c : tb.clients) {
+    clients.push_back(c.get());
+  }
+  OpenLoopGenerator gen(&tb.sim, clients, seed ^ 0x10adULL, gcfg);
+  gen.Start();
+
+  // Drain: run well past load end + client timeouts + idle GC, so every
+  // still-open flow either terminates or counts as stuck.
+  tb.sim.RunUntil(sim::Msec(1000) + sim::Sec(2) * 2 + sim::Sec(4));
+
+  fault::SoakExpectations expect;
+  for (const fault::ChaosEpisode& ep : out.episodes) {
+    if (ep.kind == fault::FaultKind::kCrash) {
+      expect.crashed.insert(ep.target);
+    }
+  }
+  out.report = fault::CheckSoakInvariants(tb.flight, expect);
+  std::ostringstream os;
+  tb.flight.ExportJsonLines(os);
+  out.jsonl = os.str();
+  out.completed = gen.completed();
+  out.issued = gen.issued();
+  return out;
+}
+
+std::string DescribeEpisodes(const std::vector<fault::ChaosEpisode>& episodes) {
+  std::string s;
+  for (const auto& ep : episodes) {
+    s += "  " + ep.Describe() + "\n";
+  }
+  return s;
+}
+
+class ChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSoak, InvariantsHoldUnderRandomFaults) {
+  const SoakOutcome out = RunSoak(GetParam());
+  ASSERT_FALSE(out.episodes.empty());
+  EXPECT_GT(out.issued, 100u);
+  // The run must have made real progress despite the faults.
+  EXPECT_GT(out.completed, out.issued / 2);
+  EXPECT_GT(out.report.flows_checked, 0u);
+  std::string violations;
+  for (const auto& v : out.report.violations) {
+    violations += "  " + v + "\n";
+  }
+  EXPECT_TRUE(out.report.ok()) << "violations:\n"
+                               << violations << "fault timeline:\n"
+                               << DescribeEpisodes(out.episodes);
+}
+
+// Seeds 1..8: the ISSUE's >= 8-seed soak matrix.
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(ChaosSoakDeterminism, SameSeedProducesByteIdenticalTraces) {
+  const SoakOutcome first = RunSoak(3);
+  const SoakOutcome second = RunSoak(3);
+  ASSERT_FALSE(first.jsonl.empty());
+  EXPECT_EQ(first.jsonl, second.jsonl);
+  EXPECT_EQ(first.completed, second.completed);
+  ASSERT_EQ(first.episodes.size(), second.episodes.size());
+  for (std::size_t i = 0; i < first.episodes.size(); ++i) {
+    EXPECT_EQ(first.episodes[i].Describe(), second.episodes[i].Describe());
+  }
+}
+
+TEST(ChaosSoakDeterminism, DifferentSeedsProduceDifferentTimelines) {
+  const SoakOutcome a = RunSoak(5);
+  const SoakOutcome b = RunSoak(6);
+  EXPECT_NE(DescribeEpisodes(a.episodes), DescribeEpisodes(b.episodes));
+}
+
+}  // namespace
+}  // namespace workload

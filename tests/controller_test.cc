@@ -287,5 +287,165 @@ TEST_F(ControllerTest, EventsCarryTimestamps) {
   EXPECT_FALSE(tb->controller->events().back().what.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Health-check hysteresis, readmission and flap suppression.
+// ---------------------------------------------------------------------------
+
+TEST_F(ControllerTest, HysteresisKeepsInstancePooledThroughTransientMisses) {
+  TestbedConfig cfg;
+  cfg.controller.fail_after_misses = 3;
+  Build(cfg);
+  tb->DefineDefaultVipAndStart();
+  const net::IpAddr ip = tb->instance_ip(1);
+
+  // Unreachable but not dead: probes miss, the process is fine.
+  tb->network.SetNodeDown(ip, true);
+  tb->controller->MonitorTick();
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->detected_failures(), 0);
+  EXPECT_EQ(tb->controller->ActiveInstances().size(), tb->instances.size());
+
+  // Link heals before the third miss: the streak resets, nothing happened.
+  tb->network.SetNodeDown(ip, false);
+  tb->controller->MonitorTick();
+  tb->network.SetNodeDown(ip, true);
+  tb->controller->MonitorTick();
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->detected_failures(), 0);
+
+  // Third CONSECUTIVE miss kills it.
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->detected_failures(), 1);
+  EXPECT_EQ(tb->controller->ActiveInstances().size(), tb->instances.size() - 1);
+}
+
+TEST_F(ControllerTest, SuspectedInstancesLandInSystemEventLog) {
+  TestbedConfig cfg;
+  cfg.controller.fail_after_misses = 2;
+  Build(cfg);
+  tb->DefineDefaultVipAndStart();
+  tb->network.SetNodeDown(tb->instance_ip(0), true);
+  tb->controller->MonitorTick();
+  bool suspected = false;
+  for (const auto& ev : tb->flight.system_events()) {
+    suspected = suspected || ev.type == obs::EventType::kInstanceSuspected;
+  }
+  EXPECT_TRUE(suspected);
+}
+
+TEST_F(ControllerTest, GraySynFilterDoesNotBlindTheMonitor) {
+  Build();
+  tb->DefineDefaultVipAndStart();
+  const net::IpAddr ip = tb->instance_ip(0);
+  // The classic gray failure: SYNs to the instance die, probes (kAck-shaped)
+  // pass. The monitor must NOT remove it; detection is the data path's job.
+  tb->faults->SetGray("syn-filter",
+                      [ip](const net::Packet& p) {
+                        return p.dst == ip && p.syn() && !p.ack_flag();
+                      },
+                      1.0);
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->detected_failures(), 0);
+  // A partition on the probe path, by contrast, does cost probes.
+  tb->faults->Partition(0, ip);
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->detected_failures(), 1);
+}
+
+TEST_F(ControllerTest, ReadmissionAfterConsecutiveHealthyProbes) {
+  TestbedConfig cfg;
+  cfg.controller.readmit_instances = true;
+  cfg.controller.readmit_after_successes = 2;
+  Build(cfg);
+  tb->DefineDefaultVipAndStart();
+  const net::IpAddr ip = tb->instance_ip(2);
+
+  tb->network.SetNodeDown(ip, true);
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->ActiveInstances().size(), tb->instances.size() - 1);
+  ASSERT_EQ(tb->controller->SuspendedInstances().size(), 1u);
+
+  tb->network.SetNodeDown(ip, false);
+  tb->controller->MonitorTick();  // Healthy probe 1 of 2.
+  EXPECT_EQ(tb->controller->readmissions(), 0);
+  tb->controller->MonitorTick();  // Healthy probe 2: readmitted.
+  EXPECT_EQ(tb->controller->readmissions(), 1);
+  EXPECT_EQ(tb->controller->ActiveInstances().size(), tb->instances.size());
+  EXPECT_TRUE(tb->controller->SuspendedInstances().empty());
+  // Back in the muxes' VIP pool.
+  const auto* pool = tb->fabric.mux(0).PoolFor(tb->vip());
+  ASSERT_NE(pool, nullptr);
+  bool pooled = false;
+  for (net::IpAddr p : *pool) {
+    pooled = pooled || p == ip;
+  }
+  EXPECT_TRUE(pooled);
+  // The readmitted instance still serves the VIP's rules.
+  EXPECT_TRUE(tb->instances[2]->ServesVip(tb->vip()));
+}
+
+TEST_F(ControllerTest, InterruptedHealthStreakDoesNotReadmit) {
+  TestbedConfig cfg;
+  cfg.controller.readmit_instances = true;
+  cfg.controller.readmit_after_successes = 3;
+  Build(cfg);
+  tb->DefineDefaultVipAndStart();
+  const net::IpAddr ip = tb->instance_ip(0);
+  tb->network.SetNodeDown(ip, true);
+  tb->controller->MonitorTick();
+  tb->network.SetNodeDown(ip, false);
+  tb->controller->MonitorTick();
+  tb->controller->MonitorTick();  // 2 of 3...
+  tb->network.SetNodeDown(ip, true);
+  tb->controller->MonitorTick();  // ...interrupted: streak resets.
+  tb->network.SetNodeDown(ip, false);
+  tb->controller->MonitorTick();
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->readmissions(), 0);
+  tb->controller->MonitorTick();
+  EXPECT_EQ(tb->controller->readmissions(), 1);
+}
+
+TEST_F(ControllerTest, FlapSuppressionDoublesRequiredStreakUpToCap) {
+  TestbedConfig cfg;
+  cfg.controller.readmit_instances = true;
+  cfg.controller.readmit_after_successes = 2;
+  cfg.controller.readmit_penalty_cap = 4;
+  Build(cfg);
+  tb->DefineDefaultVipAndStart();
+  const net::IpAddr ip = tb->instance_ip(1);
+
+  auto fail_once = [&]() {
+    tb->network.SetNodeDown(ip, true);
+    tb->controller->MonitorTick();
+    tb->network.SetNodeDown(ip, false);
+  };
+  auto healthy_ticks = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      tb->controller->MonitorTick();
+    }
+  };
+
+  fail_once();
+  healthy_ticks(2);  // First readmission: base requirement.
+  EXPECT_EQ(tb->controller->readmissions(), 1);
+
+  fail_once();       // Flap: requirement doubles to 4.
+  healthy_ticks(2);
+  EXPECT_EQ(tb->controller->readmissions(), 1);
+  healthy_ticks(2);
+  EXPECT_EQ(tb->controller->readmissions(), 2);
+
+  fail_once();       // Another flap: would be 8, capped at 4.
+  healthy_ticks(4);
+  EXPECT_EQ(tb->controller->readmissions(), 3);
+
+  bool readmitted_event = false;
+  for (const auto& ev : tb->flight.system_events()) {
+    readmitted_event = readmitted_event || ev.type == obs::EventType::kInstanceReadmitted;
+  }
+  EXPECT_TRUE(readmitted_event);
+}
+
 }  // namespace
 }  // namespace yoda

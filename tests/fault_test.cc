@@ -1,0 +1,392 @@
+// Unit tests for the fault-injection plane: overlay verdicts, partitions,
+// gray failures, crash/restart routing, timed scripts and the seeded-RNG
+// determinism of randomized chaos schedules.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fault/chaos.h"
+#include "src/fault/fault_plane.h"
+#include "src/net/network.h"
+#include "src/net/packet.h"
+#include "src/obs/trace.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace fault {
+namespace {
+
+class Sink : public net::Node {
+ public:
+  void HandlePacket(const net::Packet& p) override { received.push_back(p); }
+  void OnColdRestart() override {
+    received.clear();
+    ++cold_restarts;
+  }
+  std::vector<net::Packet> received;
+  int cold_restarts = 0;
+};
+
+class FaultPlaneTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  net::Network network{&simulator, 1};
+  FaultPlane plane{&simulator, &network, 99};
+  Sink a, b, c;
+  const net::IpAddr ip_a = net::MakeIp(10, 0, 0, 1);
+  const net::IpAddr ip_b = net::MakeIp(10, 0, 0, 2);
+  const net::IpAddr ip_c = net::MakeIp(10, 0, 0, 3);
+
+  void SetUp() override {
+    network.Attach(ip_a, &a);
+    network.Attach(ip_b, &b);
+    network.Attach(ip_c, &c);
+    network.SetLatency(net::Region::kDatacenter, net::Region::kDatacenter, sim::Usec(100), 0);
+  }
+
+  net::Packet Make(net::IpAddr src, net::IpAddr dst, std::uint8_t flags = net::kAck) {
+    net::Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.flags = flags;
+    return p;
+  }
+
+  void SendAndRun(net::IpAddr src, net::IpAddr dst, int n = 1) {
+    for (int i = 0; i < n; ++i) {
+      network.Send(Make(src, dst));
+    }
+    simulator.Run();
+  }
+};
+
+TEST_F(FaultPlaneTest, NoOverlaysPassesEverything) {
+  SendAndRun(ip_a, ip_b, 10);
+  EXPECT_EQ(b.received.size(), 10u);
+  EXPECT_EQ(plane.stats().dropped, 0u);
+  EXPECT_EQ(network.stats().dropped_fault, 0u);
+}
+
+TEST_F(FaultPlaneTest, LinkLossAtOneDropsAllAndClearRestores) {
+  plane.SetLinkLoss(ip_a, ip_b, 1.0);
+  SendAndRun(ip_a, ip_b, 5);
+  SendAndRun(ip_b, ip_a, 5);  // Symmetric: both directions die.
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(network.stats().dropped_fault, 10u);
+  SendAndRun(ip_a, ip_c, 1);  // Other links unaffected.
+  EXPECT_EQ(c.received.size(), 1u);
+
+  plane.SetLinkLoss(ip_a, ip_b, 0);
+  SendAndRun(ip_a, ip_b, 5);
+  EXPECT_EQ(b.received.size(), 5u);
+}
+
+TEST_F(FaultPlaneTest, LinkLossIsApproximatelyBernoulli) {
+  plane.SetLinkLoss(ip_a, ip_b, 0.5);
+  SendAndRun(ip_a, ip_b, 2000);
+  EXPECT_NEAR(static_cast<double>(b.received.size()), 1000, 120);
+}
+
+TEST_F(FaultPlaneTest, LinkDelaySpikesDeliveryTime) {
+  plane.SetLinkDelay(ip_a, ip_b, sim::Msec(20));
+  sim::Time at = -1;
+  network.set_tap([&at](sim::Time t, const net::Packet&) { at = t; });
+  SendAndRun(ip_a, ip_b);
+  EXPECT_EQ(at, sim::Msec(20) + sim::Usec(100));
+  EXPECT_EQ(plane.stats().delayed, 1u);
+}
+
+TEST_F(FaultPlaneTest, PartitionCutsBothDirectionsAndHealRestores) {
+  plane.Partition(ip_a, ip_b);
+  SendAndRun(ip_a, ip_b, 3);
+  SendAndRun(ip_b, ip_a, 3);
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(plane.stats().dropped, 6u);
+  // The partitioned pair still reaches third parties.
+  SendAndRun(ip_a, ip_c, 1);
+  SendAndRun(ip_b, ip_c, 1);
+  EXPECT_EQ(c.received.size(), 2u);
+
+  plane.Heal(ip_a, ip_b);
+  SendAndRun(ip_a, ip_b, 3);
+  EXPECT_EQ(b.received.size(), 3u);
+}
+
+TEST_F(FaultPlaneTest, PartitionBlindsProbesButGraySynFilterDoesNot) {
+  EXPECT_TRUE(network.ProbePath(ip_a, ip_b));
+  plane.Partition(ip_a, ip_b);
+  EXPECT_FALSE(network.ProbePath(ip_a, ip_b));
+  plane.Heal(ip_a, ip_b);
+
+  plane.SetGray("syn-filter",
+                [](const net::Packet& p) { return p.syn() && !p.ack_flag(); }, 1.0);
+  // Probes are kAck-shaped: the gray node still looks healthy to the monitor.
+  EXPECT_TRUE(network.ProbePath(ip_a, ip_b));
+  // ...while real connection attempts die.
+  network.Send(Make(ip_a, ip_b, net::kSyn));
+  network.Send(Make(ip_a, ip_b, net::kAck));
+  simulator.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_FALSE(b.received[0].syn());
+}
+
+TEST_F(FaultPlaneTest, NodeLossAppliesToAndFromTheNode) {
+  plane.SetNodeLoss(ip_b, 1.0);
+  SendAndRun(ip_a, ip_b, 2);  // Toward the node.
+  SendAndRun(ip_b, ip_c, 2);  // From the node.
+  SendAndRun(ip_a, ip_c, 2);  // Unrelated traffic flows.
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 2u);
+}
+
+TEST_F(FaultPlaneTest, NodeDelayChargedOncePerPacket) {
+  plane.SetNodeDelay(ip_b, sim::Msec(3));
+  sim::Time at = -1;
+  network.set_tap([&at](sim::Time t, const net::Packet&) { at = t; });
+  SendAndRun(ip_a, ip_b);
+  EXPECT_EQ(at, sim::Msec(3) + sim::Usec(100));
+}
+
+TEST_F(FaultPlaneTest, GrayRuleWithProbabilityOneSkipsRngDraw) {
+  plane.SetGray("all", [](const net::Packet&) { return true; }, 1.0);
+  SendAndRun(ip_a, ip_b, 50);
+  EXPECT_TRUE(b.received.empty());
+  // p >= 1 fires without consuming a draw: the plane's RNG is still at its
+  // seed position, in lockstep with a fresh same-seed plane.
+  sim::Simulator sim2;
+  net::Network net2(&sim2, 1);
+  FaultPlane fresh(&sim2, &net2, 99);
+  EXPECT_EQ(plane.rng().UniformInt(0, 1 << 30), fresh.rng().UniformInt(0, 1 << 30));
+}
+
+TEST_F(FaultPlaneTest, ClearGrayRemovesOnlyThatRule) {
+  plane.SetGray("syns", [](const net::Packet& p) { return p.syn(); }, 1.0);
+  plane.SetGray("to-b", [this](const net::Packet& p) { return p.dst == ip_b; }, 1.0);
+  plane.ClearGray("syns");
+  network.Send(Make(ip_a, ip_b, net::kSyn));
+  network.Send(Make(ip_a, ip_c, net::kSyn));
+  simulator.Run();
+  EXPECT_TRUE(b.received.empty());        // "to-b" still live.
+  EXPECT_EQ(c.received.size(), 1u);       // "syns" gone.
+}
+
+TEST_F(FaultPlaneTest, CrashDefaultsToNodeDownAndRestartModesDiffer) {
+  SendAndRun(ip_a, ip_b);
+  ASSERT_EQ(b.received.size(), 1u);
+
+  plane.CrashNode(ip_b);
+  EXPECT_TRUE(network.IsDown(ip_b));
+  SendAndRun(ip_a, ip_b);
+  EXPECT_EQ(b.received.size(), 1u);  // Blackholed.
+
+  plane.RestartNode(ip_b, FaultPlane::RestartMode::kWarm);
+  EXPECT_FALSE(network.IsDown(ip_b));
+  EXPECT_EQ(b.received.size(), 1u);  // Warm: state intact.
+  EXPECT_EQ(b.cold_restarts, 0);
+
+  plane.CrashNode(ip_b);
+  plane.RestartNode(ip_b, FaultPlane::RestartMode::kCold);
+  EXPECT_FALSE(network.IsDown(ip_b));
+  EXPECT_TRUE(b.received.empty());  // Cold: volatile state gone.
+  EXPECT_EQ(b.cold_restarts, 1);
+}
+
+TEST_F(FaultPlaneTest, HandlersOverrideDefaultCrashRouting) {
+  net::IpAddr crashed = 0;
+  net::IpAddr restarted = 0;
+  bool cold = false;
+  plane.set_crash_handler([&crashed](net::IpAddr ip) { crashed = ip; });
+  plane.set_restart_handler([&](net::IpAddr ip, FaultPlane::RestartMode mode) {
+    restarted = ip;
+    cold = mode == FaultPlane::RestartMode::kCold;
+  });
+  plane.CrashNode(ip_c);
+  plane.RestartNode(ip_c, FaultPlane::RestartMode::kCold);
+  EXPECT_EQ(crashed, ip_c);
+  EXPECT_EQ(restarted, ip_c);
+  EXPECT_TRUE(cold);
+  EXPECT_FALSE(network.IsDown(ip_c));  // Handler replaced the default.
+}
+
+TEST_F(FaultPlaneTest, ScheduleFiresAtAbsoluteTimeAsDaemon) {
+  plane.Schedule(sim::Msec(10), [this](FaultPlane& fp) { fp.Partition(ip_a, ip_b); });
+  plane.Schedule(sim::Msec(20), [this](FaultPlane& fp) { fp.Heal(ip_a, ip_b); });
+  // Daemon events alone must not keep the simulation alive.
+  simulator.Run();
+  EXPECT_EQ(simulator.now(), 0);
+
+  // With real traffic bracketing the window, the script fires on time.
+  simulator.At(sim::Msec(15), [this]() { network.Send(Make(ip_a, ip_b)); });
+  simulator.At(sim::Msec(25), [this]() { network.Send(Make(ip_a, ip_b)); });
+  simulator.Run();
+  EXPECT_EQ(b.received.size(), 1u);  // Mid-partition send died, later one passed.
+  EXPECT_EQ(plane.stats().events_applied, 2u);
+}
+
+TEST_F(FaultPlaneTest, FaultEventsMirroredIntoRecorder) {
+  obs::FlightRecorder recorder;
+  FaultPlane recorded(&simulator, &network, 7, FaultPlaneConfig{&recorder});
+  recorded.SetLinkLoss(ip_a, ip_b, 0.5);
+  recorded.Partition(ip_a, ip_c);
+  recorded.Heal(ip_a, ip_c);
+  recorded.SetLinkLoss(ip_a, ip_b, 0);
+  const auto& events = recorder.system_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].type, obs::EventType::kFaultInjected);
+  EXPECT_EQ(events[0].detail, static_cast<std::uint64_t>(FaultKind::kLinkLoss));
+  EXPECT_EQ(events[1].type, obs::EventType::kFaultInjected);
+  EXPECT_EQ(events[1].detail, static_cast<std::uint64_t>(FaultKind::kPartition));
+  EXPECT_EQ(events[2].type, obs::EventType::kFaultCleared);
+  EXPECT_EQ(events[3].type, obs::EventType::kFaultCleared);
+}
+
+TEST(FaultKindNames, AllNamed) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kLinkLoss), "LinkLoss");
+  EXPECT_STREQ(FaultKindName(FaultKind::kGray), "Gray");
+  EXPECT_STREQ(FaultKindName(FaultKind::kKvSlow), "KvSlow");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized chaos schedules.
+// ---------------------------------------------------------------------------
+
+ChaosOptions SmallOptions() {
+  ChaosOptions opts;
+  opts.episodes = 12;
+  opts.instances = {net::MakeIp(10, 1, 0, 1), net::MakeIp(10, 1, 0, 2)};
+  opts.kv_nodes = {net::MakeIp(10, 2, 0, 1)};
+  opts.links = {{net::MakeIp(10, 1, 0, 1), net::MakeIp(10, 2, 0, 1)}};
+  return opts;
+}
+
+TEST(ChaosSchedule, SameSeedSameTimeline) {
+  auto draw = [](std::uint64_t seed) {
+    sim::Simulator simulator;
+    net::Network network(&simulator, 1);
+    FaultPlane plane(&simulator, &network, 1);
+    sim::Rng rng(seed);
+    std::vector<std::string> described;
+    for (const ChaosEpisode& ep : RandomSchedule(plane, rng, SmallOptions())) {
+      described.push_back(ep.Describe());
+    }
+    return described;
+  };
+  EXPECT_EQ(draw(1234), draw(1234));
+  EXPECT_NE(draw(1234), draw(4321));
+}
+
+TEST(ChaosSchedule, EpisodesStayInsideWindowAndDurations) {
+  sim::Simulator simulator;
+  net::Network network(&simulator, 1);
+  FaultPlane plane(&simulator, &network, 1);
+  sim::Rng rng(9);
+  ChaosOptions opts = SmallOptions();
+  const auto episodes = RandomSchedule(plane, rng, opts);
+  ASSERT_EQ(episodes.size(), static_cast<std::size_t>(opts.episodes));
+  for (const ChaosEpisode& ep : episodes) {
+    EXPECT_GE(ep.at, opts.window_start);
+    // Crash episodes may be shifted right to avoid overlapping an earlier
+    // crash of the same target; everything else stays inside the window.
+    if (ep.kind != FaultKind::kCrash) {
+      EXPECT_LE(ep.at, opts.window_end);
+    }
+    EXPECT_GE(ep.until - ep.at, opts.min_duration);
+    EXPECT_LE(ep.until - ep.at, opts.max_duration);
+  }
+}
+
+TEST(ChaosSchedule, CrashEpisodesNeverOverlapPerTarget) {
+  sim::Simulator simulator;
+  net::Network network(&simulator, 1);
+  FaultPlane plane(&simulator, &network, 1);
+  ChaosOptions opts = SmallOptions();
+  opts.episodes = 40;  // Plenty of crash draws on two targets.
+  sim::Rng rng(77);
+  std::map<net::IpAddr, sim::Time> last_until;
+  for (const ChaosEpisode& ep : RandomSchedule(plane, rng, opts)) {
+    if (ep.kind != FaultKind::kCrash) {
+      continue;
+    }
+    auto it = last_until.find(ep.target);
+    if (it != last_until.end()) {
+      EXPECT_GT(ep.at, it->second) << ep.Describe();
+    }
+    last_until[ep.target] = ep.until;
+  }
+}
+
+TEST(ChaosSchedule, EmptyCandidateListsYieldNoEpisodes) {
+  sim::Simulator simulator;
+  net::Network network(&simulator, 1);
+  FaultPlane plane(&simulator, &network, 1);
+  sim::Rng rng(3);
+  EXPECT_TRUE(RandomSchedule(plane, rng, ChaosOptions{}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Soak invariant checker (on synthetic traces).
+// ---------------------------------------------------------------------------
+
+obs::FlowId FlowN(std::uint16_t n) {
+  return obs::FlowId{net::MakeIp(10, 200, 0, 1), 80, net::MakeIp(10, 9, 0, 1), n};
+}
+
+TEST(SoakInvariants, CleanTraceHasNoViolations) {
+  obs::FlightRecorder rec;
+  const obs::FlowId f = FlowN(1);
+  rec.Record(f, sim::Msec(1), obs::EventType::kClientSyn, 1);
+  rec.Record(f, sim::Msec(2), obs::EventType::kBackendPinned, 1, 42);
+  rec.Record(f, sim::Msec(3), obs::EventType::kCleanup, 1);
+  const SoakReport report = CheckSoakInvariants(rec, {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.flows_checked, 1u);
+  EXPECT_EQ(report.terminated, 1u);
+}
+
+TEST(SoakInvariants, FlagsUnterminatedFlow) {
+  obs::FlightRecorder rec;
+  rec.Record(FlowN(1), sim::Msec(1), obs::EventType::kClientSyn, 1);
+  const SoakReport report = CheckSoakInvariants(rec, {});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].find("never terminated"), std::string::npos);
+}
+
+TEST(SoakInvariants, CrashExemptsUnterminatedFlow) {
+  obs::FlightRecorder rec;
+  const std::uint32_t inst = net::MakeIp(10, 1, 0, 2);
+  rec.Record(FlowN(1), sim::Msec(1), obs::EventType::kClientSyn, inst);
+  SoakExpectations expect;
+  expect.crashed.insert(inst);
+  const SoakReport report = CheckSoakInvariants(rec, expect);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.exempted, 1u);
+}
+
+TEST(SoakInvariants, FlagsSilentPinChange) {
+  obs::FlightRecorder rec;
+  const obs::FlowId f = FlowN(1);
+  rec.Record(f, sim::Msec(1), obs::EventType::kBackendPinned, 1, 42);
+  rec.Record(f, sim::Msec(2), obs::EventType::kBackendPinned, 1, 43);  // No ReSwitch!
+  rec.Record(f, sim::Msec(3), obs::EventType::kCleanup, 1);
+  const SoakReport report = CheckSoakInvariants(rec, {});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].find("pin changed"), std::string::npos);
+}
+
+TEST(SoakInvariants, PinChangeAfterReSwitchIsLegal) {
+  obs::FlightRecorder rec;
+  const obs::FlowId f = FlowN(1);
+  rec.Record(f, sim::Msec(1), obs::EventType::kBackendPinned, 1, 42);
+  rec.Record(f, sim::Msec(2), obs::EventType::kReSwitch, 1, 43);
+  rec.Record(f, sim::Msec(3), obs::EventType::kBackendPinned, 1, 43);
+  rec.Record(f, sim::Msec(4), obs::EventType::kCleanup, 1);
+  EXPECT_TRUE(CheckSoakInvariants(rec, {}).ok());
+}
+
+}  // namespace
+}  // namespace fault

@@ -366,5 +366,218 @@ TEST_F(ReplicatingClientTest, ReplicaChoiceIsStable) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Degraded-mode hardening: slow replicas, retries, hedging, read repair.
+// ---------------------------------------------------------------------------
+
+TEST_F(KvServerTest, ResponseDelayDefersAnswerNotStoreState) {
+  KvServer slow(&simulator, "slow");
+  slow.set_response_delay(sim::Msec(10));
+  slow.Set("k", "v", [](bool) {});
+  simulator.RunUntil(sim::Msec(1));
+  EXPECT_EQ(slow.item_count(), 1u);  // Mutation landed at op completion...
+  sim::Time acked_at = -1;
+  bool got_hit = false;
+  slow.Get("k", [&](std::optional<std::string> v) { got_hit = v.has_value(); });
+  slow.Set("k2", "v2", [&](bool) { acked_at = simulator.now(); });
+  simulator.Run();
+  EXPECT_TRUE(got_hit);
+  EXPECT_GE(acked_at, sim::Msec(11));  // ...but the answer came back late.
+}
+
+class DegradedModeTest : public ReplicatingClientTest {
+ protected:
+  // Fresh client over the fixture's servers with hardened config.
+  std::unique_ptr<ReplicatingClient> Make(ReplicatingClientConfig cfg) {
+    std::vector<KvServer*> ptrs;
+    for (auto& s : servers) {
+      ptrs.push_back(s.get());
+    }
+    cfg.replicas = 2;
+    return std::make_unique<ReplicatingClient>(&simulator, ptrs, cfg);
+  }
+
+  // Runs one Get and returns (value, completion time).
+  std::pair<std::optional<std::string>, sim::Time> GetAndRun(ReplicatingClient& c,
+                                                             const std::string& key) {
+    std::optional<std::string> got;
+    sim::Time done_at = -1;
+    const sim::Time start = simulator.now();
+    c.Get(key, [&](std::optional<std::string> v) {
+      got = std::move(v);
+      done_at = simulator.now();
+    });
+    simulator.Run();
+    return {got, done_at - start};
+  }
+};
+
+TEST_F(DegradedModeTest, AllReplicasDownSetGetDeleteAllResolve) {
+  client->Set("k", "v", [](bool) {});
+  simulator.Run();
+  for (auto& s : servers) {
+    s->Fail();
+  }
+  bool set_done = false, set_ok = true;
+  client->Set("k", "v2", [&](bool ok) {
+    set_done = true;
+    set_ok = ok;
+  });
+  simulator.Run();
+  EXPECT_TRUE(set_done);  // op_timeout resolved it; no hang.
+  EXPECT_FALSE(set_ok);
+
+  bool get_done = false;
+  std::optional<std::string> got = "sentinel";
+  client->Get("k", [&](std::optional<std::string> v) {
+    get_done = true;
+    got = std::move(v);
+  });
+  simulator.Run();
+  EXPECT_TRUE(get_done);
+  EXPECT_FALSE(got.has_value());
+
+  bool del_done = false, del_ok = true;
+  client->Delete("k", [&](bool ok) {
+    del_done = true;
+    del_ok = ok;
+  });
+  simulator.Run();
+  EXPECT_TRUE(del_done);
+  EXPECT_FALSE(del_ok);
+  // Every op left its full replica set unanswered.
+  EXPECT_EQ(client->stats().replica_timeouts, 6u);
+}
+
+TEST_F(DegradedModeTest, RetriesAreBoundedAndCounted) {
+  ReplicatingClientConfig cfg;
+  cfg.max_retries = 2;
+  cfg.retry_backoff = sim::Msec(2);
+  auto hardened = Make(cfg);
+  for (auto& s : servers) {
+    s->Fail();
+  }
+  bool ok = true;
+  hardened->Set("k", "v", [&ok](bool v) { ok = v; });
+  simulator.Run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(hardened->stats().retries, 2u);  // Initial + 2 retries, then give up.
+}
+
+TEST_F(DegradedModeTest, RetryRecoversFromTransientOutage) {
+  ReplicatingClientConfig cfg;
+  cfg.max_retries = 3;
+  cfg.retry_backoff = sim::Msec(5);
+  auto hardened = Make(cfg);
+  for (KvServer* s : hardened->ReplicasFor("flow")) {
+    s->Fail();
+  }
+  // Replicas come back while the first attempt is still timing out.
+  simulator.At(sim::Msec(30), [this]() {
+    for (auto& s : servers) {
+      s->Recover();
+    }
+  });
+  bool ok = false;
+  hardened->Set("flow", "state", [&ok](bool v) { ok = v; });
+  simulator.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(hardened->stats().retries, 1u);
+  EXPECT_EQ(hardened->ReplicasFor("flow")[0]->item_count(), 1u);
+}
+
+TEST_F(DegradedModeTest, UnanimousMissIsDefinitiveAndNotRetried) {
+  ReplicatingClientConfig cfg;
+  cfg.max_retries = 3;
+  auto hardened = Make(cfg);
+  auto [got, latency] = GetAndRun(*hardened, "never-written");
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(hardened->stats().retries, 0u);  // Miss != indefinite.
+  EXPECT_LT(latency, sim::Msec(5));          // Answered, not timed out.
+}
+
+TEST_F(DegradedModeTest, HedgedReadCutsDeadReplicaLatencyVsTimeoutBaseline) {
+  client->Set("flow", "precious", [](bool) {});
+  simulator.Run();
+  auto replicas = client->ReplicasFor("flow");
+  replicas[0]->Fail();  // First-choice replica dead: the worst case for kSingle.
+
+  ReplicatingClientConfig single;
+  single.read_mode = ReadMode::kSingle;
+  auto baseline = Make(single);
+  auto [got_single, t_single] = GetAndRun(*baseline, "flow");
+  EXPECT_EQ(got_single, "precious");
+  // Timeout-only baseline burned the full op_timeout on the dead replica.
+  EXPECT_GE(t_single, baseline->config().op_timeout);
+
+  ReplicatingClientConfig hedged;
+  hedged.read_mode = ReadMode::kHedged;
+  hedged.hedge_delay = sim::Msec(5);
+  auto fast = Make(hedged);
+  auto [got_hedged, t_hedged] = GetAndRun(*fast, "flow");
+  EXPECT_EQ(got_hedged, "precious");
+  EXPECT_LT(t_hedged, sim::Msec(10));  // hedge_delay + round trip.
+  EXPECT_LT(t_hedged * 4, t_single);
+  EXPECT_EQ(fast->stats().hedged_gets, 1u);
+  EXPECT_EQ(fast->stats().hedge_wins, 1u);
+}
+
+TEST_F(DegradedModeTest, HedgeNotLaunchedWhenPrimaryAnswersInTime) {
+  client->Set("flow", "v", [](bool) {});
+  simulator.Run();
+  ReplicatingClientConfig hedged;
+  hedged.read_mode = ReadMode::kHedged;
+  hedged.hedge_delay = sim::Msec(5);
+  auto fast = Make(hedged);
+  auto [got, latency] = GetAndRun(*fast, "flow");
+  EXPECT_EQ(got, "v");
+  EXPECT_EQ(fast->stats().hedged_gets, 0u);  // Primary answered within 5 ms.
+  EXPECT_EQ(fast->stats().hedge_wins, 0u);
+}
+
+TEST_F(DegradedModeTest, ReplicaTimeoutAttributedEvenWhenOpFinishesEarly) {
+  client->Set("flow", "v", [](bool) {});
+  simulator.Run();
+  auto replicas = client->ReplicasFor("flow");
+  // Slower than op_timeout: this replica answers, but only after the deadline.
+  replicas[0]->set_response_delay(sim::Msec(80));
+
+  auto [got, latency] = GetAndRun(*client, "flow");
+  EXPECT_EQ(got, "v");                   // Fanout: the healthy replica won...
+  EXPECT_LT(latency, sim::Msec(5));      // ...immediately.
+  simulator.Run();
+  EXPECT_EQ(client->stats().replica_timeouts, 1u);  // Slow one still attributed.
+
+  // A replica slower than the fast one but inside op_timeout is NOT counted.
+  replicas[0]->set_response_delay(sim::Msec(10));
+  auto [got2, latency2] = GetAndRun(*client, "flow");
+  EXPECT_EQ(got2, "v");
+  simulator.Run();
+  EXPECT_EQ(client->stats().replica_timeouts, 1u);
+}
+
+TEST_F(DegradedModeTest, ReadRepairHealsColdRestartedReplica) {
+  ReplicatingClientConfig cfg;
+  cfg.read_repair = true;
+  auto healing = Make(cfg);
+  healing->Set("flow", "precious", [](bool) {});
+  simulator.Run();
+  auto replicas = healing->ReplicasFor("flow");
+  replicas[0]->Fail();     // Cold restart: contents gone...
+  replicas[0]->Recover();  // ...but the server is back and answering.
+  EXPECT_EQ(replicas[0]->item_count(), 0u);
+
+  auto [got, latency] = GetAndRun(*healing, "flow");
+  EXPECT_EQ(got, "precious");
+  simulator.Run();  // Let the repair write land.
+  EXPECT_EQ(healing->stats().read_repairs, 1u);
+  EXPECT_EQ(replicas[0]->item_count(), 1u);  // Healed.
+
+  // Re-read now hits on the healed replica too; no further repairs.
+  auto [got2, latency2] = GetAndRun(*healing, "flow");
+  EXPECT_EQ(got2, "precious");
+  EXPECT_EQ(healing->stats().read_repairs, 1u);
+}
+
 }  // namespace
 }  // namespace kv

@@ -348,5 +348,142 @@ TEST_F(NetworkTest, TraceIdsAssignedMonotonically) {
   EXPECT_LT(b.received[0].trace_id, b.received[1].trace_id);
 }
 
+// ---------------------------------------------------------------------------
+// RNG draw contract + restart semantics.
+// ---------------------------------------------------------------------------
+
+// Regression for the determinism contract (network.h): the network's own RNG
+// draws are conditional — loss only when loss_rate_ > 0, jitter only when the
+// region pair's jitter > 0 — so installing a fault hook that never drops or
+// delays anything must leave a same-seed run's delivery times bit-identical.
+TEST(NetworkDeterminism, NoOpFaultHookLeavesDeliveryTimesIdentical) {
+  auto run = [](bool with_hook) {
+    sim::Simulator simulator;
+    Network network(&simulator, 2024);
+    Collector a, b;
+    network.Attach(MakeIp(10, 0, 0, 1), &a);
+    network.Attach(MakeIp(10, 0, 0, 2), &b);
+    // Jitter > 0 and loss > 0: both conditional draws are live.
+    network.SetLatency(Region::kDatacenter, Region::kDatacenter, sim::Usec(250),
+                       sim::Usec(100));
+    network.set_loss_rate(0.1);
+    if (with_hook) {
+      network.set_fault_hook([](const Packet&, IpAddr) { return FaultVerdict{}; });
+    }
+    std::vector<sim::Time> times;
+    network.set_tap([&times](sim::Time t, const Packet&) { times.push_back(t); });
+    for (int i = 0; i < 200; ++i) {
+      Packet p;
+      p.src = MakeIp(10, 0, 0, 1);
+      p.dst = MakeIp(10, 0, 0, 2);
+      p.payload = "x";
+      network.Send(p);
+    }
+    simulator.Run();
+    return times;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// A node with volatile state, for restart-semantics tests.
+class StatefulNode : public Node {
+ public:
+  void HandlePacket(const Packet&) override { ++packets; }
+  void OnColdRestart() override {
+    packets = 0;
+    ++cold_restarts;
+  }
+  int packets = 0;
+  int cold_restarts = 0;
+};
+
+TEST(NetworkRestart, WarmReviveKeepsNodeState) {
+  sim::Simulator simulator;
+  Network network(&simulator, 7);
+  StatefulNode node;
+  Collector peer;
+  const IpAddr ip = MakeIp(10, 0, 0, 9);
+  network.Attach(ip, &node);
+  network.Attach(MakeIp(10, 0, 0, 1), &peer);
+
+  Packet p;
+  p.src = MakeIp(10, 0, 0, 1);
+  p.dst = ip;
+  network.Send(p);
+  simulator.Run();
+  ASSERT_EQ(node.packets, 1);
+
+  network.SetNodeDown(ip, true);
+  EXPECT_TRUE(network.IsDown(ip));
+  network.SetNodeDown(ip, false);  // Warm revive: healed partition.
+  EXPECT_FALSE(network.IsDown(ip));
+  EXPECT_EQ(node.packets, 1);        // State intact.
+  EXPECT_EQ(node.cold_restarts, 0);  // No reboot happened.
+
+  network.Send(p);
+  simulator.Run();
+  EXPECT_EQ(node.packets, 2);
+}
+
+TEST(NetworkRestart, ColdRestartClearsStateAndRevives) {
+  sim::Simulator simulator;
+  Network network(&simulator, 7);
+  StatefulNode node;
+  Collector peer;
+  const IpAddr ip = MakeIp(10, 0, 0, 9);
+  network.Attach(ip, &node);
+  network.Attach(MakeIp(10, 0, 0, 1), &peer);
+
+  Packet p;
+  p.src = MakeIp(10, 0, 0, 1);
+  p.dst = ip;
+  network.Send(p);
+  simulator.Run();
+  ASSERT_EQ(node.packets, 1);
+
+  network.SetNodeDown(ip, true);
+  network.RestartNode(ip);  // Cold: rebooted VM, volatile state gone.
+  EXPECT_FALSE(network.IsDown(ip));
+  EXPECT_EQ(node.packets, 0);
+  EXPECT_EQ(node.cold_restarts, 1);
+
+  network.Send(p);  // The attachment survived the reboot.
+  simulator.Run();
+  EXPECT_EQ(node.packets, 1);
+}
+
+TEST(NetworkRestart, RestartOfUnattachedAddressIsNoOp) {
+  sim::Simulator simulator;
+  Network network(&simulator, 7);
+  network.RestartNode(MakeIp(99, 0, 0, 1));  // Must not crash.
+  EXPECT_FALSE(network.IsDown(MakeIp(99, 0, 0, 1)));
+}
+
+TEST(NetworkProbe, ProbePathSeesDownAndHookButDrawsNothing) {
+  sim::Simulator simulator;
+  Network network(&simulator, 11);
+  Collector a, b;
+  const IpAddr ip_a = MakeIp(10, 0, 0, 1);
+  const IpAddr ip_b = MakeIp(10, 0, 0, 2);
+  network.Attach(ip_a, &a);
+  network.Attach(ip_b, &b);
+
+  EXPECT_TRUE(network.ProbePath(ip_a, ip_b));
+  EXPECT_FALSE(network.ProbePath(ip_a, MakeIp(99, 0, 0, 1)));  // Unattached.
+
+  network.SetNodeDown(ip_b, true);
+  EXPECT_FALSE(network.ProbePath(ip_a, ip_b));
+  network.SetNodeDown(ip_b, false);
+
+  // A hook that drops everything blinds the probe; probes are kAck-shaped so
+  // a SYN-only filter does not.
+  network.set_fault_hook([](const Packet& p, IpAddr) {
+    return FaultVerdict{/*drop=*/p.syn() && !p.ack_flag(), 0};
+  });
+  EXPECT_TRUE(network.ProbePath(ip_a, ip_b));
+  network.set_fault_hook([](const Packet&, IpAddr) { return FaultVerdict{true, 0}; });
+  EXPECT_FALSE(network.ProbePath(ip_a, ip_b));
+}
+
 }  // namespace
 }  // namespace net

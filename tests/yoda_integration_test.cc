@@ -916,5 +916,139 @@ TEST(YodaInstanceTraffic, DrainTrafficCountersAttributesPerVipAndClearsWindow) {
   }
 }
 
+// --- Failure-path hardening: takeover re-fetch and explicit reset. ---
+
+TEST_F(YodaE2E, TakeoverRefetchRidesOutTransientKvSlowness) {
+  // The TCPStore replicas answer, but too late: the first takeover lookup
+  // times out. The survivor must re-fetch with backoff instead of resetting
+  // the flow, and succeed once the slowness clears.
+  TestbedConfig cfg;
+  cfg.yoda_instances = 4;
+  cfg.kv_client.op_timeout = sim::Msec(10);
+  cfg.kv_client.max_retries = 0;  // Isolate the takeover-level retry.
+  cfg.instance_template.takeover_retry_limit = 5;
+  cfg.instance_template.takeover_retry_backoff = sim::Msec(20);
+  Build(cfg);
+  const workload::WebObject* big = nullptr;
+  for (const auto& o : tb->catalog->objects()) {
+    if (o.size > 150'000) {
+      big = &o;
+      break;
+    }
+  }
+  ASSERT_NE(big, nullptr);
+
+  FetchResult result;
+  bool done = false;
+  tb->clients[0]->FetchObject(tb->vip(), 80, big->url, {}, [&](const FetchResult& r) {
+    result = r;
+    done = true;
+  });
+  tb->sim.RunUntil(sim::Msec(160));
+  int owner = -1;
+  for (std::size_t i = 0; i < tb->instances.size(); ++i) {
+    if (tb->instances[i]->active_flows() > 0) {
+      owner = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(owner, 0);
+  tb->FailInstance(owner);
+  for (int i = 0; i < tb->cfg.kv_servers; ++i) {
+    tb->SlowKvServer(i, sim::Msec(100));  // Late answers: every Get times out.
+  }
+
+  // Step the sim until the survivor's first lookup has missed and re-armed,
+  // then end the outage so a later attempt hits.
+  auto total_retries = [&] {
+    std::uint64_t n = 0;
+    for (auto& inst : tb->instances) {
+      n += inst->stats().takeover_retries;
+    }
+    return n;
+  };
+  while (total_retries() == 0 && tb->sim.now() < sim::Sec(5)) {
+    tb->sim.RunUntil(tb->sim.now() + sim::Msec(10));
+  }
+  ASSERT_GT(total_retries(), 0u) << "takeover lookup never re-armed";
+  for (int i = 0; i < tb->cfg.kv_servers; ++i) {
+    tb->SlowKvServer(i, 0);
+  }
+  tb->sim.Run();
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok) << "timed_out=" << result.timed_out << " reset=" << result.reset;
+  EXPECT_EQ(result.bytes, big->size);
+  std::uint64_t takeovers = 0;
+  std::uint64_t misses = 0;
+  for (auto& inst : tb->instances) {
+    takeovers += inst->stats().takeovers_client_side + inst->stats().takeovers_server_side;
+    misses += inst->stats().takeover_misses;
+  }
+  EXPECT_GE(takeovers, 1u);
+  EXPECT_EQ(misses, 0u);  // The retry budget absorbed the outage.
+}
+
+TEST_F(YodaE2E, TakeoverFinalMissResetsFlowInsteadOfBlackholing) {
+  // The flow state is genuinely gone (TCPStore wiped while its owner is
+  // dead). After the retry budget is spent the survivor must answer the
+  // client's retransmissions with a RST — an explicit, prompt failure rather
+  // than a silent drop that runs out the 30 s browser timer.
+  TestbedConfig cfg;
+  cfg.yoda_instances = 4;
+  cfg.kv_client.op_timeout = sim::Msec(10);
+  cfg.kv_client.max_retries = 0;
+  cfg.instance_template.takeover_retry_limit = 1;
+  cfg.instance_template.takeover_retry_backoff = sim::Msec(5);
+  Build(cfg);
+
+  FetchResult result;
+  bool done = false;
+  tb->clients[0]->FetchObject(tb->vip(), 80, AnyUrl(), {}, [&](const FetchResult& r) {
+    result = r;
+    done = true;
+  });
+  // Kill the owner after its SYN-ACK is out but before the HTTP request
+  // lands (~100 ms): the unacked request keeps the client retransmitting,
+  // which is what eventually reaches the survivor.
+  tb->sim.RunUntil(sim::Msec(80));
+  int owner = -1;
+  for (std::size_t i = 0; i < tb->instances.size(); ++i) {
+    if (tb->instances[i]->stats().flows_started > 0) {
+      owner = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(owner, 0);
+  tb->FailInstance(owner);
+  for (auto& s : tb->kv_servers) {
+    s->Fail();  // Wipes contents; lookups now miss for good.
+  }
+  tb->sim.Run();
+
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.reset) << "timed_out=" << result.timed_out;
+  // The reset came well before the browser's 30 s HTTP timeout.
+  EXPECT_LT(result.latency, sim::Sec(10));
+  std::uint64_t misses = 0;
+  std::uint64_t retries = 0;
+  for (auto& inst : tb->instances) {
+    misses += inst->stats().takeover_misses;
+    retries += inst->stats().takeover_retries;
+  }
+  EXPECT_GE(misses, 1u);
+  EXPECT_GE(retries, 1u);
+  // The reset is in the flight-recorder trace with the takeover-miss reason.
+  bool reset_traced = false;
+  tb->flight.ForEachFlow([&](const obs::FlowId&, const std::vector<obs::TraceEvent>& events) {
+    for (const obs::TraceEvent& ev : events) {
+      if (ev.type == obs::EventType::kFlowReset &&
+          ev.detail == static_cast<std::uint64_t>(obs::FlowResetReason::kTakeoverMiss)) {
+        reset_traced = true;
+      }
+    }
+  });
+  EXPECT_TRUE(reset_traced);
+}
+
 }  // namespace
 }  // namespace yoda
