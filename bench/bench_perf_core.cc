@@ -1,0 +1,406 @@
+// Core fast-path microbenchmarks: the substrate every experiment funnels
+// through. Four suites measure the simulator and fabric hot paths directly:
+//
+//   timer_schedule_fire  — self-rescheduling event chains (the dominant
+//                          packet-delivery pattern: schedule from a callback,
+//                          fire, repeat) across mixed near/far horizons;
+//   timer_cancel_churn   — RTO-style arm/cancel/re-arm where ~90% of timers
+//                          never fire (the TCP retransmit pattern);
+//   fabric_pps           — packet deliveries/sec through Network::Send with a
+//                          512 B payload bouncing between two nodes;
+//   e2e_flows            — full-testbed open-loop HTTP fetches at Fig 13
+//                          scale, wall-clock flows/sec.
+//
+// Results are emitted as machine-readable JSON (BENCH_perf_core.json) so the
+// perf trajectory has data, and `--baseline FILE` turns the binary into a CI
+// regression gate: any throughput metric below 1/2 the checked-in baseline
+// (or peak RSS above 2x) fails the run.
+//
+// Flags:
+//   --out FILE        JSON output path (default BENCH_perf_core.json)
+//   --baseline FILE   compare against a baseline JSON; exit 1 on >2x regression
+//   --scale10         additionally run the ~10x Fig 13 scale-up (slow; not CI)
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/workload/browser_client.h"
+#include "src/workload/testbed.h"
+
+namespace {
+
+double WallSeconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+double PeakRssMb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // ru_maxrss is KB on Linux.
+}
+
+// Scheduling noise on a shared machine easily swings a sub-second microbench
+// by +-15%; report the best of three runs — the one least disturbed by
+// neighbors — so regression checks compare signal, not scheduler luck.
+template <typename Fn>
+double BestOf3(Fn&& bench) {
+  double best = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    best = std::max(best, bench());
+  }
+  return best;
+}
+
+// --- timer_schedule_fire ----------------------------------------------------
+// 1000 independent chains; each fired event re-schedules itself with a delta
+// cycling through the latency scales the real fabric uses. Exercises
+// schedule-from-callback + fire, the dominant simulator pattern, through the
+// raw calling convention — the one packet delivery actually uses (the
+// pre-overhaul core had only the closure path, so the before/after ratio is
+// exactly the win the fabric's events see). The std::function control-plane
+// path is measured separately as timer_schedule_fire_fn.
+struct RawChains {
+  sim::Simulator* sim;
+  const sim::Duration* deltas;
+  std::uint64_t fired = 0;
+  std::uint64_t limit = 0;
+  std::uint64_t chains = 0;
+
+  static void Fire(void* ctx, std::uint64_t c) {
+    auto* s = static_cast<RawChains*>(ctx);
+    ++s->fired;
+    if (s->fired + s->chains <= s->limit) {
+      s->sim->AfterRaw(s->deltas[(s->fired + c) % 4], &RawChains::Fire, ctx, c);
+    }
+  }
+};
+
+double BenchTimerScheduleFire(std::uint64_t total_events) {
+  sim::Simulator sim;
+  const sim::Duration deltas[] = {sim::Usec(50), sim::Usec(250), sim::Msec(1), sim::Msec(33)};
+  constexpr std::uint64_t kChains = 1000;
+  RawChains state{&sim, deltas, 0, total_events, kChains};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t c = 0; c < kChains; ++c) {
+    sim.AfterRaw(deltas[c % 4], &RawChains::Fire, &state, c);
+  }
+  sim.Run();
+  const double wall = WallSeconds(t0);
+  std::printf("  timer_schedule_fire: %llu events in %.3f s -> %.0f events/s\n",
+              static_cast<unsigned long long>(state.fired), wall,
+              static_cast<double>(state.fired) / wall);
+  return static_cast<double>(state.fired) / wall;
+}
+
+// Same chain shape through the std::function path (control-plane work:
+// monitor ticks, RTO arms, client think-time).
+double BenchTimerScheduleFireFn(std::uint64_t total_events) {
+  sim::Simulator sim;
+  const sim::Duration deltas[] = {sim::Usec(50), sim::Usec(250), sim::Msec(1), sim::Msec(33)};
+  constexpr int kChains = 1000;
+  std::uint64_t fired = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::function<void(int)> chain = [&](int c) {
+    ++fired;
+    if (fired + kChains <= total_events) {
+      sim.After(deltas[(fired + static_cast<std::uint64_t>(c)) % 4], [&chain, c]() { chain(c); });
+    }
+  };
+  for (int c = 0; c < kChains; ++c) {
+    sim.After(deltas[static_cast<std::size_t>(c) % 4], [&chain, c]() { chain(c); });
+  }
+  sim.Run();
+  const double wall = WallSeconds(t0);
+  std::printf("  timer_schedule_fire_fn: %llu events in %.3f s -> %.0f events/s\n",
+              static_cast<unsigned long long>(fired), wall, static_cast<double>(fired) / wall);
+  return static_cast<double>(fired) / wall;
+}
+
+// --- timer_cancel_churn -----------------------------------------------------
+// Arm timers far in the future, cancel 90% of them immediately (the RTO that
+// the ACK beat), let the survivors fire. Ops = arms + cancels + fires.
+double BenchTimerCancelChurn(std::uint64_t timers) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::uint64_t cancels = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<sim::TimerHandle> handles;
+  handles.reserve(10000);
+  for (std::uint64_t i = 0; i < timers; ++i) {
+    handles.push_back(
+        sim.At(sim::Msec(200) + sim::Usec(static_cast<sim::Duration>(i % 50000)),
+               [&fired]() { ++fired; }));
+    if (handles.size() == 10000) {
+      // Cancel 9 of every 10 (the ACK arrived before the RTO).
+      for (std::size_t k = 0; k < handles.size(); ++k) {
+        if (k % 10 != 0) {
+          handles[k].Cancel();
+          ++cancels;
+        }
+      }
+      handles.clear();
+    }
+  }
+  sim.Run();
+  const double wall = WallSeconds(t0);
+  const double ops = static_cast<double>(timers + cancels + fired);
+  std::printf("  timer_cancel_churn: %llu arms, %llu cancels, %llu fired in %.3f s -> %.0f ops/s\n",
+              static_cast<unsigned long long>(timers), static_cast<unsigned long long>(cancels),
+              static_cast<unsigned long long>(fired), wall, ops / wall);
+  return ops / wall;
+}
+
+// --- fabric_pps -------------------------------------------------------------
+// Two nodes bounce a 512 B payload through Network::Send until `total`
+// deliveries have happened. Measures the per-packet fabric cost: verdict
+// evaluation, latency draw, event scheduling, delivery dispatch.
+class Bouncer : public net::Node {
+ public:
+  Bouncer(net::Network* network, net::IpAddr self, net::IpAddr peer, std::uint64_t limit,
+          const std::string& payload)
+      : net_(network), self_(self), peer_(peer), limit_(limit), payload_(payload) {}
+
+  void Kick() { SendOne(); }
+
+  void HandlePacket(const net::Packet& packet) override {
+    (void)packet;
+    if (net_->stats().delivered < limit_) {
+      SendOne();
+    }
+  }
+
+ private:
+  void SendOne() {
+    net::Packet p;
+    p.src = self_;
+    p.dst = peer_;
+    p.sport = 1000;
+    p.dport = 80;
+    p.flags = net::kAck;
+    p.payload = payload_;
+    net_->Send(std::move(p));
+  }
+
+  net::Network* net_;
+  net::IpAddr self_;
+  net::IpAddr peer_;
+  std::uint64_t limit_;
+  // A Payload so per-packet sends share one refcounted buffer instead of
+  // copying 512 bytes each time — the fabric is what's under test here.
+  net::Payload payload_;
+};
+
+double BenchFabricPps(std::uint64_t total) {
+  sim::Simulator sim;
+  net::Network network(&sim, /*seed=*/1);
+  network.SetLatency(net::Region::kDatacenter, net::Region::kDatacenter, sim::Usec(250), 0);
+  const net::IpAddr a = net::MakeIp(10, 0, 0, 1);
+  const net::IpAddr b = net::MakeIp(10, 0, 0, 2);
+  const std::string payload(512, 'x');
+  Bouncer na(&network, a, b, total, payload);
+  Bouncer nb(&network, b, a, total, payload);
+  network.Attach(a, &na);
+  network.Attach(b, &nb);
+  const auto t0 = std::chrono::steady_clock::now();
+  // 64 packets in flight keeps the event queue realistically busy.
+  for (int i = 0; i < 64; ++i) {
+    na.Kick();
+  }
+  sim.Run();
+  const double wall = WallSeconds(t0);
+  const double pps = static_cast<double>(network.stats().delivered) / wall;
+  std::printf("  fabric_pps: %llu deliveries in %.3f s -> %.0f packets/s\n",
+              static_cast<unsigned long long>(network.stats().delivered), wall, pps);
+  return pps;
+}
+
+// --- e2e_flows --------------------------------------------------------------
+// Fig 13-shaped testbed under open-loop load; wall-clock flows/sec. `scale`
+// multiplies the request rate (scale=10 is the "10x Fig 13" headroom run).
+double BenchE2eFlows(int scale, double* out_flows) {
+  workload::TestbedConfig cfg;
+  cfg.yoda_instances = 6;
+  cfg.backends = 10;
+  cfg.clients = 10;
+  cfg.kv_servers = 4;
+  cfg.catalog.objects = 60;
+  cfg.catalog.median_size = 10'000;
+  cfg.catalog.sigma = 0.02;
+  cfg.catalog.min_size = 9'800;
+  cfg.catalog.max_size = 10'200;
+  workload::Testbed tb(cfg);
+  tb.DefineDefaultVipAndStart();
+
+  sim::Rng rng(5);
+  std::vector<std::string> urls;
+  for (const auto& o : tb.catalog->objects()) {
+    urls.push_back(o.url);
+  }
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  const double rate = 1500.0 * scale;  // Fig 13 pre-step aggregate is 1500 req/s.
+  const sim::Duration kEnd = sim::Sec(5);
+  std::function<void(sim::Time)> schedule = [&](sim::Time when) {
+    if (when > kEnd) {
+      return;
+    }
+    tb.sim.At(when, [&]() {
+      auto* client =
+          tb.clients[static_cast<std::size_t>(rng.UniformInt(
+                         0, static_cast<std::int64_t>(tb.clients.size()) - 1))].get();
+      const std::string& url = urls[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(urls.size()) - 1))];
+      client->FetchObject(tb.vip(), 80, url, {}, [&](const workload::FetchResult& r) {
+        if (r.ok) {
+          ++ok;
+        } else {
+          ++failed;
+        }
+      });
+      schedule(tb.sim.now() + sim::FromSeconds(rng.Exponential(1.0 / rate)));
+    });
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  schedule(sim::Msec(1));
+  tb.sim.Run();
+  const double wall = WallSeconds(t0);
+  const double flows = static_cast<double>(ok + failed);
+  const double fps = flows / wall;
+  std::printf("  e2e_flows (x%d): %.0f flows (%llu ok, %llu failed) in %.3f s -> %.0f flows/s\n",
+              scale, flows, static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(failed), wall, fps);
+  if (out_flows != nullptr) {
+    *out_flows = flows;
+  }
+  return fps;
+}
+
+// --- JSON plumbing ----------------------------------------------------------
+
+void WriteJson(const std::string& path, const std::map<std::string, double>& metrics) {
+  std::ofstream out(path);
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    out << "  \"" << key << "\": " << buf;
+  }
+  out << "\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// Minimal flat-JSON reader for our own `"key": number` format.
+std::map<std::string, double> ReadJson(const std::string& path) {
+  std::map<std::string, double> m;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto q1 = line.find('"');
+    if (q1 == std::string::npos) {
+      continue;
+    }
+    const auto q2 = line.find('"', q1 + 1);
+    const auto colon = line.find(':', q2);
+    if (q2 == std::string::npos || colon == std::string::npos) {
+      continue;
+    }
+    m[line.substr(q1 + 1, q2 - q1 - 1)] = std::atof(line.c_str() + colon + 1);
+  }
+  return m;
+}
+
+// Throughput metrics must stay above 1/2 baseline; RSS below 2x baseline.
+int CheckBaseline(const std::map<std::string, double>& now,
+                  const std::map<std::string, double>& base) {
+  int failures = 0;
+  for (const auto& [key, base_value] : base) {
+    auto it = now.find(key);
+    if (it == now.end() || base_value <= 0) {
+      continue;
+    }
+    const bool lower_is_better = key.find("rss") != std::string::npos;
+    const double ratio = lower_is_better ? it->second / base_value : base_value / it->second;
+    if (ratio > 2.0) {
+      std::printf("REGRESSION %s: now %.1f vs baseline %.1f (>2x)\n", key.c_str(), it->second,
+                  base_value);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("baseline check: OK (no metric regressed >2x)\n");
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_perf_core.json";
+  std::string baseline_path;
+  bool scale10 = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scale10") == 0) {
+      scale10 = true;
+    } else {
+      std::printf("usage: %s [--out FILE] [--baseline FILE] [--scale10]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== perf_core: event/packet fast-path microbenchmarks ===\n");
+  std::map<std::string, double> metrics;
+  // Sizes chosen for a few hundred ms of wall per suite: long enough that
+  // scheduler noise stops dominating, short enough for a per-PR CI job.
+  metrics["timer_schedule_fire_events_per_sec"] =
+      BestOf3([] { return BenchTimerScheduleFire(8'000'000); });
+  metrics["timer_schedule_fire_fn_events_per_sec"] =
+      BestOf3([] { return BenchTimerScheduleFireFn(8'000'000); });
+  metrics["timer_cancel_churn_ops_per_sec"] =
+      BestOf3([] { return BenchTimerCancelChurn(4'000'000); });
+  metrics["fabric_packets_per_sec"] = BestOf3([] { return BenchFabricPps(4'000'000); });
+  double flows = 0;
+  metrics["e2e_flows_per_sec"] = BenchE2eFlows(1, &flows);
+  metrics["e2e_flows_completed"] = flows;
+  if (scale10) {
+    double flows10 = 0;
+    metrics["e2e_flows_per_sec_x10"] = BenchE2eFlows(10, &flows10);
+    metrics["e2e_flows_completed_x10"] = flows10;
+  }
+  metrics["peak_rss_mb"] = PeakRssMb();
+  std::printf("  peak_rss_mb: %.1f\n", metrics["peak_rss_mb"]);
+
+  WriteJson(out_path, metrics);
+  if (!baseline_path.empty()) {
+    const auto base = ReadJson(baseline_path);
+    if (base.empty()) {
+      std::printf("baseline %s missing or empty\n", baseline_path.c_str());
+      return 1;
+    }
+    if (CheckBaseline(metrics, base) != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -111,12 +111,17 @@ void Controller::Start() {
   started_ = true;
   // Self-rescheduling monitor loop.
   // Daemon events: the monitor must not keep the simulation alive on its own.
-  auto loop = std::make_shared<std::function<void()>>();
-  *loop = [this, loop]() {
-    MonitorTick();
-    sim_->After(cfg_.monitor_interval, *loop, /*daemon=*/true);
-  };
-  sim_->After(cfg_.monitor_interval, *loop, /*daemon=*/true);
+  ArmMonitor();
+}
+
+void Controller::ArmMonitor() {
+  sim_->After(
+      cfg_.monitor_interval,
+      [this]() {
+        MonitorTick();
+        ArmMonitor();
+      },
+      /*daemon=*/true);
 }
 
 void Controller::MonitorTick() {
@@ -345,12 +350,17 @@ bool Controller::ApplyManyToMany(const std::map<net::IpAddr, VipDemand>& demand,
 
 void Controller::EnablePeriodicAssignment(PeriodicAssignmentConfig config) {
   periodic_ = config;
-  auto loop = std::make_shared<std::function<void()>>();
-  *loop = [this, loop]() {
-    AssignmentRoundFromCounters();
-    sim_->After(periodic_->interval, *loop, /*daemon=*/true);
-  };
-  sim_->After(periodic_->interval, *loop, /*daemon=*/true);
+  ArmAssignmentRound();
+}
+
+void Controller::ArmAssignmentRound() {
+  sim_->After(
+      periodic_->interval,
+      [this]() {
+        AssignmentRoundFromCounters();
+        ArmAssignmentRound();
+      },
+      /*daemon=*/true);
 }
 
 void Controller::RunAssignmentRoundNow() {

@@ -133,6 +133,10 @@ class Controller {
   void Log(const std::string& what);
   void SystemEvent(obs::EventType type, std::uint32_t where, std::uint64_t detail = 0);
   void HandleInstanceFailure(YodaInstance* instance);
+  // Self-rescheduling daemon loops; each firing re-arms itself. The closures
+  // capture only `this`, so they cannot form ownership cycles.
+  void ArmMonitor();
+  void ArmAssignmentRound();
   void ActivateSpare();
   std::vector<net::IpAddr> ActiveIps() const;
   void ReprogramAllPools(bool staggered);

@@ -47,13 +47,18 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
   connection_phase_ms_ = &registry_->GetHistogram("yoda.connection_phase_ms", labels);
   net_->Attach(cfg_.ip, this);
   if (cfg_.flow_idle_timeout > 0) {
-    auto scan = std::make_shared<std::function<void()>>();
-    *scan = [this, scan]() {
-      IdleScan();
-      sim_->After(cfg_.idle_scan_interval, *scan, /*daemon=*/true);
-    };
-    sim_->After(cfg_.idle_scan_interval, *scan, /*daemon=*/true);
+    ArmIdleScan();
   }
+}
+
+void YodaInstance::ArmIdleScan() {
+  sim_->After(
+      cfg_.idle_scan_interval,
+      [this]() {
+        IdleScan();
+        ArmIdleScan();
+      },
+      /*daemon=*/true);
 }
 
 void YodaInstance::IdleScan() {
@@ -362,7 +367,7 @@ void YodaInstance::ClientConnectionPhase(const FlowKey& key, LocalFlow& flow, Vi
         if (net::SeqLeq(seg_seq, flow.assembled_end) &&
             net::SeqGt(seg_seq + len, flow.assembled_end)) {
           const std::uint32_t skip = flow.assembled_end - seg_seq;
-          flow.assembled.append(it->second.substr(skip));
+          flow.assembled.append(it->second.view().substr(skip));
           flow.assembled_end += len - skip;
           it = flow.pending_segments.erase(it);
           progressed = true;
@@ -827,13 +832,13 @@ void YodaInstance::InspectClientStream(const FlowKey& key, LocalFlow& flow, VipS
   }
   // Consume this segment (trimming any old prefix) plus any now-contiguous
   // buffered segments.
-  std::string fresh = p.payload.substr(flow.inspect_next_seq - p.seq);
+  std::string fresh(p.payload.view().substr(flow.inspect_next_seq - p.seq));
   flow.inspect_next_seq += static_cast<std::uint32_t>(fresh.size());
   for (auto it = flow.pending_segments.begin(); it != flow.pending_segments.end();) {
     const std::uint32_t s = it->first;
     const auto l = static_cast<std::uint32_t>(it->second.size());
     if (net::SeqLeq(s, flow.inspect_next_seq) && net::SeqGt(s + l, flow.inspect_next_seq)) {
-      fresh += it->second.substr(flow.inspect_next_seq - s);
+      fresh += it->second.view().substr(flow.inspect_next_seq - s);
       flow.inspect_next_seq = s + l;
       it = flow.pending_segments.erase(it);
     } else if (net::SeqLeq(s + l, flow.inspect_next_seq)) {

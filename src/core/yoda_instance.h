@@ -196,7 +196,8 @@ class YodaInstance : public net::Node {
     sim::Time started = 0;     // Selection start (Fig 9 instrumentation).
     sim::Time last_packet = 0;  // For idle GC.
     // Connection phase: client byte-stream reassembly (seq -> payload).
-    std::map<std::uint32_t, std::string> pending_segments;
+    // Payload values share the client's segment buffers (no deep copies).
+    std::map<std::uint32_t, net::Payload> pending_segments;
     std::uint32_t assembled_end = 0;  // Next expected client seq.
     std::string assembled;            // In-order client bytes (the header).
     http::RequestParser parser;
@@ -292,6 +293,9 @@ class YodaInstance : public net::Node {
   void MaybeScheduleCleanup(const FlowKey& key, LocalFlow& flow);
   void CleanupFlow(const FlowKey& key, bool remove_from_store);
   void IdleScan();
+  // Schedules the next idle scan; each firing re-arms itself. The closure
+  // captures only `this` so it cannot form an ownership cycle.
+  void ArmIdleScan();
 
   std::optional<rules::Selection> SelectBackend(VipState& vip, const http::Request& req);
   void BindStickyIfNeeded(VipState& vip, const http::Request& req, const rules::Backend& b);

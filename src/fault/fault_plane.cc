@@ -33,8 +33,7 @@ const char* FaultKindName(FaultKind kind) {
 FaultPlane::FaultPlane(sim::Simulator* simulator, net::Network* network, std::uint64_t seed,
                        FaultPlaneConfig config)
     : sim_(simulator), net_(network), cfg_(config), rng_(seed) {
-  net_->set_fault_hook(
-      [this](const net::Packet& p, net::IpAddr route_dst) { return Verdict(p, route_dst); });
+  net_->set_fault_observer(this);
 }
 
 std::uint64_t FaultPlane::LinkKey(net::IpAddr a, net::IpAddr b) {

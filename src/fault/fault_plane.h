@@ -1,7 +1,7 @@
 // Deterministic, scriptable fault-injection plane.
 //
-// The FaultPlane installs itself as the Network's fault hook and evaluates a
-// set of live overlays against every delivery attempt, in a fixed order:
+// The FaultPlane installs itself as the Network's fault observer and
+// evaluates a set of live overlays against every delivery attempt, in order:
 //
 //   1. partitions   — bidirectional total cuts between two addresses;
 //   2. link faults  — per-(a,b) loss probability and/or delay spike;
@@ -74,14 +74,14 @@ struct FaultPlaneStats {
   std::uint64_t events_applied = 0;  // Scheduled script events fired.
 };
 
-class FaultPlane {
+class FaultPlane : public net::FaultObserver {
  public:
   using PacketPredicate = std::function<bool(const net::Packet&)>;
 
   enum class RestartMode { kWarm, kCold };
 
-  // Installs the plane as `network`'s fault hook. The plane must outlive the
-  // network's use of the hook (the testbed owns both).
+  // Installs the plane as `network`'s fault observer. The plane must outlive
+  // its installation (the testbed owns both).
   FaultPlane(sim::Simulator* simulator, net::Network* network, std::uint64_t seed,
              FaultPlaneConfig config = {});
   FaultPlane(const FaultPlane&) = delete;
@@ -122,7 +122,12 @@ class FaultPlane {
   // daemon event. Events fire in (time, insertion) order.
   void Schedule(sim::Time at, std::function<void(FaultPlane&)> apply);
 
-  // The hook body (exposed for tests).
+  // FaultObserver: the per-delivery verdict, a virtual call with no closure.
+  net::FaultVerdict OnSend(const net::Packet& packet, net::IpAddr route_dst) override {
+    return Verdict(packet, route_dst);
+  }
+
+  // The verdict body (exposed for tests).
   net::FaultVerdict Verdict(const net::Packet& packet, net::IpAddr route_dst);
 
   sim::Rng& rng() { return rng_; }

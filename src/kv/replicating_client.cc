@@ -228,6 +228,20 @@ void ReplicatingClient::Delete(const std::string& key, AckCallback cb) {
 
 // --- reads ------------------------------------------------------------------
 
+void ReplicatingClient::ArmHedge(const std::shared_ptr<GetOp>& op) {
+  sim_->After(cfg_.hedge_delay, [this, op]() {
+    if (op->finished) {
+      return;
+    }
+    const int next = op->NextUnstarted();
+    if (next < 0) {
+      return;
+    }
+    StartGetSlot(op, static_cast<std::size_t>(next), true);
+    ArmHedge(op);
+  });
+}
+
 void ReplicatingClient::StartGetSlot(const std::shared_ptr<GetOp>& op, std::size_t i,
                                      bool hedged) {
   GetOp::Slot& slot = op->slots[i];
@@ -348,21 +362,7 @@ void ReplicatingClient::GetAttempt(const std::string& key,
       StartGetSlot(op, 0, false);
       // Hedge chain: every hedge_delay of overall silence launches one more
       // replica, until an answer arrives or the replicas run out.
-      auto arm_hedge = std::make_shared<std::function<void()>>();
-      *arm_hedge = [this, op, arm_hedge]() {
-        sim_->After(cfg_.hedge_delay, [this, op, arm_hedge]() {
-          if (op->finished) {
-            return;
-          }
-          const int next = op->NextUnstarted();
-          if (next < 0) {
-            return;
-          }
-          StartGetSlot(op, static_cast<std::size_t>(next), true);
-          (*arm_hedge)();
-        });
-      };
-      (*arm_hedge)();
+      ArmHedge(op);
       break;
     }
   }

@@ -131,6 +131,10 @@ class ReplicatingClient {
   // One in-flight Get attempt (defined in the .cc).
   struct GetOp;
   void StartGetSlot(const std::shared_ptr<GetOp>& op, std::size_t i, bool hedged);
+  // Arms the next hedge launch; each firing re-arms itself until the op
+  // finishes or replicas run out. Captures only `this` and the op, so it
+  // cannot form an ownership cycle.
+  void ArmHedge(const std::shared_ptr<GetOp>& op);
   void OnGetAnswer(const std::shared_ptr<GetOp>& op, std::size_t i,
                    std::optional<std::string> v);
   void FinishGet(const std::shared_ptr<GetOp>& op);

@@ -1,61 +1,98 @@
 #include "src/net/network.h"
 
-#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace net {
-namespace {
 
-std::uint16_t RegionPairKey(Region a, Region b) {
-  auto x = static_cast<std::uint16_t>(a);
-  auto y = static_cast<std::uint16_t>(b);
-  if (x > y) {
-    std::swap(x, y);
+Network::Endpoint& Network::EndpointMap::Upsert(IpAddr ip) {
+  assert(ip != 0 && "0.0.0.0 is the empty-bucket sentinel");
+  if ((size_ + 1) * 10 > buckets_.size() * 7) {  // Keep load under 0.7.
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_.assign(old.size() * 2, Bucket{});
+    mask_ = buckets_.size() - 1;
+    for (const Bucket& b : old) {
+      if (b.key != 0) {
+        std::size_t i = Home(b.key);
+        while (buckets_[i].key != 0) {
+          i = (i + 1) & mask_;
+        }
+        buckets_[i] = b;
+      }
+    }
   }
-  return static_cast<std::uint16_t>((x << 8) | y);
+  std::size_t i = Home(ip);
+  while (buckets_[i].key != 0 && buckets_[i].key != ip) {
+    i = (i + 1) & mask_;
+  }
+  if (buckets_[i].key == 0) {
+    buckets_[i].key = ip;
+    ++size_;
+  }
+  return buckets_[i].ep;
 }
 
-}  // namespace
+void Network::EndpointMap::Erase(IpAddr ip) {
+  std::size_t i = Home(ip);
+  while (buckets_[i].key != ip) {
+    if (buckets_[i].key == 0) {
+      return;
+    }
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift deletion: close the probe gap so later cluster members
+  // whose home precedes the hole stay reachable.
+  buckets_[i] = Bucket{};
+  --size_;
+  for (std::size_t j = (i + 1) & mask_; buckets_[j].key != 0; j = (j + 1) & mask_) {
+    const std::size_t home = Home(buckets_[j].key);
+    if (((j - home) & mask_) >= ((j - i) & mask_)) {
+      buckets_[i] = buckets_[j];
+      buckets_[j] = Bucket{};
+      i = j;
+    }
+  }
+}
 
 void Network::Attach(IpAddr ip, Node* node, Region region) {
-  nodes_[ip] = node;
-  regions_[ip] = region;
-  down_.erase(ip);
+  endpoints_.Upsert(ip) = Endpoint{node, region, false};
 }
 
-void Network::Detach(IpAddr ip) {
-  nodes_.erase(ip);
-  regions_.erase(ip);
-  down_.erase(ip);
-}
+void Network::Detach(IpAddr ip) { endpoints_.Erase(ip); }
 
 void Network::SetNodeDown(IpAddr ip, bool down) {
+  Endpoint* ep = endpoints_.Find(ip);
+  if (ep != nullptr) {
+    ep->down = down;
+    return;
+  }
   if (down) {
-    down_[ip] = true;
-  } else {
-    down_.erase(ip);
+    // Marking an unattached address down is remembered (it stays unroutable
+    // either way, but IsDown must report it).
+    endpoints_.Upsert(ip) = Endpoint{nullptr, Region::kDatacenter, true};
   }
 }
 
 void Network::RestartNode(IpAddr ip) {
-  auto it = nodes_.find(ip);
-  if (it == nodes_.end()) {
+  Endpoint* ep = endpoints_.Find(ip);
+  if (ep == nullptr || ep->node == nullptr) {
     return;
   }
-  it->second->OnColdRestart();
-  down_.erase(ip);
+  ep->node->OnColdRestart();
+  ep->down = false;
 }
 
 bool Network::ProbePath(IpAddr src, IpAddr dst) {
-  if (!nodes_.contains(dst) || down_.contains(dst)) {
+  const Endpoint* ep = endpoints_.Find(dst);
+  if (ep == nullptr || ep->node == nullptr || ep->down) {
     return false;
   }
-  if (fault_hook_) {
+  if (fault_observer_ != nullptr) {
     Packet probe;
     probe.src = src;
     probe.dst = dst;
     probe.flags = kAck;  // Plain keep-alive shape; gray SYN-filters miss it.
-    if (fault_hook_(probe, dst).drop) {
+    if (fault_observer_->OnSend(probe, dst).drop) {
       return false;
     }
   }
@@ -63,20 +100,19 @@ bool Network::ProbePath(IpAddr src, IpAddr dst) {
 }
 
 void Network::SetLatency(Region a, Region b, sim::Duration base, sim::Duration jitter) {
-  latency_[RegionPairKey(a, b)] = LatencySpec{base, jitter};
+  // The model is symmetric; fill both orders so the hot path indexes directly.
+  latency_[static_cast<int>(a)][static_cast<int>(b)] = LatencySpec{base, jitter};
+  latency_[static_cast<int>(b)][static_cast<int>(a)] = LatencySpec{base, jitter};
 }
 
 Region Network::RegionOf(IpAddr ip) const {
-  auto it = regions_.find(ip);
-  return it == regions_.end() ? Region::kDatacenter : it->second;
+  const Endpoint* ep = endpoints_.Find(ip);
+  return ep == nullptr ? Region::kDatacenter : ep->region;
 }
 
 sim::Duration Network::DeliveryLatency(Region src_region, IpAddr dst) {
-  LatencySpec spec;
-  auto it = latency_.find(RegionPairKey(src_region, RegionOf(dst)));
-  if (it != latency_.end()) {
-    spec = it->second;
-  }
+  const LatencySpec& spec =
+      latency_[static_cast<int>(src_region)][static_cast<int>(RegionOf(dst))];
   sim::Duration jitter = 0;
   if (spec.jitter > 0) {
     jitter = static_cast<sim::Duration>(rng_.UniformDouble() * static_cast<double>(spec.jitter));
@@ -84,49 +120,86 @@ sim::Duration Network::DeliveryLatency(Region src_region, IpAddr dst) {
   return spec.base + jitter;
 }
 
-void Network::Send(Packet packet) {
+std::uint32_t Network::AcquireSlot(Packet&& packet) {
+  if (pool_free_.empty()) {
+    pool_.push_back(std::move(packet));
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+  const std::uint32_t slot = pool_free_.back();
+  pool_free_.pop_back();
+  pool_[slot] = std::move(packet);
+  return slot;
+}
+
+void Network::ReleaseSlot(std::uint32_t slot) {
+  // Drop the payload's buffer reference promptly; the POD fields are dead
+  // until the slot is reused (AcquireSlot move-assigns a whole Packet).
+  pool_[slot].payload = Payload();
+  pool_free_.push_back(slot);
+}
+
+void Network::Send(Packet&& packet) {
   ++stats_.sent;
   if (packet.trace_id == 0) {
     packet.trace_id = next_trace_id_++;
   }
-  const IpAddr route_dst = packet.encap_dst != 0 ? packet.encap_dst : packet.dst;
-  // The fault hook runs first (the cut cable beats the weather) and with its
-  // own RNG, so a hook that never fires leaves the network's conditional
-  // draws — loss only when loss_rate_ > 0, jitter only when the pair's
-  // jitter > 0 — exactly where a hook-less run would have them.
+  // The packet enters the pool before any verdict so every drop path —
+  // fault, loss, and the delivery-time unroutable/down checks — returns its
+  // slot through the same ReleaseSlot gate.
+  const std::uint32_t slot = AcquireSlot(std::move(packet));
+  const Packet& p = pool_[slot];
+  const IpAddr route_dst = p.encap_dst != 0 ? p.encap_dst : p.dst;
+  // The fault observer runs first (the cut cable beats the weather) and with
+  // its own RNG, so an observer that never fires leaves the network's
+  // conditional draws — loss only when loss_rate_ > 0, jitter only when the
+  // pair's jitter > 0 — exactly where an observer-less run would have them.
   FaultVerdict fault;
-  if (fault_hook_) {
-    fault = fault_hook_(packet, route_dst);
+  if (fault_observer_ != nullptr) {
+    fault = fault_observer_->OnSend(p, route_dst);
     if (fault.drop) {
       ++stats_.dropped_fault;
+      ReleaseSlot(slot);
       return;
     }
   }
   if (loss_rate_ > 0 && rng_.Bernoulli(loss_rate_)) {
     ++stats_.dropped_loss;
+    ReleaseSlot(slot);
     return;
   }
   // Encapsulated packets are forwarded by the L4 mux, which lives in the
   // datacenter — the inner source's region must not be charged again.
-  const Region src_region =
-      packet.encap_dst != 0 ? Region::kDatacenter : RegionOf(packet.src);
+  const Region src_region = p.encap_dst != 0 ? Region::kDatacenter : RegionOf(p.src);
   const sim::Duration latency = DeliveryLatency(src_region, route_dst) + fault.extra_delay;
-  sim_->After(latency, [this, route_dst, p = std::move(packet)]() {
-    auto it = nodes_.find(route_dst);
-    if (it == nodes_.end()) {
-      ++stats_.dropped_unroutable;
-      return;
-    }
-    if (down_.contains(route_dst)) {
-      ++stats_.dropped_down;
-      return;
-    }
-    ++stats_.delivered;
-    if (tap_) {
-      tap_(sim_->now(), p);
-    }
-    it->second->HandlePacket(p);
-  });
+  sim_->AfterRaw(latency, &Network::DeliverTrampoline, this, slot);
+}
+
+void Network::DeliverTrampoline(void* ctx, std::uint64_t arg) {
+  static_cast<Network*>(ctx)->Deliver(static_cast<std::uint32_t>(arg));
+}
+
+void Network::Deliver(std::uint32_t slot) {
+  // Route on the slot's packet in place; a deque keeps this reference valid
+  // even if HandlePacket reentrantly Sends and grows the pool.
+  const Packet& p = pool_[slot];
+  const IpAddr route_dst = p.encap_dst != 0 ? p.encap_dst : p.dst;
+  const Endpoint* ep = endpoints_.Find(route_dst);
+  if (ep == nullptr || ep->node == nullptr) {
+    ++stats_.dropped_unroutable;
+    ReleaseSlot(slot);
+    return;
+  }
+  if (ep->down) {
+    ++stats_.dropped_down;
+    ReleaseSlot(slot);
+    return;
+  }
+  ++stats_.delivered;
+  if (tap_) {
+    tap_(sim_->now(), p);
+  }
+  ep->node->HandlePacket(p);
+  ReleaseSlot(slot);
 }
 
 }  // namespace net

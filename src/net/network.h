@@ -13,9 +13,9 @@
 #define SRC_NET_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/net/packet.h"
@@ -50,12 +50,30 @@ struct NetworkStats {
   std::uint64_t dropped_fault = 0;  // Dropped by the fault-injection hook.
 };
 
-// Verdict of the fault-injection hook for one delivery attempt. The hook is
-// consulted once per Send, before the network's own loss draw; any extra
-// delay is added on top of the latency-model delivery time.
+// Verdict of the fault-injection observer for one delivery attempt. The
+// observer is consulted once per Send, before the network's own loss draw;
+// any extra delay is added on top of the latency-model delivery time.
 struct FaultVerdict {
   bool drop = false;
   sim::Duration extra_delay = 0;
+};
+
+// Fault-injection interface (see src/fault). A virtual call replaces the old
+// std::function hook so consulting the fault plane on the per-packet fast
+// path materializes no closure and allocates nothing.
+//
+// Determinism contract: the network's own RNG draws are CONDITIONAL — the
+// loss draw happens only when loss_rate_ > 0 and the jitter draw only when
+// the region pair's jitter > 0 — and the observer must bring its own RNG
+// (the fault plane does). Installing an observer that never fires therefore
+// leaves a same-seed run bit-identical to an observer-less run; see
+// net_test's determinism regression.
+class FaultObserver {
+ public:
+  virtual ~FaultObserver() = default;
+  // Consulted once per Send with the packet and the resolved routing
+  // destination (outer encap header when present).
+  virtual FaultVerdict OnSend(const Packet& packet, IpAddr route_dst) = 0;
 };
 
 class Network {
@@ -68,7 +86,10 @@ class Network {
   // Attaches `node` at `ip`. Re-attaching replaces the previous binding.
   void Attach(IpAddr ip, Node* node, Region region = Region::kDatacenter);
   void Detach(IpAddr ip);
-  bool IsAttached(IpAddr ip) const { return nodes_.contains(ip); }
+  bool IsAttached(IpAddr ip) const {
+    const Endpoint* ep = endpoints_.Find(ip);
+    return ep != nullptr && ep->node != nullptr;
+  }
 
   // Administrative up/down; a down node blackholes all traffic sent to it.
   //
@@ -80,7 +101,10 @@ class Network {
   // before reviving. Both are exposed so failure experiments can model
   // either recovery mode explicitly.
   void SetNodeDown(IpAddr ip, bool down);
-  bool IsDown(IpAddr ip) const { return down_.contains(ip); }
+  bool IsDown(IpAddr ip) const {
+    const Endpoint* ep = endpoints_.Find(ip);
+    return ep != nullptr && ep->down;
+  }
 
   // Cold restart: clears the node's volatile state (Node::OnColdRestart),
   // then revives it. The attachment itself survives — a rebooted VM comes
@@ -94,26 +118,23 @@ class Network {
   // Uniform random loss applied to every delivery (default 0).
   void set_loss_rate(double p) { loss_rate_ = p; }
 
-  // Fault-injection hook (see src/fault). Consulted once per Send with the
-  // packet and the resolved routing destination (outer encap header when
-  // present). Determinism contract: the network's own RNG draws are
-  // CONDITIONAL — the loss draw happens only when loss_rate_ > 0 and the
-  // jitter draw only when the region pair's jitter > 0 — and the hook must
-  // bring its own RNG (the fault plane does). Installing a hook that never
-  // fires therefore leaves a same-seed run bit-identical to a hook-less run;
-  // see net_test's determinism regression.
-  using FaultHook = std::function<FaultVerdict(const Packet&, IpAddr route_dst)>;
-  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  // Installs (or clears, with nullptr) the fault-injection observer. The
+  // observer must outlive its installation; the testbed owns both.
+  void set_fault_observer(FaultObserver* observer) { fault_observer_ = observer; }
 
   // Control-plane probe: true if a minimal packet src -> dst would currently
   // be delivered (dst attached, not down, and not dropped by the fault
-  // hook). Draws nothing from the network RNG; loss decisions come from the
-  // fault hook's own RNG, so probes are deterministic and do not perturb
-  // data-path draws. The monitor's health checks are built on this.
+  // observer). Draws nothing from the network RNG; loss decisions come from
+  // the fault plane's own RNG, so probes are deterministic and do not
+  // perturb data-path draws. The monitor's health checks are built on this.
   bool ProbePath(IpAddr src, IpAddr dst);
 
-  // Sends `packet` toward packet.dst. Drops silently if unroutable/down/lost.
-  void Send(Packet packet);
+  // Sends `packet` toward packet.dst (outer encap header when present).
+  // Drops silently if unroutable/down/lost. Move-only on purpose: the packet
+  // is moved into a pool slot that lives until delivery, so the fabric never
+  // copies payload bytes and the delivery event is a raw (function pointer,
+  // slot index) pair — no closure, no allocation.
+  void Send(Packet&& packet);
 
   // Observes every delivered packet (for tcpdump-style traces in benches).
   using TapFn = std::function<void(sim::Time, const Packet&)>;
@@ -122,27 +143,99 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   sim::Simulator* simulator() { return sim_; }
 
+  // Packet-pool gauges (for tests and leak spotting). A slot is acquired per
+  // Send and released on delivery or on any drop — fault, loss, unroutable
+  // or down — so in-flight is exactly the number of scheduled deliveries.
+  std::size_t packet_pool_slots() const { return pool_.size(); }
+  std::size_t packet_pool_free() const { return pool_free_.size(); }
+  std::size_t packets_in_flight() const { return pool_.size() - pool_free_.size(); }
+
  private:
   sim::Duration DeliveryLatency(Region src_region, IpAddr dst);
   Region RegionOf(IpAddr ip) const;
+  std::uint32_t AcquireSlot(Packet&& packet);
+  void ReleaseSlot(std::uint32_t slot);
+  void Deliver(std::uint32_t slot);
+  static void DeliverTrampoline(void* ctx, std::uint64_t arg);
 
   struct LatencySpec {
     sim::Duration base = sim::Usec(250);
     sim::Duration jitter = sim::Usec(50);
   };
 
+  // Everything the fabric knows about one address: node, placement, admin
+  // state. One hash lookup per routing decision instead of three parallel
+  // maps (a measured per-packet win; see bench_perf_core's fabric_pps).
+  struct Endpoint {
+    Node* node = nullptr;
+    Region region = Region::kDatacenter;
+    bool down = false;
+  };
+
+  // Open-addressing IpAddr -> Endpoint table with power-of-two buckets and
+  // linear probing: a per-packet lookup costs a multiply-shift and a short
+  // probe instead of std::unordered_map's divide-by-prime bucket mapping.
+  // Address 0 marks an empty bucket (0.0.0.0 is never attachable; it already
+  // serves as the "no encap" sentinel in Packet).
+  class EndpointMap {
+   public:
+    EndpointMap() : buckets_(kMinBuckets) {}
+
+    Endpoint* Find(IpAddr ip) {
+      for (std::size_t i = Home(ip);; i = (i + 1) & mask_) {
+        if (buckets_[i].key == ip) {
+          return &buckets_[i].ep;
+        }
+        if (buckets_[i].key == 0) {
+          return nullptr;
+        }
+      }
+    }
+    const Endpoint* Find(IpAddr ip) const {
+      return const_cast<EndpointMap*>(this)->Find(ip);
+    }
+
+    // Returns the entry for `ip`, default-constructed if absent.
+    Endpoint& Upsert(IpAddr ip);
+    void Erase(IpAddr ip);
+
+   private:
+    struct Bucket {
+      IpAddr key = 0;
+      Endpoint ep;
+    };
+    static constexpr std::size_t kMinBuckets = 64;
+
+    std::size_t Home(IpAddr ip) const {
+      // Fibonacci hashing; the high half of the product is well mixed.
+      return static_cast<std::size_t>(
+                 (static_cast<std::uint64_t>(ip) * 0x9E3779B97F4A7C15ull) >> 32) &
+             mask_;
+    }
+
+    std::vector<Bucket> buckets_;
+    std::size_t mask_ = kMinBuckets - 1;
+    std::size_t size_ = 0;
+  };
+
   sim::Simulator* sim_;
   sim::Rng rng_;
-  std::unordered_map<IpAddr, Node*> nodes_;
-  std::unordered_map<IpAddr, Region> regions_;
-  std::unordered_map<IpAddr, bool> down_;
-  // Keyed by (min(a,b) << 1 | cross) — symmetric region pairs.
-  std::unordered_map<std::uint16_t, LatencySpec> latency_;
+  EndpointMap endpoints_;
+  // Dense (src region, dst region) grid; symmetric, default-initialized so
+  // unconfigured pairs keep the 250 us +- 50 us jitter default.
+  LatencySpec latency_[2][2];
   double loss_rate_ = 0;
   std::uint64_t next_trace_id_ = 1;
   NetworkStats stats_;
   TapFn tap_;
-  FaultHook fault_hook_;
+  FaultObserver* fault_observer_ = nullptr;
+
+  // Freelist-backed pool of in-flight packets. A deque keeps slot references
+  // stable while a HandlePacket callee reentrantly Sends (which may grow the
+  // pool); released slots are reset so shared payload buffers are returned
+  // promptly.
+  std::deque<Packet> pool_;
+  std::vector<std::uint32_t> pool_free_;
 };
 
 }  // namespace net

@@ -13,6 +13,8 @@
 #include <functional>
 #include <string>
 
+#include "src/net/payload.h"
+
 namespace net {
 
 using IpAddr = std::uint32_t;
@@ -67,7 +69,9 @@ struct Packet {
   std::uint32_t ack = 0;
   std::uint8_t flags = 0;
   std::uint16_t window = 65535;
-  std::string payload;
+  // Shared immutable bytes: copying a Packet (or substr-ing the payload)
+  // never deep-copies the payload; see src/net/payload.h.
+  Payload payload;
 
   // IP-in-IP encapsulation: when non-zero the fabric routes on this outer
   // destination while the inner header (src/dst above) is preserved. Used by

@@ -368,7 +368,7 @@ void TcpEndpoint::ProcessPayload(const Packet& p) {
   }
   // Overlapping or exactly in order: trim the old prefix.
   const std::uint32_t skip = rcv_nxt_ - seg_seq;
-  std::string_view fresh(p.payload);
+  std::string_view fresh = p.payload.view();
   fresh.remove_prefix(skip);
   rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
   stats_.bytes_delivered += fresh.size();
@@ -384,7 +384,7 @@ void TcpEndpoint::ProcessPayload(const Packet& p) {
       break;
     }
     if (SeqGt(s + len, rcv_nxt_)) {
-      std::string_view tail(it->second);
+      std::string_view tail = it->second.view();
       tail.remove_prefix(rcv_nxt_ - s);
       rcv_nxt_ += static_cast<std::uint32_t>(tail.size());
       stats_.bytes_delivered += tail.size();

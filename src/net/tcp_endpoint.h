@@ -152,7 +152,9 @@ class TcpEndpoint {
   // Receive side.
   std::uint32_t rcv_isn_ = 0;
   std::uint32_t rcv_nxt_ = 0;
-  std::map<std::uint32_t, std::string> ooo_;  // out-of-order segments by seq.
+  // Out-of-order segments by seq; Payload values share the sender's buffer
+  // instead of deep-copying stashed bytes.
+  std::map<std::uint32_t, Payload> ooo_;
   bool fin_received_ = false;
 
   // Congestion control (segment-granularity cwnd).

@@ -219,8 +219,8 @@ std::optional<Packet> ParsePacket(const std::vector<std::uint8_t>& bytes, std::s
     Fail(error, "bad TCP checksum");
     return std::nullopt;
   }
-  p.payload.assign(reinterpret_cast<const char*>(tcp + kTcpHeaderLen),
-                   seg_len - kTcpHeaderLen);
+  p.payload = Payload(reinterpret_cast<const char*>(tcp + kTcpHeaderLen),
+                      seg_len - kTcpHeaderLen);
   return p;
 }
 

@@ -42,7 +42,11 @@ void RuleTable::ReplaceAll(std::vector<Rule> new_rules) {
 
 std::optional<Backend> RuleTable::Apply(const Rule& rule, const http::Request& req,
                                         const SelectionContext& ctx) const {
-  auto healthy = [&ctx](const Backend& b) { return !ctx.is_healthy || ctx.is_healthy(b); };
+  // Hoist the null test: with no health oracle installed (the common
+  // bench_fig06 shape) the per-backend check is a pointer compare, not a
+  // std::function empty-test plus indirect call.
+  const auto* oracle = ctx.is_healthy ? &ctx.is_healthy : nullptr;
+  auto healthy = [oracle](const Backend& b) { return oracle == nullptr || (*oracle)(b); };
 
   switch (rule.action.type) {
     case ActionType::kWeightedSplit: {
@@ -124,7 +128,8 @@ std::optional<Selection> RuleTable::Select(const http::Request& req,
     }
     Selection sel{*backend, rule.name, scanned, {}};
     if (rule.action.type == ActionType::kMirror) {
-      auto healthy = [&ctx](const Backend& b) { return !ctx.is_healthy || ctx.is_healthy(b); };
+      const auto* oracle = ctx.is_healthy ? &ctx.is_healthy : nullptr;
+      auto healthy = [oracle](const Backend& b) { return oracle == nullptr || (*oracle)(b); };
       for (const Backend& b : rule.action.backends) {
         if (healthy(b) && !(b == *backend)) {
           sel.mirrors.push_back(b);

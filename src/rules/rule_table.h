@@ -12,9 +12,9 @@
 #define SRC_RULES_RULE_TABLE_H_
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/rules/rule.h"
@@ -23,15 +23,21 @@
 namespace rules {
 
 // Session affinity storage for kStickyTable actions: cookie value -> backend.
+// Lookup order is never observable (each cookie is independent), so a hash
+// map is safe for determinism and O(1) on the per-request path; the table is
+// pre-reserved so early Binds don't rehash mid-experiment.
 class StickyTable {
  public:
+  StickyTable() { bindings_.reserve(kInitialCapacity); }
+
   std::optional<Backend> Find(const std::string& cookie_value) const;
   void Bind(const std::string& cookie_value, const Backend& backend);
   void Clear() { bindings_.clear(); }
   std::size_t size() const { return bindings_.size(); }
 
  private:
-  std::map<std::string, Backend> bindings_;
+  static constexpr std::size_t kInitialCapacity = 1024;
+  std::unordered_map<std::string, Backend> bindings_;
 };
 
 // Everything a selection may consult besides the request itself.

@@ -39,6 +39,18 @@ struct BrowserClient::Fetch {
   std::string tls_certificate;
 };
 
+// Sequential page load (HTML, then each embedded object). Kept as plain
+// state advanced by PageStep so the continuation never owns itself.
+struct BrowserClient::PageFetch {
+  net::IpAddr target = 0;
+  net::Port port = 80;
+  std::vector<std::string> remaining;
+  FetchResult aggregate;
+  sim::Time started = 0;
+  FetchCallback done;
+  FetchOptions options;
+};
+
 BrowserClient::BrowserClient(sim::Simulator* simulator, net::Network* network, net::IpAddr ip,
                              std::uint64_t seed)
     : sim_(simulator), net_(network), ip_(ip), rng_(seed) {
@@ -51,7 +63,14 @@ BrowserClient::BrowserClient(sim::Simulator* simulator, net::Network* network, n
   net_->Attach(ip_, this, net::Region::kInternet);
 }
 
-BrowserClient::~BrowserClient() = default;
+BrowserClient::~BrowserClient() {
+  // Fetches still in flight hold their endpoint, and the endpoint's
+  // callbacks hold the fetch; drop the endpoints so the cycle unwinds when
+  // demux_ releases its refs.
+  for (auto& [tuple, fetch] : demux_) {
+    fetch->ep.reset();
+  }
+}
 
 net::Port BrowserClient::NextPort() {
   net::Port p = next_port_++;
@@ -272,7 +291,17 @@ void BrowserClient::FinishFetch(const std::shared_ptr<Fetch>& fetch, FetchResult
   fetch->finished = true;
   fetch->timeout_timer.Cancel();
   // Keep the endpoint alive until teardown completes; reclaim the tuple soon.
-  sim_->After(sim::Sec(3), [this, tuple = fetch->tuple]() { demux_.erase(tuple); });
+  // Destroying the endpoint first drops its callbacks' refs to the fetch —
+  // the callbacks capture the fetch, and the fetch owns the endpoint, so an
+  // intact endpoint would keep the whole cycle alive forever. The `finished`
+  // guard protects a new fetch that reused the tuple in the meantime.
+  sim_->After(sim::Sec(3), [this, tuple = fetch->tuple]() {
+    auto it = demux_.find(tuple);
+    if (it != demux_.end() && it->second->finished) {
+      it->second->ep.reset();
+      demux_.erase(it);
+    }
+  });
   if (fetch->sequence_done) {
     if (!result.ok && fetch->sequence_results.size() < fetch->urls.size()) {
       fetch->sequence_results.push_back(result);
@@ -288,28 +317,33 @@ void BrowserClient::FinishFetch(const std::shared_ptr<Fetch>& fetch, FetchResult
 void BrowserClient::FetchPage(net::IpAddr target, net::Port port, const std::string& html_url,
                               const std::vector<std::string>& embedded,
                               const FetchOptions& options, FetchCallback done) {
-  auto remaining = std::make_shared<std::vector<std::string>>(embedded);
-  auto aggregate = std::make_shared<FetchResult>();
-  const sim::Time started = sim_->now();
-  auto step = std::make_shared<std::function<void(const FetchResult&)>>();
-  *step = [this, target, port, remaining, aggregate, started, done, step,
-           options](const FetchResult& r) {
-    aggregate->ok = aggregate->ok || r.ok;
-    aggregate->bytes += r.bytes;
-    aggregate->timed_out = aggregate->timed_out || r.timed_out;
-    aggregate->reset = aggregate->reset || r.reset;
-    aggregate->retries_used += r.retries_used;
-    if ((!r.ok) || remaining->empty()) {
-      aggregate->ok = r.ok && !aggregate->timed_out && !aggregate->reset;
-      aggregate->latency = sim_->now() - started;
-      done(*aggregate);
-      return;
-    }
-    const std::string next = remaining->front();
-    remaining->erase(remaining->begin());
-    FetchObject(target, port, next, options, *step);
-  };
-  FetchObject(target, port, html_url, options, *step);
+  auto page = std::make_shared<PageFetch>();
+  page->target = target;
+  page->port = port;
+  page->remaining = embedded;
+  page->started = sim_->now();
+  page->done = std::move(done);
+  page->options = options;
+  FetchObject(target, port, html_url, options,
+              [this, page](const FetchResult& r) { PageStep(page, r); });
+}
+
+void BrowserClient::PageStep(const std::shared_ptr<PageFetch>& page, const FetchResult& result) {
+  page->aggregate.ok = page->aggregate.ok || result.ok;
+  page->aggregate.bytes += result.bytes;
+  page->aggregate.timed_out = page->aggregate.timed_out || result.timed_out;
+  page->aggregate.reset = page->aggregate.reset || result.reset;
+  page->aggregate.retries_used += result.retries_used;
+  if ((!result.ok) || page->remaining.empty()) {
+    page->aggregate.ok = result.ok && !page->aggregate.timed_out && !page->aggregate.reset;
+    page->aggregate.latency = sim_->now() - page->started;
+    page->done(page->aggregate);
+    return;
+  }
+  const std::string next = page->remaining.front();
+  page->remaining.erase(page->remaining.begin());
+  FetchObject(page->target, page->port, next, page->options,
+              [this, page](const FetchResult& r) { PageStep(page, r); });
 }
 
 OpenLoopGenerator::OpenLoopGenerator(sim::Simulator* simulator,

@@ -83,9 +83,13 @@ class BrowserClient : public net::Node {
 
  private:
   struct Fetch;
+  struct PageFetch;
 
   void StartAttempt(const std::shared_ptr<Fetch>& fetch);
   void FinishFetch(const std::shared_ptr<Fetch>& fetch, FetchResult result);
+  // Advances a FetchPage chain by one object. Callbacks hold the PageFetch
+  // state; the state holds no callbacks, so no ownership cycle forms.
+  void PageStep(const std::shared_ptr<PageFetch>& page, const FetchResult& result);
   net::Port NextPort();
 
   sim::Simulator* sim_;

@@ -264,11 +264,15 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
   tb.controller->Start();
 
   sim::Rng rng(scenario.testbed.seed ^ 0x5ce9a210ULL);
-  // Load generators keep per-generator state via shared_ptr closures.
+  // Load generators keep per-generator state via shared_ptr closures. The
+  // closures capture a weak_ptr to themselves (ownership stays in
+  // `load_loops`), so rescheduling cannot form a shared_ptr cycle.
+  std::vector<std::shared_ptr<std::function<void()>>> load_loops;
   auto start_load = [&](net::IpAddr vip, double rate, sim::Duration duration, bool use_tls) {
     const sim::Time end = tb.sim.now() + duration;
     auto tick = std::make_shared<std::function<void()>>();
-    *tick = [&, vip, rate, end, use_tls, tick]() {
+    std::weak_ptr<std::function<void()>> weak_tick = tick;
+    *tick = [&, vip, rate, end, use_tls, weak_tick]() {
       if (tb.sim.now() > end) {
         return;
       }
@@ -286,8 +290,11 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
           ++report.requests_failed;
         }
       });
-      tb.sim.After(sim::FromSeconds(rng.Exponential(1.0 / rate)), *tick);
+      if (auto self = weak_tick.lock()) {
+        tb.sim.After(sim::FromSeconds(rng.Exponential(1.0 / rate)), *self);
+      }
     };
+    load_loops.push_back(tick);
     (*tick)();
   };
 

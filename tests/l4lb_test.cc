@@ -194,7 +194,7 @@ TEST_F(FabricTest, SnatPinsReturnPathAndFailureClearsIt) {
   ret.dst = vip;
   ret.sport = 80;
   ret.dport = 10'001;
-  network.Send(ret);
+  network.Send(net::Packet(ret));
   simulator.Run();
   EXPECT_EQ(instances[1].got.size(), 1u);  // Pinned to owner 10.1.0.2.
 
@@ -202,7 +202,7 @@ TEST_F(FabricTest, SnatPinsReturnPathAndFailureClearsIt) {
   fabric.RemoveInstanceEverywhere(owner);
   EXPECT_FALSE(fabric.SnatOwner(server_side).has_value());
   network.SetNodeDown(owner, true);
-  network.Send(ret);
+  network.Send(std::move(ret));
   simulator.Run();
   EXPECT_EQ(instances[1].got.size(), 1u);  // Nothing new at the dead owner.
   EXPECT_EQ(instances[0].got.size() + instances[2].got.size(), 1u);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "src/net/network.h"
 #include "src/net/packet.h"
 #include "src/net/wire.h"
@@ -174,10 +177,12 @@ TEST_P(WireFuzz, RandomPacketRoundTrip) {
   p.flags = static_cast<std::uint8_t>(rng.UniformInt(0, 31));
   p.window = static_cast<std::uint16_t>(rng.UniformInt(0, 65535));
   const auto len = static_cast<std::size_t>(rng.UniformInt(0, 1400));
-  p.payload.reserve(len);
+  std::string bytes;
+  bytes.reserve(len);
   for (std::size_t i = 0; i < len; ++i) {
-    p.payload.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
   }
+  p.payload = std::move(bytes);
   auto parsed = ParsePacket(SerializePacket(p));
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->src, p.src);
@@ -288,7 +293,7 @@ TEST_F(NetworkTest, CrossRegionLatencyDiffers) {
   network.SetLatency(Region::kDatacenter, Region::kDatacenter, sim::Usec(250), 0);
   Packet p = PacketAB();
   p.dst = ip_c;
-  network.Send(p);
+  network.Send(std::move(p));
   simulator.Run();
   EXPECT_EQ(simulator.now(), sim::Msec(33));
 }
@@ -308,7 +313,7 @@ TEST_F(NetworkTest, DownNodeBlackholes) {
 TEST_F(NetworkTest, UnroutableDropsSilently) {
   Packet p = PacketAB();
   p.dst = MakeIp(99, 99, 99, 99);
-  network.Send(p);
+  network.Send(std::move(p));
   simulator.Run();
   EXPECT_EQ(network.stats().dropped_unroutable, 1u);
 }
@@ -325,7 +330,7 @@ TEST_F(NetworkTest, LossRateDropsApproximately) {
 TEST_F(NetworkTest, EncapRoutesOnOuterDestination) {
   Packet p = PacketAB();
   p.encap_dst = ip_a;  // Inner dst is b, outer says deliver to a.
-  network.Send(p);
+  network.Send(std::move(p));
   simulator.Run();
   ASSERT_EQ(a.received.size(), 1u);
   EXPECT_TRUE(b.received.empty());
@@ -352,11 +357,17 @@ TEST_F(NetworkTest, TraceIdsAssignedMonotonically) {
 // RNG draw contract + restart semantics.
 // ---------------------------------------------------------------------------
 
+// A no-op fault observer: never drops, never delays, draws nothing.
+class NoOpFaultObserver : public FaultObserver {
+ public:
+  FaultVerdict OnSend(const Packet&, IpAddr) override { return FaultVerdict{}; }
+};
+
 // Regression for the determinism contract (network.h): the network's own RNG
 // draws are conditional — loss only when loss_rate_ > 0, jitter only when the
-// region pair's jitter > 0 — so installing a fault hook that never drops or
-// delays anything must leave a same-seed run's delivery times bit-identical.
-TEST(NetworkDeterminism, NoOpFaultHookLeavesDeliveryTimesIdentical) {
+// region pair's jitter > 0 — so installing a fault observer that never drops
+// or delays anything must leave a same-seed run's delivery times bit-identical.
+TEST(NetworkDeterminism, NoOpFaultObserverLeavesDeliveryTimesIdentical) {
   auto run = [](bool with_hook) {
     sim::Simulator simulator;
     Network network(&simulator, 2024);
@@ -367,8 +378,9 @@ TEST(NetworkDeterminism, NoOpFaultHookLeavesDeliveryTimesIdentical) {
     network.SetLatency(Region::kDatacenter, Region::kDatacenter, sim::Usec(250),
                        sim::Usec(100));
     network.set_loss_rate(0.1);
+    NoOpFaultObserver noop;
     if (with_hook) {
-      network.set_fault_hook([](const Packet&, IpAddr) { return FaultVerdict{}; });
+      network.set_fault_observer(&noop);
     }
     std::vector<sim::Time> times;
     network.set_tap([&times](sim::Time t, const Packet&) { times.push_back(t); });
@@ -377,7 +389,7 @@ TEST(NetworkDeterminism, NoOpFaultHookLeavesDeliveryTimesIdentical) {
       p.src = MakeIp(10, 0, 0, 1);
       p.dst = MakeIp(10, 0, 0, 2);
       p.payload = "x";
-      network.Send(p);
+      network.Send(std::move(p));
     }
     simulator.Run();
     return times;
@@ -409,7 +421,7 @@ TEST(NetworkRestart, WarmReviveKeepsNodeState) {
   Packet p;
   p.src = MakeIp(10, 0, 0, 1);
   p.dst = ip;
-  network.Send(p);
+  network.Send(Packet(p));
   simulator.Run();
   ASSERT_EQ(node.packets, 1);
 
@@ -420,7 +432,7 @@ TEST(NetworkRestart, WarmReviveKeepsNodeState) {
   EXPECT_EQ(node.packets, 1);        // State intact.
   EXPECT_EQ(node.cold_restarts, 0);  // No reboot happened.
 
-  network.Send(p);
+  network.Send(std::move(p));
   simulator.Run();
   EXPECT_EQ(node.packets, 2);
 }
@@ -437,7 +449,7 @@ TEST(NetworkRestart, ColdRestartClearsStateAndRevives) {
   Packet p;
   p.src = MakeIp(10, 0, 0, 1);
   p.dst = ip;
-  network.Send(p);
+  network.Send(Packet(p));
   simulator.Run();
   ASSERT_EQ(node.packets, 1);
 
@@ -447,7 +459,7 @@ TEST(NetworkRestart, ColdRestartClearsStateAndRevives) {
   EXPECT_EQ(node.packets, 0);
   EXPECT_EQ(node.cold_restarts, 1);
 
-  network.Send(p);  // The attachment survived the reboot.
+  network.Send(std::move(p));  // The attachment survived the reboot.
   simulator.Run();
   EXPECT_EQ(node.packets, 1);
 }
@@ -475,14 +487,94 @@ TEST(NetworkProbe, ProbePathSeesDownAndHookButDrawsNothing) {
   EXPECT_FALSE(network.ProbePath(ip_a, ip_b));
   network.SetNodeDown(ip_b, false);
 
-  // A hook that drops everything blinds the probe; probes are kAck-shaped so
-  // a SYN-only filter does not.
-  network.set_fault_hook([](const Packet& p, IpAddr) {
-    return FaultVerdict{/*drop=*/p.syn() && !p.ack_flag(), 0};
-  });
+  // An observer that drops everything blinds the probe; probes are
+  // kAck-shaped so a SYN-only filter does not.
+  class SynFilter : public FaultObserver {
+   public:
+    FaultVerdict OnSend(const Packet& p, IpAddr) override {
+      return FaultVerdict{/*drop=*/p.syn() && !p.ack_flag(), 0};
+    }
+  } syn_filter;
+  class DropAll : public FaultObserver {
+   public:
+    FaultVerdict OnSend(const Packet&, IpAddr) override { return FaultVerdict{true, 0}; }
+  } drop_all;
+  network.set_fault_observer(&syn_filter);
   EXPECT_TRUE(network.ProbePath(ip_a, ip_b));
-  network.set_fault_hook([](const Packet&, IpAddr) { return FaultVerdict{true, 0}; });
+  network.set_fault_observer(&drop_all);
   EXPECT_FALSE(network.ProbePath(ip_a, ip_b));
+}
+
+// ---------------------------------------------------------------------------
+// Packet pool.
+// ---------------------------------------------------------------------------
+
+TEST_F(NetworkTest, PacketPoolReusesSlotsAcrossDeliveries) {
+  // Sequential sends never overlap in flight, so the pool should stabilize
+  // at one slot and reuse it for every delivery.
+  for (int i = 0; i < 100; ++i) {
+    network.Send(PacketAB());
+    simulator.Run();
+  }
+  EXPECT_EQ(b.received.size(), 100u);
+  EXPECT_EQ(network.packet_pool_slots(), 1u);
+  EXPECT_EQ(network.packets_in_flight(), 0u);
+}
+
+TEST_F(NetworkTest, PacketPoolGrowsToConcurrentInFlight) {
+  for (int i = 0; i < 64; ++i) {
+    network.Send(PacketAB());
+  }
+  EXPECT_EQ(network.packets_in_flight(), 64u);
+  simulator.Run();
+  // All slots returned after delivery; a second burst reuses them.
+  EXPECT_EQ(network.packet_pool_slots(), 64u);
+  EXPECT_EQ(network.packet_pool_free(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    network.Send(PacketAB());
+  }
+  EXPECT_EQ(network.packet_pool_slots(), 64u);  // No growth.
+  simulator.Run();
+  EXPECT_EQ(network.packets_in_flight(), 0u);
+}
+
+TEST_F(NetworkTest, PacketPoolReturnsSlotOnEveryDropPath) {
+  // Unroutable drop (decided at delivery time).
+  Packet p = PacketAB();
+  p.dst = MakeIp(99, 99, 99, 99);
+  network.Send(std::move(p));
+  simulator.Run();
+  EXPECT_EQ(network.stats().dropped_unroutable, 1u);
+  EXPECT_EQ(network.packets_in_flight(), 0u);
+
+  // Down-node drop (decided at delivery time).
+  network.SetNodeDown(ip_b, true);
+  network.Send(PacketAB());
+  simulator.Run();
+  EXPECT_EQ(network.stats().dropped_down, 1u);
+  EXPECT_EQ(network.packets_in_flight(), 0u);
+  network.SetNodeDown(ip_b, false);
+
+  // Loss drop (decided at send time).
+  network.set_loss_rate(1.0);
+  network.Send(PacketAB());
+  EXPECT_EQ(network.stats().dropped_loss, 1u);
+  EXPECT_EQ(network.packets_in_flight(), 0u);
+  network.set_loss_rate(0.0);
+
+  // Fault-observer drop (decided at send time).
+  class DropAll : public FaultObserver {
+   public:
+    FaultVerdict OnSend(const Packet&, IpAddr) override { return FaultVerdict{true, 0}; }
+  } drop_all;
+  network.set_fault_observer(&drop_all);
+  network.Send(PacketAB());
+  EXPECT_EQ(network.stats().dropped_fault, 1u);
+  EXPECT_EQ(network.packets_in_flight(), 0u);
+  network.set_fault_observer(nullptr);
+
+  simulator.Run();
+  EXPECT_EQ(network.stats().delivered, 0u);
 }
 
 }  // namespace

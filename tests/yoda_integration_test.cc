@@ -775,7 +775,7 @@ TEST_F(YodaE2E, ClientRstTearsDownFlowState) {
     r2.sport = p;
     r2.dport = 80;
     r2.flags = net::kRst;
-    tb->network.Send(r2);
+    tb->network.Send(std::move(r2));
   }
   tb->sim.RunUntil(tb->sim.now() + sim::Sec(12));
   EXPECT_EQ(tb->instances[static_cast<std::size_t>(owner)]->active_flows(), 0u);
