@@ -14,11 +14,36 @@
 #include <string>
 #include <vector>
 
-#include "src/obs/analyzer.h"
+#include "src/obs/registry.h"
 #include "src/workload/browser_client.h"
 #include "src/workload/testbed.h"
 
 namespace {
+
+// Merges one named stage histogram across every instance label in the
+// registry (resampled through the per-instance CDFs).
+sim::Histogram MergedHistogram(const obs::Registry& reg, const std::string& name) {
+  sim::Histogram merged;
+  reg.ForEach([&](const obs::Registry::Row& row) {
+    if (row.histogram == nullptr || *row.name != name) {
+      return;
+    }
+    for (auto [value, frac] : row.histogram->Cdf(200)) {
+      merged.Add(value);
+    }
+  });
+  return merged;
+}
+
+std::uint64_t SummedCounter(const obs::Registry& reg, const std::string& name) {
+  std::uint64_t total = 0;
+  reg.ForEach([&](const obs::Registry::Row& row) {
+    if (row.counter != nullptr && *row.name == name) {
+      total += row.counter->value();
+    }
+  });
+  return total;
+}
 
 workload::TestbedConfig SmallObjectConfig() {
   workload::TestbedConfig cfg;
@@ -106,16 +131,16 @@ Run RunMode(Mode mode, double rate, sim::Duration duration) {
   out.completed = completed;
   out.failed = failed;
   if (mode == Mode::kYoda) {
-    // Reconstruct the decomposition from the flight recorder: connection is
-    // kBackendSelected -> kRequestForwarded, storage is the two blocking
-    // TCPStore waits (kStorageAWriteStart->Done + kStorageBWriteStart->Done),
-    // rule scan is kBackendSelected -> kServerSyn — all per flow, from trace
-    // events, with no bench-local timers.
-    const obs::BreakdownReport br = obs::ReconstructBreakdown(tb.flight);
-    out.connection_ms = br.connection_ms.Percentile(50);
-    out.storage_ms = br.storage_ms.Percentile(50);
-    out.rule_scan_ms = br.rule_scan_ms.Percentile(50);
-    out.flows_recorded = br.flows_established;
+    // The decomposition comes from the pipeline's own stage histograms,
+    // recorded at stage boundaries inside the instances (no bench-local
+    // timers, no trace reconstruction): connection is the dispatcher's
+    // selection -> request-forwarded window, storage is the blocking
+    // ACK-point TCPStore waits timed by StoreSession, rule scan is the
+    // header-complete -> server-SYN dispatch window.
+    out.connection_ms = MergedHistogram(tb.metrics, "yoda.connection_phase_ms").Percentile(50);
+    out.storage_ms = MergedHistogram(tb.metrics, "yoda.stage.store_ms").Percentile(50);
+    out.rule_scan_ms = MergedHistogram(tb.metrics, "yoda.stage.dispatch_ms").Percentile(50);
+    out.flows_recorded = SummedCounter(tb.metrics, "yoda.flows_completed");
     out.metrics_table = tb.metrics.TextTable();
   } else if (mode == Mode::kHaproxy) {
     sim::Histogram conn;
@@ -165,7 +190,7 @@ int main() {
               static_cast<unsigned long long>(yoda.failed),
               static_cast<unsigned long long>(haproxy.failed));
 
-  std::printf("\n(components reconstructed from %llu flows' obs:: trace events)\n",
+  std::printf("\n(components from the pipeline stage histograms across %llu completed flows)\n",
               static_cast<unsigned long long>(yoda.flows_recorded));
 
   std::printf("\n%-44s %-10s %-10s\n", "headline metric", "paper", "measured");

@@ -1,0 +1,92 @@
+#include "src/core/flow_fsm.h"
+
+namespace yoda {
+namespace {
+
+constexpr int Idx(FlowPhase p) { return static_cast<int>(p); }
+
+// Static transition table; row = from, column = to. kClosed is reachable
+// from every live phase (reset, RST, VIP removal, idle GC) and terminal.
+constexpr bool BuildEdge(FlowPhase from, FlowPhase to) {
+  if (from != FlowPhase::kClosed && to == FlowPhase::kClosed) {
+    return true;
+  }
+  switch (from) {
+    case FlowPhase::kSynReceived:
+      return to == FlowPhase::kSynAckSent || to == FlowPhase::kTlsHandshake;
+    case FlowPhase::kSynAckSent:
+      return to == FlowPhase::kSelecting;
+    case FlowPhase::kTlsHandshake:
+      return to == FlowPhase::kSelecting;
+    case FlowPhase::kSelecting:
+      return to == FlowPhase::kServerSynSent;
+    case FlowPhase::kServerSynSent:
+      return to == FlowPhase::kStorageBWait;
+    case FlowPhase::kStorageBWait:
+      return to == FlowPhase::kEstablished;
+    case FlowPhase::kEstablished:
+      // kServerSynSent: HTTP/1.1 re-switch re-opens the server leg.
+      return to == FlowPhase::kDraining || to == FlowPhase::kServerSynSent;
+    case FlowPhase::kDraining:
+      return false;
+    case FlowPhase::kTakeoverLookup:
+      // Adoption lands in tunneling (kEstablished) or back in the
+      // connection phase (kSynAckSent / kTlsHandshake for TLS VIPs).
+      return to == FlowPhase::kEstablished || to == FlowPhase::kSynAckSent ||
+             to == FlowPhase::kTlsHandshake;
+    case FlowPhase::kClosed:
+      return false;
+  }
+  return false;
+}
+
+struct TransitionTable {
+  bool legal[kFlowPhaseCount][kFlowPhaseCount] = {};
+};
+
+constexpr TransitionTable BuildTable() {
+  TransitionTable t;
+  for (int from = 0; from < kFlowPhaseCount; ++from) {
+    for (int to = 0; to < kFlowPhaseCount; ++to) {
+      t.legal[from][to] =
+          BuildEdge(static_cast<FlowPhase>(from), static_cast<FlowPhase>(to));
+    }
+  }
+  return t;
+}
+
+constexpr TransitionTable kTable = BuildTable();
+
+}  // namespace
+
+bool FlowTransitionLegal(FlowPhase from, FlowPhase to) {
+  return kTable.legal[Idx(from)][Idx(to)];
+}
+
+const char* FlowPhaseName(FlowPhase phase) {
+  switch (phase) {
+    case FlowPhase::kSynReceived:
+      return "SynReceived";
+    case FlowPhase::kSynAckSent:
+      return "SynAckSent";
+    case FlowPhase::kTlsHandshake:
+      return "TlsHandshake";
+    case FlowPhase::kSelecting:
+      return "Selecting";
+    case FlowPhase::kServerSynSent:
+      return "ServerSynSent";
+    case FlowPhase::kStorageBWait:
+      return "StorageBWait";
+    case FlowPhase::kEstablished:
+      return "Established";
+    case FlowPhase::kDraining:
+      return "Draining";
+    case FlowPhase::kTakeoverLookup:
+      return "TakeoverLookup";
+    case FlowPhase::kClosed:
+      return "Closed";
+  }
+  return "?";
+}
+
+}  // namespace yoda

@@ -1,0 +1,111 @@
+// Per-flow finite state machine for the L7 data-plane pipeline.
+//
+// One named phase replaces the implicit flag soup (`storage_a_done`,
+// `server_syn_sent`, `established`, `lookup_pending`, `cleanup_scheduled`)
+// that used to be scattered through the monolithic instance. The legal
+// transition set is an explicit static table:
+//
+//     SynReceived ──storage-a──> SynAckSent ────header──> Selecting
+//          │                      (non-TLS)                   │
+//          └──storage-a──> TlsHandshake ──decrypted req──────>│
+//                             (TLS VIP)                       v
+//     TakeoverLookup ──adopt conn-phase──> SynAckSent    ServerSynSent
+//          │                │ (TLS VIP)──> TlsHandshake       │ SYN-ACK
+//          └──adopt tunneling─────────────┐                   v
+//                                         v              StorageBWait
+//        Established <──storage-b────────────────────────────┘
+//          │      ^ └──HTTP/1.1 re-switch──> ServerSynSent
+//          v      │
+//       Draining  (mirror promote stays Established)
+//
+// plus `Closed` reachable from every phase (RST, reset, VIP removal, idle
+// GC). Transitions are asserted: internal edges use `Transition` (aborts on
+// a table violation), packet-driven edges use `TryTransition`, whose failure
+// the pipeline routes to the explicit kFlowReset path instead of UB.
+
+#ifndef SRC_CORE_FLOW_FSM_H_
+#define SRC_CORE_FLOW_FSM_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace yoda {
+
+enum class FlowPhase : std::uint8_t {
+  kSynReceived = 0,  // Client SYN captured; storage-a write in flight.
+  kSynAckSent,       // storage-a acked, SYN-ACK out; assembling the header.
+  kTlsHandshake,     // TLS VIP: deterministic handshake / decrypting request.
+  kSelecting,        // Header complete; rule scan + selection delay running.
+  kServerSynSent,    // VIP-sourced SYN emitted; awaiting server SYN-ACK.
+  kStorageBWait,     // Server SYN-ACK in hand; storage-b write in flight.
+  kEstablished,      // Tunneling active (storage-b acked, server ACKed).
+  kDraining,         // Both FINs tunneled; delayed cleanup armed.
+  kTakeoverLookup,   // Unknown-flow packet; TCPStore takeover lookup pending.
+  kClosed,           // Terminal: local state dropped.
+};
+
+inline constexpr int kFlowPhaseCount = 10;
+
+const char* FlowPhaseName(FlowPhase phase);
+
+// True when `from -> to` is a legal edge of the static transition table.
+bool FlowTransitionLegal(FlowPhase from, FlowPhase to);
+
+class FlowFsm {
+ public:
+  explicit FlowFsm(FlowPhase initial = FlowPhase::kSynReceived) : phase_(initial) {}
+
+  FlowPhase phase() const { return phase_; }
+
+  // Packet-driven edge: moves and returns true when legal; leaves the phase
+  // unchanged and returns false otherwise (the caller resets the flow).
+  [[nodiscard]] bool TryTransition(FlowPhase to) {
+    if (!FlowTransitionLegal(phase_, to)) {
+      return false;
+    }
+    phase_ = to;
+    return true;
+  }
+
+  // Internal edge already validated by construction: asserts legality.
+  void Transition(FlowPhase to) {
+    assert(FlowTransitionLegal(phase_, to));
+    phase_ = to;
+  }
+
+  // --- derived predicates (the old implicit flags, now phase-backed) ---
+
+  // storage-a landed: the flow's SYN state is (or was) in TCPStore.
+  bool syn_state_stored() const {
+    return phase_ != FlowPhase::kSynReceived && phase_ != FlowPhase::kTakeoverLookup;
+  }
+  // Still assembling the client header (TrySelect has not committed).
+  bool awaiting_header() const {
+    return phase_ == FlowPhase::kSynAckSent || phase_ == FlowPhase::kTlsHandshake;
+  }
+  // A backend has been selected (server leg exists or is being opened).
+  bool selection_committed() const {
+    switch (phase_) {
+      case FlowPhase::kSelecting:
+      case FlowPhase::kServerSynSent:
+      case FlowPhase::kStorageBWait:
+      case FlowPhase::kEstablished:
+      case FlowPhase::kDraining:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool established() const {
+    return phase_ == FlowPhase::kEstablished || phase_ == FlowPhase::kDraining;
+  }
+  bool lookup_pending() const { return phase_ == FlowPhase::kTakeoverLookup; }
+  bool draining() const { return phase_ == FlowPhase::kDraining; }
+
+ private:
+  FlowPhase phase_;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_FLOW_FSM_H_

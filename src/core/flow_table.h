@@ -1,0 +1,81 @@
+// FlowTable: the instance's flow-state store, split out of YodaInstance.
+//
+// Owns the LocalFlow lifecycle — lookup, insert, idle collection, erase —
+// keyed by the client-side FlowKey, plus the server-tuple reverse index that
+// classifies return traffic. The key hash partitions flows into N shards:
+// the simulator is single-threaded today, so sharding buys nothing yet, but
+// the ROADMAP's parallel split needs a stable, load-balanced partition
+// function to hand each shard to a worker — ShardOf is that seam, and the
+// shard-distribution unit test is its guard.
+
+#ifndef SRC_CORE_FLOW_TABLE_H_
+#define SRC_CORE_FLOW_TABLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/local_flow.h"
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace yoda {
+
+class FlowTable {
+ public:
+  static constexpr int kDefaultShards = 8;
+
+  explicit FlowTable(int shards = kDefaultShards);
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  // The shard a key belongs to: upper hash bits, so shard choice is
+  // independent of each shard map's own bucket indexing (which uses the
+  // lower bits).
+  static int ShardOf(const FlowKey& key, int shard_count) {
+    return static_cast<int>((FlowKeyHash{}(key) >> 17) % static_cast<std::size_t>(shard_count));
+  }
+  int ShardOf(const FlowKey& key) const { return ShardOf(key, shard_count()); }
+
+  LocalFlow* Find(const FlowKey& key);
+  // Inserts (replacing any existing entry) and returns the stored flow.
+  LocalFlow& Insert(const FlowKey& key, std::unique_ptr<LocalFlow> flow);
+  void Erase(const FlowKey& key);
+
+  std::size_t size() const;
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  std::size_t shard_size(int shard) const { return shards_[static_cast<std::size_t>(shard)].size(); }
+
+  // Visits every flow (shard-major, deterministic for a fixed insert
+  // history within one run).
+  void ForEach(const std::function<void(const FlowKey&, LocalFlow&)>& fn);
+
+  // Keys with no packets since `idle_deadline` that are not waiting on a
+  // takeover lookup — the idle-scan GC set.
+  std::vector<FlowKey> CollectIdle(sim::Time idle_deadline) const;
+  // Every key belonging to `vip` (VIP teardown drain).
+  std::vector<FlowKey> CollectVip(net::IpAddr vip) const;
+
+  // --- server-side reverse index (return-path classification) ---
+  void BindServer(const net::FiveTuple& tuple, const FlowKey& key);
+  void UnbindServer(const net::FiveTuple& tuple);
+  // Null when the tuple is unknown (takeover candidate).
+  const FlowKey* FindServer(const net::FiveTuple& tuple) const;
+  bool HasServer(const net::FiveTuple& tuple) const;
+  std::size_t server_index_size() const { return server_index_.size(); }
+
+  // Drops all flows and index entries (instance crash).
+  void Clear();
+
+ private:
+  using Shard = std::unordered_map<FlowKey, std::unique_ptr<LocalFlow>, FlowKeyHash>;
+  std::vector<Shard> shards_;
+  std::size_t size_ = 0;
+  std::unordered_map<net::FiveTuple, FlowKey, net::FiveTupleHash> server_index_;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_FLOW_TABLE_H_

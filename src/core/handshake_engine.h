@@ -1,0 +1,53 @@
+// HandshakeEngine: the connection-phase handshake stage (paper §4.1, Fig 3).
+//
+// Owns everything handshake-shaped on both sides of the LB:
+//   - client SYN capture, the storage-a ACK-point write, and the
+//     *deterministic* SYN-ACK (ISN = hash of the flow identity, so any
+//     instance answers identically and nothing extra needs storing);
+//   - the TLS certificate flight and deterministic session-key derivation
+//     for SSL-terminated VIPs (§5.2) — byte-identical on replay, which is
+//     what makes connection-phase takeover work for TLS too;
+//   - the VIP-sourced server-side SYN (reusing the client ISN), its retry
+//     timer, and the server SYN-ACK handling with the storage-b ACK-point
+//     write that must land *before* the SYN-ACK is ACKed.
+
+#ifndef SRC_CORE_HANDSHAKE_ENGINE_H_
+#define SRC_CORE_HANDSHAKE_ENGINE_H_
+
+#include "src/core/pipeline.h"
+
+namespace yoda {
+
+class HandshakeEngine {
+ public:
+  explicit HandshakeEngine(PipelineContext* ctx) : ctx_(ctx) {}
+
+  // Client SYN: a brand-new flow, a retransmit (answered deterministically),
+  // or an ephemeral-port wrap-around (old flow dropped, fresh start).
+  void OnClientSyn(const net::Packet& syn, VipState& vip);
+
+  // Deterministic SYN-ACK for a flow whose storage-a write has landed.
+  void SendSynAck(const FlowKey& key, const LocalFlow& flow);
+
+  // TLS record processing over the assembled client bytes: answers hellos
+  // with the certificate flight, derives the session key, decrypts appdata
+  // into the flow's request parser.
+  void TlsConnectionPhase(const FlowKey& key, LocalFlow& flow, VipState& vip);
+  void SendCertificateFlight(const FlowKey& key, LocalFlow& flow, const VipState& vip);
+
+  // Server-side SYN (first attempt or timer-driven retry).
+  void SendServerSyn(const FlowKey& key, LocalFlow& flow);
+
+  // Server SYN-ACK: derive the splice deltas, run storage-b, then hand the
+  // flow to the dispatcher for request forwarding.
+  void OnServerSynAck(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
+
+ private:
+  void StartNewFlow(const net::Packet& syn, VipState& vip);
+
+  PipelineContext* ctx_;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_HANDSHAKE_ENGINE_H_

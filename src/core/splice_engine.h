@@ -1,0 +1,47 @@
+// SpliceEngine: the tunneling stage (paper Fig 4) plus request mirroring.
+//
+// Established flows are pure L3/L4 header surgery: addresses are rewritten
+// so both ends only ever see the VIP, the client->server direction needs no
+// sequence translation (same ISN), and the server->client direction shifts
+// by the stored delta. The engine also runs the mirror-leg race (§5.2,
+// first responder wins) and arms the delayed cleanup once both FINs have
+// been tunneled (kEstablished -> kDraining).
+
+#ifndef SRC_CORE_SPLICE_ENGINE_H_
+#define SRC_CORE_SPLICE_ENGINE_H_
+
+#include "src/core/pipeline.h"
+
+namespace yoda {
+
+class SpliceEngine {
+ public:
+  explicit SpliceEngine(PipelineContext* ctx) : ctx_(ctx) {}
+
+  // Client->server direction; diverts to the dispatcher's stream inspection
+  // when HTTP/1.1 re-switching is armed for the flow.
+  void TunnelFromClient(const FlowKey& key, LocalFlow& flow, VipState& vip,
+                        const net::Packet& p);
+  // Server->client direction; tracks the splice point and response
+  // completion for re-switch gating.
+  void TunnelFromServer(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
+
+  // Request mirroring (§5.2): shadow legs racing the primary.
+  void LaunchMirrorLegs(const FlowKey& key, LocalFlow& flow);
+  // Returns true if the packet was consumed as mirror-leg traffic.
+  bool HandleMirrorPacket(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
+  void PromoteMirrorWinner(const FlowKey& key, LocalFlow& flow, LocalFlow::MirrorLeg& leg,
+                           const net::Packet& first_data);
+  void KillLosingLegs(const FlowKey& key, LocalFlow& flow, net::IpAddr winner_ip);
+
+  // Moves the flow to kDraining and arms the delayed cleanup once both
+  // directions have FINed.
+  void MaybeScheduleCleanup(const FlowKey& key, LocalFlow& flow);
+
+ private:
+  PipelineContext* ctx_;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_SPLICE_ENGINE_H_

@@ -1,0 +1,80 @@
+#include "src/core/store_session.h"
+
+#include <utility>
+
+namespace yoda {
+
+StoreSession::StoreSession(TcpStore* store, sim::Simulator* sim,
+                           sim::Histogram* store_wait_ms)
+    : store_(store), sim_(sim), store_wait_ms_(store_wait_ms) {}
+
+StoreSession::Ack StoreSession::TimedAck(Ack done) {
+  ++stats_.ack_point_writes;
+  if (sim_ == nullptr || store_wait_ms_ == nullptr) {
+    return done;
+  }
+  const sim::Time start = sim_->now();
+  return [this, start, done = std::move(done)](bool ok) {
+    store_wait_ms_->Add(sim::ToMillis(sim_->now() - start));
+    done(ok);
+  };
+}
+
+void StoreSession::WriteSynState(const FlowState& state, Ack done) {
+  store_->StoreConnectionState(state, TimedAck(std::move(done)));
+}
+
+void StoreSession::WriteEstablishedState(const FlowState& state, Ack done) {
+  store_->StoreTunnelingState(state, TimedAck(std::move(done)));
+}
+
+void StoreSession::Refresh(const FlowState& state) {
+  ++stats_.refreshes;
+  const std::string key =
+      ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port);
+  auto it = refreshes_.find(key);
+  if (it != refreshes_.end()) {
+    // A write for this flow is already on the wire: remember only the
+    // newest state and send it when the in-flight op completes.
+    it->second.queued = state;
+    ++stats_.refreshes_coalesced;
+    return;
+  }
+  refreshes_.emplace(key, PendingRefresh{});
+  IssueRefresh(key, state);
+}
+
+void StoreSession::IssueRefresh(const std::string& key, const FlowState& state) {
+  store_->StoreTunnelingState(state, [this, key](bool /*ok*/) {
+    auto it = refreshes_.find(key);
+    if (it == refreshes_.end()) {
+      return;  // Removed mid-flight (teardown).
+    }
+    if (it->second.queued.has_value()) {
+      const FlowState next = *std::exchange(it->second.queued, std::nullopt);
+      IssueRefresh(key, next);
+      return;
+    }
+    refreshes_.erase(it);
+  });
+}
+
+void StoreSession::Remove(const FlowState& state) {
+  ++stats_.removes;
+  // A queued (not yet issued) refresh must never land after the delete.
+  refreshes_.erase(
+      ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port));
+  store_->Remove(state, [](bool) {});
+}
+
+void StoreSession::LookupByClient(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,
+                                  net::Port client_port, Lookup done) {
+  store_->LookupByClient(vip, vip_port, client_ip, client_port, std::move(done));
+}
+
+void StoreSession::LookupByServer(net::IpAddr backend_ip, net::Port backend_port,
+                                  net::IpAddr vip, net::Port client_port, Lookup done) {
+  store_->LookupByServer(backend_ip, backend_port, vip, client_port, std::move(done));
+}
+
+}  // namespace yoda

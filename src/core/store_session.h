@@ -1,0 +1,96 @@
+// StoreSession: the one place that owns the paper's "write exactly at the
+// ACK points" contract (Fig 3) in front of TcpStore/ReplicatingClient.
+//
+// Two kinds of writes leave an instance:
+//
+//   ACK-point writes — storage-a (before the SYN-ACK may be sent) and
+//   storage-b (before the server's SYN-ACK may be ACKed). These gate
+//   protocol progress: the caller supplies a completion and must not emit
+//   the corresponding ACK until it fires. StoreSession times the blocking
+//   wait into the per-stage store histogram.
+//
+//   Write-behind refreshes — non-gating state updates (HTTP/1.1 pipeline
+//   order, mirror-winner retarget). Correctness never waits on these, so
+//   StoreSession coalesces them: while a refresh for a flow is in flight,
+//   newer states replace the queued one instead of issuing overlapping
+//   writes; the latest state is written when the in-flight op completes.
+//
+// Teardown removes drop any queued refresh for the flow first, so a stale
+// refresh cannot resurrect a deleted key from this instance.
+
+#ifndef SRC_CORE_STORE_SESSION_H_
+#define SRC_CORE_STORE_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/flow_state.h"
+#include "src/core/tcp_store.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace yoda {
+
+struct StoreSessionStats {
+  std::uint64_t ack_point_writes = 0;   // storage-a + storage-b.
+  std::uint64_t refreshes = 0;          // Write-behind updates requested.
+  std::uint64_t refreshes_coalesced = 0;  // Collapsed into an in-flight write.
+  std::uint64_t removes = 0;
+};
+
+class StoreSession {
+ public:
+  using Ack = TcpStore::Ack;
+  using Lookup = TcpStore::Lookup;
+
+  // `store_wait_ms` (optional) receives the blocking duration of every
+  // ACK-point write; `sim` is required only when the histogram is set.
+  StoreSession(TcpStore* store, sim::Simulator* sim = nullptr,
+               sim::Histogram* store_wait_ms = nullptr);
+  StoreSession(const StoreSession&) = delete;
+  StoreSession& operator=(const StoreSession&) = delete;
+
+  // Late binding for owners that resolve the histogram after construction.
+  void set_store_wait_histogram(sim::Histogram* h) { store_wait_ms_ = h; }
+
+  // storage-a: must complete before the SYN-ACK is emitted.
+  void WriteSynState(const FlowState& state, Ack done);
+  // storage-b: must complete before the server SYN-ACK is ACKed.
+  void WriteEstablishedState(const FlowState& state, Ack done);
+
+  // Write-behind refresh of an already-established flow's state; coalesced.
+  void Refresh(const FlowState& state);
+
+  // Teardown (fire-and-forget); cancels any queued refresh for the flow.
+  void Remove(const FlowState& state);
+
+  void LookupByClient(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,
+                      net::Port client_port, Lookup done);
+  void LookupByServer(net::IpAddr backend_ip, net::Port backend_port, net::IpAddr vip,
+                      net::Port client_port, Lookup done);
+
+  const StoreSessionStats& stats() const { return stats_; }
+  std::size_t pending_refreshes() const { return refreshes_.size(); }
+  TcpStore* store() { return store_; }
+
+ private:
+  struct PendingRefresh {
+    std::optional<FlowState> queued;  // Latest state waiting for the wire.
+  };
+
+  Ack TimedAck(Ack done);
+  void IssueRefresh(const std::string& key, const FlowState& state);
+
+  TcpStore* store_;
+  sim::Simulator* sim_ = nullptr;
+  sim::Histogram* store_wait_ms_ = nullptr;
+  StoreSessionStats stats_;
+  // Client key -> in-flight refresh bookkeeping.
+  std::unordered_map<std::string, PendingRefresh> refreshes_;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_STORE_SESSION_H_

@@ -1,0 +1,41 @@
+// TakeoverEngine: mid-stream flow adoption (paper Fig 5).
+//
+// A packet for an unknown flow parks in kTakeoverLookup while the TCPStore
+// is queried — by client key for client-side traffic, by server key for
+// return traffic. Misses are re-fetched with doubling backoff (a replica may
+// be lagging or mid-restart); only the final miss resets the flow explicitly
+// (kFlowReset/kTakeoverMiss) instead of silently dropping it. A hit adopts
+// the flow: tunneling state resumes directly in kEstablished, connection
+// state re-enters header assembly (the client's un-ACKed bytes will be
+// retransmitted in full, and a TLS handshake replays deterministically).
+
+#ifndef SRC_CORE_TAKEOVER_ENGINE_H_
+#define SRC_CORE_TAKEOVER_ENGINE_H_
+
+#include "src/core/pipeline.h"
+
+namespace yoda {
+
+class TakeoverEngine {
+ public:
+  explicit TakeoverEngine(PipelineContext* ctx) : ctx_(ctx) {}
+
+  // Client-side packet for a flow this instance does not know.
+  void TakeoverClientSide(const FlowKey& key, const net::Packet& p);
+  // Server-side packet whose tuple is not in the reverse index.
+  void TakeoverServerSide(const net::Packet& p, VipState& vip);
+
+  // Installs the looked-up state locally and replays any stalled packets.
+  void AdoptFlow(const FlowKey& key, const FlowState& st);
+
+ private:
+  // Bounded re-fetch plumbing for TCPStore misses during takeover.
+  void ClientTakeoverLookup(const FlowKey& key, int attempt);
+  void ServerTakeoverLookup(const net::Packet& p, int attempt);
+
+  PipelineContext* ctx_;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_TAKEOVER_ENGINE_H_

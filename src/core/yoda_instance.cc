@@ -1,18 +1,9 @@
 #include "src/core/yoda_instance.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 namespace yoda {
-namespace {
-
-// True when this flow's client stream should be inspected for HTTP/1.1
-// re-switching (keep-alive connections can carry requests for different
-// backends, §5.2).
-bool WantsInspection(const http::Request& req) { return req.KeepAlive(); }
-
-}  // namespace
 
 YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
                            l4lb::L4Fabric* fabric, TcpStore* store, std::uint64_t seed,
@@ -20,10 +11,15 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
     : sim_(simulator),
       net_(network),
       fabric_(fabric),
-      store_(store),
       rng_(seed),
       cfg_(config),
-      cpu_(config.cpu_costs, config.cores) {
+      cpu_(config.cpu_costs, config.cores),
+      flow_table_(std::max(1, config.flow_table_shards)),
+      store_session_(store, simulator),
+      handshake_(&pipe_),
+      dispatcher_(&pipe_),
+      splice_(&pipe_),
+      takeover_(&pipe_) {
   registry_ = cfg_.registry;
   if (registry_ == nullptr) {
     owned_registry_ = std::make_unique<obs::Registry>();
@@ -44,12 +40,48 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
   ctr_.selections = counter("yoda.selections");
   ctr_.no_backend_resets = counter("yoda.no_backend_resets");
   ctr_.dropped_unknown_vip = counter("yoda.dropped_unknown_vip");
-  connection_phase_ms_ = &registry_->GetHistogram("yoda.connection_phase_ms", labels);
+  ctr_.bad_transition_resets = counter("yoda.bad_transition_resets");
+  auto histogram = [&](const char* name) { return &registry_->GetHistogram(name, labels); };
+  stage_.handshake_ms = histogram("yoda.stage.handshake_ms");
+  stage_.dispatch_ms = histogram("yoda.stage.dispatch_ms");
+  stage_.server_connect_ms = histogram("yoda.stage.server_connect_ms");
+  stage_.store_ms = histogram("yoda.stage.store_ms");
+  stage_.takeover_ms = histogram("yoda.stage.takeover_ms");
+  stage_.connection_phase_ms = histogram("yoda.connection_phase_ms");
+  store_session_.set_store_wait_histogram(stage_.store_ms);
+
+  pipe_.sim = sim_;
+  pipe_.net = net_;
+  pipe_.fabric = fabric_;
+  pipe_.store = &store_session_;
+  pipe_.rng = &rng_;
+  pipe_.cpu = &cpu_;
+  pipe_.cfg = &cfg_;
+  pipe_.self_ip = cfg_.ip;
+  pipe_.failed = &failed_;
+  pipe_.flows = &flow_table_;
+  pipe_.vips = &vips_;
+  pipe_.backend_health = &backend_health_;
+  pipe_.backend_load = &backend_load_;
+  pipe_.recorder = recorder_;
+  pipe_.ctr = &ctr_;
+  pipe_.stage = &stage_;
+  pipe_.handshake = &handshake_;
+  pipe_.dispatcher = &dispatcher_;
+  pipe_.splice = &splice_;
+  pipe_.takeover = &takeover_;
+  pipe_.count_new_connection = [this](net::IpAddr vip) {
+    traffic_[vip].new_connections += 1;
+    VipCountersFor(vip).new_connections->Inc();
+  };
+
   net_->Attach(cfg_.ip, this);
   if (cfg_.flow_idle_timeout > 0) {
     ArmIdleScan();
   }
 }
+
+YodaInstance::~YodaInstance() = default;
 
 void YodaInstance::ArmIdleScan() {
   sim_->After(
@@ -62,21 +94,16 @@ void YodaInstance::ArmIdleScan() {
 }
 
 void YodaInstance::IdleScan() {
-  if (failed_) {
+  if (failed_ || cfg_.flow_idle_timeout <= 0) {
     return;
   }
-  std::vector<FlowKey> stale;
-  for (const auto& [key, flow] : flows_) {
-    if (!flow->lookup_pending && sim_->now() - flow->last_packet > cfg_.flow_idle_timeout) {
-      stale.push_back(key);
-    }
-  }
-  for (const FlowKey& key : stale) {
-    CleanupFlow(key, /*remove_from_store=*/true);
+  const sim::Time now = sim_->now();
+  const sim::Time deadline =
+      now > cfg_.flow_idle_timeout ? now - cfg_.flow_idle_timeout : 0;
+  for (const FlowKey& key : flow_table_.CollectIdle(deadline)) {
+    pipe_.CleanupFlow(key, /*remove_from_store=*/true);
   }
 }
-
-YodaInstance::~YodaInstance() = default;
 
 YodaInstanceStats YodaInstance::stats() const {
   YodaInstanceStats s;
@@ -92,6 +119,7 @@ YodaInstanceStats YodaInstance::stats() const {
   s.selections = ctr_.selections->value();
   s.no_backend_resets = ctr_.no_backend_resets->value();
   s.dropped_unknown_vip = ctr_.dropped_unknown_vip->value();
+  s.bad_transition_resets = ctr_.bad_transition_resets->value();
   return s;
 }
 
@@ -106,13 +134,6 @@ YodaInstance::VipCounters& YodaInstance::VipCountersFor(net::IpAddr vip) {
     it = vip_counters_.emplace(vip, c).first;
   }
   return it->second;
-}
-
-void YodaInstance::Trace(const FlowKey& key, obs::EventType type, std::uint64_t detail) {
-  if (recorder_ != nullptr) {
-    recorder_->Record(obs::FlowId{key.vip, key.vip_port, key.client_ip, key.client_port},
-                      sim_->now(), type, cfg_.ip, detail);
-  }
 }
 
 void YodaInstance::InstallVip(net::IpAddr vip, net::Port vip_port,
@@ -135,7 +156,17 @@ void YodaInstance::InstallVipTls(net::IpAddr vip, std::string certificate,
   vips_[vip].tls = VipTls{std::move(certificate), service_key};
 }
 
-void YodaInstance::RemoveVip(net::IpAddr vip) { vips_.erase(vip); }
+void YodaInstance::RemoveVip(net::IpAddr vip) {
+  // Drain before withdrawing: every in-flight flow gets an explicit RST
+  // (and its TCPStore keys removed) instead of silently leaking until the
+  // idle GC. Sticky bindings and the rule table die with the VipState.
+  for (const FlowKey& key : flow_table_.CollectVip(vip)) {
+    pipe_.ResetFlowToClient(key, obs::FlowResetReason::kVipRemoved);
+  }
+  vips_.erase(vip);
+  traffic_.erase(vip);
+  vip_counters_.erase(vip);
+}
 
 int YodaInstance::RuleCount(net::IpAddr vip) const {
   auto it = vips_.find(vip);
@@ -148,8 +179,7 @@ void YodaInstance::SetBackendHealth(net::IpAddr backend, bool healthy) {
 
 void YodaInstance::Fail() {
   failed_ = true;
-  flows_.clear();
-  server_index_.clear();
+  flow_table_.Clear();
   traffic_.clear();
   backend_load_.clear();
 }
@@ -161,30 +191,9 @@ void YodaInstance::OnColdRestart() {
   Recover();
 }
 
-YodaInstance::VipState* YodaInstance::FindVip(net::IpAddr vip) {
+VipState* YodaInstance::FindVip(net::IpAddr vip) {
   auto it = vips_.find(vip);
   return it == vips_.end() ? nullptr : &it->second;
-}
-
-YodaInstance::LocalFlow* YodaInstance::FindFlow(const FlowKey& key) {
-  auto it = flows_.find(key);
-  return it == flows_.end() ? nullptr : it->second.get();
-}
-
-sim::Duration YodaInstance::RuleScanDelay(int rules_scanned) const {
-  return cfg_.rule_scan_base_delay + cfg_.rule_scan_per_rule_delay * rules_scanned;
-}
-
-void YodaInstance::Emit(net::Packet p) { net_->Send(std::move(p)); }
-
-void YodaInstance::EmitForwarded(net::Packet p) {
-  cpu_.ChargePacket();
-  ctr_.packets_tunneled->Inc();
-  sim_->After(cfg_.cpu_costs.forward_delay, [this, p = std::move(p)]() mutable {
-    if (!failed_) {
-      net_->Send(std::move(p));
-    }
-  });
 }
 
 void YodaInstance::MeterVip(net::IpAddr vip, const net::Packet& p) {
@@ -209,53 +218,38 @@ void YodaInstance::HandlePacket(const net::Packet& p) {
   }
   MeterVip(p.dst, p);
   if (p.dport == vip->vip_port) {
-    LocalFlow* f = FindFlow(FlowKey{p.dst, p.dport, p.src, p.sport});
+    LocalFlow* f = flow_table_.Find(FlowKey{p.dst, p.dport, p.src, p.sport});
     if (f != nullptr) {
       f->last_packet = sim_->now();
     }
     HandleClientSide(p, *vip);
-  } else if (server_index_.contains(p.tuple()) || vip->backends.contains(p.src)) {
+  } else if (flow_table_.HasServer(p.tuple()) || vip->backends.contains(p.src)) {
     HandleServerSide(p, *vip);
   } else {
     ctr_.dropped_unknown_vip->Inc();
   }
 }
 
-// --------------------------------------------------------------------------
-// Client side.
-// --------------------------------------------------------------------------
-
 void YodaInstance::HandleClientSide(const net::Packet& p, VipState& vip) {
   const FlowKey key{p.dst, p.dport, p.src, p.sport};
-  LocalFlow* flow = FindFlow(key);
 
   if (p.syn() && !p.ack_flag()) {
-    if (flow != nullptr && !flow->lookup_pending && flow->st.client_isn != p.seq) {
-      // Same client ip:port with a different ISN: the client's ephemeral
-      // port wrapped around and this is a brand-new connection. The old
-      // flow is defunct; drop its state and start fresh.
-      CleanupFlow(key, /*remove_from_store=*/true);
-      flow = nullptr;
-    }
-    if (flow == nullptr) {
-      StartNewFlow(p, vip);
-    } else if (flow->storage_a_done) {
-      SendSynAck(key, *flow);  // Retransmitted SYN: deterministic answer.
-    }
+    handshake_.OnClientSyn(p, vip);
     return;
   }
 
+  LocalFlow* flow = flow_table_.Find(key);
   if (flow == nullptr) {
-    TakeoverClientSide(key, p);
+    takeover_.TakeoverClientSide(key, p);
     return;
   }
-  if (flow->lookup_pending) {
+  if (flow->lookup_pending()) {
     flow->stalled.push_back(p);
     return;
   }
 
   if (p.rst()) {
-    if (flow->established) {
+    if (flow->established()) {
       net::Packet rst = p;
       rst.src = key.vip;
       rst.sport = key.client_port;
@@ -264,351 +258,36 @@ void YodaInstance::HandleClientSide(const net::Packet& p, VipState& vip) {
       rst.seq = p.seq + flow->st.seq_delta_c2s;
       rst.ack = p.ack - flow->st.seq_delta_s2c;
       rst.encap_dst = 0;
-      EmitForwarded(std::move(rst));
+      pipe_.EmitForwarded(std::move(rst));
     }
-    Trace(key, obs::EventType::kFlowReset,
-          static_cast<std::uint64_t>(obs::FlowResetReason::kClientAbort));
-    CleanupFlow(key, /*remove_from_store=*/true);
+    pipe_.Trace(key, obs::EventType::kFlowReset,
+                static_cast<std::uint64_t>(obs::FlowResetReason::kClientAbort));
+    pipe_.CleanupFlow(key, /*remove_from_store=*/true);
     return;
   }
 
-  if (flow->established) {
-    TunnelFromClient(key, *flow, vip, p);
+  if (flow->established()) {
+    splice_.TunnelFromClient(key, *flow, vip, p);
   } else {
-    ClientConnectionPhase(key, *flow, vip, p);
+    dispatcher_.OnClientData(key, *flow, vip, p);
   }
 }
-
-void YodaInstance::StartNewFlow(const net::Packet& syn, VipState& vip) {
-  const FlowKey key{syn.dst, syn.dport, syn.src, syn.sport};
-  auto flow = std::make_unique<LocalFlow>();
-  flow->last_packet = sim_->now();
-  flow->tls_active = vip.tls.has_value();
-  flow->st.stage = FlowStage::kConnection;
-  flow->st.client_ip = syn.src;
-  flow->st.client_port = syn.sport;
-  flow->st.vip = syn.dst;
-  flow->st.vip_port = syn.dport;
-  flow->st.client_isn = syn.seq;
-  flow->st.lb_isn = DeterministicLbIsn(syn.dst, syn.dport, syn.src, syn.sport);
-  flow->client_facing_nxt = flow->st.lb_isn + 1;
-  flow->assembled_end = syn.seq + 1;
-  flows_[key] = std::move(flow);
-  ctr_.flows_started->Inc();
-  traffic_[syn.dst].new_connections += 1;
-  VipCountersFor(syn.dst).new_connections->Inc();
-  Trace(key, obs::EventType::kClientSyn);
-  cpu_.ChargeConnection();
-
-  // storage-a: persist the SYN capture *before* answering (Fig 3).
-  store_->StoreConnectionState(flows_[key]->st, [this, key](bool ok) {
-    if (failed_) {
-      return;
-    }
-    LocalFlow* f = FindFlow(key);
-    if (f == nullptr || !ok) {
-      return;
-    }
-    f->storage_a_done = true;
-    SendSynAck(key, *f);
-    // Process any client data that raced ahead of the storage ack.
-    std::vector<net::Packet> stalled = std::move(f->stalled);
-    f->stalled.clear();
-    VipState* vip_state = FindVip(key.vip);
-    for (const net::Packet& sp : stalled) {
-      LocalFlow* ff = FindFlow(key);
-      if (ff == nullptr || vip_state == nullptr) {
-        break;
-      }
-      ClientConnectionPhase(key, *ff, *vip_state, sp);
-    }
-  });
-  (void)vip;
-}
-
-void YodaInstance::SendSynAck(const FlowKey& key, const LocalFlow& flow) {
-  net::Packet p;
-  p.src = key.vip;
-  p.sport = key.vip_port;
-  p.dst = key.client_ip;
-  p.dport = key.client_port;
-  p.seq = flow.st.lb_isn;
-  p.ack = flow.st.client_isn + 1;
-  p.flags = net::kSyn | net::kAck;
-  Trace(key, obs::EventType::kSynAckSent);
-  Emit(std::move(p));
-}
-
-void YodaInstance::ClientConnectionPhase(const FlowKey& key, LocalFlow& flow, VipState& vip,
-                                         const net::Packet& p) {
-  if (!flow.storage_a_done) {
-    flow.stalled.push_back(p);
-    return;
-  }
-  if (p.fin()) {
-    // Client aborted before the server connection existed.
-    CleanupFlow(key, /*remove_from_store=*/true);
-    return;
-  }
-  if (!p.payload.empty()) {
-    // Reassemble the header bytes in order; duplicates are ignored. Note: we
-    // deliberately do NOT ACK (paper: the header fits the initial window, so
-    // the client keeps retransmitting it until the *server's* ACK is
-    // tunneled back — which is what makes connection-phase takeover work).
-    if (net::SeqGt(p.seq + static_cast<std::uint32_t>(p.payload.size()), flow.assembled_end)) {
-      flow.pending_segments[p.seq] = p.payload;
-    }
-    bool progressed = true;
-    while (progressed) {
-      progressed = false;
-      for (auto it = flow.pending_segments.begin(); it != flow.pending_segments.end();) {
-        const std::uint32_t seg_seq = it->first;
-        const auto len = static_cast<std::uint32_t>(it->second.size());
-        if (net::SeqLeq(seg_seq, flow.assembled_end) &&
-            net::SeqGt(seg_seq + len, flow.assembled_end)) {
-          const std::uint32_t skip = flow.assembled_end - seg_seq;
-          flow.assembled.append(it->second.view().substr(skip));
-          flow.assembled_end += len - skip;
-          it = flow.pending_segments.erase(it);
-          progressed = true;
-        } else if (net::SeqLeq(seg_seq + len, flow.assembled_end)) {
-          it = flow.pending_segments.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-    if (flow.tls_active) {
-      TlsConnectionPhase(key, flow, vip);
-    } else {
-      flow.parser = http::RequestParser();
-      flow.parser.Feed(flow.assembled);
-    }
-  }
-  if (flow.parser.HaveHeaders() && !flow.server_syn_sent) {
-    TrySelectAndConnect(key, flow, vip);
-  }
-}
-
-void YodaInstance::TlsConnectionPhase(const FlowKey& key, LocalFlow& flow, VipState& vip) {
-  if (!vip.tls) {
-    return;
-  }
-  // Feed only the new in-order bytes to the record reader.
-  if (flow.assembled.size() > flow.tls_consumed) {
-    flow.tls_reader.Feed(std::string_view(flow.assembled).substr(flow.tls_consumed));
-    flow.tls_consumed = flow.assembled.size();
-  }
-  while (auto record = flow.tls_reader.Next()) {
-    const auto record_len = static_cast<std::uint32_t>(5 + record->payload.size());
-    switch (record->type) {
-      case tls::RecordType::kClientHello: {
-        auto hello = tls::ClientHello::Parse(record->payload);
-        if (!hello) {
-          break;
-        }
-        if (!flow.tls_ready) {
-          flow.tls_client_random = hello->client_random;
-          flow.tls_handshake_len += record_len;
-        }
-        // Answer (or re-answer: a retransmitted hello means the client never
-        // saw the flight) with the deterministic certificate flight.
-        SendCertificateFlight(key, flow, vip);
-        break;
-      }
-      case tls::RecordType::kClientFinished: {
-        if (!flow.tls_ready) {
-          const std::uint64_t server_random =
-              tls::DeriveServerRandom(vip.tls->certificate, flow.tls_client_random);
-          flow.tls_session_key = tls::DeriveSessionKey(flow.tls_client_random, server_random);
-          flow.tls_ready = true;
-          flow.tls_handshake_len += record_len;
-        }
-        break;
-      }
-      case tls::RecordType::kApplicationData: {
-        if (!flow.tls_ready) {
-          break;  // Out-of-order junk; the handshake replay will fix it.
-        }
-        const std::string plaintext =
-            tls::Crypt(flow.tls_session_key, flow.tls_cipher_offset, record->payload);
-        flow.tls_cipher_offset += record->payload.size();
-        flow.tls_plaintext += plaintext;
-        flow.parser.Feed(plaintext);
-        break;
-      }
-      default:
-        break;
-    }
-  }
-}
-
-void YodaInstance::SendCertificateFlight(const FlowKey& key, LocalFlow& flow,
-                                         const VipState& vip) {
-  tls::ServerCertificate cert;
-  cert.certificate = vip.tls->certificate;
-  cert.server_random = tls::DeriveServerRandom(vip.tls->certificate, flow.tls_client_random);
-  const std::string flight =
-      tls::EncodeRecord({tls::RecordType::kServerCertificate, cert.Serialize()});
-  flow.cert_flight_len = static_cast<std::uint32_t>(flight.size());
-  flow.client_facing_nxt = flow.st.lb_isn + 1 + flow.cert_flight_len;
-  cpu_.ChargeConnection();
-  // Deterministic bytes at deterministic sequence numbers: a resend (by this
-  // or any other instance) is byte-identical, and the client's TCP discards
-  // duplicates. The hello is intentionally NOT ACKed — the client keeps it
-  // retransmittable until the backend's ACKs (translated) cover it.
-  std::uint32_t seq = flow.st.lb_isn + 1;
-  std::size_t off = 0;
-  while (off < flight.size()) {
-    const std::size_t chunk = std::min<std::size_t>(cfg_.mss, flight.size() - off);
-    net::Packet pkt;
-    pkt.src = key.vip;
-    pkt.sport = key.vip_port;
-    pkt.dst = key.client_ip;
-    pkt.dport = key.client_port;
-    pkt.seq = seq;
-    pkt.ack = flow.st.client_isn + 1;
-    pkt.flags = net::kAck;
-    pkt.payload = flight.substr(off, chunk);
-    if (off + chunk >= flight.size()) {
-      pkt.flags |= net::kPsh;
-    }
-    Emit(std::move(pkt));
-    seq += static_cast<std::uint32_t>(chunk);
-    off += chunk;
-  }
-}
-
-std::optional<rules::Selection> YodaInstance::SelectBackend(VipState& vip,
-                                                            const http::Request& req) {
-  rules::SelectionContext ctx;
-  ctx.rng = &rng_;
-  ctx.sticky = &vip.sticky;
-  ctx.is_healthy = [this](const rules::Backend& b) {
-    auto it = backend_health_.find(b.ip);
-    return it == backend_health_.end() || it->second;
-  };
-  ctx.load_of = [this](const rules::Backend& b) {
-    auto it = backend_load_.find(b.ip);
-    return it == backend_load_.end() ? 0 : it->second;
-  };
-  auto sel = vip.table.Select(req, ctx);
-  if (sel) {
-    ctr_.selections->Inc();
-    ctr_.rules_scanned_total->Add(static_cast<std::uint64_t>(sel->rules_scanned));
-    cpu_.ChargeRuleScan(sel->rules_scanned);
-  }
-  return sel;
-}
-
-void YodaInstance::BindStickyIfNeeded(VipState& vip, const http::Request& req,
-                                      const rules::Backend& b) {
-  for (const rules::Rule& r : vip.table.rules()) {
-    if (r.action.type != rules::ActionType::kStickyTable) {
-      continue;
-    }
-    if (!r.match.Matches(req)) {
-      continue;
-    }
-    auto cookies = req.Cookies();
-    auto it = cookies.find(r.action.sticky_cookie);
-    if (it != cookies.end() && !vip.sticky.Find(it->second)) {
-      vip.sticky.Bind(it->second, b);
-    }
-  }
-}
-
-void YodaInstance::TrySelectAndConnect(const FlowKey& key, LocalFlow& flow, VipState& vip) {
-  flow.started = sim_->now();  // Fig 9 "Connection" measurement starts here.
-  auto sel = SelectBackend(vip, flow.parser.request());
-  if (!sel) {
-    ctr_.no_backend_resets->Inc();
-    net::Packet rst;
-    rst.src = key.vip;
-    rst.sport = key.vip_port;
-    rst.dst = key.client_ip;
-    rst.dport = key.client_port;
-    rst.seq = flow.st.lb_isn + 1;
-    rst.ack = flow.assembled_end;
-    rst.flags = net::kRst | net::kAck;
-    Emit(std::move(rst));
-    Trace(key, obs::EventType::kFlowReset,
-          static_cast<std::uint64_t>(obs::FlowResetReason::kNoBackend));
-    CleanupFlow(key, /*remove_from_store=*/true);
-    return;
-  }
-  Trace(key, obs::EventType::kBackendSelected,
-        static_cast<std::uint64_t>(sel->rules_scanned));
-  Trace(key, obs::EventType::kBackendPinned, sel->backend.ip);
-  BindStickyIfNeeded(vip, flow.parser.request(), sel->backend);
-  flow.st.backend_ip = sel->backend.ip;
-  flow.st.backend_port = sel->backend.port;
-  flow.server_syn_sent = true;
-  backend_load_[sel->backend.ip] += 1;
-  for (const rules::Backend& m : sel->mirrors) {
-    flow.mirror_legs.push_back(LocalFlow::MirrorLeg{m.ip, m.port, false, 0});
-  }
-
-  // The rule scan and header handling add the Fig 6 / Fig 9 latency.
-  const sim::Duration delay =
-      cfg_.cpu_costs.connection_delay + RuleScanDelay(sel->rules_scanned);
-  sim_->After(delay, [this, key]() {
-    LocalFlow* f = FindFlow(key);
-    if (f == nullptr || failed_) {
-      return;
-    }
-    SendServerSyn(key, *f);
-  });
-}
-
-void YodaInstance::SendServerSyn(const FlowKey& key, LocalFlow& flow) {
-  // VIP-sourced SYN reusing the client's ISN (front-and-back indirection +
-  // zero client->server sequence delta).
-  net::Packet syn;
-  syn.src = key.vip;
-  syn.sport = key.client_port;
-  syn.dst = flow.st.backend_ip;
-  syn.dport = flow.st.backend_port;
-  syn.seq = flow.st.client_isn;
-  syn.flags = net::kSyn;
-  // Return-path pin so the server's replies come back to this instance.
-  const net::FiveTuple server_side{flow.st.backend_ip, key.vip, flow.st.backend_port,
-                                   key.client_port};
-  fabric_->RegisterSnat(server_side, cfg_.ip);
-  server_index_[server_side] = key;
-  Emit(std::move(syn));
-  ++flow.server_syn_attempts;
-  Trace(key, obs::EventType::kServerSyn,
-        static_cast<std::uint64_t>(flow.server_syn_attempts));
-  if (flow.server_syn_attempts <= cfg_.server_syn_retries) {
-    flow.server_syn_timer = sim_->After(cfg_.server_syn_timeout, [this, key]() {
-      LocalFlow* f = FindFlow(key);
-      if (f != nullptr && !f->established && !failed_) {
-        SendServerSyn(key, *f);
-      }
-    });
-  }
-}
-
-// --------------------------------------------------------------------------
-// Server side.
-// --------------------------------------------------------------------------
 
 void YodaInstance::HandleServerSide(const net::Packet& p, VipState& vip) {
-  auto idx = server_index_.find(p.tuple());
-  if (idx == server_index_.end()) {
-    TakeoverServerSide(p, vip);
+  const FlowKey* bound = flow_table_.FindServer(p.tuple());
+  if (bound == nullptr) {
+    takeover_.TakeoverServerSide(p, vip);
     return;
   }
-  const FlowKey key = idx->second;
-  LocalFlow* flow = FindFlow(key);
+  const FlowKey key = *bound;
+  LocalFlow* flow = flow_table_.Find(key);
   if (flow == nullptr) {
-    server_index_.erase(idx);
-    TakeoverServerSide(p, vip);
+    flow_table_.UnbindServer(p.tuple());
+    takeover_.TakeoverServerSide(p, vip);
     return;
   }
   flow->last_packet = sim_->now();
-  if (flow->lookup_pending) {
+  if (flow->lookup_pending()) {
     flow->stalled.push_back(p);
     return;
   }
@@ -617,12 +296,12 @@ void YodaInstance::HandleServerSide(const net::Packet& p, VipState& vip) {
   if (!flow->mirror_legs.empty() &&
       !(flow->mirror_decided && p.src == flow->st.backend_ip &&
         p.sport == flow->st.backend_port) &&
-      HandleMirrorPacket(key, *flow, p)) {
+      splice_.HandleMirrorPacket(key, *flow, p)) {
     return;
   }
   if (p.syn() && p.ack_flag()) {
-    if (!flow->established) {
-      OnServerSynAck(key, *flow, p);
+    if (!flow->established()) {
+      handshake_.OnServerSynAck(key, *flow, p);
     } else {
       // Duplicate SYN-ACK: re-ack at the current position.
       net::Packet ack;
@@ -633,7 +312,7 @@ void YodaInstance::HandleServerSide(const net::Packet& p, VipState& vip) {
       ack.seq = flow->assembled_end + flow->st.seq_delta_c2s;
       ack.ack = flow->st.server_isn + 1;
       ack.flags = net::kAck;
-      Emit(std::move(ack));
+      pipe_.Emit(std::move(ack));
     }
     return;
   }
@@ -646,728 +325,13 @@ void YodaInstance::HandleServerSide(const net::Packet& p, VipState& vip) {
     rst.seq = p.seq + flow->st.seq_delta_s2c;
     rst.ack = p.ack - flow->st.seq_delta_c2s;
     rst.encap_dst = 0;
-    EmitForwarded(std::move(rst));
-    CleanupFlow(key, /*remove_from_store=*/true);
+    pipe_.EmitForwarded(std::move(rst));
+    pipe_.CleanupFlow(key, /*remove_from_store=*/true);
     return;
   }
-  if (flow->established) {
-    TunnelFromServer(key, *flow, p);
+  if (flow->established()) {
+    splice_.TunnelFromServer(key, *flow, p);
   }
-}
-
-void YodaInstance::OnServerSynAck(const FlowKey& key, LocalFlow& flow, const net::Packet& p) {
-  flow.server_syn_timer.Cancel();
-  flow.st.server_isn = p.seq;
-  // The server's byte at server_isn+1 must appear to the client at
-  // client_facing_nxt (== lb_isn+1 for the first leg; the current splice
-  // point after an HTTP/1.1 re-switch).
-  if (flow.client_facing_nxt == 0) {
-    flow.client_facing_nxt = flow.st.lb_isn + 1;
-  }
-  flow.st.seq_delta_s2c = flow.client_facing_nxt - (p.seq + 1);  // mod 2^32.
-  flow.st.seq_delta_c2s = 0;  // Client's (possibly rebased) ISN is reused.
-  if (flow.tls_active) {
-    // The server-side stream replaces Hello+Finished with the session
-    // ticket; client appdata bytes shift by the difference.
-    VipState* vip = FindVip(key.vip);
-    if (vip != nullptr && vip->tls) {
-      const std::string ticket = tls::EncodeRecord(
-          {tls::RecordType::kSessionTicket,
-           tls::SealTicket(flow.tls_session_key, vip->tls->service_key)});
-      flow.st.seq_delta_c2s =
-          static_cast<std::uint32_t>(ticket.size()) - flow.tls_handshake_len;
-    }
-  }
-  flow.st.stage = FlowStage::kTunneling;
-  cpu_.ChargeConnection();
-
-  // storage-b: persist full state *before* ACKing the server (Fig 3), so a
-  // crash after the ACK can always be recovered by another instance.
-  store_->StoreTunnelingState(flow.st, [this, key](bool ok) {
-    if (failed_) {
-      return;
-    }
-    LocalFlow* f = FindFlow(key);
-    if (f == nullptr || !ok) {
-      return;
-    }
-    f->established = true;
-    Trace(key, obs::EventType::kEstablished);
-    const net::FiveTuple server_side{f->st.backend_ip, key.vip, f->st.backend_port,
-                                     key.client_port};
-    server_index_[server_side] = key;
-    ForwardRequestToServer(key, *f);
-    if (!f->mirror_legs.empty()) {
-      LaunchMirrorLegs(key, *f);
-    }
-    ctr_.flows_completed->Inc();
-  });
-}
-
-void YodaInstance::ForwardRequestToServer(const FlowKey& key, LocalFlow& flow) {
-  Trace(key, obs::EventType::kRequestForwarded);
-  if (flow.started != 0) {
-    connection_phase_ms_->Add(sim::ToMillis(sim_->now() - flow.started));
-    flow.started = 0;  // Count the initial leg once (not re-switches).
-  }
-  // Handshake-completing ACK, carrying the buffered client bytes (the HTTP
-  // request), sequence-aligned with the client's own numbers. For TLS flows
-  // the server-side stream is [session ticket][encrypted appdata verbatim].
-  std::string tls_data;
-  if (flow.tls_active) {
-    VipState* vip = FindVip(key.vip);
-    if (vip != nullptr && vip->tls) {
-      tls_data = tls::EncodeRecord({tls::RecordType::kSessionTicket,
-                                    tls::SealTicket(flow.tls_session_key,
-                                                    vip->tls->service_key)});
-      tls_data += flow.assembled.substr(flow.tls_handshake_len);
-    }
-  }
-  // Note (TLS): a client retransmission that spans the handshake/appdata
-  // boundary would, under the c2s delta, overlap the ticket's sequence range
-  // at the server with stale bytes. This only matters if the ticket packet
-  // itself was lost; a production implementation would retransmit its own
-  // injected bytes. The simulator's LB->server hop is loss-free by default.
-  const std::string& data = flow.tls_active ? tls_data : flow.assembled;
-  std::uint32_t seq = flow.st.client_isn + 1;
-  std::size_t off = 0;
-  bool first = true;
-  do {
-    const std::size_t len = std::min<std::size_t>(cfg_.mss, data.size() - off);
-    net::Packet pkt;
-    pkt.src = key.vip;
-    pkt.sport = key.client_port;
-    pkt.dst = flow.st.backend_ip;
-    pkt.dport = flow.st.backend_port;
-    pkt.seq = seq;
-    pkt.ack = flow.st.server_isn + 1;
-    pkt.flags = net::kAck;
-    pkt.payload = data.substr(off, len);
-    if (off + len >= data.size()) {
-      pkt.flags |= net::kPsh;
-    }
-    if (first) {
-      Emit(std::move(pkt));  // The ACK itself is control traffic.
-      first = false;
-    } else {
-      EmitForwarded(std::move(pkt));
-    }
-    seq += static_cast<std::uint32_t>(len);
-    off += len;
-  } while (off < data.size());
-
-  // Initialise (or re-arm after a re-switch) HTTP/1.1 inspection state.
-  // TLS flows tunnel ciphertext, so re-switch inspection is unavailable.
-  if (cfg_.http11_reswitch && !flow.tls_active &&
-      (flow.inspect_enabled ||
-       (flow.parser.HaveHeaders() && WantsInspection(flow.parser.request())))) {
-    flow.inspect_enabled = true;
-    flow.inspect_next_seq = flow.st.client_isn + 1 +
-                            static_cast<std::uint32_t>(flow.assembled.size());
-    flow.request_start_seq = flow.inspect_next_seq;
-    flow.pending_request.clear();
-    flow.inspect_parser = http::RequestParser();
-    flow.outstanding_requests = 1;
-  } else {
-    flow.inspect_next_seq = 0;  // Inspection disabled for this flow.
-  }
-}
-
-// --------------------------------------------------------------------------
-// Tunneling.
-// --------------------------------------------------------------------------
-
-void YodaInstance::TunnelFromClient(const FlowKey& key, LocalFlow& flow, VipState& vip,
-                                    const net::Packet& p) {
-  if (cfg_.http11_reswitch && flow.inspect_next_seq != 0 && !p.payload.empty()) {
-    InspectClientStream(key, flow, vip, p);
-    // InspectClientStream forwards (possibly re-targeted) bytes itself.
-    return;
-  }
-  net::Packet out = p;
-  out.src = key.vip;
-  out.sport = key.client_port;
-  out.dst = flow.st.backend_ip;
-  out.dport = flow.st.backend_port;
-  out.seq = p.seq + flow.st.seq_delta_c2s;
-  out.ack = p.ack - flow.st.seq_delta_s2c;
-  out.encap_dst = 0;
-  if (p.fin()) {
-    flow.fin_from_client = true;
-    Trace(key, obs::EventType::kFin, 0);
-  }
-  EmitForwarded(std::move(out));
-  MaybeScheduleCleanup(key, flow);
-}
-
-void YodaInstance::InspectClientStream(const FlowKey& key, LocalFlow& flow, VipState& vip,
-                                       const net::Packet& p) {
-  // In-order inspection: the current request's bytes are buffered from
-  // request_start_seq and only forwarded once the request is complete and
-  // routed — that is what makes switching the backend per request possible.
-  const auto len = static_cast<std::uint32_t>(p.payload.size());
-  if (net::SeqLt(p.seq, flow.inspect_next_seq) &&
-      net::SeqLeq(p.seq + len, flow.inspect_next_seq)) {
-    // Entirely old. Bytes belonging to the current server leg (at or above
-    // its rebased ISN) are retransmissions the server should re-ack; tunnel
-    // them. Bytes from a pre-re-switch leg were acked by the old server and
-    // are dropped.
-    if (net::SeqGeq(p.seq, flow.st.client_isn + 1) &&
-        net::SeqLt(p.seq, flow.request_start_seq)) {
-      net::Packet out = p;
-      out.src = key.vip;
-      out.sport = key.client_port;
-      out.dst = flow.st.backend_ip;
-      out.dport = flow.st.backend_port;
-      out.seq = p.seq + flow.st.seq_delta_c2s;
-      out.ack = p.ack - flow.st.seq_delta_s2c;
-      out.encap_dst = 0;
-      EmitForwarded(std::move(out));
-    }
-    return;
-  }
-  if (net::SeqGt(p.seq, flow.inspect_next_seq)) {
-    flow.pending_segments[p.seq] = p.payload;  // Future data; hold.
-    return;
-  }
-  // Consume this segment (trimming any old prefix) plus any now-contiguous
-  // buffered segments.
-  std::string fresh(p.payload.view().substr(flow.inspect_next_seq - p.seq));
-  flow.inspect_next_seq += static_cast<std::uint32_t>(fresh.size());
-  for (auto it = flow.pending_segments.begin(); it != flow.pending_segments.end();) {
-    const std::uint32_t s = it->first;
-    const auto l = static_cast<std::uint32_t>(it->second.size());
-    if (net::SeqLeq(s, flow.inspect_next_seq) && net::SeqGt(s + l, flow.inspect_next_seq)) {
-      fresh += it->second.view().substr(flow.inspect_next_seq - s);
-      flow.inspect_next_seq = s + l;
-      it = flow.pending_segments.erase(it);
-    } else if (net::SeqLeq(s + l, flow.inspect_next_seq)) {
-      it = flow.pending_segments.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  flow.pending_request += fresh;
-
-  flow.inspect_parser.Feed(fresh);
-  if (flow.inspect_parser.status() == http::ParseStatus::kComplete) {
-    http::Request req = flow.inspect_parser.TakeRequest();
-    auto sel = SelectBackend(vip, req);
-    if (sel) {
-      BindStickyIfNeeded(vip, req, sel->backend);
-    }
-    if (sel &&
-        !(sel->backend.ip == flow.st.backend_ip &&
-          sel->backend.port == flow.st.backend_port) &&
-        flow.outstanding_requests == 0) {
-      // Different backend and no response in flight: switch (§5.2). The
-      // buffered request is replayed to the new server on establishment.
-      ReSwitch(key, flow, vip, sel->backend);
-      if (p.fin()) {
-        flow.fin_from_client = true;  // FIN is relayed after the new leg.
-      }
-      return;
-    }
-    // Same backend (or response outstanding): forward the buffered request
-    // on the current connection, sequence-aligned.
-    std::uint32_t seq = flow.request_start_seq;
-    std::size_t off = 0;
-    while (off < flow.pending_request.size()) {
-      const std::size_t chunk =
-          std::min<std::size_t>(cfg_.mss, flow.pending_request.size() - off);
-      net::Packet out;
-      out.src = key.vip;
-      out.sport = key.client_port;
-      out.dst = flow.st.backend_ip;
-      out.dport = flow.st.backend_port;
-      out.seq = seq + flow.st.seq_delta_c2s;
-      out.ack = p.ack - flow.st.seq_delta_s2c;
-      out.flags = net::kAck | net::kPsh;
-      out.payload = flow.pending_request.substr(off, chunk);
-      EmitForwarded(std::move(out));
-      seq += static_cast<std::uint32_t>(chunk);
-      off += chunk;
-    }
-    flow.outstanding_requests += 1;
-    // Pipelined clients may have packed several requests into this batch;
-    // they all go to the same backend (re-switch requires outstanding == 0).
-    while (flow.inspect_parser.status() == http::ParseStatus::kComplete) {
-      http::Request extra = flow.inspect_parser.TakeRequest();
-      auto extra_sel = SelectBackend(vip, extra);
-      if (extra_sel) {
-        BindStickyIfNeeded(vip, extra, extra_sel->backend);
-      }
-      flow.outstanding_requests += 1;
-      flow.st.pipeline_request_ends.push_back(flow.inspect_next_seq - flow.st.client_isn - 1);
-    }
-    flow.pending_request.clear();
-    flow.request_start_seq = flow.inspect_next_seq;
-    // Record the request boundary for pipelined-response ordering and update
-    // TCPStore so a takeover instance knows the order (§5.2).
-    flow.st.pipeline_request_ends.push_back(flow.inspect_next_seq - flow.st.client_isn - 1);
-    store_->StoreTunnelingState(flow.st, [](bool) {});
-  }
-  if (p.fin()) {
-    flow.fin_from_client = true;
-    Trace(key, obs::EventType::kFin, 0);
-    net::Packet fin;
-    fin.src = key.vip;
-    fin.sport = key.client_port;
-    fin.dst = flow.st.backend_ip;
-    fin.dport = flow.st.backend_port;
-    fin.seq = flow.inspect_next_seq + flow.st.seq_delta_c2s;
-    fin.ack = p.ack - flow.st.seq_delta_s2c;
-    fin.flags = net::kFin | net::kAck;
-    EmitForwarded(std::move(fin));
-    MaybeScheduleCleanup(key, flow);
-  }
-}
-
-void YodaInstance::ReSwitch(const FlowKey& key, LocalFlow& flow, VipState& vip,
-                            const rules::Backend& new_backend) {
-  ctr_.reswitches->Inc();
-  Trace(key, obs::EventType::kReSwitch, new_backend.ip);
-  // Close the old server connection and drop its return pin.
-  const net::FiveTuple old_side{flow.st.backend_ip, key.vip, flow.st.backend_port,
-                                key.client_port};
-  net::Packet rst;
-  rst.src = key.vip;
-  rst.sport = key.client_port;
-  rst.dst = flow.st.backend_ip;
-  rst.dport = flow.st.backend_port;
-  rst.seq = flow.request_start_seq + flow.st.seq_delta_c2s;
-  rst.flags = net::kRst;
-  Emit(std::move(rst));
-  fabric_->UnregisterSnat(old_side);
-  server_index_.erase(old_side);
-  const FlowState old_state = flow.st;
-  store_->Remove(old_state, [](bool) {});
-
-  backend_load_[flow.st.backend_ip] -= 1;
-  backend_load_[new_backend.ip] += 1;
-
-  // Re-enter the connection phase against the new backend, reusing the
-  // normal plumbing: the buffered request becomes `assembled`, and the SYN's
-  // ISN is rebased to (request start - 1) so the client->server sequence
-  // delta stays zero on the new leg. The server->client delta is derived
-  // from client_facing_nxt when the new SYN-ACK arrives.
-  flow.st.backend_ip = new_backend.ip;
-  flow.st.backend_port = new_backend.port;
-  flow.st.client_isn = flow.request_start_seq - 1;
-  flow.st.stage = FlowStage::kConnection;
-  flow.established = false;
-  flow.server_syn_sent = true;
-  flow.server_syn_attempts = 0;
-  flow.assembled = std::move(flow.pending_request);
-  flow.pending_request.clear();
-  flow.assembled_end = flow.inspect_next_seq;
-  flow.st.pipeline_request_ends.clear();
-  Trace(key, obs::EventType::kBackendPinned, new_backend.ip);
-  SendServerSyn(key, flow);
-  (void)vip;
-}
-
-void YodaInstance::TunnelFromServer(const FlowKey& key, LocalFlow& flow, const net::Packet& p) {
-  if (!flow.mirror_legs.empty() && !flow.mirror_decided && !p.payload.empty()) {
-    // The original primary answered first: it wins the mirror race.
-    flow.mirror_decided = true;
-    KillLosingLegs(key, flow, flow.st.backend_ip);
-  }
-  net::Packet out = p;
-  out.src = key.vip;
-  out.sport = key.vip_port;
-  out.dst = key.client_ip;
-  out.dport = key.client_port;
-  out.seq = p.seq + flow.st.seq_delta_s2c;
-  out.ack = p.ack - flow.st.seq_delta_c2s;
-  out.encap_dst = 0;
-  // Track the splice point for potential HTTP/1.1 re-switches.
-  const std::uint32_t emitted_end =
-      out.seq + static_cast<std::uint32_t>(p.payload.size()) + (p.fin() ? 1 : 0);
-  if (net::SeqGt(emitted_end, flow.client_facing_nxt)) {
-    flow.client_facing_nxt = emitted_end;
-  }
-  if (p.fin()) {
-    flow.fin_from_server = true;
-    Trace(key, obs::EventType::kFin, 1);
-  }
-  if (!p.payload.empty() && flow.outstanding_requests > 0) {
-    // Track response completion for re-switch gating (cheap heuristic: a
-    // PSH-terminated server burst ends one response).
-    if (p.has(net::kPsh)) {
-      flow.outstanding_requests -= 1;
-      if (!flow.st.pipeline_request_ends.empty()) {
-        flow.st.pipeline_request_ends.erase(flow.st.pipeline_request_ends.begin());
-      }
-    }
-  }
-  EmitForwarded(std::move(out));
-  MaybeScheduleCleanup(key, flow);
-}
-
-// --------------------------------------------------------------------------
-// Request mirroring (§5.2).
-// --------------------------------------------------------------------------
-
-void YodaInstance::LaunchMirrorLegs(const FlowKey& key, LocalFlow& flow) {
-  for (LocalFlow::MirrorLeg& leg : flow.mirror_legs) {
-    net::Packet syn;
-    syn.src = key.vip;
-    syn.sport = key.client_port;
-    syn.dst = leg.ip;
-    syn.dport = leg.port;
-    syn.seq = flow.st.client_isn;
-    syn.flags = net::kSyn;
-    const net::FiveTuple leg_side{leg.ip, key.vip, leg.port, key.client_port};
-    fabric_->RegisterSnat(leg_side, cfg_.ip);
-    server_index_[leg_side] = key;
-    Emit(std::move(syn));
-    cpu_.ChargeConnection();
-  }
-}
-
-bool YodaInstance::HandleMirrorPacket(const FlowKey& key, LocalFlow& flow,
-                                      const net::Packet& p) {
-  LocalFlow::MirrorLeg* leg = nullptr;
-  for (LocalFlow::MirrorLeg& l : flow.mirror_legs) {
-    if (l.ip == p.src && l.port == p.sport) {
-      leg = &l;
-    }
-  }
-  if (leg == nullptr) {
-    return false;
-  }
-  if (flow.mirror_decided) {
-    // A winner already serves the client; silence this leg.
-    if (!p.rst()) {
-      Emit(net::MakeRst(p));
-    }
-    return true;
-  }
-  if (p.syn() && p.ack_flag()) {
-    // Complete this leg's handshake and replay the buffered request, exactly
-    // like the primary's ForwardRequestToServer but with no storage write.
-    leg->established = true;
-    leg->server_isn = p.seq;
-    const std::string& data = flow.assembled;
-    std::uint32_t seq = flow.st.client_isn + 1;
-    std::size_t off = 0;
-    do {
-      const std::size_t len = std::min<std::size_t>(cfg_.mss, data.size() - off);
-      net::Packet pkt;
-      pkt.src = key.vip;
-      pkt.sport = key.client_port;
-      pkt.dst = leg->ip;
-      pkt.dport = leg->port;
-      pkt.seq = seq;
-      pkt.ack = leg->server_isn + 1;
-      pkt.flags = net::kAck;
-      pkt.payload = data.substr(off, len);
-      if (off + len >= data.size()) {
-        pkt.flags |= net::kPsh;
-      }
-      Emit(std::move(pkt));
-      seq += static_cast<std::uint32_t>(len);
-      off += len;
-    } while (off < data.size());
-    return true;
-  }
-  if (!p.payload.empty()) {
-    // First response data: this leg wins the race (the paper tunnels the
-    // first response and marks later ones for dropping).
-    PromoteMirrorWinner(key, flow, *leg, p);
-    return true;
-  }
-  return true;  // Bare ACKs from a still-racing leg.
-}
-
-void YodaInstance::PromoteMirrorWinner(const FlowKey& key, LocalFlow& flow,
-                                       LocalFlow::MirrorLeg& leg,
-                                       const net::Packet& first_data) {
-  flow.mirror_decided = true;
-  Trace(key, obs::EventType::kMirrorPromote, leg.ip);
-  // The old primary loses: reset it and drop its pins before retargeting.
-  {
-    net::Packet rst;
-    rst.src = key.vip;
-    rst.sport = key.client_port;
-    rst.dst = flow.st.backend_ip;
-    rst.dport = flow.st.backend_port;
-    rst.seq = flow.st.client_isn + 1 + static_cast<std::uint32_t>(flow.assembled.size());
-    rst.flags = net::kRst;
-    Emit(std::move(rst));
-    const net::FiveTuple old_side{flow.st.backend_ip, key.vip, flow.st.backend_port,
-                                  key.client_port};
-    fabric_->UnregisterSnat(old_side);
-    server_index_.erase(old_side);
-  }
-  // Retarget the flow at the winning mirror.
-  flow.st.backend_ip = leg.ip;
-  flow.st.backend_port = leg.port;
-  flow.st.server_isn = leg.server_isn;
-  flow.st.seq_delta_s2c = flow.client_facing_nxt - (leg.server_isn + 1);
-  const net::FiveTuple winner_side{leg.ip, key.vip, leg.port, key.client_port};
-  server_index_[winner_side] = key;
-  Trace(key, obs::EventType::kBackendPinned, leg.ip);
-  store_->StoreTunnelingState(flow.st, [](bool) {});
-  KillLosingLegs(key, flow, leg.ip);
-  TunnelFromServer(key, flow, first_data);
-}
-
-void YodaInstance::KillLosingLegs(const FlowKey& key, LocalFlow& flow, net::IpAddr winner_ip) {
-  const std::uint32_t next_seq =
-      flow.st.client_isn + 1 + static_cast<std::uint32_t>(flow.assembled.size());
-  auto kill = [this, &key, next_seq](net::IpAddr ip, net::Port port) {
-    net::Packet rst;
-    rst.src = key.vip;
-    rst.sport = key.client_port;
-    rst.dst = ip;
-    rst.dport = port;
-    rst.seq = next_seq;
-    rst.flags = net::kRst;
-    Emit(std::move(rst));
-    const net::FiveTuple side{ip, key.vip, port, key.client_port};
-    fabric_->UnregisterSnat(side);
-    server_index_.erase(side);
-  };
-  for (LocalFlow::MirrorLeg& leg : flow.mirror_legs) {
-    if (leg.ip != winner_ip) {
-      kill(leg.ip, leg.port);
-    }
-  }
-}
-
-// --------------------------------------------------------------------------
-// Takeover.
-// --------------------------------------------------------------------------
-
-void YodaInstance::TakeoverClientSide(const FlowKey& key, const net::Packet& p) {
-  if (!p.ack_flag() && p.payload.empty() && !p.fin()) {
-    return;  // Nothing recoverable.
-  }
-  auto flow = std::make_unique<LocalFlow>();
-  flow->lookup_pending = true;
-  flow->last_packet = sim_->now();
-  flow->stalled.push_back(p);
-  flows_[key] = std::move(flow);
-  ClientTakeoverLookup(key, /*attempt=*/0);
-}
-
-void YodaInstance::ClientTakeoverLookup(const FlowKey& key, int attempt) {
-  store_->LookupByClient(
-      key.vip, key.vip_port, key.client_ip, key.client_port,
-      [this, key, attempt](std::optional<FlowState> st) {
-        if (failed_) {
-          return;
-        }
-        LocalFlow* f = FindFlow(key);
-        if (f == nullptr) {
-          return;
-        }
-        if (!st) {
-          // A miss may just mean a lagging or restarting replica: re-fetch
-          // with doubling backoff before giving up on the flow.
-          if (attempt < cfg_.takeover_retry_limit) {
-            ctr_.takeover_retries->Inc();
-            Trace(key, obs::EventType::kTakeoverRetry,
-                  static_cast<std::uint64_t>(attempt + 1));
-            sim::Duration backoff = cfg_.takeover_retry_backoff;
-            for (int i = 0; i < attempt; ++i) {
-              backoff *= 2;
-            }
-            sim_->After(backoff, [this, key, attempt]() {
-              if (failed_) {
-                return;
-              }
-              LocalFlow* f2 = FindFlow(key);
-              if (f2 == nullptr || !f2->lookup_pending) {
-                return;
-              }
-              ClientTakeoverLookup(key, attempt + 1);
-            });
-            return;
-          }
-          ctr_.takeover_misses->Inc();
-          ResetFlowToClient(key, obs::FlowResetReason::kTakeoverMiss);
-          return;
-        }
-        ctr_.takeovers_client_side->Inc();
-        Trace(key, obs::EventType::kTakeoverClient);
-        AdoptFlow(key, *st);
-      });
-}
-
-void YodaInstance::ResetFlowToClient(const FlowKey& key, obs::FlowResetReason reason) {
-  // An explicit RST beats a silent drop: the client learns immediately
-  // instead of retransmitting into a void until its own timers expire.
-  LocalFlow* f = FindFlow(key);
-  net::Packet rst;
-  rst.src = key.vip;
-  rst.sport = key.vip_port;
-  rst.dst = key.client_ip;
-  rst.dport = key.client_port;
-  rst.flags = net::kRst | net::kAck;
-  if (f != nullptr && !f->stalled.empty()) {
-    const net::Packet& last = f->stalled.back();
-    rst.seq = last.ack;
-    rst.ack = last.seq + last.SeqSpace();
-  }
-  Emit(std::move(rst));
-  Trace(key, obs::EventType::kFlowReset, static_cast<std::uint64_t>(reason));
-  flows_.erase(key);
-}
-
-void YodaInstance::TakeoverServerSide(const net::Packet& p, VipState& vip) {
-  // Server-side identity: (backend=src, bport=sport, vip=dst, cport=dport);
-  // the client key arrives with the flow state.
-  ServerTakeoverLookup(p, /*attempt=*/0);
-  (void)vip;
-}
-
-void YodaInstance::ServerTakeoverLookup(const net::Packet& p, int attempt) {
-  store_->LookupByServer(
-      p.src, p.sport, p.dst, p.dport, [this, p, attempt](std::optional<FlowState> st) {
-        if (failed_) {
-          return;
-        }
-        if (!st || st->stage != FlowStage::kTunneling) {
-          // RSTs for unknown flows are not worth recovering (and answering
-          // them with more RSTs would only make noise).
-          if (!p.rst() && attempt < cfg_.takeover_retry_limit) {
-            ctr_.takeover_retries->Inc();
-            sim::Duration backoff = cfg_.takeover_retry_backoff;
-            for (int i = 0; i < attempt; ++i) {
-              backoff *= 2;
-            }
-            sim_->After(backoff, [this, p, attempt]() {
-              if (!failed_) {
-                ServerTakeoverLookup(p, attempt + 1);
-              }
-            });
-            return;
-          }
-          ctr_.takeover_misses->Inc();
-          if (!p.rst()) {
-            // Final miss: reset the orphaned server leg so the backend does
-            // not hold the connection open forever.
-            net::Packet rst;
-            rst.src = p.dst;
-            rst.sport = p.dport;
-            rst.dst = p.src;
-            rst.dport = p.sport;
-            rst.seq = p.ack;
-            rst.flags = net::kRst;
-            Emit(std::move(rst));
-          }
-          return;
-        }
-        ctr_.takeovers_server_side->Inc();
-        const FlowKey key{st->vip, st->vip_port, st->client_ip, st->client_port};
-        Trace(key, obs::EventType::kTakeoverServer);
-        if (FindFlow(key) == nullptr) {
-          AdoptFlow(key, *st);
-        }
-        LocalFlow* f = FindFlow(key);
-        if (f != nullptr && f->established) {
-          TunnelFromServer(key, *f, p);
-        }
-      });
-}
-
-void YodaInstance::AdoptFlow(const FlowKey& key, const FlowState& st) {
-  LocalFlow* flow = FindFlow(key);
-  if (flow == nullptr) {
-    flows_[key] = std::make_unique<LocalFlow>();
-    flow = flows_[key].get();
-  }
-  std::vector<net::Packet> stalled = std::move(flow->stalled);
-  flow->stalled.clear();
-  flow->lookup_pending = false;
-  flow->last_packet = sim_->now();
-  flow->st = st;
-  flow->storage_a_done = true;
-  flow->client_facing_nxt = st.lb_isn + 1;
-  backend_load_[st.backend_ip] += st.stage == FlowStage::kTunneling ? 1 : 0;
-  if (st.backend_ip != 0) {
-    // The pin travelled with the flow state; re-assert it in the trace so
-    // pin-stability checks see the adopter agreeing with the original.
-    Trace(key, obs::EventType::kBackendPinned, st.backend_ip);
-  }
-
-  if (st.stage == FlowStage::kTunneling) {
-    flow->established = true;
-    flow->server_syn_sent = true;
-    flow->inspect_next_seq = 0;  // Inspection state was lost; pass through.
-    const net::FiveTuple server_side{st.backend_ip, st.vip, st.backend_port, st.client_port};
-    server_index_[server_side] = key;
-    // Re-pin the return path to this instance.
-    fabric_->RegisterSnat(server_side, cfg_.ip);
-  } else {
-    // Connection phase: the client's un-ACKed header will be retransmitted
-    // in full; rebuild the assembly state from the stored ISN (Fig 5a). For
-    // TLS VIPs the deterministic handshake replays from the hello.
-    flow->assembled_end = st.client_isn + 1;
-    VipState* vip_state = FindVip(key.vip);
-    flow->tls_active = vip_state != nullptr && vip_state->tls.has_value();
-  }
-  cpu_.ChargeConnection();
-
-  VipState* vip = FindVip(key.vip);
-  for (const net::Packet& p : stalled) {
-    LocalFlow* f = FindFlow(key);
-    if (f == nullptr || vip == nullptr) {
-      break;
-    }
-    if (f->established) {
-      TunnelFromClient(key, *f, *vip, p);
-    } else {
-      ClientConnectionPhase(key, *f, *vip, p);
-    }
-  }
-}
-
-// --------------------------------------------------------------------------
-// Teardown.
-// --------------------------------------------------------------------------
-
-void YodaInstance::MaybeScheduleCleanup(const FlowKey& key, LocalFlow& flow) {
-  if (!flow.fin_from_client || !flow.fin_from_server || flow.cleanup_scheduled) {
-    return;
-  }
-  flow.cleanup_scheduled = true;
-  sim_->After(cfg_.flow_cleanup_delay, [this, key]() {
-    if (!failed_ && FindFlow(key) != nullptr) {
-      CleanupFlow(key, /*remove_from_store=*/true);
-    }
-  });
-}
-
-void YodaInstance::CleanupFlow(const FlowKey& key, bool remove_from_store) {
-  LocalFlow* flow = FindFlow(key);
-  if (flow == nullptr) {
-    return;
-  }
-  flow->server_syn_timer.Cancel();
-  for (const LocalFlow::MirrorLeg& leg : flow->mirror_legs) {
-    const net::FiveTuple leg_side{leg.ip, key.vip, leg.port, key.client_port};
-    fabric_->UnregisterSnat(leg_side);
-    server_index_.erase(leg_side);
-  }
-  if (flow->st.stage == FlowStage::kTunneling || flow->server_syn_sent) {
-    const net::FiveTuple server_side{flow->st.backend_ip, key.vip, flow->st.backend_port,
-                                     key.client_port};
-    fabric_->UnregisterSnat(server_side);
-    server_index_.erase(server_side);
-    auto it = backend_load_.find(flow->st.backend_ip);
-    if (it != backend_load_.end() && flow->established) {
-      it->second = std::max(0, it->second - 1);
-    }
-  }
-  if (remove_from_store && flow->storage_a_done) {
-    store_->Remove(flow->st, [](bool) {});
-  }
-  Trace(key, obs::EventType::kCleanup);
-  flows_.erase(key);
 }
 
 }  // namespace yoda

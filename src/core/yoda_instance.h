@@ -1,27 +1,19 @@
-// YodaInstance: the L7 LB packet driver (paper §4, §6).
+// YodaInstance: wiring + packet demux on top of the staged L7 pipeline
+// (paper §4, §6).
 //
-// An instance is a raw-packet state machine, not a TCP proxy:
+// The data plane itself lives in the stage engines (src/core/pipeline.h):
+// HandshakeEngine (SYN capture, deterministic SYN-ACK, TLS flight, server
+// handshake + the two ACK-point storage writes), L7Dispatcher (header
+// assembly, rule scan, sticky binding, selection, HTTP/1.1 re-switch),
+// SpliceEngine (sequence-translation tunneling, mirror legs) and
+// TakeoverEngine (TCPStore lookups + mid-stream adoption). Flow state lives
+// in the sharded FlowTable; storage traffic goes through StoreSession, which
+// owns the "write exactly at the ACK points" contract.
 //
-//   Connection phase (Fig 3):
-//     - client SYN: write flow state to TCPStore (storage-a), then answer
-//       SYN-ACK with the *deterministic* ISN hash(client ip:port) — any
-//       instance answers identically, so nothing else needs storing;
-//     - buffer the client's HTTP header bytes (never ACKing them: they fit
-//       the initial window, and an un-ACKed header is exactly what a
-//       takeover instance will get retransmitted);
-//     - match rules, pick the backend, open a VIP-sourced connection to it
-//       reusing the client's ISN, and register the SNAT return pin;
-//     - on the server SYN-ACK: write full state (storage-b) *before* ACKing,
-//       then forward the header.
-//
-//   Tunneling phase (Fig 4): pure L3 header surgery. The client->server
-//   direction needs no sequence translation (same ISN); the server->client
-//   direction shifts by (lb_isn - server_isn). Addresses are rewritten so
-//   both ends only ever see the VIP.
-//
-//   Takeover (Fig 5): a packet for an unknown flow triggers a TCPStore
-//   lookup (by client key, or by server key for return traffic); the flow is
-//   adopted mid-stream and the SNAT pin is re-registered to this instance.
+// What remains here: the controller API (VIP install/remove, health, fail/
+// recover), per-VIP traffic metering, the idle-flow GC loop, and HandlePacket
+// demux that classifies each packet (client side / server side / unknown)
+// and hands it to the right stage.
 
 #ifndef SRC_CORE_YODA_INSTANCE_H_
 #define SRC_CORE_YODA_INSTANCE_H_
@@ -29,61 +21,28 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <optional>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/cpu_model.h"
-#include "src/core/flow_state.h"
+#include "src/core/flow_table.h"
+#include "src/core/handshake_engine.h"
+#include "src/core/instance_config.h"
+#include "src/core/l7_dispatcher.h"
+#include "src/core/pipeline.h"
+#include "src/core/splice_engine.h"
+#include "src/core/store_session.h"
+#include "src/core/takeover_engine.h"
 #include "src/core/tcp_store.h"
-#include "src/http/parser.h"
 #include "src/l4lb/fabric.h"
 #include "src/net/network.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
 #include "src/rules/rule_table.h"
 #include "src/sim/random.h"
-#include "src/tls/tls.h"
 
 namespace yoda {
-
-struct YodaInstanceConfig {
-  net::IpAddr ip = 0;
-  CpuCosts cpu_costs = YodaUserSpaceCosts();
-  double cores = 1.0;
-  // Base latency of the rule scan (Fig 6 intercept); per-rule cost is in
-  // CpuCosts::per_rule_scanned via the latency model below.
-  sim::Duration rule_scan_base_delay = sim::Usec(300);
-  sim::Duration rule_scan_per_rule_delay = sim::Nsec(900);
-  // How long after both FINs a flow's state lingers before deletion.
-  sim::Duration flow_cleanup_delay = sim::Sec(1);
-  // Flows with no packets for this long are garbage-collected (handles
-  // half-closed flows orphaned by takeovers that split the two directions
-  // across instances). 0 disables.
-  sim::Duration flow_idle_timeout = sim::Minutes(5);
-  sim::Duration idle_scan_interval = sim::Sec(30);
-  // Resend the server-side SYN if no SYN-ACK within this long.
-  sim::Duration server_syn_timeout = sim::Sec(3);
-  int server_syn_retries = 2;
-  // A TCPStore miss during takeover is treated as recoverable (the replica
-  // may be lagging or mid-restart): the lookup is re-issued up to this many
-  // times with doubling backoff. Only after the final miss is the flow
-  // explicitly reset toward the client (kFlowReset/kTakeoverMiss) instead of
-  // silently dropped. 0 restores the drop-on-first-miss behavior.
-  int takeover_retry_limit = 2;
-  sim::Duration takeover_retry_backoff = sim::Msec(5);
-  std::uint32_t mss = 1400;
-  // Inspect client bytes on HTTP/1.1 connections and re-switch backends
-  // between requests (§5.2).
-  bool http11_reswitch = true;
-  // Observability sinks, normally the testbed-owned registry/recorder. A
-  // null registry makes the instance keep a private one (counters still
-  // work); a null recorder disables flow tracing.
-  obs::Registry* registry = nullptr;
-  obs::FlightRecorder* recorder = nullptr;
-};
 
 struct YodaInstanceStats {
   std::uint64_t flows_started = 0;
@@ -98,6 +57,7 @@ struct YodaInstanceStats {
   std::uint64_t selections = 0;
   std::uint64_t no_backend_resets = 0;
   std::uint64_t dropped_unknown_vip = 0;
+  std::uint64_t bad_transition_resets = 0;  // Illegal FSM edges (reset path).
 };
 
 // Per-VIP traffic accounting the controller polls (paper §6: "each YODA
@@ -125,6 +85,9 @@ class YodaInstance : public net::Node {
   // `service_key`. The handshake is deterministic, so a takeover instance
   // resends the identical certificate flight.
   void InstallVipTls(net::IpAddr vip, std::string certificate, std::uint64_t service_key);
+  // Withdraws the VIP and drains it: every in-flight flow is explicitly
+  // reset toward the client (kFlowReset/kVipRemoved), sticky bindings die
+  // with the VIP state, and the traffic window + counter cache are dropped.
   void RemoveVip(net::IpAddr vip);
   bool ServesVip(net::IpAddr vip) const { return vips_.contains(vip); }
   int RuleCount(net::IpAddr vip) const;
@@ -148,7 +111,7 @@ class YodaInstance : public net::Node {
   // instance's ip), so the legacy struct view and the exported metrics can
   // never disagree.
   YodaInstanceStats stats() const;
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return flow_table_.size(); }
 
   // The registry this instance reports into (the shared one from the config,
   // or the private fallback).
@@ -157,203 +120,67 @@ class YodaInstance : public net::Node {
   // Backend-connection duration (server selection -> request forwarded to
   // the backend), Fig 9's "Connection" component. Lives in the registry as
   // "yoda.connection_phase_ms".
-  sim::Histogram& connection_phase_ms() { return *connection_phase_ms_; }
+  sim::Histogram& connection_phase_ms() { return *stage_.connection_phase_ms; }
+
+  // The flow-state store (sharded) and the storage write layer, exposed for
+  // tests and tooling.
+  const FlowTable& flow_table() const { return flow_table_; }
+  const StoreSession& store_session() const { return store_session_; }
 
   // Reads and clears the per-VIP traffic window.
   std::map<net::IpAddr, VipTraffic> DrainTrafficCounters();
 
  private:
-  struct VipTls {
-    std::string certificate;
-    std::uint64_t service_key = 0;
-  };
-
-  struct VipState {
-    net::Port vip_port = 80;
-    rules::RuleTable table;
-    rules::StickyTable sticky;
-    std::set<net::IpAddr> backends;  // For classifying server-side packets.
-    std::optional<VipTls> tls;       // SSL termination (§5.2).
-  };
-
-  // Client-side flow identity.
-  struct FlowKey {
-    net::IpAddr vip = 0;
-    net::Port vip_port = 0;
-    net::IpAddr client_ip = 0;
-    net::Port client_port = 0;
-    bool operator==(const FlowKey&) const = default;
-  };
-  struct FlowKeyHash {
-    std::size_t operator()(const FlowKey& k) const {
-      return kv::Mix64((static_cast<std::uint64_t>(k.vip) << 32) ^ k.client_ip) ^
-             kv::Mix64((static_cast<std::uint64_t>(k.vip_port) << 16) ^ k.client_port);
-    }
-  };
-
-  struct LocalFlow {
-    FlowState st;
-    sim::Time started = 0;     // Selection start (Fig 9 instrumentation).
-    sim::Time last_packet = 0;  // For idle GC.
-    // Connection phase: client byte-stream reassembly (seq -> payload).
-    // Payload values share the client's segment buffers (no deep copies).
-    std::map<std::uint32_t, net::Payload> pending_segments;
-    std::uint32_t assembled_end = 0;  // Next expected client seq.
-    std::string assembled;            // In-order client bytes (the header).
-    http::RequestParser parser;
-    bool storage_a_done = false;
-    bool server_syn_sent = false;
-    int server_syn_attempts = 0;
-    sim::TimerHandle server_syn_timer;
-    bool established = false;  // storage-b done; tunneling active.
-    // HTTP/1.1 inspection of the client stream for re-switching. Request
-    // bytes are buffered from request_start_seq until the request is
-    // complete and routed; only then are they forwarded.
-    bool inspect_enabled = false;
-    http::RequestParser inspect_parser;
-    std::uint32_t inspect_next_seq = 0;    // Next client seq to consume.
-    std::uint32_t request_start_seq = 0;   // Where the in-progress request began.
-    std::string pending_request;           // Its bytes so far.
-    int outstanding_requests = 0;
-    // Highest client-facing sequence we have emitted toward the client + 1;
-    // a re-switched backend's stream is spliced in at this position.
-    std::uint32_t client_facing_nxt = 0;
-    // Request mirroring (§5.2, "sending the same request to multiple
-    // servers"): shadow legs racing the primary; the first responder wins.
-    struct MirrorLeg {
-      net::IpAddr ip = 0;
-      net::Port port = 80;
-      bool established = false;
-      std::uint32_t server_isn = 0;
-    };
-    std::vector<MirrorLeg> mirror_legs;
-    bool mirror_decided = false;  // A winner has produced response data.
-
-    // SSL termination state (connection phase only; tunneling is oblivious).
-    bool tls_active = false;
-    tls::RecordReader tls_reader;
-    std::size_t tls_consumed = 0;          // assembled bytes already fed.
-    bool tls_ready = false;                // Session key derived.
-    std::uint64_t tls_client_random = 0;
-    std::uint64_t tls_session_key = 0;
-    std::uint32_t tls_handshake_len = 0;   // Hello+Finished bytes (client side).
-    std::uint64_t tls_cipher_offset = 0;   // Decryption offset into appdata.
-    std::string tls_plaintext;             // Decrypted request bytes.
-    std::uint32_t cert_flight_len = 0;
-    // Teardown tracking.
-    bool fin_from_client = false;
-    bool fin_from_server = false;
-    bool cleanup_scheduled = false;
-    // Packets that arrived during an in-flight storage op.
-    std::vector<net::Packet> stalled;
-    bool lookup_pending = false;
+  struct VipCounters {
+    obs::Counter* new_connections = nullptr;
+    obs::Counter* bytes = nullptr;
   };
 
   VipState* FindVip(net::IpAddr vip);
-  LocalFlow* FindFlow(const FlowKey& key);
 
+  // Packet demux: classify and hand off to the stage engines.
   void HandleClientSide(const net::Packet& p, VipState& vip);
   void HandleServerSide(const net::Packet& p, VipState& vip);
 
-  void StartNewFlow(const net::Packet& syn, VipState& vip);
-  void SendSynAck(const FlowKey& key, const LocalFlow& flow);
-  void ClientConnectionPhase(const FlowKey& key, LocalFlow& flow, VipState& vip,
-                             const net::Packet& p);
-  void TlsConnectionPhase(const FlowKey& key, LocalFlow& flow, VipState& vip);
-  void SendCertificateFlight(const FlowKey& key, LocalFlow& flow, const VipState& vip);
-  void TrySelectAndConnect(const FlowKey& key, LocalFlow& flow, VipState& vip);
-  void SendServerSyn(const FlowKey& key, LocalFlow& flow);
-  void OnServerSynAck(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
-  void ForwardRequestToServer(const FlowKey& key, LocalFlow& flow);
-
-  void TunnelFromClient(const FlowKey& key, LocalFlow& flow, VipState& vip,
-                        const net::Packet& p);
-  void TunnelFromServer(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
-  void InspectClientStream(const FlowKey& key, LocalFlow& flow, VipState& vip,
-                           const net::Packet& p);
-  void ReSwitch(const FlowKey& key, LocalFlow& flow, VipState& vip,
-                const rules::Backend& new_backend);
-
-  void TakeoverClientSide(const FlowKey& key, const net::Packet& p);
-  void TakeoverServerSide(const net::Packet& p, VipState& vip);
-  void AdoptFlow(const FlowKey& key, const FlowState& st);
-  // Bounded re-fetch plumbing for TCPStore misses during takeover.
-  void ClientTakeoverLookup(const FlowKey& key, int attempt);
-  void ServerTakeoverLookup(const net::Packet& p, int attempt);
-  // Explicit reset toward the client; removes the local flow entry.
-  void ResetFlowToClient(const FlowKey& key, obs::FlowResetReason reason);
-
-  void LaunchMirrorLegs(const FlowKey& key, LocalFlow& flow);
-  // Returns true if the packet was consumed as mirror-leg traffic.
-  bool HandleMirrorPacket(const FlowKey& key, LocalFlow& flow, const net::Packet& p);
-  void PromoteMirrorWinner(const FlowKey& key, LocalFlow& flow, LocalFlow::MirrorLeg& leg,
-                           const net::Packet& first_data);
-  void KillLosingLegs(const FlowKey& key, LocalFlow& flow, net::IpAddr winner_ip);
-
-  void MaybeScheduleCleanup(const FlowKey& key, LocalFlow& flow);
-  void CleanupFlow(const FlowKey& key, bool remove_from_store);
   void IdleScan();
   // Schedules the next idle scan; each firing re-arms itself. The closure
   // captures only `this` so it cannot form an ownership cycle.
   void ArmIdleScan();
 
-  std::optional<rules::Selection> SelectBackend(VipState& vip, const http::Request& req);
-  void BindStickyIfNeeded(VipState& vip, const http::Request& req, const rules::Backend& b);
-  sim::Duration RuleScanDelay(int rules_scanned) const;
-
-  void EmitForwarded(net::Packet p);  // Adds forward delay + CPU charge.
-  void Emit(net::Packet p);           // Raw send (control packets).
   void MeterVip(net::IpAddr vip, const net::Packet& p);
-
-  // Appends a flight-recorder event for `key` (no-op without a recorder).
-  void Trace(const FlowKey& key, obs::EventType type, std::uint64_t detail = 0);
+  VipCounters& VipCountersFor(net::IpAddr vip);
 
   sim::Simulator* sim_;
   net::Network* net_;
   l4lb::L4Fabric* fabric_;
-  TcpStore* store_;
   sim::Rng rng_;
   YodaInstanceConfig cfg_;
   CpuModel cpu_;
   bool failed_ = false;
 
   std::unordered_map<net::IpAddr, VipState> vips_;
-  std::unordered_map<FlowKey, std::unique_ptr<LocalFlow>, FlowKeyHash> flows_;
-  // Server-side tuple -> client-side flow key (local fast path; the TCPStore
-  // server key serves the same role across instances).
-  std::unordered_map<net::FiveTuple, FlowKey, net::FiveTupleHash> server_index_;
+  FlowTable flow_table_;
   std::unordered_map<net::IpAddr, bool> backend_health_;
   std::unordered_map<net::IpAddr, VipTraffic> traffic_;
   std::unordered_map<net::IpAddr, int> backend_load_;  // Active flows per backend.
 
-  // Registry-backed counters (resolved once at construction; hot paths bump
-  // pointers, never build label strings).
-  struct StatCounters {
-    obs::Counter* flows_started = nullptr;
-    obs::Counter* flows_completed = nullptr;
-    obs::Counter* takeovers_client_side = nullptr;
-    obs::Counter* takeovers_server_side = nullptr;
-    obs::Counter* takeover_misses = nullptr;
-    obs::Counter* takeover_retries = nullptr;
-    obs::Counter* packets_tunneled = nullptr;
-    obs::Counter* reswitches = nullptr;
-    obs::Counter* rules_scanned_total = nullptr;
-    obs::Counter* selections = nullptr;
-    obs::Counter* no_backend_resets = nullptr;
-    obs::Counter* dropped_unknown_vip = nullptr;
-  };
-  struct VipCounters {
-    obs::Counter* new_connections = nullptr;
-    obs::Counter* bytes = nullptr;
-  };
-  VipCounters& VipCountersFor(net::IpAddr vip);
-
   std::unique_ptr<obs::Registry> owned_registry_;  // Fallback when cfg has none.
   obs::Registry* registry_ = nullptr;              // Never null after ctor.
   obs::FlightRecorder* recorder_ = nullptr;        // Null disables tracing.
-  StatCounters ctr_;
+  PipelineCounters ctr_;
+  PipelineStageMetrics stage_;
   std::unordered_map<net::IpAddr, VipCounters> vip_counters_;
-  sim::Histogram* connection_phase_ms_ = nullptr;  // Registry-owned.
+
+  StoreSession store_session_;
+
+  // The pipeline: shared context + the four stage engines (declared after
+  // pipe_ so their ctors may take its address; its fields are wired in the
+  // instance ctor body before any packet can arrive).
+  PipelineContext pipe_;
+  HandshakeEngine handshake_;
+  L7Dispatcher dispatcher_;
+  SpliceEngine splice_;
+  TakeoverEngine takeover_;
 };
 
 }  // namespace yoda

@@ -81,6 +81,8 @@ enum class FlowResetReason : std::uint64_t {
   kNoBackend = 1,        // No healthy backend for the request.
   kTakeoverMiss = 2,     // TCPStore had no state after bounded re-fetches.
   kClientAbort = 3,      // Client sent RST.
+  kVipRemoved = 4,       // VIP withdrawn; in-flight flows drained with RSTs.
+  kBadTransition = 5,    // Packet drove an illegal FSM edge; flow reset.
 };
 
 // Short stable name ("ClientSyn", "TakeoverClient", ...) for dumps.

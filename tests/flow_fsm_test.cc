@@ -1,0 +1,186 @@
+// FlowFsm tests: the transition table is enumerated in full against an
+// independently spelled-out golden edge set, and the packet-driven
+// TryTransition path is checked to fail closed (phase unchanged, caller
+// resets) instead of corrupting state on an illegal edge.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/core/flow_fsm.h"
+
+namespace yoda {
+namespace {
+
+using P = FlowPhase;
+
+constexpr P kAllPhases[] = {
+    P::kSynReceived, P::kSynAckSent,  P::kTlsHandshake,   P::kSelecting, P::kServerSynSent,
+    P::kStorageBWait, P::kEstablished, P::kDraining, P::kTakeoverLookup, P::kClosed,
+};
+
+// The legal edge set, written out by hand (NOT derived from the production
+// table) so a table regression cannot hide from this test.
+std::set<std::pair<P, P>> GoldenEdges() {
+  std::set<std::pair<P, P>> e;
+  // Every live phase may close (RST, reset, VIP removal, idle GC, crash).
+  for (P from : kAllPhases) {
+    if (from != P::kClosed) {
+      e.emplace(from, P::kClosed);
+    }
+  }
+  // storage-a completion: plain HTTP vs SSL-terminating VIP.
+  e.emplace(P::kSynReceived, P::kSynAckSent);
+  e.emplace(P::kSynReceived, P::kTlsHandshake);
+  // Header complete (decrypted request for TLS) -> rule scan.
+  e.emplace(P::kSynAckSent, P::kSelecting);
+  e.emplace(P::kTlsHandshake, P::kSelecting);
+  // Selection committed -> server handshake -> storage-b -> tunneling.
+  e.emplace(P::kSelecting, P::kServerSynSent);
+  e.emplace(P::kServerSynSent, P::kStorageBWait);
+  e.emplace(P::kStorageBWait, P::kEstablished);
+  // Both FINs tunneled -> delayed cleanup.
+  e.emplace(P::kEstablished, P::kDraining);
+  // HTTP/1.1 re-switch re-opens the server leg mid-stream.
+  e.emplace(P::kEstablished, P::kServerSynSent);
+  // Takeover adoption: tunneling flows land established, connection-phase
+  // flows resume header assembly (TLS VIPs in the handshake phase).
+  e.emplace(P::kTakeoverLookup, P::kEstablished);
+  e.emplace(P::kTakeoverLookup, P::kSynAckSent);
+  e.emplace(P::kTakeoverLookup, P::kTlsHandshake);
+  return e;
+}
+
+TEST(FlowFsmTable, MatchesGoldenEdgeSetExactly) {
+  const std::set<std::pair<P, P>> golden = GoldenEdges();
+  for (P from : kAllPhases) {
+    for (P to : kAllPhases) {
+      const bool want = golden.contains({from, to});
+      EXPECT_EQ(FlowTransitionLegal(from, to), want)
+          << FlowPhaseName(from) << " -> " << FlowPhaseName(to);
+    }
+  }
+}
+
+TEST(FlowFsmTable, TerminalPhasesHaveNoExits) {
+  for (P to : kAllPhases) {
+    EXPECT_FALSE(FlowTransitionLegal(P::kClosed, to))
+        << "kClosed must be terminal, leaked edge to " << FlowPhaseName(to);
+    if (to != P::kClosed) {
+      EXPECT_FALSE(FlowTransitionLegal(P::kDraining, to))
+          << "kDraining may only close, leaked edge to " << FlowPhaseName(to);
+    }
+  }
+}
+
+TEST(FlowFsmTable, NoSelfLoops) {
+  for (P p : kAllPhases) {
+    EXPECT_FALSE(FlowTransitionLegal(p, p)) << FlowPhaseName(p);
+  }
+}
+
+TEST(FlowFsm, HappyPathPlainHttp) {
+  FlowFsm fsm;
+  EXPECT_EQ(fsm.phase(), P::kSynReceived);
+  EXPECT_TRUE(fsm.TryTransition(P::kSynAckSent));
+  EXPECT_TRUE(fsm.TryTransition(P::kSelecting));
+  EXPECT_TRUE(fsm.TryTransition(P::kServerSynSent));
+  EXPECT_TRUE(fsm.TryTransition(P::kStorageBWait));
+  EXPECT_TRUE(fsm.TryTransition(P::kEstablished));
+  EXPECT_TRUE(fsm.established());
+  EXPECT_TRUE(fsm.TryTransition(P::kDraining));
+  EXPECT_TRUE(fsm.established());  // Draining still counts as established.
+  EXPECT_TRUE(fsm.TryTransition(P::kClosed));
+}
+
+TEST(FlowFsm, HappyPathTlsVip) {
+  FlowFsm fsm;
+  EXPECT_TRUE(fsm.TryTransition(P::kTlsHandshake));
+  EXPECT_TRUE(fsm.awaiting_header());
+  EXPECT_TRUE(fsm.TryTransition(P::kSelecting));
+  EXPECT_TRUE(fsm.selection_committed());
+}
+
+TEST(FlowFsm, TakeoverEntryEdges) {
+  for (P target : {P::kEstablished, P::kSynAckSent, P::kTlsHandshake}) {
+    FlowFsm fsm(P::kTakeoverLookup);
+    EXPECT_TRUE(fsm.lookup_pending());
+    EXPECT_FALSE(fsm.syn_state_stored());  // Nothing local written yet.
+    EXPECT_TRUE(fsm.TryTransition(target)) << FlowPhaseName(target);
+    EXPECT_FALSE(fsm.lookup_pending());
+  }
+}
+
+TEST(FlowFsm, ReSwitchReopensServerLeg) {
+  FlowFsm fsm(P::kEstablished);
+  EXPECT_TRUE(fsm.TryTransition(P::kServerSynSent));
+  EXPECT_FALSE(fsm.established());
+  EXPECT_TRUE(fsm.TryTransition(P::kStorageBWait));
+  EXPECT_TRUE(fsm.TryTransition(P::kEstablished));
+}
+
+TEST(FlowFsm, IllegalTryTransitionLeavesPhaseUntouched) {
+  // A stray server SYN-ACK for a flow still assembling its header must not
+  // move the FSM: the pipeline routes this to the kFlowReset path.
+  FlowFsm fsm(P::kSynAckSent);
+  EXPECT_FALSE(fsm.TryTransition(P::kStorageBWait));
+  EXPECT_EQ(fsm.phase(), P::kSynAckSent);
+  EXPECT_FALSE(fsm.TryTransition(P::kEstablished));
+  EXPECT_EQ(fsm.phase(), P::kSynAckSent);
+  // Still usable afterwards: the legal edge continues to work.
+  EXPECT_TRUE(fsm.TryTransition(P::kSelecting));
+}
+
+TEST(FlowFsm, IllegalEdgesAllRejected) {
+  const std::set<std::pair<P, P>> golden = GoldenEdges();
+  for (P from : kAllPhases) {
+    for (P to : kAllPhases) {
+      if (golden.contains({from, to})) {
+        continue;
+      }
+      FlowFsm fsm(from);
+      EXPECT_FALSE(fsm.TryTransition(to))
+          << FlowPhaseName(from) << " -> " << FlowPhaseName(to);
+      EXPECT_EQ(fsm.phase(), from) << "phase moved on an illegal edge";
+    }
+  }
+}
+
+TEST(FlowFsm, PredicatesMatchPhases) {
+  struct Want {
+    P phase;
+    bool stored, header, committed, established;
+  };
+  const Want wants[] = {
+      {P::kSynReceived, false, false, false, false},
+      {P::kSynAckSent, true, true, false, false},
+      {P::kTlsHandshake, true, true, false, false},
+      {P::kSelecting, true, false, true, false},
+      {P::kServerSynSent, true, false, true, false},
+      {P::kStorageBWait, true, false, true, false},
+      {P::kEstablished, true, false, true, true},
+      {P::kDraining, true, false, true, true},
+      {P::kTakeoverLookup, false, false, false, false},
+      {P::kClosed, true, false, false, false},
+  };
+  for (const Want& w : wants) {
+    FlowFsm fsm(w.phase);
+    EXPECT_EQ(fsm.syn_state_stored(), w.stored) << FlowPhaseName(w.phase);
+    EXPECT_EQ(fsm.awaiting_header(), w.header) << FlowPhaseName(w.phase);
+    EXPECT_EQ(fsm.selection_committed(), w.committed) << FlowPhaseName(w.phase);
+    EXPECT_EQ(fsm.established(), w.established) << FlowPhaseName(w.phase);
+  }
+}
+
+TEST(FlowFsm, PhaseNamesAreUnique) {
+  std::set<std::string> names;
+  for (P p : kAllPhases) {
+    EXPECT_TRUE(names.insert(FlowPhaseName(p)).second) << FlowPhaseName(p);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kFlowPhaseCount));
+}
+
+}  // namespace
+}  // namespace yoda

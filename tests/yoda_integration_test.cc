@@ -822,6 +822,66 @@ TEST_F(YodaE2E, VipRemovalStopsTraffic) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST_F(YodaE2E, VipRemovalDrainsInFlightFlows) {
+  Build();
+  // A large object keeps the flow mid-tunneling when the VIP is withdrawn.
+  const workload::WebObject* obj = nullptr;
+  for (const auto& o : tb->catalog->objects()) {
+    if (o.size > 100'000) {
+      obj = &o;
+      break;
+    }
+  }
+  ASSERT_NE(obj, nullptr);
+  FetchResult result;
+  bool done = false;
+  tb->clients[0]->FetchObject(tb->vip(), 80, obj->url, {}, [&](const FetchResult& r) {
+    result = r;
+    done = true;
+  });
+  tb->sim.RunUntil(sim::Msec(150));
+  ASSERT_FALSE(done);
+  std::size_t in_flight = 0;
+  for (auto& inst : tb->instances) {
+    in_flight += inst->active_flows();
+  }
+  ASSERT_GT(in_flight, 0u);
+
+  for (auto& inst : tb->instances) {
+    inst->RemoveVip(tb->vip());
+    // The drain is synchronous: flow state, sticky bindings and the per-VIP
+    // counter cache die with the VIP, not at the next idle scan.
+    EXPECT_EQ(inst->active_flows(), 0u);
+    EXPECT_FALSE(inst->ServesVip(tb->vip()));
+    EXPECT_EQ(inst->RuleCount(tb->vip()), 0);
+    EXPECT_FALSE(inst->DrainTrafficCounters().contains(tb->vip()));
+  }
+
+  tb->sim.Run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.ok);  // The client was explicitly reset, not stranded.
+
+  // The drain is observable in the flight recorder as an explicit
+  // kFlowReset with the kVipRemoved reason.
+  bool saw_vip_removed_reset = false;
+  tb->flight.ForEachFlow([&](const obs::FlowId&, const std::vector<obs::TraceEvent>& events) {
+    for (const obs::TraceEvent& e : events) {
+      if (e.type == obs::EventType::kFlowReset &&
+          e.detail == static_cast<std::uint64_t>(obs::FlowResetReason::kVipRemoved)) {
+        saw_vip_removed_reset = true;
+      }
+    }
+  });
+  EXPECT_TRUE(saw_vip_removed_reset);
+
+  // And the reset path scrubbed TCPStore: no orphaned flow keys remain.
+  std::size_t items = 0;
+  for (auto& s : tb->kv_servers) {
+    items += s->item_count();
+  }
+  EXPECT_EQ(items, 0u);
+}
+
 // Property sweep: kill the owning instance at many different offsets within
 // the request lifetime; the flow must survive every window (connection
 // phase, storage waits, tunneling, teardown).
