@@ -7,6 +7,13 @@
 //   YODA-limit      — adds Eq 4,5 (transient traffic) and Eq 6,7 (migration
 //                     budget delta=10%, relaxed +10% when infeasible).
 //
+// Both modes are driven through AssignmentEngine::PlanRound — the same round
+// artifact the controller executes — so every number below (instances,
+// transient overload, migrated flows) is read off a returned Round's
+// SolveResult/UpdatePlan rather than recomputed bench-side. Each engine
+// instance remembers its own previous round; the no-limit engine passes the
+// previous assignment for the PLAN but solves unconstrained.
+//
 // Paper results: rules/instance median ~1% of all-to-all (b); no-limit needs
 // 4.6-73% (avg 27%) more instances than all-to-all, limit within ~1.3% of
 // no-limit (c); transient overload median 5.3% of instances under no-limit,
@@ -18,9 +25,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/assign/greedy_solver.h"
 #include "src/assign/update_planner.h"
 #include "src/assign/validator.h"
+#include "src/core/assignment_engine.h"
 #include "src/obs/registry.h"
 #include "src/sim/random.h"
 #include "src/workload/trace.h"
@@ -46,17 +53,18 @@ int main() {
               trace.vips.size(), trace.TotalRules(), bin_cfg.rule_capacity);
 
   // Local registry so this bench dumps the same uniform snapshot as the
-  // testbed-backed ones (the solver has no simulator to report into).
+  // testbed-backed ones (the engine has no simulator to report into).
   obs::Registry metrics;
   obs::Counter& rounds_ctr = metrics.GetCounter("assign.rounds");
   obs::Counter& infeasible_ctr = metrics.GetCounter("assign.infeasible_rounds");
+  obs::Counter& order_violations_ctr = metrics.GetCounter("assign.order_violations");
   sim::Histogram& solve_ms_hist = metrics.GetHistogram("assign.solve_ms");
   sim::Histogram& migrated_hist =
       metrics.GetHistogram("assign.migrated_pct", obs::Labels{{"mode", "limit"}});
 
-  assign::GreedySolver solver;
-  assign::Assignment prev_nolimit;
-  assign::Assignment prev_limit;
+  // One engine per mode: each carries its own previous-round memory.
+  yoda::AssignmentEngine no_limit_engine;
+  yoda::AssignmentEngine limit_engine;
   bool have_prev = false;
 
   std::vector<double> rules_frac_of_a2a;
@@ -77,16 +85,13 @@ int main() {
     const int a2a_instances = assign::MinInstancesByTraffic(p);
 
     const auto t0 = std::chrono::steady_clock::now();
-    // YODA-no-limit re-solves from scratch: no memory of the previous round,
-    // hence the heavy flow churn of Fig 16(e).
-    assign::SolveOptions no_limit_opts;
-    auto no_limit = solver.Solve(p, no_limit_opts);
-
-    assign::SolveOptions limit_opts;
-    limit_opts.previous = have_prev ? &prev_limit : nullptr;
-    limit_opts.limit_transient = have_prev;
-    limit_opts.limit_migration = have_prev;
-    auto limit = solver.Solve(p, limit_opts);
+    // YODA-no-limit solves unconstrained (the heavy flow churn of Fig 16(e));
+    // its Round still carries the UpdatePlan against ITS previous round, which
+    // is where the migration/overload numbers come from.
+    auto no_limit = no_limit_engine.PlanRound(p, /*limit_transient=*/false,
+                                              /*limit_migration=*/false);
+    auto limit = limit_engine.PlanRound(p, /*limit_transient=*/true,
+                                        /*limit_migration=*/true);
     const auto t1 = std::chrono::steady_clock::now();
     solve_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
     rounds_ctr.Inc();
@@ -98,16 +103,21 @@ int main() {
                   (no_limit.feasible ? limit.note : no_limit.note).c_str());
       continue;
     }
-    auto check = assign::Validate(p, no_limit.assignment);
-    auto check2 = assign::Validate(p, limit.assignment);
+    auto check = assign::Validate(p, no_limit.result.assignment);
+    auto check2 = assign::Validate(p, limit.result.assignment);
     if (!check.ok || !check2.ok) {
       std::printf("%-6zu VALIDATION FAILED\n", bin);
       continue;
     }
+    // Every round's execution order must be make-before-break.
+    if (!assign::IsMakeBeforeBreak(no_limit.steps) ||
+        !assign::IsMakeBeforeBreak(limit.steps)) {
+      order_violations_ctr.Inc();
+    }
 
     // (b) rules per instance vs all-to-all.
     {
-      auto rules = limit.assignment.InstanceRules(p);
+      auto rules = limit.result.assignment.InstanceRules(p);
       std::vector<double> per_instance;
       for (int r : rules) {
         if (r > 0) {
@@ -118,25 +128,25 @@ int main() {
     }
     // (c) instance counts.
     nolimit_over_a2a.push_back(
-        100.0 * (no_limit.instances_used - a2a_instances) / a2a_instances);
-    limit_over_nolimit.push_back(
-        100.0 * (limit.instances_used - no_limit.instances_used) / no_limit.instances_used);
+        100.0 * (no_limit.result.instances_used - a2a_instances) / a2a_instances);
+    limit_over_nolimit.push_back(100.0 *
+                                 (limit.result.instances_used - no_limit.result.instances_used) /
+                                 no_limit.result.instances_used);
 
+    // (d)+(e) straight off each mode's executed UpdatePlan.
     double ovl_nolim = 0;
     double ovl_lim = 0;
     double mig_nolim = 0;
     double mig_lim = 0;
     if (have_prev) {
-      auto plan_nolim = assign::PlanUpdate(p, prev_nolimit, no_limit.assignment);
-      auto plan_lim = assign::PlanUpdate(p, prev_limit, limit.assignment);
-      const int insts_nolim = std::max(1, no_limit.instances_used);
-      const int insts_lim = std::max(1, limit.instances_used);
-      ovl_nolim = 100.0 * static_cast<double>(plan_nolim.overloaded_instances.size()) /
-                  insts_nolim;
+      const int insts_nolim = std::max(1, no_limit.result.instances_used);
+      const int insts_lim = std::max(1, limit.result.instances_used);
+      ovl_nolim = 100.0 *
+                  static_cast<double>(no_limit.plan.overloaded_instances.size()) / insts_nolim;
       ovl_lim =
-          100.0 * static_cast<double>(plan_lim.overloaded_instances.size()) / insts_lim;
-      mig_nolim = 100.0 * plan_nolim.migrated_fraction;
-      mig_lim = 100.0 * plan_lim.migrated_fraction;
+          100.0 * static_cast<double>(limit.plan.overloaded_instances.size()) / insts_lim;
+      mig_nolim = 100.0 * no_limit.plan.migrated_fraction;
+      mig_lim = 100.0 * limit.plan.migrated_fraction;
       overload_nolimit_pct.push_back(ovl_nolim);
       overload_limit_pct.push_back(ovl_lim);
       migrated_nolimit_pct.push_back(mig_nolim);
@@ -146,11 +156,9 @@ int main() {
 
     if (bin % (step * 4) == 0) {
       std::printf("%-6zu %-8d %-10d %-10d %-12.1f %-12.1f %-12.1f %-12.1f\n", bin,
-                  a2a_instances, no_limit.instances_used, limit.instances_used, ovl_nolim,
-                  ovl_lim, mig_nolim, mig_lim);
+                  a2a_instances, no_limit.result.instances_used, limit.result.instances_used,
+                  ovl_nolim, ovl_lim, mig_nolim, mig_lim);
     }
-    prev_nolimit = std::move(no_limit.assignment);
-    prev_limit = std::move(limit.assignment);
     have_prev = true;
   }
 

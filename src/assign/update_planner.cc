@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "src/assign/validator.h"
 
@@ -50,6 +51,82 @@ UpdatePlan PlanUpdate(const Problem& p, const Assignment& old_assignment,
     }
   }
   return plan;
+}
+
+std::vector<PlanStep> ExecutionOrder(const UpdatePlan& plan) {
+  std::vector<PlanStep> steps;
+  bool any_add = false;
+  bool any_remove = false;
+  for (const VipDelta& d : plan.deltas) {
+    any_add = any_add || !d.added_instances.empty();
+    any_remove = any_remove || !d.removed_instances.empty();
+  }
+  // Make phase: rules land on an instance before any mux can route to it.
+  for (const VipDelta& d : plan.deltas) {
+    for (int y : d.added_instances) {
+      steps.push_back({PlanStepKind::kInstallRules, d.vip_id, y});
+      steps.push_back({PlanStepKind::kAddPoolMember, d.vip_id, y});
+    }
+  }
+  if (any_add && any_remove) {
+    steps.push_back({PlanStepKind::kAwaitConvergence, 0, 0});
+  }
+  // Break phase: old members leave the pools before their rules go.
+  for (const VipDelta& d : plan.deltas) {
+    for (int y : d.removed_instances) {
+      steps.push_back({PlanStepKind::kRemovePoolMember, d.vip_id, y});
+      steps.push_back({PlanStepKind::kScrubRules, d.vip_id, y});
+    }
+  }
+  return steps;
+}
+
+bool IsMakeBeforeBreak(const std::vector<PlanStep>& steps) {
+  bool any_add = false;
+  bool any_remove = false;
+  bool seen_barrier = false;
+  // (vip, instance) pairs whose rules are installed / pools still reference.
+  std::set<std::pair<int, int>> rules_installed;
+  std::set<std::pair<int, int>> pooled;
+  for (const PlanStep& s : steps) {
+    const std::pair<int, int> key{s.vip_id, s.instance};
+    switch (s.kind) {
+      case PlanStepKind::kInstallRules:
+        rules_installed.insert(key);
+        any_add = true;
+        break;
+      case PlanStepKind::kAddPoolMember:
+        if (seen_barrier || !rules_installed.contains(key)) {
+          return false;  // Add after the barrier, or pooled before rules.
+        }
+        pooled.insert(key);
+        any_add = true;
+        break;
+      case PlanStepKind::kAwaitConvergence:
+        if (seen_barrier) {
+          return false;  // At most one barrier.
+        }
+        seen_barrier = true;
+        break;
+      case PlanStepKind::kRemovePoolMember:
+        if (any_add && !seen_barrier) {
+          return false;  // Remove may not overlap the un-converged adds.
+        }
+        pooled.erase(key);
+        any_remove = true;
+        break;
+      case PlanStepKind::kScrubRules:
+        if (pooled.contains(key)) {
+          return false;  // Scrubbing rules a pool still routes to.
+        }
+        any_remove = true;
+        break;
+    }
+  }
+  if (seen_barrier && !(any_add && any_remove)) {
+    return false;  // A barrier with nothing to fence is malformed.
+  }
+  return true;
 }
 
 }  // namespace assign

@@ -2,11 +2,15 @@
 //
 // Quantifies what a VIP-mapping change does to the running system: which
 // (VIP, instance) pairs are added/removed, what fraction of flows migrate,
-// and which instances are transiently overloaded while the muxes converge.
+// and which instances are transiently overloaded while the muxes converge —
+// and linearizes the deltas into a make-before-break step sequence the
+// control plane executes (rules + new pool members installed, muxes allowed
+// to converge, only then old members removed and their rules scrubbed).
 
 #ifndef SRC_ASSIGN_UPDATE_PLANNER_H_
 #define SRC_ASSIGN_UPDATE_PLANNER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/assign/problem.h"
@@ -34,6 +38,43 @@ struct UpdatePlan {
 
 UpdatePlan PlanUpdate(const Problem& p, const Assignment& old_assignment,
                       const Assignment& new_assignment);
+
+// --- execution ordering (make-before-break) ---
+//
+// A delta only says WHAT changes; ExecutionOrder says in WHICH ORDER it is
+// safe to apply while traffic flows. The contract:
+//   1. kInstallRules always precedes kAddPoolMember for the same
+//      (vip, instance): an instance never receives VIP traffic it has no
+//      rules for (§5.2 ordering).
+//   2. Every add step precedes the single kAwaitConvergence barrier, and
+//      every remove step follows it: while the (non-atomic, staggered) mux
+//      updates converge, old and new members both serve, so no mux ever
+//      routes to an empty or rule-less pool.
+//   3. kRemovePoolMember precedes kScrubRules for the same (vip, instance):
+//      rules outlive the last mux that could still route to the member.
+
+enum class PlanStepKind : std::uint8_t {
+  kInstallRules,      // Push the VIP's rules onto instance.
+  kAddPoolMember,     // Add (vip, instance) to every mux pool.
+  kAwaitConvergence,  // Barrier: wait for the staggered mux updates to land.
+  kRemovePoolMember,  // Remove (vip, instance) from every mux pool.
+  kScrubRules,        // Drop the VIP's rules from instance.
+};
+
+struct PlanStep {
+  PlanStepKind kind = PlanStepKind::kInstallRules;
+  int vip_id = 0;    // 0 for kAwaitConvergence.
+  int instance = 0;  // Instance index; 0 for kAwaitConvergence.
+};
+
+// Linearizes `plan` into the make-before-break order above. The barrier is
+// emitted only when the plan has both adds and removes (a pure-add or
+// pure-remove plan has no transient window to wait out).
+std::vector<PlanStep> ExecutionOrder(const UpdatePlan& plan);
+
+// True iff `steps` honours the ordering contract (used by property tests and
+// the actuator's debug audit).
+bool IsMakeBeforeBreak(const std::vector<PlanStep>& steps);
 
 }  // namespace assign
 

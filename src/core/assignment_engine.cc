@@ -1,0 +1,315 @@
+#include "src/core/assignment_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace yoda {
+
+namespace {
+
+// Maps a vip -> pool-of-ips view onto the index space of `instance_order` /
+// `vip_order`. Unknown ips (dead instances) are dropped; a VIP in all-to-all
+// mode (`nullptr` pool) expands to every instance when `expand_all_to_all`.
+assign::Assignment IndexAssignment(const ControlState& state,
+                                   const std::vector<net::IpAddr>& vip_order,
+                                   const std::vector<net::IpAddr>& instance_order,
+                                   bool expand_all_to_all) {
+  std::map<net::IpAddr, int> index_of;
+  for (std::size_t y = 0; y < instance_order.size(); ++y) {
+    index_of[instance_order[y]] = static_cast<int>(y);
+  }
+  assign::Assignment a;
+  a.vip_instances.resize(vip_order.size());
+  for (std::size_t v = 0; v < vip_order.size(); ++v) {
+    const std::vector<net::IpAddr>* pool = state.DesiredPool(vip_order[v]);
+    if (pool == nullptr) {
+      if (expand_all_to_all) {
+        for (std::size_t y = 0; y < instance_order.size(); ++y) {
+          a.vip_instances[v].push_back(static_cast<int>(y));
+        }
+      }
+      continue;
+    }
+    for (net::IpAddr ip : *pool) {
+      auto it = index_of.find(ip);
+      if (it != index_of.end()) {
+        a.vip_instances[v].push_back(it->second);
+      }
+    }
+    std::sort(a.vip_instances[v].begin(), a.vip_instances[v].end());
+  }
+  return a;
+}
+
+bool AnyAssigned(const assign::Assignment& a) {
+  for (const auto& row : a.vip_instances) {
+    if (!row.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+assign::Assignment AssignmentEngine::AlignedPrevious(const assign::Problem& problem) const {
+  assign::Assignment aligned;
+  aligned.vip_instances.resize(problem.vips.size());
+  if (!have_prev_) {
+    return aligned;
+  }
+  std::map<int, std::size_t> row_of;
+  for (std::size_t v = 0; v < prev_ids_.size(); ++v) {
+    row_of[prev_ids_[v]] = v;
+  }
+  for (std::size_t v = 0; v < problem.vips.size(); ++v) {
+    auto it = row_of.find(problem.vips[v].id);
+    if (it != row_of.end() && it->second < prev_.vip_instances.size()) {
+      aligned.vip_instances[v] = prev_.vip_instances[it->second];
+    }
+  }
+  return aligned;
+}
+
+AssignmentEngine::Round AssignmentEngine::PlanRound(const assign::Problem& problem,
+                                                    bool limit_transient,
+                                                    bool limit_migration) {
+  Round round;
+  const assign::Assignment previous = AlignedPrevious(problem);
+  const bool usable_prev = have_prev_ && AnyAssigned(previous);
+
+  assign::SolveOptions opts;
+  if (usable_prev) {
+    opts.previous = &previous;
+    opts.limit_transient = limit_transient;
+    opts.limit_migration = limit_migration;
+  }
+  round.result = solver_.Solve(problem, opts);
+  round.feasible = round.result.feasible;
+  round.note = round.result.note;
+  if (!round.feasible) {
+    return round;
+  }
+  round.plan = assign::PlanUpdate(problem, previous, round.result.assignment);
+  round.steps = assign::ExecutionOrder(round.plan);
+
+  prev_ = round.result.assignment;
+  prev_ids_.clear();
+  for (const assign::VipSpec& spec : problem.vips) {
+    prev_ids_.push_back(spec.id);
+  }
+  have_prev_ = true;
+  return round;
+}
+
+AssignmentEngine::FleetRound AssignmentEngine::PlanFleetRound(
+    const ControlState& state, const std::vector<YodaInstance*>& active,
+    const std::map<net::IpAddr, VipDemand>& demand, const AssignmentRoundConfig& cfg) {
+  FleetRound fleet;
+  if (active.empty() || state.vips().empty()) {
+    fleet.round.note = "no active instances or no vips";
+    return fleet;
+  }
+  for (const YodaInstance* i : active) {
+    fleet.instance_order.push_back(i->ip());
+  }
+
+  // Build the Fig 7 problem over the currently active instances. Row order
+  // is the sorted VIP address order so consecutive rounds line up for the
+  // Eq 4-7 update constraints.
+  assign::Problem problem;
+  problem.traffic_capacity = cfg.traffic_capacity;
+  problem.rule_capacity = cfg.rule_capacity;
+  problem.migration_limit = cfg.migration_limit;
+  problem.max_instances = static_cast<int>(active.size());
+  for (const auto& [vip, entry] : state.vips()) {
+    auto dit = demand.find(vip);
+    const VipDemand d = dit == demand.end() ? VipDemand{} : dit->second;
+    assign::VipSpec spec;
+    spec.id = static_cast<int>(vip);
+    spec.traffic = d.traffic;
+    spec.rules = static_cast<int>(entry.rules.size());
+    spec.replicas = std::min(d.replicas, static_cast<int>(active.size()));
+    // When the fleet caps the replica count, the failure headroom scales
+    // down proportionally (keeping the requested o_v = f_v/n_v ratio).
+    spec.failures = d.replicas > 0 ? spec.replicas * d.failures / d.replicas : 0;
+    spec.failures = std::min(spec.failures, spec.replicas - 1);
+    // Shed residual headroom rather than declare the round infeasible.
+    while (spec.failures > 0 && spec.ShareAfterFailures() > cfg.traffic_capacity) {
+      --spec.failures;
+    }
+    problem.vips.push_back(spec);
+    fleet.vip_order.push_back(vip);
+  }
+
+  // The solver's continuity baseline is the previously SOLVED assignment
+  // (VIPs still in all-to-all bootstrap contribute nothing); the executed
+  // plan's baseline is what is actually programmed, all-to-all expanded —
+  // so the first round's plan explicitly removes the bootstrap members.
+  const assign::Assignment solver_prev =
+      IndexAssignment(state, fleet.vip_order, fleet.instance_order, false);
+  const assign::Assignment plan_prev =
+      IndexAssignment(state, fleet.vip_order, fleet.instance_order, true);
+
+  assign::SolveOptions opts;
+  if (AnyAssigned(solver_prev)) {
+    opts.previous = &solver_prev;
+    opts.limit_transient = true;
+    opts.limit_migration = true;
+  }
+  fleet.round.result = solver_.Solve(problem, opts);
+  fleet.round.feasible = fleet.round.result.feasible;
+  fleet.round.note = fleet.round.result.note.empty()
+                         ? problem.Summary()
+                         : fleet.round.result.note + " [" + problem.Summary() + "]";
+  if (!fleet.round.feasible) {
+    return fleet;
+  }
+  fleet.round.plan = assign::PlanUpdate(problem, plan_prev, fleet.round.result.assignment);
+  fleet.round.steps = assign::ExecutionOrder(fleet.round.plan);
+
+  for (std::size_t v = 0; v < fleet.vip_order.size(); ++v) {
+    std::vector<net::IpAddr>& pool = fleet.pools[fleet.vip_order[v]];
+    for (int y : fleet.round.result.assignment.vip_instances[v]) {
+      pool.push_back(fleet.instance_order[static_cast<std::size_t>(y)]);
+    }
+    specs_[fleet.vip_order[v]] = problem.vips[v];
+  }
+  last_capacity_ = cfg.traffic_capacity;
+  last_rule_capacity_ = cfg.rule_capacity;
+  return fleet;
+}
+
+std::map<net::IpAddr, VipDemand> AssignmentEngine::DemandFromCounters(
+    const ControlState& state, const std::vector<YodaInstance*>& active,
+    double interval_seconds, const DemandDerivationConfig& cfg) {
+  // Aggregate per-VIP demand from every instance's counters (new
+  // connections per second over the interval).
+  std::map<net::IpAddr, double> conn_rate;
+  for (YodaInstance* inst : active) {
+    for (const auto& [vip, traffic] : inst->DrainTrafficCounters()) {
+      conn_rate[vip] += static_cast<double>(traffic.new_connections);
+    }
+  }
+  std::map<net::IpAddr, VipDemand> demand;
+  for (const auto& [vip, entry] : state.vips()) {
+    VipDemand d;
+    auto it = conn_rate.find(vip);
+    const double rate = it == conn_rate.end() ? 0.0 : it->second / interval_seconds;
+    d.traffic = std::max(rate, 0.01 * cfg.traffic_capacity);
+    const int wanted = static_cast<int>(
+        std::ceil(cfg.replication_factor * d.traffic / cfg.traffic_capacity));
+    d.replicas = std::max(1, wanted);
+    d.failures = static_cast<int>(d.replicas * cfg.oversubscription);
+    if (d.failures >= d.replicas) {
+      d.failures = d.replicas - 1;
+    }
+    demand[vip] = d;
+  }
+  return demand;
+}
+
+std::vector<net::IpAddr> AssignmentEngine::UnderHeadroom(const ControlState& state) const {
+  std::vector<net::IpAddr> out;
+  for (const auto& [vip, spec] : specs_) {
+    if (!state.HasVip(vip)) {
+      continue;
+    }
+    const std::vector<net::IpAddr>* pool = state.DesiredPool(vip);
+    if (pool == nullptr) {
+      continue;  // All-to-all: headroom is the whole fleet.
+    }
+    if (static_cast<int>(pool->size()) < spec.replicas - spec.failures) {
+      out.push_back(vip);
+    }
+  }
+  return out;
+}
+
+AssignmentEngine::FleetRound AssignmentEngine::PlanRepair(
+    const ControlState& state, const std::vector<YodaInstance*>& active) const {
+  FleetRound fleet;
+  const std::vector<net::IpAddr> repair_vips = UnderHeadroom(state);
+  if (repair_vips.empty() || active.empty()) {
+    fleet.round.note = "nothing to repair";
+    return fleet;
+  }
+  for (const YodaInstance* i : active) {
+    fleet.instance_order.push_back(i->ip());
+  }
+  // Problem over every remembered VIP so transient-load numbers are honest;
+  // only the under-headroom VIPs gain members.
+  assign::Problem problem;
+  problem.traffic_capacity = last_capacity_;
+  problem.rule_capacity = last_rule_capacity_;
+  problem.max_instances = static_cast<int>(active.size());
+  for (const auto& [vip, spec] : specs_) {
+    if (!state.HasVip(vip)) {
+      continue;
+    }
+    problem.vips.push_back(spec);
+    fleet.vip_order.push_back(vip);
+  }
+  const assign::Assignment old_assignment =
+      IndexAssignment(state, fleet.vip_order, fleet.instance_order, true);
+
+  // Least-loaded-first packing of replacements: an instance's load is the
+  // post-failure share of every VIP it currently hosts.
+  std::vector<double> load(fleet.instance_order.size(), 0.0);
+  for (std::size_t v = 0; v < fleet.vip_order.size(); ++v) {
+    for (int y : old_assignment.vip_instances[v]) {
+      load[static_cast<std::size_t>(y)] += problem.vips[v].ShareAfterFailures();
+    }
+  }
+  assign::Assignment new_assignment = old_assignment;
+  const std::set<net::IpAddr> repair_set(repair_vips.begin(), repair_vips.end());
+  bool repaired_any = false;
+  for (std::size_t v = 0; v < fleet.vip_order.size(); ++v) {
+    if (!repair_set.contains(fleet.vip_order[v])) {
+      continue;
+    }
+    const assign::VipSpec& spec = problem.vips[v];
+    std::vector<int>& row = new_assignment.vip_instances[v];
+    while (static_cast<int>(row.size()) < spec.replicas) {
+      int best = -1;
+      for (std::size_t y = 0; y < fleet.instance_order.size(); ++y) {
+        const int yi = static_cast<int>(y);
+        if (std::find(row.begin(), row.end(), yi) != row.end()) {
+          continue;
+        }
+        if (best < 0 || load[y] < load[static_cast<std::size_t>(best)]) {
+          best = yi;
+        }
+      }
+      if (best < 0) {
+        break;  // Fleet too small to restore full replication.
+      }
+      row.push_back(best);
+      load[static_cast<std::size_t>(best)] += spec.ShareAfterFailures();
+      repaired_any = true;
+    }
+    std::sort(row.begin(), row.end());
+  }
+  if (!repaired_any) {
+    fleet.round.note = "no instance available for repair";
+    return fleet;
+  }
+  fleet.round.feasible = true;
+  fleet.round.plan = assign::PlanUpdate(problem, old_assignment, new_assignment);
+  fleet.round.steps = assign::ExecutionOrder(fleet.round.plan);
+  fleet.round.result.assignment = new_assignment;
+  fleet.round.result.feasible = true;
+  for (const net::IpAddr vip : repair_vips) {
+    const auto v = static_cast<std::size_t>(
+        std::find(fleet.vip_order.begin(), fleet.vip_order.end(), vip) -
+        fleet.vip_order.begin());
+    std::vector<net::IpAddr>& pool = fleet.pools[vip];
+    for (int y : new_assignment.vip_instances[v]) {
+      pool.push_back(fleet.instance_order[static_cast<std::size_t>(y)]);
+    }
+  }
+  return fleet;
+}
+
+}  // namespace yoda

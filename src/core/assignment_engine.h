@@ -1,0 +1,123 @@
+// AssignmentEngine: wraps the assignment solvers and the update planner so
+// every assignment round is an explicit, inspectable artifact — the solved
+// Assignment plus the §4.5 UpdatePlan against the previous round plus its
+// make-before-break execution order — instead of a side effect buried in the
+// controller (Fig 16's numbers now come from these executed plans).
+//
+// Two layers:
+//   PlanRound      — pure index-space rounds over an assign::Problem; keeps
+//                    the previous assignment internally, aligned BY VIP ID so
+//                    VIPs appearing/disappearing between rounds are handled
+//                    (bench_fig16 drives this directly).
+//   PlanFleetRound — fleet-space rounds: builds the Problem from the desired
+//                    ControlState + live instance list, seeds the previous
+//                    assignment from the CURRENT desired pools (so the plan's
+//                    deltas reconcile what is actually programmed), and maps
+//                    the solution back to instance ips.
+//
+// The engine also remembers each VIP's last-round spec (n_v, f_v) so the
+// failure path can ask which VIPs dropped below their failure headroom and
+// get an adds-only repair round (PlanRepair).
+
+#ifndef SRC_CORE_ASSIGNMENT_ENGINE_H_
+#define SRC_CORE_ASSIGNMENT_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/assign/greedy_solver.h"
+#include "src/assign/update_planner.h"
+#include "src/core/control_state.h"
+#include "src/core/yoda_instance.h"
+
+namespace yoda {
+
+// Per-VIP demand the assignment engine packs. Traffic is in units of one
+// instance's capacity.
+struct VipDemand {
+  double traffic = 0.1;
+  int replicas = 1;
+  int failures = 0;
+};
+
+struct AssignmentRoundConfig {
+  double traffic_capacity = 1.0;  // T_y in new-connections/sec.
+  int rule_capacity = 2'000;      // R_y.
+  double migration_limit = 0.10;  // delta.
+};
+
+// Derivation knobs for counter-driven demand (§8 periodic rounds).
+struct DemandDerivationConfig {
+  double traffic_capacity = 1.0;
+  double replication_factor = 4.0;  // n_v = ceil(rf * t_v / T_y).
+  double oversubscription = 0.25;   // f_v = floor(n_v * o_v).
+};
+
+class AssignmentEngine {
+ public:
+  struct Round {
+    bool feasible = false;
+    std::string note;
+    assign::SolveResult result;
+    assign::UpdatePlan plan;               // Deltas vs the previous round.
+    std::vector<assign::PlanStep> steps;   // Make-before-break order.
+  };
+
+  struct FleetRound {
+    Round round;
+    std::vector<net::IpAddr> vip_order;       // Row order of the problem.
+    std::vector<net::IpAddr> instance_order;  // Column (index) -> instance ip.
+    std::map<net::IpAddr, std::vector<net::IpAddr>> pools;  // New desired pools.
+  };
+
+  // --- pure index-space rounds (bench / tests) ---
+  // Solves `problem` with the update constraints against the remembered
+  // previous round (aligned by VIP id). On success the new assignment
+  // becomes the remembered round.
+  Round PlanRound(const assign::Problem& problem, bool limit_transient = true,
+                  bool limit_migration = true);
+  void Reset() { prev_ids_.clear(); prev_ = {}; have_prev_ = false; }
+
+  // --- fleet-space rounds (controller) ---
+  FleetRound PlanFleetRound(const ControlState& state,
+                            const std::vector<YodaInstance*>& active,
+                            const std::map<net::IpAddr, VipDemand>& demand,
+                            const AssignmentRoundConfig& cfg);
+
+  // Counter-driven demand (paper §8): per-VIP new-connection rates drained
+  // from the instances since the last round.
+  static std::map<net::IpAddr, VipDemand> DemandFromCounters(
+      const ControlState& state, const std::vector<YodaInstance*>& active,
+      double interval_seconds, const DemandDerivationConfig& cfg);
+
+  // VIPs whose desired pool is below n_v - f_v of their last-round spec
+  // (they can no longer absorb the failures they were provisioned for).
+  std::vector<net::IpAddr> UnderHeadroom(const ControlState& state) const;
+
+  // Adds-only repair round for the under-headroom VIPs: tops each back up to
+  // its n_v replicas with the least-loaded active instances. Returns a
+  // FleetRound whose plan has no removes (feasible=false when nothing to do
+  // or no instance can be added).
+  FleetRound PlanRepair(const ControlState& state,
+                        const std::vector<YodaInstance*>& active) const;
+
+ private:
+  // Aligns the remembered previous assignment to the id order of `problem`.
+  assign::Assignment AlignedPrevious(const assign::Problem& problem) const;
+
+  assign::GreedySolver solver_;
+  // Index-space memory (PlanRound).
+  assign::Assignment prev_;
+  std::vector<int> prev_ids_;
+  bool have_prev_ = false;
+  // Fleet memory: last-round spec per VIP (for headroom / repair) and the
+  // capacities the round was solved against.
+  std::map<net::IpAddr, assign::VipSpec> specs_;
+  double last_capacity_ = 1.0;
+  int last_rule_capacity_ = 2'000;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_ASSIGNMENT_ENGINE_H_

@@ -1,0 +1,29 @@
+#include "src/core/auto_scaler.h"
+
+#include <algorithm>
+
+namespace yoda {
+
+int AutoScaler::Tick(const std::vector<YodaInstance*>& active, int spares_available,
+                     sim::Time now) {
+  if (active.empty()) {
+    return 0;
+  }
+  double total = 0;
+  for (YodaInstance* i : active) {
+    total += i->cpu().Utilization(now);
+  }
+  const double mean = total / static_cast<double>(active.size());
+  if (mean > cfg_.scale_out_cpu) {
+    ++over_threshold_ticks_;
+  } else {
+    over_threshold_ticks_ = 0;
+  }
+  if (over_threshold_ticks_ < cfg_.scale_out_ticks || spares_available <= 0) {
+    return 0;
+  }
+  over_threshold_ticks_ = 0;
+  return std::min(cfg_.scale_out_step, spares_available);
+}
+
+}  // namespace yoda

@@ -1,0 +1,46 @@
+// AutoScaler: the elastic-scaling policy (§7.3) as a pure decision component
+// of the reconciliation pipeline. It watches mean active-fleet CPU each
+// monitor tick, applies the over-threshold hysteresis, and answers "how many
+// spares should be activated now" — the Controller turns a non-zero answer
+// into catch-up + pool-sync plans for the FleetActuator, so scale-out flows
+// through the same epoch-stamped plan path as every other reconfiguration.
+
+#ifndef SRC_CORE_AUTO_SCALER_H_
+#define SRC_CORE_AUTO_SCALER_H_
+
+#include <vector>
+
+#include "src/core/yoda_instance.h"
+#include "src/sim/time.h"
+
+namespace yoda {
+
+struct AutoScalerConfig {
+  double scale_out_cpu = 0.75;  // Mean utilization that triggers scale-out.
+  int scale_out_step = 3;       // Instances added per trigger.
+  // Consecutive over-threshold monitor ticks required before scaling
+  // (hysteresis against transient spikes).
+  int scale_out_ticks = 1;
+};
+
+class AutoScaler {
+ public:
+  explicit AutoScaler(AutoScalerConfig config) : cfg_(config) {}
+
+  // One monitor-tick observation. Returns how many spares to activate now
+  // (0 = hold). The caller is expected to reset the instances' CPU windows
+  // after acting so the next decision sees post-scale load.
+  int Tick(const std::vector<YodaInstance*>& active, int spares_available, sim::Time now);
+
+  // Failure path: a fleet change invalidates the streak.
+  void ResetHysteresis() { over_threshold_ticks_ = 0; }
+  int over_threshold_ticks() const { return over_threshold_ticks_; }
+
+ private:
+  AutoScalerConfig cfg_;
+  int over_threshold_ticks_ = 0;
+};
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_AUTO_SCALER_H_

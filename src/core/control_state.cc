@@ -1,0 +1,117 @@
+#include "src/core/control_state.h"
+
+#include <algorithm>
+
+namespace yoda {
+
+const char* ChangeKindName(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kVipDefined:
+      return "VipDefined";
+    case ChangeKind::kVipRemoved:
+      return "VipRemoved";
+    case ChangeKind::kRulesUpdated:
+      return "RulesUpdated";
+    case ChangeKind::kAssignmentSet:
+      return "AssignmentSet";
+    case ChangeKind::kAssignmentCleared:
+      return "AssignmentCleared";
+    case ChangeKind::kInstanceScrubbed:
+      return "InstanceScrubbed";
+    case ChangeKind::kInstanceFailed:
+      return "InstanceFailed";
+    case ChangeKind::kInstanceAdmitted:
+      return "InstanceAdmitted";
+  }
+  return "Unknown";
+}
+
+void ControlState::LogRecord(ChangeKind kind, net::IpAddr subject, std::uint64_t detail) {
+  changelog_.push_back({epoch_, sim_->now(), kind, subject, detail});
+  if (recorder_ != nullptr) {
+    // detail packs (change kind << 32) | epoch so a trace alone suffices to
+    // rebuild the changelog (tools/ctl_dump).
+    recorder_->RecordSystem(sim_->now(), obs::EventType::kConfigChange, subject,
+                            (static_cast<std::uint64_t>(kind) << 32) |
+                                (epoch_ & 0xffffffffULL));
+  }
+}
+
+std::uint64_t ControlState::Bump(ChangeKind kind, net::IpAddr subject, std::uint64_t detail) {
+  ++epoch_;
+  LogRecord(kind, subject, detail);
+  return epoch_;
+}
+
+std::uint64_t ControlState::DefineVip(net::IpAddr vip, net::Port port,
+                                      std::vector<rules::Rule> rules) {
+  const std::uint64_t detail = rules.size();
+  vips_[vip] = VipDesired{port, std::move(rules)};
+  return Bump(ChangeKind::kVipDefined, vip, detail);
+}
+
+std::uint64_t ControlState::RemoveVip(net::IpAddr vip) {
+  vips_.erase(vip);
+  assignment_.erase(vip);
+  return Bump(ChangeKind::kVipRemoved, vip, 0);
+}
+
+std::uint64_t ControlState::UpdateRules(net::IpAddr vip, std::vector<rules::Rule> rules) {
+  auto it = vips_.find(vip);
+  if (it == vips_.end()) {
+    return epoch_;
+  }
+  const std::uint64_t detail = rules.size();
+  it->second.rules = std::move(rules);
+  return Bump(ChangeKind::kRulesUpdated, vip, detail);
+}
+
+std::uint64_t ControlState::SetAssignments(
+    const std::map<net::IpAddr, std::vector<net::IpAddr>>& pools) {
+  ++epoch_;
+  for (const auto& [vip, pool] : pools) {
+    assignment_[vip] = pool;
+    LogRecord(ChangeKind::kAssignmentSet, vip, pool.size());
+  }
+  return epoch_;
+}
+
+std::vector<net::IpAddr> ControlState::ScrubInstance(net::IpAddr instance) {
+  std::vector<net::IpAddr> affected;
+  for (auto& [vip, pool] : assignment_) {
+    auto it = std::find(pool.begin(), pool.end(), instance);
+    if (it != pool.end()) {
+      pool.erase(it);
+      affected.push_back(vip);
+    }
+  }
+  if (!affected.empty()) {
+    ++epoch_;
+    LogRecord(ChangeKind::kInstanceScrubbed, instance, affected.size());
+  }
+  return affected;
+}
+
+std::uint64_t ControlState::NoteInstance(ChangeKind kind, net::IpAddr instance) {
+  return Bump(kind, instance, 0);
+}
+
+const ControlState::VipDesired* ControlState::Desired(net::IpAddr vip) const {
+  auto it = vips_.find(vip);
+  return it == vips_.end() ? nullptr : &it->second;
+}
+
+const std::vector<net::IpAddr>* ControlState::DesiredPool(net::IpAddr vip) const {
+  auto it = assignment_.find(vip);
+  return it == assignment_.end() ? nullptr : &it->second;
+}
+
+bool ControlState::PoolContains(net::IpAddr vip, net::IpAddr instance) const {
+  auto it = assignment_.find(vip);
+  if (it == assignment_.end()) {
+    return true;  // All-to-all: desired everywhere.
+  }
+  return std::find(it->second.begin(), it->second.end(), instance) != it->second.end();
+}
+
+}  // namespace yoda

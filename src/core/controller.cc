@@ -1,19 +1,25 @@
 #include "src/core/controller.h"
 
 #include <algorithm>
-#include <numeric>
-#include <set>
 
 namespace yoda {
 
 Controller::Controller(sim::Simulator* simulator, net::Network* network, l4lb::L4Fabric* fabric,
                        ControllerConfig config)
-    : sim_(simulator), net_(network), fabric_(fabric), cfg_(config) {
+    : sim_(simulator),
+      fabric_(fabric),
+      cfg_(config),
+      state_(simulator, config.recorder),
+      monitor_(network, HealthMonitorConfig{config.fail_after_misses, config.readmit_instances,
+                                            config.readmit_after_successes,
+                                            config.readmit_penalty_cap}),
+      scaler_(AutoScalerConfig{config.scale_out_cpu, config.scale_out_step,
+                               config.scale_out_ticks}),
+      actuator_(simulator, fabric, &state_,
+                FleetActuatorConfig{config.mux_stagger, config.registry, config.recorder}) {
   if (cfg_.registry != nullptr) {
     monitor_ticks_ctr_ = &cfg_.registry->GetCounter("controller.monitor_ticks");
     detected_failures_ctr_ = &cfg_.registry->GetCounter("controller.detected_failures");
-    rule_updates_ctr_ = &cfg_.registry->GetCounter("controller.rule_updates");
-    pool_updates_ctr_ = &cfg_.registry->GetCounter("controller.pool_updates");
     spares_activated_ctr_ = &cfg_.registry->GetCounter("controller.spares_activated");
   }
 }
@@ -26,81 +32,62 @@ void Controller::SystemEvent(obs::EventType type, std::uint32_t where, std::uint
   }
 }
 
-void Controller::AddInstance(YodaInstance* instance) {
-  active_.push_back(instance);
-  // Late-added instances receive every VIP's rules.
-  for (const auto& [vip, entry] : vips_) {
-    instance->InstallVip(vip, entry.port, entry.rules);
-    for (const auto& [b, up] : backend_up_) {
-      instance->SetBackendHealth(b, up);
-    }
+void Controller::ExecutePlan(const ExecPlan& plan) {
+  if (!plan.steps.empty()) {
+    actuator_.Execute(plan);
   }
 }
 
-void Controller::AddSpareInstance(YodaInstance* instance) { spares_.push_back(instance); }
+std::vector<std::pair<net::IpAddr, bool>> Controller::BackendHealthList() const {
+  std::vector<std::pair<net::IpAddr, bool>> health;
+  health.reserve(monitor_.backends().size());
+  for (net::IpAddr b : monitor_.backends()) {
+    health.emplace_back(b, monitor_.IsBackendUp(b));
+  }
+  return health;
+}
+
+void Controller::AddInstance(YodaInstance* instance) {
+  monitor_.AddActive(instance);
+  actuator_.RegisterInstance(instance);
+  if (!state_.vips().empty()) {
+    // Late-added instances catch up on every desired VIP's rules + health.
+    const std::uint64_t epoch =
+        state_.NoteInstance(ChangeKind::kInstanceAdmitted, instance->ip());
+    ExecutePlan(BuildCatchUpPlan(state_, epoch, instance->ip(), BackendHealthList(),
+                                 /*repool=*/false, monitor_.ActiveIps()));
+  }
+}
+
+void Controller::AddSpareInstance(YodaInstance* instance) {
+  spares_.push_back(instance);
+  actuator_.RegisterInstance(instance);
+}
 
 void Controller::AddKvServer(kv::KvServer* server) { kv_servers_.push_back(server); }
 
-void Controller::AddBackend(net::IpAddr backend) {
-  backends_.push_back(backend);
-  backend_up_[backend] = true;
-}
-
-std::vector<net::IpAddr> Controller::ActiveIps() const {
-  std::vector<net::IpAddr> ips;
-  ips.reserve(active_.size());
-  for (YodaInstance* i : active_) {
-    ips.push_back(i->ip());
-  }
-  return ips;
-}
+void Controller::AddBackend(net::IpAddr backend) { monitor_.AddBackend(backend); }
 
 void Controller::DefineVip(net::IpAddr vip, net::Port vip_port,
                            std::vector<rules::Rule> vip_rules) {
-  vips_[vip] = VipEntry{vip_port, vip_rules};
-  // §5.2 VIP addition: rules first, then the L4 mapping, so no instance ever
-  // receives VIP traffic it has no rules for.
-  for (YodaInstance* i : active_) {
-    i->InstallVip(vip, vip_port, vip_rules);
-  }
-  SystemEvent(obs::EventType::kRuleUpdate, vip, vip_rules.size());
-  if (rule_updates_ctr_ != nullptr) {
-    rule_updates_ctr_->Inc();
-  }
-  fabric_->AttachVip(vip);
-  fabric_->SetVipPool(vip, ActiveIps());
-  SystemEvent(obs::EventType::kPoolUpdate, vip, active_.size());
-  if (pool_updates_ctr_ != nullptr) {
-    pool_updates_ctr_->Inc();
-  }
-  Log("define vip " + net::IpToString(vip) + " (" + std::to_string(vip_rules.size()) +
-      " rules)");
+  const std::size_t n_rules = vip_rules.size();
+  const std::uint64_t epoch = state_.DefineVip(vip, vip_port, std::move(vip_rules));
+  ExecutePlan(BuildDefineVipPlan(state_, epoch, vip, monitor_.ActiveIps()));
+  Log("define vip " + net::IpToString(vip) + " (" + std::to_string(n_rules) + " rules)");
 }
 
 void Controller::RemoveVip(net::IpAddr vip) {
-  // Reverse order of addition: unmap first, then drop rules.
-  fabric_->SetVipPool(vip, {});
-  fabric_->DetachVip(vip);
-  for (YodaInstance* i : active_) {
-    i->RemoveVip(vip);
-  }
-  vips_.erase(vip);
+  const std::uint64_t epoch = state_.RemoveVip(vip);
+  ExecutePlan(BuildRemoveVipPlan(epoch, vip, monitor_.ActiveIps()));
   Log("remove vip " + net::IpToString(vip));
 }
 
 void Controller::UpdateVipRules(net::IpAddr vip, std::vector<rules::Rule> vip_rules) {
-  auto it = vips_.find(vip);
-  if (it == vips_.end()) {
+  if (!state_.HasVip(vip)) {
     return;
   }
-  it->second.rules = vip_rules;
-  for (YodaInstance* i : active_) {
-    i->InstallVip(vip, it->second.port, vip_rules);
-  }
-  SystemEvent(obs::EventType::kRuleUpdate, vip, vip_rules.size());
-  if (rule_updates_ctr_ != nullptr) {
-    rule_updates_ctr_->Inc();
-  }
+  const std::uint64_t epoch = state_.UpdateRules(vip, std::move(vip_rules));
+  ExecutePlan(BuildRuleUpdatePlan(state_, epoch, vip, monitor_.ActiveIps()));
   Log("update rules for vip " + net::IpToString(vip));
 }
 
@@ -109,7 +96,6 @@ void Controller::Start() {
     return;
   }
   started_ = true;
-  // Self-rescheduling monitor loop.
   // Daemon events: the monitor must not keep the simulation alive on its own.
   ArmMonitor();
 }
@@ -128,223 +114,126 @@ void Controller::MonitorTick() {
   if (monitor_ticks_ctr_ != nullptr) {
     monitor_ticks_ctr_->Inc();
   }
-  // Yoda instances: the monitor's ping is a ProbePath probe (so fault-plane
-  // partitions and loss overlays cost it probes, but gray SYN-filters do
-  // not), folded through per-instance hysteresis.
-  std::vector<YodaInstance*> failed;
-  for (YodaInstance* i : active_) {
-    HealthState& hs = health_[i->ip()];
-    if (ProbeInstance(i)) {
-      hs.miss_streak = 0;
-      continue;
-    }
-    ++hs.miss_streak;
-    if (hs.miss_streak >= cfg_.fail_after_misses) {
-      failed.push_back(i);
-    } else {
-      SystemEvent(obs::EventType::kInstanceSuspected, i->ip(),
-                  static_cast<std::uint64_t>(hs.miss_streak));
-      Log("yoda instance " + net::IpToString(i->ip()) + " suspected (miss " +
-          std::to_string(hs.miss_streak) + "/" + std::to_string(cfg_.fail_after_misses) +
+  for (const HealthTransition& t : monitor_.Tick()) {
+    ApplyTransition(t);
+  }
+  if (cfg_.auto_scale) {
+    RunAutoScale();
+  }
+}
+
+void Controller::ApplyTransition(const HealthTransition& t) {
+  switch (t.kind) {
+    case HealthTransition::Kind::kInstanceSuspected:
+      SystemEvent(obs::EventType::kInstanceSuspected, t.addr,
+                  static_cast<std::uint64_t>(t.detail));
+      Log("yoda instance " + net::IpToString(t.addr) + " suspected (miss " +
+          std::to_string(t.detail) + "/" + std::to_string(cfg_.fail_after_misses) +
           "); still pooled");
-    }
-  }
-  for (YodaInstance* i : failed) {
-    HandleInstanceFailure(i);
-  }
-
-  // Suspended instances: count healthy probes toward readmission.
-  if (cfg_.readmit_instances) {
-    for (auto it = suspended_.begin(); it != suspended_.end();) {
-      YodaInstance* i = *it;
-      HealthState& hs = health_[i->ip()];
-      if (!ProbeInstance(i)) {
-        hs.success_streak = 0;
-        ++it;
-        continue;
-      }
-      ++hs.success_streak;
-      if (hs.success_streak < hs.required_successes) {
-        ++it;
-        continue;
-      }
-      it = suspended_.erase(it);
-      hs.miss_streak = 0;
-      hs.success_streak = 0;
-      AddInstance(i);  // Reinstalls every VIP's rules + backend health.
-      ReprogramAllPools(/*staggered=*/false);
-      ++readmissions_;
-      SystemEvent(obs::EventType::kInstanceReadmitted, i->ip());
-      Log("yoda instance " + net::IpToString(i->ip()) + " readmitted after " +
-          std::to_string(hs.required_successes) + " healthy probes");
-    }
-  }
-
-  // Backend servers: health propagated to every instance's selection oracle.
-  for (net::IpAddr b : backends_) {
-    const bool up = !net_->IsDown(b);
-    if (backend_up_[b] != up) {
-      backend_up_[b] = up;
-      SystemEvent(up ? obs::EventType::kBackendUp : obs::EventType::kBackendDown, b);
-      for (YodaInstance* i : active_) {
-        i->SetBackendHealth(b, up);
-      }
-      Log(std::string("backend ") + net::IpToString(b) + (up ? " recovered" : " failed"));
-    }
-  }
-
-  // Elastic scaling on mean CPU utilization (§7.3).
-  if (cfg_.auto_scale && !active_.empty()) {
-    double total = 0;
-    for (YodaInstance* i : active_) {
-      total += i->cpu().Utilization(sim_->now());
-    }
-    const double mean = total / static_cast<double>(active_.size());
-    if (mean > cfg_.scale_out_cpu) {
-      ++over_threshold_ticks_;
-    } else {
-      over_threshold_ticks_ = 0;
-    }
-    if (over_threshold_ticks_ >= cfg_.scale_out_ticks && !spares_.empty()) {
-      over_threshold_ticks_ = 0;
-      for (int k = 0; k < cfg_.scale_out_step && !spares_.empty(); ++k) {
-        ActivateSpare();
-      }
-      ReprogramAllPools(/*staggered=*/true);
-      for (YodaInstance* i : active_) {
-        i->cpu().ResetWindow(sim_->now());
-      }
+      break;
+    case HealthTransition::Kind::kInstanceFailed:
+      HandleInstanceFailure(t);
+      break;
+    case HealthTransition::Kind::kInstanceReadmitted:
+      HandleReadmission(t);
+      break;
+    case HealthTransition::Kind::kBackendDown:
+    case HealthTransition::Kind::kBackendUp: {
+      const bool up = t.kind == HealthTransition::Kind::kBackendUp;
+      SystemEvent(up ? obs::EventType::kBackendUp : obs::EventType::kBackendDown, t.addr);
+      ExecutePlan(BuildBackendHealthPlan(state_.epoch(), t.addr, up, monitor_.ActiveIps()));
+      Log(std::string("backend ") + net::IpToString(t.addr) + (up ? " recovered" : " failed"));
+      break;
     }
   }
 }
 
-bool Controller::ProbeInstance(YodaInstance* instance) const {
-  return !instance->failed() && net_->ProbePath(/*src=*/0, instance->ip());
-}
-
-void Controller::HandleInstanceFailure(YodaInstance* instance) {
-  ++detected_failures_;
+void Controller::HandleInstanceFailure(const HealthTransition& t) {
   if (detected_failures_ctr_ != nullptr) {
     detected_failures_ctr_->Inc();
   }
-  SystemEvent(obs::EventType::kInstanceDown, instance->ip());
-  Log("yoda instance " + net::IpToString(instance->ip()) + " failed; removed from L4 mappings");
-  // Remove from every VIP pool on every mux and clear its SNAT pins: the
-  // fabric immediately re-ECMPs its traffic over the survivors.
-  fabric_->RemoveInstanceEverywhere(instance->ip());
-  active_.erase(std::remove(active_.begin(), active_.end(), instance), active_.end());
-  ReprogramAllPools(/*staggered=*/false);
-  over_threshold_ticks_ = 0;
-  if (cfg_.readmit_instances) {
-    HealthState& hs = health_[instance->ip()];
-    hs.miss_streak = 0;
-    hs.success_streak = 0;
-    // Flap suppression: a repeat offender must prove itself for longer.
-    if (hs.required_successes > 0) {
-      ++hs.flaps;
-    }
-    int required = cfg_.readmit_after_successes;
-    for (int f = 0; f < hs.flaps && required < cfg_.readmit_penalty_cap; ++f) {
-      required *= 2;
-    }
-    hs.required_successes = std::min(required, cfg_.readmit_penalty_cap);
-    suspended_.push_back(instance);
-  }
+  SystemEvent(obs::EventType::kInstanceDown, t.addr);
+  Log("yoda instance " + net::IpToString(t.addr) + " failed; removed from L4 mappings");
+  // Desired state first: scrub the dead instance from every assignment so
+  // AssignedInstances() never reports it, then evict it from the fabric and
+  // reassert the (scrubbed) pools. Unstaggered — a pooled dead member is
+  // blackholed traffic.
+  state_.NoteInstance(ChangeKind::kInstanceFailed, t.addr);
+  state_.ScrubInstance(t.addr);
+  ExecutePlan(BuildEvictPlan(state_, state_.epoch(), t.addr, monitor_.ActiveIps()));
+  scaler_.ResetHysteresis();
+  RepairHeadroom();
 }
 
-void Controller::ActivateSpare() {
-  YodaInstance* spare = spares_.back();
-  spares_.pop_back();
-  AddInstance(spare);
-  SystemEvent(obs::EventType::kSpareActivated, spare->ip());
-  if (spares_activated_ctr_ != nullptr) {
-    spares_activated_ctr_->Inc();
+void Controller::HandleReadmission(const HealthTransition& t) {
+  const std::uint64_t epoch = state_.NoteInstance(ChangeKind::kInstanceAdmitted, t.addr);
+  ExecutePlan(BuildCatchUpPlan(state_, epoch, t.addr, BackendHealthList(),
+                               /*repool=*/true, monitor_.ActiveIps()));
+  SystemEvent(obs::EventType::kInstanceReadmitted, t.addr);
+  Log("yoda instance " + net::IpToString(t.addr) + " readmitted after " +
+      std::to_string(t.detail) + " healthy probes");
+}
+
+void Controller::RepairHeadroom() {
+  if (engine_.UnderHeadroom(state_).empty()) {
+    return;
   }
-  Log("activated spare instance " + net::IpToString(spare->ip()));
+  AssignmentEngine::FleetRound repair = engine_.PlanRepair(state_, monitor_.active());
+  if (!repair.round.feasible) {
+    return;
+  }
+  const std::uint64_t epoch = state_.SetAssignments(repair.pools);
+  ExecutePlan(BuildRolloutPlan(epoch, repair.round.steps, repair.instance_order,
+                               "repair failure headroom"));
+  Log("repaired failure headroom for " + std::to_string(repair.pools.size()) + " vip(s)");
+}
+
+void Controller::RunAutoScale() {
+  const int n = scaler_.Tick(monitor_.active(), static_cast<int>(spares_.size()), sim_->now());
+  if (n == 0) {
+    return;
+  }
+  for (int k = 0; k < n; ++k) {
+    YodaInstance* spare = spares_.back();
+    spares_.pop_back();
+    monitor_.AddActive(spare);
+    const std::uint64_t epoch = state_.NoteInstance(ChangeKind::kInstanceAdmitted, spare->ip());
+    ExecutePlan(BuildCatchUpPlan(state_, epoch, spare->ip(), BackendHealthList(),
+                                 /*repool=*/false, monitor_.ActiveIps()));
+    SystemEvent(obs::EventType::kSpareActivated, spare->ip());
+    if (spares_activated_ctr_ != nullptr) {
+      spares_activated_ctr_->Inc();
+    }
+    Log("activated spare instance " + net::IpToString(spare->ip()));
+  }
+  ExecutePlan(BuildPoolSyncPlan(state_, state_.epoch(), monitor_.ActiveIps(),
+                                /*staggered=*/true, "scale-out pool sync"));
+  for (YodaInstance* i : monitor_.active()) {
+    i->cpu().ResetWindow(sim_->now());
+  }
 }
 
 std::vector<net::IpAddr> Controller::AssignedInstances(net::IpAddr vip) const {
-  auto it = assignment_.find(vip);
-  return it == assignment_.end() ? std::vector<net::IpAddr>{} : it->second;
+  const std::vector<net::IpAddr>* pool = state_.DesiredPool(vip);
+  return pool == nullptr ? std::vector<net::IpAddr>{} : *pool;
 }
 
 bool Controller::ApplyManyToMany(const std::map<net::IpAddr, VipDemand>& demand,
                                  double traffic_capacity, int rule_capacity,
                                  double migration_limit) {
-  // Build the Fig 7 problem over the currently active instances. Row order
-  // is the sorted VIP address order so consecutive rounds line up for the
-  // Eq 4-7 update constraints.
-  if (active_.empty()) {
+  AssignmentRoundConfig round_cfg{traffic_capacity, rule_capacity, migration_limit};
+  AssignmentEngine::FleetRound fr =
+      engine_.PlanFleetRound(state_, monitor_.active(), demand, round_cfg);
+  if (!fr.round.feasible) {
+    Log("many-to-many assignment infeasible: " + fr.round.note);
     return false;
   }
-  assign::Problem problem;
-  problem.traffic_capacity = traffic_capacity;
-  problem.rule_capacity = rule_capacity;
-  problem.migration_limit = migration_limit;
-  problem.max_instances = static_cast<int>(active_.size());
-  std::vector<net::IpAddr> vip_order;
-  for (const auto& [vip, entry] : vips_) {
-    auto dit = demand.find(vip);
-    const VipDemand d = dit == demand.end() ? VipDemand{} : dit->second;
-    assign::VipSpec spec;
-    spec.id = static_cast<int>(vip);
-    spec.traffic = d.traffic;
-    spec.rules = static_cast<int>(entry.rules.size());
-    spec.replicas = std::min(d.replicas, static_cast<int>(active_.size()));
-    // When the fleet caps the replica count, the failure headroom scales
-    // down proportionally (keeping the requested o_v = f_v/n_v ratio).
-    spec.failures = d.replicas > 0 ? spec.replicas * d.failures / d.replicas : 0;
-    spec.failures = std::min(spec.failures, spec.replicas - 1);
-    // Shed residual headroom rather than declare the round infeasible.
-    while (spec.failures > 0 && spec.ShareAfterFailures() > traffic_capacity) {
-      --spec.failures;
-    }
-    problem.vips.push_back(spec);
-    vip_order.push_back(vip);
-  }
-
-  assign::GreedySolver solver;
-  assign::SolveOptions opts;
-  if (have_solution_ && last_solution_vips_ == vip_order) {
-    opts.previous = &last_solution_;
-    opts.limit_transient = true;
-    opts.limit_migration = true;
-  }
-  auto result = solver.Solve(problem, opts);
-  if (!result.feasible) {
-    Log("many-to-many assignment infeasible: " + result.note + " [" + problem.Summary() +
-        "]");
-    return false;
-  }
-
-  // Install rules on assigned instances, drop from the rest, program pools.
-  for (std::size_t v = 0; v < vip_order.size(); ++v) {
-    const net::IpAddr vip = vip_order[v];
-    const auto& entry = vips_[vip];
-    std::set<int> assigned(result.assignment.vip_instances[v].begin(),
-                           result.assignment.vip_instances[v].end());
-    std::vector<net::IpAddr> pool;
-    for (std::size_t y = 0; y < active_.size(); ++y) {
-      if (assigned.contains(static_cast<int>(y))) {
-        active_[y]->InstallVip(vip, entry.port, entry.rules);
-        pool.push_back(active_[y]->ip());
-      } else if (active_[y]->ServesVip(vip)) {
-        active_[y]->RemoveVip(vip);
-      }
-    }
-    assignment_[vip] = pool;
-    fabric_->SetVipPoolStaggered(vip, pool, cfg_.mux_stagger);
-    SystemEvent(obs::EventType::kPoolUpdate, vip, pool.size());
-    if (pool_updates_ctr_ != nullptr) {
-      pool_updates_ctr_->Inc();
-    }
-  }
-  last_solution_ = std::move(result.assignment);
-  last_solution_vips_ = std::move(vip_order);
-  have_solution_ = true;
-  Log("applied many-to-many assignment (" + std::to_string(result.instances_used) +
+  const std::uint64_t epoch = state_.SetAssignments(fr.pools);
+  ExecutePlan(BuildRolloutPlan(epoch, fr.round.steps, fr.instance_order,
+                               "assignment rollout"));
+  Log("applied many-to-many assignment (" + std::to_string(fr.round.result.instances_used) +
       " instances, migrated " +
-      sim::FormatDouble(100 * result.migrated_fraction, 1) + "% of traffic)");
+      sim::FormatDouble(100 * fr.round.result.migrated_fraction, 1) + "% of traffic)");
   return true;
 }
 
@@ -371,66 +260,16 @@ void Controller::RunAssignmentRoundNow() {
 }
 
 void Controller::AssignmentRoundFromCounters() {
-  if (!periodic_ || vips_.empty() || active_.empty()) {
+  if (!periodic_ || state_.vips().empty() || monitor_.active().empty()) {
     return;
   }
-  // Aggregate per-VIP demand from every instance's counters (new
-  // connections per second over the interval).
-  std::map<net::IpAddr, double> conn_rate;
-  for (YodaInstance* inst : active_) {
-    for (const auto& [vip, traffic] : inst->DrainTrafficCounters()) {
-      conn_rate[vip] += static_cast<double>(traffic.new_connections);
-    }
-  }
-  const double seconds = sim::ToSeconds(periodic_->interval);
-  std::map<net::IpAddr, VipDemand> demand;
-  for (const auto& [vip, entry] : vips_) {
-    VipDemand d;
-    auto it = conn_rate.find(vip);
-    const double rate = it == conn_rate.end() ? 0.0 : it->second / seconds;
-    d.traffic = std::max(rate, 0.01 * periodic_->traffic_capacity);
-    const int wanted = static_cast<int>(
-        std::ceil(periodic_->replication_factor * d.traffic / periodic_->traffic_capacity));
-    d.replicas = std::max(1, wanted);
-    d.failures = static_cast<int>(d.replicas * periodic_->oversubscription);
-    if (d.failures >= d.replicas) {
-      d.failures = d.replicas - 1;
-    }
-    demand[vip] = d;
-  }
+  DemandDerivationConfig dcfg{periodic_->traffic_capacity, periodic_->replication_factor,
+                              periodic_->oversubscription};
+  const std::map<net::IpAddr, VipDemand> demand = AssignmentEngine::DemandFromCounters(
+      state_, monitor_.active(), sim::ToSeconds(periodic_->interval), dcfg);
   if (ApplyManyToMany(demand, periodic_->traffic_capacity, periodic_->rule_capacity,
                       periodic_->migration_limit)) {
     ++assignment_rounds_;
-  }
-}
-
-void Controller::ReprogramAllPools(bool staggered) {
-  const std::vector<net::IpAddr> all = ActiveIps();
-  const std::set<net::IpAddr> alive(all.begin(), all.end());
-  for (const auto& [vip, entry] : vips_) {
-    std::vector<net::IpAddr> ips;
-    auto ait = assignment_.find(vip);
-    if (ait != assignment_.end()) {
-      // Many-to-many mode: keep the assigned subset, pruned of dead
-      // instances (the next assignment round restores the replica count).
-      for (net::IpAddr ip : ait->second) {
-        if (alive.contains(ip)) {
-          ips.push_back(ip);
-        }
-      }
-      ait->second = ips;
-    } else {
-      ips = all;
-    }
-    if (staggered) {
-      fabric_->SetVipPoolStaggered(vip, ips, cfg_.mux_stagger);
-    } else {
-      fabric_->SetVipPool(vip, ips);
-    }
-    SystemEvent(obs::EventType::kPoolUpdate, vip, ips.size());
-    if (pool_updates_ctr_ != nullptr) {
-      pool_updates_ctr_->Inc();
-    }
   }
 }
 

@@ -1,29 +1,38 @@
-// Yoda controller (paper §6): user interface, assignment engine hooks,
-// assignment updater and monitor.
+// Yoda controller (paper §6), decomposed into a reconciliation control plane.
 //
-//   - Monitor: pings Yoda instances, TCPStore servers and backend servers
-//     every 600 ms; a failed Yoda instance is removed from all L4 mappings
-//     (so the fabric re-ECMPs its traffic to survivors), and failed backends
-//     are marked unhealthy on every instance.
-//   - VIP lifecycle: DefineVip installs the compiled rules on the serving
-//     instances and programs the VIP pool into the L4 fabric; removal runs
-//     in reverse (§5.2).
-//   - Policy update: rules are swapped on the instances; existing
-//     connections keep their selected backend by construction (the
-//     connection -> backend pin lives in the flow state, not the table).
-//   - Elastic scaling (§7.3): when mean instance CPU exceeds the scale-out
-//     threshold, spare instances are activated, given every VIP's rules, and
-//     added to the pools via a staggered (non-atomic) mux update.
+// The Controller is WIRING, not mechanism. It owns the four reconciliation
+// components and routes between them; every live reconfiguration becomes an
+// epoch-stamped plan executed by the actuator in make-before-break order:
+//
+//   ControlState     — epoch-stamped desired config (VIPs, rules, assignment)
+//                      with a changelog the flight recorder can replay.
+//   HealthMonitor    — actual-state observer: probes instances/backends and
+//                      returns health TRANSITIONS (hysteresis, readmission,
+//                      flap suppression).
+//   AssignmentEngine — turns demand into an explicit UpdatePlan + ordered
+//                      PlanSteps per round (§4.4 solver + §4.5 planner), and
+//                      plans adds-only repair rounds after failures.
+//   AutoScaler       — §7.3 mean-CPU scale-out policy (decision only).
+//   FleetActuator    — the ONLY code touching instances and the L4 fabric;
+//                      executes plans as idempotent epoch-tagged steps.
+//
+// Public API is unchanged from the monolithic controller; tests and the
+// testbed drive it identically.
 
 #ifndef SRC_CORE_CONTROLLER_H_
 #define SRC_CORE_CONTROLLER_H_
 
-#include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "src/assign/greedy_solver.h"
+#include "src/core/assignment_engine.h"
+#include "src/core/auto_scaler.h"
+#include "src/core/control_state.h"
+#include "src/core/fleet_actuator.h"
+#include "src/core/health_monitor.h"
 #include "src/core/yoda_instance.h"
 #include "src/kv/kv_server.h"
 #include "src/l4lb/fabric.h"
@@ -54,9 +63,8 @@ struct ControllerConfig {
   // (hysteresis against transient spikes).
   int scale_out_ticks = 1;
   sim::Duration cpu_window = sim::Sec(1);
-  // Observability sinks: control-plane happenings (instance/backend health
-  // flips, rule swaps, pool reprogramming, spare activation) land in the
-  // recorder's system-event log; counters mirror into "controller.*".
+  // Observability sinks: config changes and reconcile plans/steps land in
+  // the recorder's system-event log; counters mirror into "controller.*".
   obs::Registry* registry = nullptr;
   obs::FlightRecorder* recorder = nullptr;
 };
@@ -83,17 +91,12 @@ class Controller {
   void UpdateVipRules(net::IpAddr vip, std::vector<rules::Rule> vip_rules);
 
   // --- many-to-many VIP assignment (§4.4) ---
-  // Per-VIP demand the assignment engine packs. Traffic is in units of one
-  // instance's capacity.
-  struct VipDemand {
-    double traffic = 0.1;
-    int replicas = 1;
-    int failures = 0;
-  };
+  using VipDemand = yoda::VipDemand;
   // Recomputes the VIP->instance assignment with the greedy solver (Fig 7
-  // model; Eq 4-7 honoured against the previous round), installs each VIP's
-  // rules only on its assigned instances, and programs the L4 pools with a
-  // staggered (non-atomic) update. Returns false if infeasible.
+  // model; Eq 4-7 honoured against the previous round) and rolls the result
+  // out as an epoch-stamped make-before-break plan (rules + pool adds, a mux
+  // convergence barrier, then removes + rule scrubs). Returns false if
+  // infeasible.
   bool ApplyManyToMany(const std::map<net::IpAddr, VipDemand>& demand,
                        double traffic_capacity, int rule_capacity,
                        double migration_limit = 0.10);
@@ -123,75 +126,57 @@ class Controller {
   // Immediately runs one monitor pass (tests use this for determinism).
   void MonitorTick();
 
-  std::vector<YodaInstance*> ActiveInstances() const { return active_; }
-  std::vector<YodaInstance*> SuspendedInstances() const { return suspended_; }
+  std::vector<YodaInstance*> ActiveInstances() const { return monitor_.active(); }
+  std::vector<YodaInstance*> SuspendedInstances() const { return monitor_.suspended(); }
   const std::vector<ControllerEvent>& events() const { return events_; }
-  int detected_failures() const { return detected_failures_; }
-  int readmissions() const { return readmissions_; }
+  int detected_failures() const { return monitor_.detected_failures(); }
+  int readmissions() const { return monitor_.readmissions(); }
+
+  // --- reconciliation components (tests / tools) ---
+  const ControlState& state() const { return state_; }
+  const FleetActuator& actuator() const { return actuator_; }
+  const HealthMonitor& monitor() const { return monitor_; }
+  const AssignmentEngine& engine() const { return engine_; }
 
  private:
   void Log(const std::string& what);
   void SystemEvent(obs::EventType type, std::uint32_t where, std::uint64_t detail = 0);
-  void HandleInstanceFailure(YodaInstance* instance);
+  void ExecutePlan(const ExecPlan& plan);
+  void ApplyTransition(const HealthTransition& transition);
+  void HandleInstanceFailure(const HealthTransition& transition);
+  void HandleReadmission(const HealthTransition& transition);
+  // Adds-only repair rollout for VIPs that a failure pushed below their
+  // provisioned failure headroom (n_v - f_v of the last round's spec).
+  void RepairHeadroom();
+  void RunAutoScale();
+  void AssignmentRoundFromCounters();
+  std::vector<std::pair<net::IpAddr, bool>> BackendHealthList() const;
   // Self-rescheduling daemon loops; each firing re-arms itself. The closures
   // capture only `this`, so they cannot form ownership cycles.
   void ArmMonitor();
   void ArmAssignmentRound();
-  void ActivateSpare();
-  std::vector<net::IpAddr> ActiveIps() const;
-  void ReprogramAllPools(bool staggered);
 
   sim::Simulator* sim_;
-  net::Network* net_;
   l4lb::L4Fabric* fabric_;
   ControllerConfig cfg_;
 
-  // Per-instance probe hysteresis state, keyed by instance ip.
-  struct HealthState {
-    int miss_streak = 0;
-    int success_streak = 0;
-    int flaps = 0;  // Failures observed after at least one readmission.
-    int required_successes = 0;
-  };
-  bool ProbeInstance(YodaInstance* instance) const;
+  ControlState state_;
+  HealthMonitor monitor_;
+  AssignmentEngine engine_;
+  AutoScaler scaler_;
+  FleetActuator actuator_;
 
-  std::vector<YodaInstance*> active_;
-  std::vector<YodaInstance*> suspended_;
-  std::map<net::IpAddr, HealthState> health_;
-  int readmissions_ = 0;
   std::vector<YodaInstance*> spares_;
   std::vector<kv::KvServer*> kv_servers_;
-  std::vector<net::IpAddr> backends_;
-  std::map<net::IpAddr, bool> backend_up_;
-
-  struct VipEntry {
-    net::Port port = 80;
-    std::vector<rules::Rule> rules;
-  };
-  std::map<net::IpAddr, VipEntry> vips_;
-
   bool started_ = false;
-  int over_threshold_ticks_ = 0;
-  int detected_failures_ = 0;
   std::vector<ControllerEvent> events_;
+  std::optional<PeriodicAssignmentConfig> periodic_;
+  int assignment_rounds_ = 0;
 
   // Registry counters (null without a registry in the config).
   obs::Counter* monitor_ticks_ctr_ = nullptr;
   obs::Counter* detected_failures_ctr_ = nullptr;
-  obs::Counter* rule_updates_ctr_ = nullptr;
-  obs::Counter* pool_updates_ctr_ = nullptr;
   obs::Counter* spares_activated_ctr_ = nullptr;
-
-  void AssignmentRoundFromCounters();
-
-  std::optional<PeriodicAssignmentConfig> periodic_;
-  int assignment_rounds_ = 0;
-
-  // Many-to-many state: vip -> assigned instance ips; empty = all-to-all.
-  std::map<net::IpAddr, std::vector<net::IpAddr>> assignment_;
-  assign::Assignment last_solution_;
-  std::vector<net::IpAddr> last_solution_vips_;  // Row order of last_solution_.
-  bool have_solution_ = false;
 };
 
 }  // namespace yoda

@@ -1,0 +1,349 @@
+#include "src/core/fleet_actuator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace yoda {
+
+const char* ExecStepKindName(ExecStepKind kind) {
+  switch (kind) {
+    case ExecStepKind::kAttachVip:
+      return "AttachVip";
+    case ExecStepKind::kInstallRules:
+      return "InstallRules";
+    case ExecStepKind::kAddPoolMember:
+      return "AddPoolMember";
+    case ExecStepKind::kProgramPool:
+      return "ProgramPool";
+    case ExecStepKind::kSetBackendHealth:
+      return "SetBackendHealth";
+    case ExecStepKind::kAwaitConvergence:
+      return "AwaitConvergence";
+    case ExecStepKind::kRemovePoolMember:
+      return "RemovePoolMember";
+    case ExecStepKind::kScrubRules:
+      return "ScrubRules";
+    case ExecStepKind::kDetachVip:
+      return "DetachVip";
+    case ExecStepKind::kEvictInstance:
+      return "EvictInstance";
+  }
+  return "Unknown";
+}
+
+FleetActuator::FleetActuator(sim::Simulator* simulator, l4lb::L4Fabric* fabric,
+                             const ControlState* state, FleetActuatorConfig config)
+    : sim_(simulator), fabric_(fabric), state_(state), cfg_(config) {
+  if (cfg_.registry != nullptr) {
+    plans_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.plans");
+    steps_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.steps");
+    replayed_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.replayed_steps");
+    converge_waits_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.convergence_waits");
+    rule_updates_ctr_ = &cfg_.registry->GetCounter("controller.rule_updates");
+    pool_updates_ctr_ = &cfg_.registry->GetCounter("controller.pool_updates");
+  }
+}
+
+void FleetActuator::RegisterInstance(YodaInstance* instance) {
+  instances_[instance->ip()] = instance;
+}
+
+YodaInstance* FleetActuator::InstanceByIp(net::IpAddr ip) const {
+  auto it = instances_.find(ip);
+  return it == instances_.end() ? nullptr : it->second;
+}
+
+void FleetActuator::Record(obs::EventType type, std::uint32_t where, std::uint64_t detail) {
+  if (cfg_.recorder != nullptr) {
+    cfg_.recorder->RecordSystem(sim_->now(), type, where, detail);
+  }
+}
+
+void FleetActuator::Execute(const ExecPlan& plan) {
+  ++plans_in_flight_;
+  if (plans_ctr_ != nullptr) {
+    plans_ctr_->Inc();
+  }
+  Record(obs::EventType::kReconcilePlan, static_cast<std::uint32_t>(plan.epoch),
+         plan.steps.size());
+  RunSteps(plan, 0);
+}
+
+void FleetActuator::RunSteps(const ExecPlan& plan, std::size_t first) {
+  for (std::size_t i = first; i < plan.steps.size(); ++i) {
+    const ExecStep& step = plan.steps[i];
+    if (step.kind != ExecStepKind::kAwaitConvergence) {
+      Apply(plan, step);
+      continue;
+    }
+    journal_.push_back({plan.epoch, sim_->now(), step, /*replayed=*/false});
+    Record(obs::EventType::kReconcileStep, static_cast<std::uint32_t>(step.vip),
+           static_cast<std::uint64_t>(ExecStepKind::kAwaitConvergence) << 32);
+    // Unstaggered plans apply atomically: the barrier is immediately satisfied.
+    if (!plan.staggered) {
+      continue;
+    }
+    if (converge_waits_ctr_ != nullptr) {
+      converge_waits_ctr_->Inc();
+    }
+    // Resume one stagger period after the LAST mux applied the make phase, so
+    // the break phase can never race the tail of the staggered adds.
+    const sim::Duration delay =
+        fabric_->ConvergenceDelay(cfg_.mux_stagger) + cfg_.mux_stagger;
+    const std::size_t next = i + 1;
+    sim_->After(delay, [this, plan, next] { RunSteps(plan, next); });
+    return;
+  }
+  --plans_in_flight_;
+  Record(obs::EventType::kReconcileDone, static_cast<std::uint32_t>(plan.epoch),
+         plan.steps.size());
+}
+
+void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
+  // For kSetBackendHealth `vip` carries the backend address; either way the
+  // (epoch, kind, vip, instance) tuple identifies the step. Health writes are
+  // exempt from the replay ledger: they are idempotent by value and the SAME
+  // backend may legitimately flip several times within one epoch.
+  const auto key = std::make_tuple(plan.epoch, static_cast<std::uint8_t>(step.kind),
+                                   step.vip, step.instance);
+  if (step.kind != ExecStepKind::kSetBackendHealth && !applied_.insert(key).second) {
+    journal_.push_back({plan.epoch, sim_->now(), step, /*replayed=*/true});
+    if (replayed_ctr_ != nullptr) {
+      replayed_ctr_->Inc();
+    }
+    return;
+  }
+  const sim::Duration stagger = plan.staggered ? cfg_.mux_stagger : 0;
+  bool effective = true;
+  switch (step.kind) {
+    case ExecStepKind::kAttachVip:
+      fabric_->AttachVip(step.vip);
+      break;
+    case ExecStepKind::kInstallRules: {
+      YodaInstance* inst = InstanceByIp(step.instance);
+      const ControlState::VipDesired* desired = state_->Desired(step.vip);
+      if (inst == nullptr || desired == nullptr) {
+        effective = false;  // VIP removed (or instance gone) since planning.
+        break;
+      }
+      inst->InstallVip(step.vip, desired->port, desired->rules);
+      if (rule_updates_ctr_ != nullptr) {
+        rule_updates_ctr_->Inc();
+      }
+      Record(obs::EventType::kRuleUpdate, static_cast<std::uint32_t>(step.vip),
+             desired->rules.size());
+      break;
+    }
+    case ExecStepKind::kAddPoolMember: {
+      fabric_->AddPoolMember(step.vip, step.instance, plan.epoch, stagger);
+      if (pool_updates_ctr_ != nullptr) {
+        pool_updates_ctr_->Inc();
+      }
+      // The member is serving everywhere only once the LAST mux applied it.
+      const sim::Duration converged = fabric_->ConvergenceDelay(stagger);
+      const net::IpAddr vip = step.vip;
+      const std::uint64_t detail =
+          (plan.epoch << 32) | (step.instance & 0xffffffffULL);
+      if (converged == 0) {
+        Record(obs::EventType::kPoolMemberAdd, static_cast<std::uint32_t>(vip), detail);
+      } else {
+        sim_->After(converged, [this, vip, detail] {
+          Record(obs::EventType::kPoolMemberAdd, static_cast<std::uint32_t>(vip), detail);
+        });
+      }
+      break;
+    }
+    case ExecStepKind::kProgramPool:
+      fabric_->ProgramPool(step.vip, step.pool, plan.epoch, stagger);
+      if (pool_updates_ctr_ != nullptr) {
+        pool_updates_ctr_->Inc();
+      }
+      Record(obs::EventType::kPoolUpdate, static_cast<std::uint32_t>(step.vip),
+             (plan.epoch << 32) | (step.pool.size() & 0xffffffffULL));
+      break;
+    case ExecStepKind::kSetBackendHealth: {
+      YodaInstance* inst = InstanceByIp(step.instance);
+      if (inst == nullptr) {
+        effective = false;
+        break;
+      }
+      inst->SetBackendHealth(/*backend=*/step.vip, step.healthy);
+      break;
+    }
+    case ExecStepKind::kAwaitConvergence:
+      break;  // Handled by RunSteps.
+    case ExecStepKind::kRemovePoolMember:
+      fabric_->RemovePoolMember(step.vip, step.instance, plan.epoch, stagger);
+      if (pool_updates_ctr_ != nullptr) {
+        pool_updates_ctr_->Inc();
+      }
+      // The member stops serving as soon as the FIRST mux drops it.
+      Record(obs::EventType::kPoolMemberRemove, static_cast<std::uint32_t>(step.vip),
+             (plan.epoch << 32) | (step.instance & 0xffffffffULL));
+      break;
+    case ExecStepKind::kScrubRules: {
+      // Stale-scrub guard: if the CURRENT desired state wants this instance
+      // in the VIP's pool again (a later epoch re-added it while this plan's
+      // break phase was waiting out convergence), the scrub must not run.
+      if (state_->HasVip(step.vip) && state_->PoolContains(step.vip, step.instance)) {
+        effective = false;
+        break;
+      }
+      YodaInstance* inst = InstanceByIp(step.instance);
+      if (inst == nullptr) {
+        effective = false;
+        break;
+      }
+      inst->RemoveVip(step.vip);
+      break;
+    }
+    case ExecStepKind::kDetachVip:
+      fabric_->DetachVip(step.vip);
+      Record(obs::EventType::kVipRemoved, static_cast<std::uint32_t>(step.vip), 0);
+      break;
+    case ExecStepKind::kEvictInstance:
+      fabric_->RemoveInstanceEverywhere(step.instance);
+      break;
+  }
+  journal_.push_back({plan.epoch, sim_->now(), step, /*replayed=*/!effective});
+  if (steps_ctr_ != nullptr) {
+    steps_ctr_->Inc();
+  }
+  Record(obs::EventType::kReconcileStep, static_cast<std::uint32_t>(step.vip),
+         (static_cast<std::uint64_t>(step.kind) << 32) |
+             (step.instance & 0xffffffffULL));
+}
+
+// --- plan builders ---
+
+ExecPlan BuildDefineVipPlan(const ControlState& state, std::uint64_t epoch, net::IpAddr vip,
+                            const std::vector<net::IpAddr>& active_ips) {
+  ExecPlan plan{epoch, "define vip", /*staggered=*/false, {}};
+  // §5.2 order: rules first, so no mux can route to an instance that would
+  // drop the connection for lack of rules.
+  const std::vector<net::IpAddr>* pool = state.DesiredPool(vip);
+  const std::vector<net::IpAddr>& members = pool != nullptr ? *pool : active_ips;
+  for (net::IpAddr ip : members) {
+    plan.steps.push_back({ExecStepKind::kInstallRules, vip, ip});
+  }
+  plan.steps.push_back({ExecStepKind::kAttachVip, vip});
+  plan.steps.push_back({ExecStepKind::kProgramPool, vip, 0, true, members});
+  return plan;
+}
+
+ExecPlan BuildRemoveVipPlan(std::uint64_t epoch, net::IpAddr vip,
+                            const std::vector<net::IpAddr>& active_ips) {
+  ExecPlan plan{epoch, "remove vip", /*staggered=*/false, {}};
+  // Reverse order: stop routing first, then drain instance state.
+  plan.steps.push_back({ExecStepKind::kProgramPool, vip, 0, true, {}});
+  plan.steps.push_back({ExecStepKind::kDetachVip, vip});
+  for (net::IpAddr ip : active_ips) {
+    plan.steps.push_back({ExecStepKind::kScrubRules, vip, ip});
+  }
+  return plan;
+}
+
+ExecPlan BuildRuleUpdatePlan(const ControlState& state, std::uint64_t epoch, net::IpAddr vip,
+                             const std::vector<net::IpAddr>& active_ips) {
+  ExecPlan plan{epoch, "update rules", /*staggered=*/false, {}};
+  const std::vector<net::IpAddr>* pool = state.DesiredPool(vip);
+  const std::vector<net::IpAddr>& targets = pool != nullptr ? *pool : active_ips;
+  for (net::IpAddr ip : targets) {
+    plan.steps.push_back({ExecStepKind::kInstallRules, vip, ip});
+  }
+  return plan;
+}
+
+ExecPlan BuildCatchUpPlan(const ControlState& state, std::uint64_t epoch,
+                          net::IpAddr instance,
+                          const std::vector<std::pair<net::IpAddr, bool>>& backend_health,
+                          bool repool, const std::vector<net::IpAddr>& active_ips) {
+  ExecPlan plan{epoch, "catch-up", /*staggered=*/false, {}};
+  for (const auto& [vip, desired] : state.vips()) {
+    (void)desired;
+    if (state.PoolContains(vip, instance)) {
+      plan.steps.push_back({ExecStepKind::kInstallRules, vip, instance});
+    }
+  }
+  for (const auto& [backend, up] : backend_health) {
+    plan.steps.push_back({ExecStepKind::kSetBackendHealth, backend, instance, up});
+  }
+  if (repool) {
+    for (const auto& [vip, desired] : state.vips()) {
+      (void)desired;
+      const std::vector<net::IpAddr>* pool = state.DesiredPool(vip);
+      plan.steps.push_back({ExecStepKind::kProgramPool, vip, 0, true,
+                            pool != nullptr ? *pool : active_ips});
+    }
+  }
+  return plan;
+}
+
+ExecPlan BuildPoolSyncPlan(const ControlState& state, std::uint64_t epoch,
+                           const std::vector<net::IpAddr>& active_ips, bool staggered,
+                           const std::string& reason) {
+  ExecPlan plan{epoch, reason, staggered, {}};
+  for (const auto& [vip, desired] : state.vips()) {
+    (void)desired;
+    const std::vector<net::IpAddr>* pool = state.DesiredPool(vip);
+    plan.steps.push_back({ExecStepKind::kProgramPool, vip, 0, true,
+                          pool != nullptr ? *pool : active_ips});
+  }
+  return plan;
+}
+
+ExecPlan BuildEvictPlan(const ControlState& state, std::uint64_t epoch, net::IpAddr dead,
+                        const std::vector<net::IpAddr>& active_ips) {
+  // Unstaggered: every tick a dead member stays pooled is blackholed traffic.
+  ExecPlan plan{epoch, "evict failed instance", /*staggered=*/false, {}};
+  plan.steps.push_back({ExecStepKind::kEvictInstance, 0, dead});
+  for (const auto& [vip, desired] : state.vips()) {
+    (void)desired;
+    const std::vector<net::IpAddr>* pool = state.DesiredPool(vip);
+    plan.steps.push_back({ExecStepKind::kProgramPool, vip, 0, true,
+                          pool != nullptr ? *pool : active_ips});
+  }
+  return plan;
+}
+
+ExecPlan BuildBackendHealthPlan(std::uint64_t epoch, net::IpAddr backend, bool healthy,
+                                const std::vector<net::IpAddr>& active_ips) {
+  ExecPlan plan{epoch, healthy ? "backend up" : "backend down", /*staggered=*/false, {}};
+  for (net::IpAddr ip : active_ips) {
+    plan.steps.push_back({ExecStepKind::kSetBackendHealth, backend, ip, healthy});
+  }
+  return plan;
+}
+
+ExecPlan BuildRolloutPlan(std::uint64_t epoch, const std::vector<assign::PlanStep>& steps,
+                          const std::vector<net::IpAddr>& instance_order,
+                          const std::string& reason) {
+  ExecPlan plan{epoch, reason, /*staggered=*/true, {}};
+  for (const assign::PlanStep& s : steps) {
+    const net::IpAddr vip = static_cast<net::IpAddr>(s.vip_id);
+    const net::IpAddr inst =
+        s.instance >= 0 && s.instance < static_cast<int>(instance_order.size())
+            ? instance_order[static_cast<std::size_t>(s.instance)]
+            : 0;
+    switch (s.kind) {
+      case assign::PlanStepKind::kInstallRules:
+        plan.steps.push_back({ExecStepKind::kInstallRules, vip, inst});
+        break;
+      case assign::PlanStepKind::kAddPoolMember:
+        plan.steps.push_back({ExecStepKind::kAddPoolMember, vip, inst});
+        break;
+      case assign::PlanStepKind::kAwaitConvergence:
+        plan.steps.push_back({ExecStepKind::kAwaitConvergence, 0, 0});
+        break;
+      case assign::PlanStepKind::kRemovePoolMember:
+        plan.steps.push_back({ExecStepKind::kRemovePoolMember, vip, inst});
+        break;
+      case assign::PlanStepKind::kScrubRules:
+        plan.steps.push_back({ExecStepKind::kScrubRules, vip, inst});
+        break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace yoda

@@ -1,0 +1,168 @@
+// FleetActuator: the ONLY code in the control plane that touches Yoda
+// instances and the L4 fabric. Every live reconfiguration — VIP lifecycle,
+// rule swaps, assignment rollouts, failure eviction, repair, scale-out — is
+// expressed as an epoch-stamped ExecPlan and pushed through Execute(), which
+// applies the steps in make-before-break order:
+//
+//   make phase:   kInstallRules / kAddPoolMember / kProgramPool / kAttachVip
+//   barrier:      kAwaitConvergence — the break phase is deferred until the
+//                 staggered (non-atomic, §4.5) mux updates have landed on the
+//                 last mux
+//   break phase:  kRemovePoolMember / kScrubRules / kDetachVip / kEvictInstance
+//
+// Steps are idempotent under retry: a (epoch, step) pair that already ran is
+// skipped (no double pool-add, no double counter bump), mux writes are
+// epoch-gated (a newer rollout can overtake an in-flight one; the stale tail
+// is dropped by the muxes), and kScrubRules consults the CURRENT desired
+// state so a stale scrub cannot strip rules a later epoch re-installed.
+//
+// Every plan and step lands in the flight recorder (kReconcilePlan /
+// kReconcileStep / kReconcileDone, plus kPoolMemberAdd recorded at the
+// moment the LAST mux converges and kPoolMemberRemove at the FIRST mux drop
+// — the conservative bounds the blackout invariant checks), and mirrors into
+// "controller.reconcile.*" counters.
+
+#ifndef SRC_CORE_FLEET_ACTUATOR_H_
+#define SRC_CORE_FLEET_ACTUATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/assign/update_planner.h"
+#include "src/core/control_state.h"
+#include "src/core/yoda_instance.h"
+#include "src/l4lb/fabric.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace yoda {
+
+enum class ExecStepKind : std::uint8_t {
+  kAttachVip,         // Route the VIP through the fabric.
+  kInstallRules,      // Push the VIP's desired rules onto `instance`.
+  kAddPoolMember,     // Add (vip, instance) to the mux pools (staggered).
+  kProgramPool,       // Overwrite the VIP's pool with `pool` on every mux.
+  kSetBackendHealth,  // Propagate backend health to `instance`.
+  kAwaitConvergence,  // Barrier: defer later steps until muxes converge.
+  kRemovePoolMember,  // Remove (vip, instance) from the mux pools.
+  kScrubRules,        // Drop the VIP's rules from `instance` (guarded).
+  kDetachVip,         // Unroute the VIP.
+  kEvictInstance,     // Failure path: drop `instance` from every pool + SNAT.
+};
+
+const char* ExecStepKindName(ExecStepKind kind);
+
+struct ExecStep {
+  ExecStepKind kind = ExecStepKind::kInstallRules;
+  net::IpAddr vip = 0;
+  net::IpAddr instance = 0;            // Instance (or backend for health).
+  bool healthy = true;                 // kSetBackendHealth payload.
+  std::vector<net::IpAddr> pool;       // kProgramPool payload.
+};
+
+struct ExecPlan {
+  std::uint64_t epoch = 0;
+  std::string reason;
+  // Staggered plans spread pool writes across muxes `mux_stagger` apart
+  // (the §4.5 non-atomic update); unstaggered plans apply atomically
+  // (bootstrap, failure eviction — where waiting would serve a dead ip).
+  bool staggered = false;
+  std::vector<ExecStep> steps;
+};
+
+// The actuator's append-only execution journal (tests inspect it to verify
+// make-before-break ordering; ctl_dump prints it as the reconcile timeline).
+struct ExecutedStep {
+  std::uint64_t epoch = 0;
+  sim::Time at = 0;
+  ExecStep step;
+  // Skipped: this (epoch, step) already ran, the stale-scrub guard declined,
+  // or the step's target (VIP / instance) no longer exists.
+  bool replayed = false;
+};
+
+struct FleetActuatorConfig {
+  sim::Duration mux_stagger = sim::Msec(50);
+  obs::Registry* registry = nullptr;
+  obs::FlightRecorder* recorder = nullptr;
+};
+
+class FleetActuator {
+ public:
+  FleetActuator(sim::Simulator* simulator, l4lb::L4Fabric* fabric, const ControlState* state,
+                FleetActuatorConfig config);
+
+  // Instances the actuator may address (active, suspended and spare).
+  void RegisterInstance(YodaInstance* instance);
+  YodaInstance* InstanceByIp(net::IpAddr ip) const;
+
+  // Executes `plan`: make phase now, break phase after mux convergence (for
+  // staggered plans with a barrier). Idempotent per (epoch, step).
+  void Execute(const ExecPlan& plan);
+
+  const std::vector<ExecutedStep>& journal() const { return journal_; }
+  // Plans whose break phase has not landed yet.
+  int plans_in_flight() const { return plans_in_flight_; }
+
+ private:
+  void RunSteps(const ExecPlan& plan, std::size_t first);
+  void Apply(const ExecPlan& plan, const ExecStep& step);
+  void Record(obs::EventType type, std::uint32_t where, std::uint64_t detail);
+
+  sim::Simulator* sim_;
+  l4lb::L4Fabric* fabric_;
+  const ControlState* state_;
+  FleetActuatorConfig cfg_;
+  std::map<net::IpAddr, YodaInstance*> instances_;
+  std::vector<ExecutedStep> journal_;
+  // Idempotency ledger: (epoch, kind, vip, instance) steps already applied.
+  std::set<std::tuple<std::uint64_t, std::uint8_t, net::IpAddr, net::IpAddr>> applied_;
+  int plans_in_flight_ = 0;
+
+  obs::Counter* plans_ctr_ = nullptr;
+  obs::Counter* steps_ctr_ = nullptr;
+  obs::Counter* replayed_ctr_ = nullptr;
+  obs::Counter* rule_updates_ctr_ = nullptr;
+  obs::Counter* pool_updates_ctr_ = nullptr;
+  obs::Counter* converge_waits_ctr_ = nullptr;
+};
+
+// --- plan builders (pure functions of desired state + fleet view) ---
+// The Controller is wiring: it mutates ControlState, calls one builder, and
+// hands the plan to the actuator.
+
+ExecPlan BuildDefineVipPlan(const ControlState& state, std::uint64_t epoch, net::IpAddr vip,
+                            const std::vector<net::IpAddr>& active_ips);
+ExecPlan BuildRemoveVipPlan(std::uint64_t epoch, net::IpAddr vip,
+                            const std::vector<net::IpAddr>& active_ips);
+ExecPlan BuildRuleUpdatePlan(const ControlState& state, std::uint64_t epoch, net::IpAddr vip,
+                             const std::vector<net::IpAddr>& active_ips);
+// Rules + backend health for a late-added or readmitted instance, plus
+// (readmit) re-pooling it wherever it is desired.
+ExecPlan BuildCatchUpPlan(const ControlState& state, std::uint64_t epoch,
+                          net::IpAddr instance,
+                          const std::vector<std::pair<net::IpAddr, bool>>& backend_health,
+                          bool repool, const std::vector<net::IpAddr>& active_ips);
+// Reprogram every VIP's pool to desired (all-to-all = active_ips).
+ExecPlan BuildPoolSyncPlan(const ControlState& state, std::uint64_t epoch,
+                           const std::vector<net::IpAddr>& active_ips, bool staggered,
+                           const std::string& reason);
+// Failure path: evict a dead instance everywhere, then resync pools.
+ExecPlan BuildEvictPlan(const ControlState& state, std::uint64_t epoch, net::IpAddr dead,
+                        const std::vector<net::IpAddr>& active_ips);
+ExecPlan BuildBackendHealthPlan(std::uint64_t epoch, net::IpAddr backend, bool healthy,
+                                const std::vector<net::IpAddr>& active_ips);
+// Maps an AssignmentEngine round's make-before-break PlanSteps (index space)
+// onto instance ips. `vip_order` / `instance_order` are the round's spaces.
+ExecPlan BuildRolloutPlan(std::uint64_t epoch, const std::vector<assign::PlanStep>& steps,
+                          const std::vector<net::IpAddr>& instance_order,
+                          const std::string& reason);
+
+}  // namespace yoda
+
+#endif  // SRC_CORE_FLEET_ACTUATOR_H_

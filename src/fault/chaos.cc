@@ -228,4 +228,79 @@ SoakReport CheckSoakInvariants(const obs::FlightRecorder& recorder,
   return report;
 }
 
+PoolContinuityReport CheckPoolContinuity(const obs::FlightRecorder& recorder) {
+  PoolContinuityReport report;
+  struct VipPool {
+    long members = 0;            // Committed member count (adds late, removes early).
+    bool ever_nonempty = false;  // The continuity obligation starts here.
+    bool removed = false;        // kVipRemoved seen; obligation over.
+    std::uint64_t epoch = 0;     // Newest plan epoch replayed (mux watermark).
+    std::vector<std::string> pending;  // Empty reprograms awaiting teardown.
+  };
+  std::map<std::uint32_t, VipPool> pools;
+
+  auto label = [](std::uint32_t vip, sim::Time at) {
+    std::ostringstream os;
+    os << net::IpToString(vip) << " at " << sim::ToMillis(at) << "ms";
+    return os.str();
+  };
+
+  for (const obs::TraceEvent& ev : recorder.system_events()) {
+    if (ev.type != obs::EventType::kPoolUpdate &&
+        ev.type != obs::EventType::kPoolMemberAdd &&
+        ev.type != obs::EventType::kPoolMemberRemove &&
+        ev.type != obs::EventType::kVipRemoved) {
+      continue;
+    }
+    VipPool& pool = pools[ev.where];
+    if (ev.type == obs::EventType::kVipRemoved) {
+      pool.removed = true;
+      pool.pending.clear();  // The empty reprogram was teardown after all.
+      continue;
+    }
+    const std::uint64_t epoch = ev.detail >> 32;
+    if (epoch != 0 && epoch < pool.epoch) {
+      ++report.stale_skipped;
+      continue;
+    }
+    pool.epoch = std::max(pool.epoch, epoch);
+    ++report.events_replayed;
+    switch (ev.type) {
+      case obs::EventType::kPoolUpdate:
+        pool.members = static_cast<long>(ev.detail & 0xffffffffULL);
+        if (pool.members > 0) {
+          pool.ever_nonempty = true;
+        } else if (pool.ever_nonempty && !pool.removed) {
+          pool.pending.push_back("pool reprogrammed empty for vip " +
+                                 label(ev.where, ev.at));
+        }
+        break;
+      case obs::EventType::kPoolMemberAdd:
+        ++pool.members;
+        pool.ever_nonempty = true;
+        break;
+      case obs::EventType::kPoolMemberRemove:
+        --pool.members;
+        if (pool.members <= 0 && pool.ever_nonempty && !pool.removed) {
+          report.violations.push_back("pool drained to zero mid-update for vip " +
+                                      label(ev.where, ev.at));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& [vip, pool] : pools) {
+    (void)vip;
+    if (pool.ever_nonempty) {
+      ++report.vips_checked;
+    }
+    // Empty reprograms never followed by a kVipRemoved are real blackouts.
+    for (std::string& v : pool.pending) {
+      report.violations.push_back(std::move(v));
+    }
+  }
+  return report;
+}
+
 }  // namespace fault

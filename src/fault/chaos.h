@@ -85,6 +85,25 @@ struct SoakReport {
 SoakReport CheckSoakInvariants(const obs::FlightRecorder& recorder,
                                const SoakExpectations& expectations);
 
+// Pool-continuity check for make-before-break rollouts: replays the system
+// event log (kPoolUpdate / kPoolMemberAdd / kPoolMemberRemove / kVipRemoved)
+// and verifies that no VIP that ever had >= 1 mux-pool member drops to zero
+// members while still attached to the fabric. An explicit empty kPoolUpdate
+// is legitimate only as part of VIP teardown (a later kVipRemoved for the
+// same VIP). Events carry the plan epoch in detail's high 32 bits; writes
+// older than the newest epoch already replayed for a VIP are stragglers from
+// an overtaken rollout — the muxes reject them, so the checker skips them
+// (epoch 0 = legacy unversioned write, always applied).
+struct PoolContinuityReport {
+  std::vector<std::string> violations;
+  std::size_t vips_checked = 0;
+  std::size_t events_replayed = 0;
+  std::size_t stale_skipped = 0;  // Straggler writes ignored by epoch gating.
+  bool ok() const { return violations.empty(); }
+};
+
+PoolContinuityReport CheckPoolContinuity(const obs::FlightRecorder& recorder);
+
 }  // namespace fault
 
 #endif  // SRC_FAULT_CHAOS_H_

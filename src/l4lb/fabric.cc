@@ -36,6 +36,45 @@ void L4Fabric::SetVipPoolStaggered(net::IpAddr vip, std::vector<net::IpAddr> ins
   }
 }
 
+void L4Fabric::ProgramPool(net::IpAddr vip, std::vector<net::IpAddr> instances,
+                           std::uint64_t epoch, sim::Duration per_mux_delay) {
+  for (std::size_t i = 0; i < muxes_.size(); ++i) {
+    Mux* mux = muxes_[i].get();
+    if (per_mux_delay == 0) {
+      mux->SetPool(vip, instances, epoch);
+      continue;
+    }
+    sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                [mux, vip, instances, epoch]() { mux->SetPool(vip, instances, epoch); });
+  }
+}
+
+void L4Fabric::AddPoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
+                             sim::Duration per_mux_delay) {
+  for (std::size_t i = 0; i < muxes_.size(); ++i) {
+    Mux* mux = muxes_[i].get();
+    if (per_mux_delay == 0) {
+      mux->AddMember(vip, instance, epoch);
+      continue;
+    }
+    sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                [mux, vip, instance, epoch]() { mux->AddMember(vip, instance, epoch); });
+  }
+}
+
+void L4Fabric::RemovePoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
+                                sim::Duration per_mux_delay) {
+  for (std::size_t i = 0; i < muxes_.size(); ++i) {
+    Mux* mux = muxes_[i].get();
+    if (per_mux_delay == 0) {
+      mux->RemoveMember(vip, instance, epoch);
+      continue;
+    }
+    sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                [mux, vip, instance, epoch]() { mux->RemoveMember(vip, instance, epoch); });
+  }
+}
+
 void L4Fabric::RemoveInstanceEverywhere(net::IpAddr instance) {
   for (auto& mux : muxes_) {
     mux->RemoveInstance(instance);

@@ -47,6 +47,24 @@ class L4Fabric : public net::Node {
   // clears its SNAT pins, so subsequent packets re-ECMP over survivors.
   void RemoveInstanceEverywhere(net::IpAddr instance);
 
+  // --- epoched controller API (reconciliation rollout) ---
+  // Every write carries the ControlState epoch that produced it; muxes drop
+  // writes from epochs older than the newest they have applied per VIP (see
+  // Mux::SetPool), which is what makes in-flight staggered rollouts safe to
+  // overtake. `per_mux_delay` staggers application across muxes (0 = all at
+  // once); a member write on mux i lands at i * per_mux_delay.
+  void ProgramPool(net::IpAddr vip, std::vector<net::IpAddr> instances, std::uint64_t epoch,
+                   sim::Duration per_mux_delay = 0);
+  void AddPoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
+                     sim::Duration per_mux_delay = 0);
+  void RemovePoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
+                        sim::Duration per_mux_delay = 0);
+  // How long after issuing a staggered write the last mux has applied it.
+  sim::Duration ConvergenceDelay(sim::Duration per_mux_delay) const {
+    return muxes_.empty() ? 0
+                          : per_mux_delay * static_cast<sim::Duration>(muxes_.size() - 1);
+  }
+
   // --- SNAT API (used by L7 instances opening VIP-sourced connections) ---
   // `server_side` is the tuple of *return* packets: (server -> VIP).
   void RegisterSnat(const net::FiveTuple& server_side, net::IpAddr owner);

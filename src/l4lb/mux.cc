@@ -21,11 +21,58 @@ net::IpAddr RendezvousPick(const net::FiveTuple& tuple, const std::vector<net::I
   return best;
 }
 
-void Mux::SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances) {
-  pools_[vip] = std::move(instances);
+bool Mux::StaleEpoch(net::IpAddr vip, std::uint64_t epoch) {
+  if (epoch == 0) {
+    return false;  // Unversioned writes always apply.
+  }
+  auto it = pool_epochs_.find(vip);
+  if (it != pool_epochs_.end() && epoch < it->second) {
+    return true;
+  }
+  pool_epochs_[vip] = epoch;
+  return false;
 }
 
-void Mux::RemoveVip(net::IpAddr vip) { pools_.erase(vip); }
+bool Mux::SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances, std::uint64_t epoch) {
+  if (StaleEpoch(vip, epoch)) {
+    return false;
+  }
+  pools_[vip] = std::move(instances);
+  return true;
+}
+
+bool Mux::AddMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch) {
+  if (StaleEpoch(vip, epoch)) {
+    return false;
+  }
+  std::vector<net::IpAddr>& pool = pools_[vip];
+  if (std::find(pool.begin(), pool.end(), instance) == pool.end()) {
+    pool.push_back(instance);
+  }
+  return true;
+}
+
+bool Mux::RemoveMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch) {
+  if (StaleEpoch(vip, epoch)) {
+    return false;
+  }
+  auto it = pools_.find(vip);
+  if (it != pools_.end()) {
+    it->second.erase(std::remove(it->second.begin(), it->second.end(), instance),
+                     it->second.end());
+  }
+  return true;
+}
+
+std::uint64_t Mux::PoolEpoch(net::IpAddr vip) const {
+  auto it = pool_epochs_.find(vip);
+  return it == pool_epochs_.end() ? 0 : it->second;
+}
+
+void Mux::RemoveVip(net::IpAddr vip) {
+  pools_.erase(vip);
+  pool_epochs_.erase(vip);
+}
 
 void Mux::RemoveInstance(net::IpAddr instance) {
   for (auto& [vip, pool] : pools_) {

@@ -41,10 +41,25 @@ class Mux {
   int id() const { return id_; }
 
   // Installs/overwrites the instance pool for a VIP on this mux.
-  void SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances);
+  //
+  // Epoch semantics (controller make-before-break rollout): every pool write
+  // carries the ControlState epoch that produced it. A mux remembers the
+  // newest epoch applied per VIP and IGNORES writes from older epochs, so a
+  // staggered update still in flight when a newer reconfiguration (e.g. a
+  // failure repair) lands cannot clobber it. Epoch 0 is the unversioned
+  // escape hatch (applies unconditionally; legacy callers and tests).
+  // Returns false when the write was rejected as stale.
+  bool SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances, std::uint64_t epoch = 0);
+  // Idempotent member-level writes (the rollout's add/remove steps). Adding
+  // a member that is already pooled, or removing one that is not, is a no-op
+  // (returns true: the desired state holds). Stale epochs return false.
+  bool AddMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch = 0);
+  bool RemoveMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch = 0);
   void RemoveVip(net::IpAddr vip);
   // Removes one instance from every pool (failure handling).
   void RemoveInstance(net::IpAddr instance);
+  // Newest epoch applied to this VIP's pool (0 = only unversioned writes).
+  std::uint64_t PoolEpoch(net::IpAddr vip) const;
 
   const std::vector<net::IpAddr>* PoolFor(net::IpAddr vip) const;
 
@@ -56,8 +71,11 @@ class Mux {
   const MuxStats& stats() const { return stats_; }
 
  private:
+  bool StaleEpoch(net::IpAddr vip, std::uint64_t epoch);
+
   int id_;
   std::unordered_map<net::IpAddr, std::vector<net::IpAddr>> pools_;
+  std::unordered_map<net::IpAddr, std::uint64_t> pool_epochs_;
   MuxStats stats_;
 };
 

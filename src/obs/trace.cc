@@ -72,6 +72,20 @@ const char* EventTypeName(EventType type) {
       return "FaultInjected";
     case EventType::kFaultCleared:
       return "FaultCleared";
+    case EventType::kConfigChange:
+      return "ConfigChange";
+    case EventType::kReconcilePlan:
+      return "ReconcilePlan";
+    case EventType::kReconcileStep:
+      return "ReconcileStep";
+    case EventType::kReconcileDone:
+      return "ReconcileDone";
+    case EventType::kPoolMemberAdd:
+      return "PoolMemberAdd";
+    case EventType::kPoolMemberRemove:
+      return "PoolMemberRemove";
+    case EventType::kVipRemoved:
+      return "VipRemoved";
   }
   return "Unknown";
 }

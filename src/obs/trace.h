@@ -57,7 +57,8 @@ enum class EventType : std::uint8_t {
   kBackendDown,          // Backend marked unhealthy. where=backend.
   kBackendUp,            // Backend marked healthy again. where=backend.
   kPoolUpdate,           // VIP pool reprogrammed on the muxes. where=vip,
-                         // detail=pool size.
+                         // detail=pool size (low 32) | plan epoch (high 32;
+                         // 0 for legacy unversioned writes).
   kRuleUpdate,           // VIP rules swapped. where=vip, detail=rule count.
   kSpareActivated,       // Elastic scale-out activated a spare. where=instance.
   // --- flow scope (failure-path hardening) ---
@@ -74,6 +75,24 @@ enum class EventType : std::uint8_t {
                          // detail=fault kind.
   kFaultCleared,         // Fault plane removed a fault. where=target,
                          // detail=fault kind.
+  // --- system scope (reconciliation control plane) ---
+  kConfigChange,         // ControlState changelog entry. where=vip/instance,
+                         // detail=epoch (low 32) | change kind (high 32).
+  kReconcilePlan,        // UpdatePlan execution began. where=epoch (low 32),
+                         // detail=step count.
+  kReconcileStep,        // One plan step executed. where=vip,
+                         // detail=instance ip (low 32) | step kind (high 32).
+  kReconcileDone,        // Plan fully executed. where=epoch (low 32),
+                         // detail=steps executed.
+  kPoolMemberAdd,        // (vip, instance) added to mux pools. where=vip,
+                         // detail=instance ip (low 32) | plan epoch (high 32).
+                         // Recorded once converged on the LAST mux
+                         // (conservative for blackout checks).
+  kPoolMemberRemove,     // (vip, instance) leaving mux pools. where=vip,
+                         // detail=instance ip (low 32) | plan epoch (high 32).
+                         // Recorded when the FIRST mux drops it (again
+                         // conservative).
+  kVipRemoved,           // VIP withdrawn from the fabric. where=vip.
 };
 
 // detail payload of kFlowReset.

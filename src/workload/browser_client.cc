@@ -120,7 +120,7 @@ void BrowserClient::FetchSequence(net::IpAddr target, net::Port port,
   StartAttempt(fetch);
 }
 
-void BrowserClient::StartAttempt(const std::shared_ptr<Fetch>& fetch) {
+void BrowserClient::StartAttempt(std::shared_ptr<Fetch> fetch) {
   ++fetch->attempts;
   fetch->parser = http::ResponseParser();
 
@@ -284,7 +284,7 @@ void BrowserClient::StartAttempt(const std::shared_ptr<Fetch>& fetch) {
                      static_cast<std::uint32_t>(rng_.UniformInt(1, 1u << 30)));
 }
 
-void BrowserClient::FinishFetch(const std::shared_ptr<Fetch>& fetch, FetchResult result) {
+void BrowserClient::FinishFetch(std::shared_ptr<Fetch> fetch, FetchResult result) {
   if (fetch->finished) {
     return;
   }

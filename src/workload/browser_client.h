@@ -85,8 +85,12 @@ class BrowserClient : public net::Node {
   struct Fetch;
   struct PageFetch;
 
-  void StartAttempt(const std::shared_ptr<Fetch>& fetch);
-  void FinishFetch(const std::shared_ptr<Fetch>& fetch, FetchResult result);
+  // Both take the fetch by value: callers are often callbacks OWNED by the
+  // fetch's current TcpEndpoint, and StartAttempt replaces that endpoint —
+  // destroying the calling lambda and the shared_ptr it captured. The by-value
+  // copy keeps the fetch alive through its own re-arming.
+  void StartAttempt(std::shared_ptr<Fetch> fetch);
+  void FinishFetch(std::shared_ptr<Fetch> fetch, FetchResult result);
   // Advances a FetchPage chain by one object. Callbacks hold the PageFetch
   // state; the state holds no callbacks, so no ownership cycle forms.
   void PageStep(const std::shared_ptr<PageFetch>& page, const FetchResult& result);

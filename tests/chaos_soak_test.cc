@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -147,6 +149,101 @@ TEST_P(ChaosSoak, InvariantsHoldUnderRandomFaults) {
 
 // Seeds 1..8: the ISSUE's >= 8-seed soak matrix.
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak, ::testing::Range<std::uint64_t>(1, 9));
+
+// Crash an assigned instance while an assignment rollout is in flight: the
+// make phase's staggered mux writes have not converged and the break phase is
+// parked behind the convergence barrier when the instance dies. The failure
+// reconcile (scrub + evict + headroom repair) overtakes the rollout; epoch
+// gating must make the overtaken plan's stragglers harmless, and no VIP may
+// ever see an empty mux pool along the way.
+TEST(ChaosRolloutCrash, MidRolloutCrashNeverEmptiesAPool) {
+  TestbedConfig cfg;
+  cfg.seed = 11;
+  cfg.yoda_instances = 4;
+  cfg.backends = 4;
+  cfg.clients = 2;
+  cfg.controller.monitor_interval = sim::Msec(50);
+  cfg.controller.fail_after_misses = 2;
+  cfg.instance_template.flow_idle_timeout = sim::Msec(400);
+  cfg.instance_template.idle_scan_interval = sim::Msec(100);
+  cfg.instance_template.server_syn_timeout = sim::Msec(150);
+  Testbed tb(cfg);
+  tb.DefineDefaultVipAndStart();
+
+  OpenLoopGenerator::Config gcfg;
+  gcfg.requests_per_second = 200;
+  gcfg.duration = sim::Msec(1000);
+  gcfg.target = tb.vip();
+  gcfg.fetch.http_timeout = sim::Sec(2);
+  gcfg.fetch.retries = 1;
+  for (const WebObject& o : tb.catalog->objects()) {
+    if (o.size <= 40'000) {
+      gcfg.urls.push_back(o.url);
+    }
+    if (gcfg.urls.size() == 8) {
+      break;
+    }
+  }
+  ASSERT_FALSE(gcfg.urls.empty());
+  std::vector<BrowserClient*> clients;
+  for (auto& c : tb.clients) {
+    clients.push_back(c.get());
+  }
+  OpenLoopGenerator gen(&tb.sim, clients, cfg.seed ^ 0x10adULL, gcfg);
+  gen.Start();
+
+  // Round 1 shrinks the bootstrap all-to-all pool to 2 instances; round 2
+  // grows it to 3 — a genuine make/barrier/break rollout whose staggered
+  // writes span hundreds of ms. The crash lands 30 ms into round 2.
+  std::map<net::IpAddr, yoda::Controller::VipDemand> demand;
+  tb.sim.At(sim::Msec(200), [&] {
+    demand[tb.vip()] = {0.4, 2, 0};
+    ASSERT_TRUE(tb.controller->ApplyManyToMany(demand, 1.0, 2000));
+  });
+  net::IpAddr victim = 0;
+  tb.sim.At(sim::Msec(400), [&] {
+    demand[tb.vip()] = {0.6, 3, 0};
+    ASSERT_TRUE(tb.controller->ApplyManyToMany(demand, 1.0, 2000));
+  });
+  tb.sim.At(sim::Msec(430), [&] {
+    const auto assigned = tb.controller->AssignedInstances(tb.vip());
+    ASSERT_FALSE(assigned.empty());
+    victim = assigned[0];
+    tb.faults->CrashNode(victim);
+  });
+
+  tb.sim.RunUntil(sim::Msec(1000) + sim::Sec(2) * 2 + sim::Sec(4));
+  ASSERT_NE(victim, 0u);
+
+  // The rollout-crash interleaving settled: no plan still in flight, the dead
+  // instance is gone from the assignment, and the repair kept n_v replicas.
+  EXPECT_EQ(tb.controller->actuator().plans_in_flight(), 0);
+  const auto settled = tb.controller->AssignedInstances(tb.vip());
+  EXPECT_EQ(std::count(settled.begin(), settled.end(), victim), 0);
+  EXPECT_EQ(settled.size(), 3u);
+  EXPECT_EQ(tb.controller->detected_failures(), 1);
+
+  fault::SoakExpectations expect;
+  expect.crashed.insert(victim);
+  const fault::SoakReport report = fault::CheckSoakInvariants(tb.flight, expect);
+  std::string violations;
+  for (const auto& v : report.violations) {
+    violations += "  " + v + "\n";
+  }
+  EXPECT_TRUE(report.ok()) << "violations:\n" << violations;
+  EXPECT_GT(gen.completed(), gen.issued() / 2);
+
+  // No VIP with >= 1 pool member ever dropped to zero members mid-update.
+  const fault::PoolContinuityReport pools = fault::CheckPoolContinuity(tb.flight);
+  EXPECT_GE(pools.vips_checked, 1u);
+  std::string pool_violations;
+  for (const auto& v : pools.violations) {
+    pool_violations += "  " + v + "\n";
+  }
+  EXPECT_TRUE(pools.ok()) << "pool continuity violations:\n" << pool_violations;
+  // The overtaken rollout really did leave stragglers for the gating to eat.
+  EXPECT_GT(pools.stale_skipped, 0u);
+}
 
 TEST(ChaosSoakDeterminism, SameSeedProducesByteIdenticalTraces) {
   const SoakOutcome first = RunSoak(3);

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "src/workload/testbed.h"
@@ -228,11 +229,123 @@ TEST_F(ControllerTest, FailureInManyToManyModeShrinksOnlyAffectedPools) {
     }
   }
   ASSERT_GE(victim, 0);
+  const net::IpAddr dead = assigned[0];
   tb->FailInstance(victim);
   tb->controller->MonitorTick();
+  // The dead instance is scrubbed from the assignment immediately, and the
+  // repair reconcile tops the pool back up to its n_v = 2 replicas from the
+  // survivors (the VIP was provisioned with zero failure headroom).
   const auto after = tb->controller->AssignedInstances(tb->vip(0));
-  EXPECT_EQ(after.size(), 1u);
-  EXPECT_EQ(after[0], assigned[1]);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(std::count(after.begin(), after.end(), dead), 0);
+  EXPECT_NE(std::find(after.begin(), after.end(), assigned[1]), after.end());
+}
+
+TEST_F(ControllerTest, InstanceKilledMidRolloutIsScrubbedAndRepaired) {
+  TestbedConfig cfg;
+  cfg.yoda_instances = 4;
+  Build(cfg);
+  tb->controller->DefineVip(tb->vip(0), 80, tb->EqualSplitRules(0, 2, "r0"));
+  std::map<net::IpAddr, Controller::VipDemand> demand;
+  demand[tb->vip(0)] = {0.4, 2, 0};
+  ASSERT_TRUE(tb->controller->ApplyManyToMany(demand, 1.0, 2000));
+
+  // The staggered rollout is still in flight: kill an assigned instance NOW,
+  // before the muxes converge and before the break phase runs.
+  const auto assigned = tb->controller->AssignedInstances(tb->vip(0));
+  ASSERT_EQ(assigned.size(), 2u);
+  const net::IpAddr dead = assigned[0];
+  int victim = -1;
+  for (std::size_t i = 0; i < tb->instances.size(); ++i) {
+    if (tb->instances[i]->ip() == dead) {
+      victim = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(victim, 0);
+  tb->FailInstance(victim);
+  tb->controller->MonitorTick();
+
+  // The failure scrubs the dead instance from the desired assignment at once:
+  // AssignedInstances must never hand it out again, and the repair reconcile
+  // restores the VIP to its n_v = 2 replicas from the survivors.
+  const auto after = tb->controller->AssignedInstances(tb->vip(0));
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(std::count(after.begin(), after.end(), dead), 0);
+
+  // Let the interrupted rollout's stragglers and the repair rollout land.
+  // Epoch gating makes the overtaken plan's late writes harmless.
+  tb->sim.RunUntil(tb->sim.now() + sim::Sec(2));
+  const auto settled = tb->controller->AssignedInstances(tb->vip(0));
+  ASSERT_EQ(settled.size(), 2u);
+  EXPECT_EQ(std::count(settled.begin(), settled.end(), dead), 0);
+  for (int m = 0; m < tb->fabric.mux_count(); ++m) {
+    const auto* pool = tb->fabric.mux(m).PoolFor(tb->vip(0));
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(std::count(pool->begin(), pool->end(), dead), 0) << "mux " << m;
+    EXPECT_EQ(std::set<net::IpAddr>(pool->begin(), pool->end()),
+              std::set<net::IpAddr>(settled.begin(), settled.end()))
+        << "mux " << m;
+  }
+  EXPECT_EQ(tb->controller->actuator().plans_in_flight(), 0);
+}
+
+TEST_F(ControllerTest, LiveReconfigurationFlowsThroughEpochedPlans) {
+  TestbedConfig cfg;
+  cfg.yoda_instances = 4;
+  Build(cfg);
+  tb->controller->DefineVip(tb->vip(0), 80, tb->EqualSplitRules(0, 2, "r0"));
+  std::map<net::IpAddr, Controller::VipDemand> demand;
+  demand[tb->vip(0)] = {0.4, 2, 0};
+  ASSERT_TRUE(tb->controller->ApplyManyToMany(demand, 1.0, 2000));
+  tb->sim.RunUntil(tb->sim.now() + sim::Sec(1));
+  tb->FailInstance(0);
+  tb->controller->MonitorTick();
+  tb->sim.RunUntil(tb->sim.now() + sim::Sec(1));
+  tb->controller->RemoveVip(tb->vip(0));
+
+  // Every live reconfiguration above went through the actuator as an
+  // epoch-stamped plan step — nothing touched the fabric out of band.
+  const auto& journal = tb->controller->actuator().journal();
+  ASSERT_FALSE(journal.empty());
+  const std::uint64_t newest = tb->controller->state().epoch();
+  std::set<std::uint64_t> epochs_seen;
+  std::map<std::pair<std::uint64_t, net::IpAddr>, bool> broke;
+  for (const ExecutedStep& e : journal) {
+    EXPECT_GT(e.epoch, 0u);
+    EXPECT_LE(e.epoch, newest);
+    epochs_seen.insert(e.epoch);
+    // Make-before-break within each (epoch, vip): once a break-phase step
+    // ran, no make-phase step for the same pair may follow.
+    const auto key = std::make_pair(e.epoch, e.step.vip);
+    switch (e.step.kind) {
+      case ExecStepKind::kRemovePoolMember:
+      case ExecStepKind::kScrubRules:
+      case ExecStepKind::kDetachVip:
+        broke[key] = true;
+        break;
+      case ExecStepKind::kInstallRules:
+      case ExecStepKind::kAddPoolMember:
+      case ExecStepKind::kAttachVip:
+        EXPECT_FALSE(broke[key])
+            << ExecStepKindName(e.step.kind) << " after break in epoch " << e.epoch;
+        break;
+      default:
+        break;
+    }
+  }
+  // Distinct reconfigurations carried distinct epochs (define, rollout,
+  // failure scrub + repair, removal).
+  EXPECT_GE(epochs_seen.size(), 4u);
+  EXPECT_GE(tb->metrics.GetCounter("controller.reconcile.plans").value(), 4u);
+  EXPECT_EQ(tb->metrics.GetCounter("controller.reconcile.plans").value(),
+            static_cast<std::uint64_t>(
+                tb->flight.system_events().size() > 0
+                    ? std::count_if(tb->flight.system_events().begin(),
+                                    tb->flight.system_events().end(),
+                                    [](const obs::TraceEvent& ev) {
+                                      return ev.type == obs::EventType::kReconcilePlan;
+                                    })
+                    : 0));
 }
 
 TEST_F(ControllerTest, PeriodicAssignmentFollowsMeasuredTraffic) {

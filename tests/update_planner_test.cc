@@ -1,0 +1,170 @@
+// UpdatePlanner edge cases and the make-before-break ordering contract
+// (paper §4.5): empty previous assignments, VIPs disappearing between
+// rounds, pre-overloaded fleets, and a property check that ExecutionOrder
+// always yields a valid make-before-break sequence with adds preceding
+// removes for every VIP.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/assign/update_planner.h"
+#include "src/core/assignment_engine.h"
+#include "src/sim/random.h"
+
+namespace assign {
+namespace {
+
+Problem TwoVipProblem() {
+  Problem p;
+  p.max_instances = 4;
+  p.traffic_capacity = 1.0;
+  p.vips.push_back({/*id=*/1, /*traffic=*/0.4, /*rules=*/10, /*replicas=*/2, /*failures=*/0});
+  p.vips.push_back({/*id=*/2, /*traffic=*/0.4, /*rules=*/10, /*replicas=*/2, /*failures=*/0});
+  return p;
+}
+
+TEST(UpdatePlannerEdge, EmptyOldAssignmentIsAddsOnlyWithoutBarrier) {
+  Problem p = TwoVipProblem();
+  Assignment old_a;  // Nothing programmed yet (bootstrap round).
+  old_a.vip_instances.resize(p.vips.size());
+  Assignment new_a;
+  new_a.vip_instances = {{0, 1}, {2, 3}};
+
+  const UpdatePlan plan = PlanUpdate(p, old_a, new_a);
+  ASSERT_EQ(plan.deltas.size(), 2u);
+  for (const VipDelta& d : plan.deltas) {
+    EXPECT_EQ(d.added_instances.size(), 2u);
+    EXPECT_TRUE(d.removed_instances.empty());
+  }
+  EXPECT_EQ(plan.migrated_fraction, 0.0);
+  EXPECT_EQ(plan.instances_before, 0);
+
+  // Adds-only: no transient window, so no convergence barrier is emitted.
+  const std::vector<PlanStep> steps = ExecutionOrder(plan);
+  for (const PlanStep& s : steps) {
+    EXPECT_NE(s.kind, PlanStepKind::kAwaitConvergence);
+    EXPECT_NE(s.kind, PlanStepKind::kRemovePoolMember);
+    EXPECT_NE(s.kind, PlanStepKind::kScrubRules);
+  }
+  EXPECT_TRUE(IsMakeBeforeBreak(steps));
+}
+
+TEST(UpdatePlannerEdge, VipRemovedBetweenRoundsDoesNotPoisonAlignment) {
+  // Round 1 solves for VIPs {1, 2}; VIP 1 disappears before round 2. The
+  // engine aligns the remembered previous assignment BY VIP ID, so VIP 2
+  // keeps its continuity row and the vanished VIP contributes no deltas.
+  yoda::AssignmentEngine engine;
+  Problem p1 = TwoVipProblem();
+  const auto r1 = engine.PlanRound(p1, /*limit_transient=*/true, /*limit_migration=*/true);
+  ASSERT_TRUE(r1.feasible);
+
+  Problem p2;
+  p2.max_instances = 4;
+  p2.traffic_capacity = 1.0;
+  p2.vips.push_back(p1.vips[1]);  // Only VIP id 2 survives.
+  const auto r2 = engine.PlanRound(p2, true, true);
+  ASSERT_TRUE(r2.feasible);
+  for (const VipDelta& d : r2.plan.deltas) {
+    EXPECT_EQ(d.vip_id, 2);  // No delta may reference the removed VIP.
+  }
+  // Continuity: VIP 2 did not need to move, so nothing migrated.
+  EXPECT_EQ(r2.plan.migrated_fraction, 0.0);
+  EXPECT_TRUE(r2.plan.deltas.empty());
+}
+
+TEST(UpdatePlannerEdge, AllInstancesPreOverloadedAreReported) {
+  Problem p;
+  p.max_instances = 2;
+  p.traffic_capacity = 1.0;
+  // Each VIP alone exceeds one instance's capacity.
+  p.vips.push_back({1, 1.6, 10, 1, 0});
+  p.vips.push_back({2, 1.6, 10, 1, 0});
+  Assignment old_a;
+  old_a.vip_instances = {{0}, {1}};
+  Assignment new_a;
+  new_a.vip_instances = {{1}, {0}};
+
+  const UpdatePlan plan = PlanUpdate(p, old_a, new_a);
+  EXPECT_EQ(plan.pre_overloaded_instances, (std::vector<int>{0, 1}));
+  // The swap makes the transient union worse, never better.
+  EXPECT_EQ(plan.overloaded_instances, (std::vector<int>{0, 1}));
+}
+
+TEST(UpdatePlannerProperty, ExecutionOrderAddsPrecedeRemovesPerVip) {
+  sim::Rng rng(20260806);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int vips = static_cast<int>(rng.UniformInt(1, 5));
+    const int instances = static_cast<int>(rng.UniformInt(2, 7));
+    Problem p;
+    p.max_instances = instances;
+    Assignment old_a;
+    Assignment new_a;
+    for (int v = 0; v < vips; ++v) {
+      p.vips.push_back({v + 1, 0.1, 1, 1, 0});
+      std::vector<int> old_row;
+      std::vector<int> new_row;
+      for (int y = 0; y < instances; ++y) {
+        if (rng.UniformInt(0, 1) == 0) {
+          old_row.push_back(y);
+        }
+        if (rng.UniformInt(0, 1) == 0) {
+          new_row.push_back(y);
+        }
+      }
+      old_a.vip_instances.push_back(old_row);
+      new_a.vip_instances.push_back(new_row);
+    }
+    const UpdatePlan plan = PlanUpdate(p, old_a, new_a);
+    const std::vector<PlanStep> steps = ExecutionOrder(plan);
+    ASSERT_TRUE(IsMakeBeforeBreak(steps)) << "iter " << iter;
+
+    // Property: for any VIP, every add-side step precedes every remove-side
+    // step (strict make-before-break per VIP, not just globally).
+    std::map<int, std::size_t> last_add;
+    std::map<int, std::size_t> first_remove;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const PlanStep& s = steps[i];
+      if (s.kind == PlanStepKind::kInstallRules || s.kind == PlanStepKind::kAddPoolMember) {
+        last_add[s.vip_id] = i;
+      }
+      if ((s.kind == PlanStepKind::kRemovePoolMember || s.kind == PlanStepKind::kScrubRules) &&
+          !first_remove.contains(s.vip_id)) {
+        first_remove[s.vip_id] = i;
+      }
+    }
+    for (const auto& [vip, add_at] : last_add) {
+      auto it = first_remove.find(vip);
+      if (it != first_remove.end()) {
+        EXPECT_LT(add_at, it->second) << "vip " << vip << " iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(UpdatePlannerProperty, IsMakeBeforeBreakRejectsViolations) {
+  // Pooled before rules.
+  EXPECT_FALSE(IsMakeBeforeBreak({{PlanStepKind::kAddPoolMember, 1, 0}}));
+  // Remove overlapping un-converged adds (no barrier).
+  EXPECT_FALSE(IsMakeBeforeBreak({{PlanStepKind::kInstallRules, 1, 0},
+                                  {PlanStepKind::kAddPoolMember, 1, 0},
+                                  {PlanStepKind::kRemovePoolMember, 1, 1}}));
+  // Scrubbing rules a pool still routes to.
+  EXPECT_FALSE(IsMakeBeforeBreak({{PlanStepKind::kInstallRules, 1, 0},
+                                  {PlanStepKind::kAddPoolMember, 1, 0},
+                                  {PlanStepKind::kScrubRules, 1, 0}}));
+  // A barrier with nothing to fence.
+  EXPECT_FALSE(IsMakeBeforeBreak({{PlanStepKind::kAwaitConvergence, 0, 0}}));
+  // The canonical valid sequence.
+  EXPECT_TRUE(IsMakeBeforeBreak({{PlanStepKind::kInstallRules, 1, 0},
+                                 {PlanStepKind::kAddPoolMember, 1, 0},
+                                 {PlanStepKind::kAwaitConvergence, 0, 0},
+                                 {PlanStepKind::kRemovePoolMember, 1, 1},
+                                 {PlanStepKind::kScrubRules, 1, 1}}));
+}
+
+}  // namespace
+}  // namespace assign

@@ -1,0 +1,144 @@
+// ctl_dump: run a Yoda scenario file and dump the control plane's history —
+// the ControlState changelog (every epoch-stamped desired-state mutation) and
+// the FleetActuator's reconcile timeline (every executed plan step, with
+// replay/skip flags), plus the reconcile counters.
+//
+//   ctl_dump <scenario-file>               # changelog + reconcile timeline
+//   ctl_dump <scenario-file> --from-trace  # rebuild the changelog from the
+//                                          # flight recorder's kConfigChange
+//                                          # events instead of live state,
+//                                          # proving a trace alone suffices
+//   ctl_dump <scenario-file> --epoch N     # limit output to epoch N
+//
+// See src/workload/scenario.h for the scenario DSL.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/controller.h"
+#include "src/obs/analyzer.h"
+#include "src/workload/scenario.h"
+
+namespace {
+
+void PrintChangelog(const workload::Testbed& tb, std::uint64_t only_epoch) {
+  const auto& log = tb.controller->state().changelog();
+  std::printf("control-state changelog (%zu records, newest epoch %llu):\n", log.size(),
+              static_cast<unsigned long long>(tb.controller->state().epoch()));
+  for (const yoda::ChangeRecord& rec : log) {
+    if (only_epoch != 0 && rec.epoch != only_epoch) {
+      continue;
+    }
+    std::printf("  epoch %-5llu %10.3f ms  %-18s %-15s detail=%llu\n",
+                static_cast<unsigned long long>(rec.epoch), sim::ToMillis(rec.at),
+                yoda::ChangeKindName(rec.kind), obs::FormatIp(rec.subject).c_str(),
+                static_cast<unsigned long long>(rec.detail));
+  }
+}
+
+// The changelog again, but rebuilt purely from kConfigChange system events:
+// detail packs (change kind << 32) | (epoch & 0xffffffff).
+void PrintChangelogFromTrace(const workload::Testbed& tb, std::uint64_t only_epoch) {
+  std::size_t records = 0;
+  for (const obs::TraceEvent& ev : tb.flight.system_events()) {
+    records += ev.type == obs::EventType::kConfigChange ? 1 : 0;
+  }
+  std::printf("control-state changelog rebuilt from trace (%zu kConfigChange events):\n",
+              records);
+  for (const obs::TraceEvent& ev : tb.flight.system_events()) {
+    if (ev.type != obs::EventType::kConfigChange) {
+      continue;
+    }
+    const auto kind = static_cast<yoda::ChangeKind>(ev.detail >> 32);
+    const std::uint64_t epoch = ev.detail & 0xffffffffULL;
+    if (only_epoch != 0 && epoch != only_epoch) {
+      continue;
+    }
+    std::printf("  epoch %-5llu %10.3f ms  %-18s %-15s\n",
+                static_cast<unsigned long long>(epoch), sim::ToMillis(ev.at),
+                yoda::ChangeKindName(kind), obs::FormatIp(ev.where).c_str());
+  }
+}
+
+void PrintReconcileTimeline(workload::Testbed& tb, std::uint64_t only_epoch) {
+  const auto& journal = tb.controller->actuator().journal();
+  std::printf("\nreconcile timeline (%zu executed steps):\n", journal.size());
+  std::uint64_t last_epoch = 0;
+  for (const yoda::ExecutedStep& e : journal) {
+    if (only_epoch != 0 && e.epoch != only_epoch) {
+      continue;
+    }
+    if (e.epoch != last_epoch) {
+      std::printf("  -- epoch %llu --\n", static_cast<unsigned long long>(e.epoch));
+      last_epoch = e.epoch;
+    }
+    std::printf("  %10.3f ms  %-18s vip=%-15s inst=%-15s%s\n", sim::ToMillis(e.at),
+                yoda::ExecStepKindName(e.step.kind), obs::FormatIp(e.step.vip).c_str(),
+                obs::FormatIp(e.step.instance).c_str(),
+                e.replayed ? "  [replayed/skipped]" : "");
+  }
+  std::printf("\nreconcile counters:\n");
+  for (const char* name :
+       {"controller.reconcile.plans", "controller.reconcile.steps",
+        "controller.reconcile.replayed_steps", "controller.reconcile.convergence_waits",
+        "controller.rule_updates", "controller.pool_updates"}) {
+    std::printf("  %-40s %llu\n", name,
+                static_cast<unsigned long long>(tb.metrics.GetCounter(name).value()));
+  }
+  if (tb.controller->actuator().plans_in_flight() != 0) {
+    std::printf("  WARNING: %d plan(s) still in flight at end of run\n",
+                tb.controller->actuator().plans_in_flight());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool from_trace = false;
+  std::uint64_t only_epoch = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--from-trace") {
+      from_trace = true;
+    } else if (arg == "--epoch" && i + 1 < argc) {
+      only_epoch = std::strtoull(argv[++i], nullptr, 10);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s <scenario-file> [--from-trace] [--epoch N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s <scenario-file> [--from-trace] [--epoch N]\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string error;
+  auto scenario = workload::ParseScenario(buf.str(), &error);
+  if (!scenario) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+
+  workload::RunScenario(*scenario, nullptr, [&](workload::Testbed& tb) {
+    if (from_trace) {
+      PrintChangelogFromTrace(tb, only_epoch);
+    } else {
+      PrintChangelog(tb, only_epoch);
+    }
+    PrintReconcileTimeline(tb, only_epoch);
+  });
+  return 0;
+}
