@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -226,6 +227,153 @@ void PacketTimelineSection() {
   tb.PrintMetricsSnapshot("metrics registry snapshot (timeline run)");
 }
 
+// Controller-failure class: the LEADER CONTROLLER dies mid-rollout (instead
+// of a data-plane instance). Measured from the traces: time to a new leader
+// (crash -> next kLeaseAcquired), time to rollout completion (rollout issue
+// -> the resumed plan's last reconcile step), and how many requests the
+// control-plane failover impacted. The same schedule runs once WITHOUT the
+// crash as the control: rollout migration itself perturbs a few flows, and
+// only the delta is attributable to the failover — the paper's availability
+// claim is that the delta is zero, because muxes and instances keep serving
+// from their last programmed state while the standby restores the journal.
+struct CtlFailoverResult {
+  int completed = 0;
+  int broken = 0;
+  sim::Time rollout_at = 0;
+  sim::Time crash_at = 0;
+  sim::Time new_leader_at = 0;
+  sim::Time resumed_at = 0;
+  sim::Time rollout_done_at = 0;
+};
+
+CtlFailoverResult RunCtlFailover(bool crash_leader) {
+  workload::TestbedConfig cfg;
+  cfg.yoda_instances = 4;
+  cfg.backends = 6;
+  cfg.clients = 6;
+  cfg.controller_ha = true;
+  cfg.controllers = 3;
+  workload::Testbed tb(cfg);
+  tb.StartAllControllers();
+  yoda::Controller* leader = tb.AwaitLeader();
+  CtlFailoverResult out;
+  if (leader == nullptr) {
+    return out;
+  }
+  // Two VIPs so the second assignment round both grows one pool and shrinks
+  // the other — that mix is what produces a make/barrier/break plan whose
+  // break phase is still parked when the leader dies.
+  leader->DefineVip(tb.vip(0), 80, tb.EqualSplitRules(0, 3, "r0"));
+  leader->DefineVip(tb.vip(1), 80, tb.EqualSplitRules(3, 3, "r1"));
+
+  // Closed-loop load so "impacted" is well-defined per request.
+  sim::Rng rng(42);
+  const sim::Duration load_until = sim::Sec(12);
+  std::function<void(int)> next_fetch = [](int) {};
+  next_fetch = [&](int proc) {
+    if (tb.sim.now() > load_until) {
+      return;
+    }
+    const auto& obj = tb.catalog->objects()[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(tb.catalog->objects().size()) - 1))];
+    auto* client = tb.clients[static_cast<std::size_t>(proc) % tb.clients.size()].get();
+    workload::FetchOptions opts;
+    opts.http_timeout = sim::Sec(30);
+    client->FetchObject(tb.vip(0), 80, obj.url, opts,
+                        [&, proc](const workload::FetchResult& r) {
+                          out.completed += r.ok ? 1 : 0;
+                          out.broken += r.ok ? 0 : 1;
+                          next_fetch(proc);
+                        });
+  };
+  for (int p = 0; p < 24; ++p) {
+    tb.sim.After(sim::Msec(10 * p), [&next_fetch, p]() { next_fetch(p); });
+  }
+
+  // Round 1 establishes the assignment; round 2 shifts it (vip0 grows, vip1
+  // shrinks) and the leader dies 10 ms in, break phase still parked.
+  std::map<net::IpAddr, yoda::Controller::VipDemand> demand;
+  tb.sim.At(sim::Sec(2), [&] {
+    demand[tb.vip(0)] = {0.4, 2, 0};
+    demand[tb.vip(1)] = {0.4, 2, 0};
+    tb.LeaderController()->ApplyManyToMany(demand, 1.0, 2000);
+  });
+  tb.sim.At(sim::Sec(5), [&] {
+    demand[tb.vip(0)] = {0.4, 3, 0};
+    demand[tb.vip(1)] = {0.4, 1, 0};
+    tb.LeaderController()->ApplyManyToMany(demand, 1.0, 2000, /*migration_limit=*/1.0);
+    out.rollout_at = tb.sim.now();
+  });
+  if (crash_leader) {
+    tb.sim.At(sim::Sec(5) + sim::Msec(10), [&] {
+      for (int i = 0; i < tb.controller_count(); ++i) {
+        yoda::Controller* c = tb.ControllerAt(i);
+        if (!c->crashed() && c->ActingLeader()) {
+          tb.CrashController(i);
+          out.crash_at = tb.sim.now();
+          return;
+        }
+      }
+    });
+  }
+  tb.sim.RunUntil(load_until + sim::Sec(31));
+
+  // Reconstruct the failover from the flight recorder.
+  for (const obs::TraceEvent& ev : tb.flight.system_events()) {
+    if (ev.type == obs::EventType::kLeaseAcquired && out.crash_at != 0 &&
+        ev.at > out.crash_at && out.new_leader_at == 0) {
+      out.new_leader_at = ev.at;
+    }
+    if (ev.type == obs::EventType::kPlanResumed && out.resumed_at == 0) {
+      out.resumed_at = ev.at;
+    }
+  }
+  // Rollout completion: the last reconcile step the surviving leader executed
+  // (its actuator journal is time-ordered).
+  yoda::Controller* survivor = tb.LeaderController();
+  if (survivor != nullptr) {
+    for (const yoda::ExecutedStep& es : survivor->actuator().journal()) {
+      out.rollout_done_at = std::max(out.rollout_done_at, es.at);
+    }
+  }
+  return out;
+}
+
+void ControllerFailoverSection() {
+  std::printf("\n=== Fig 12(c): leader-controller failure during an assignment rollout ===\n");
+  const CtlFailoverResult crashed = RunCtlFailover(/*crash_leader=*/true);
+  const CtlFailoverResult control = RunCtlFailover(/*crash_leader=*/false);
+
+  std::printf("%-46s %-14s\n", "metric", "measured");
+  std::printf("%-46s %-14.1f\n", "time to new leader (ms, crash->lease)",
+              crashed.new_leader_at > crashed.crash_at
+                  ? sim::ToMillis(crashed.new_leader_at - crashed.crash_at)
+                  : -1.0);
+  std::printf("%-46s %-14.1f\n", "time to rollout complete (ms, crash->done)",
+              crashed.rollout_done_at > crashed.crash_at
+                  ? sim::ToMillis(crashed.rollout_done_at - crashed.crash_at)
+                  : -1.0);
+  std::printf("%-46s %-14.1f\n", "  rollout issued->done, with failover (ms)",
+              crashed.rollout_done_at > crashed.rollout_at
+                  ? sim::ToMillis(crashed.rollout_done_at - crashed.rollout_at)
+                  : -1.0);
+  std::printf("%-46s %-14.1f\n", "  rollout issued->done, no failure (ms)",
+              control.rollout_done_at > control.rollout_at
+                  ? sim::ToMillis(control.rollout_done_at - control.rollout_at)
+                  : -1.0);
+  std::printf("%-46s %s\n", "in-flight plan resumed by standby",
+              crashed.resumed_at != 0 ? "yes" : "no");
+  std::printf("%-46s %d of %d\n", "requests broken, with leader crash", crashed.broken,
+              crashed.broken + crashed.completed);
+  std::printf("%-46s %d of %d\n", "requests broken, same rollout no crash", control.broken,
+              control.broken + control.completed);
+  std::printf("%-46s %d\n", "requests impacted by the failover (delta)",
+              crashed.broken - control.broken);
+  std::printf("(expected: new leader within one lease TTL (300 ms) + restore; the broken-\n"
+              " request delta is 0 — the data plane serves from its last programmed state\n"
+              " throughout the failover, and only rollout migration itself perturbs flows)\n");
+}
+
 }  // namespace
 
 int main() {
@@ -264,5 +412,6 @@ int main() {
               ha_retry.latency_s.Max());
 
   PacketTimelineSection();
+  ControllerFailoverSection();
   return 0;
 }

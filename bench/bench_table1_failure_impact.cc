@@ -130,6 +130,73 @@ Outcome RunSite(const SiteProfile& site) {
   return out;
 }
 
+// Controller-failure class: the same page load, but the component that dies
+// is the LEADER CONTROLLER of an HA Yoda control plane rather than the proxy
+// carrying the connection. The connection rides through untouched — the
+// data plane serves from its last programmed state while a standby recovers
+// the lease — so the user-visible impact is "unaffected".
+Outcome RunControllerFailure() {
+  workload::TestbedConfig cfg;
+  cfg.yoda_instances = 2;
+  cfg.backends = 3;
+  cfg.controller_ha = true;
+  cfg.controllers = 3;
+  workload::Testbed tb(cfg);
+  tb.StartAllControllers();
+  yoda::Controller* leader = tb.AwaitLeader();
+  Outcome out;
+  if (leader == nullptr) {
+    return out;
+  }
+  leader->DefineVip(tb.vip(), 80, tb.EqualSplitRules(0, cfg.backends));
+  tb.sim.RunUntil(tb.sim.now() + sim::Msec(100));
+
+  const workload::Page& page = tb.catalog->PageAt(3);
+  workload::FetchOptions opts;
+  opts.http_timeout = sim::Minutes(5);
+  opts.retries = 0;
+
+  // Baseline (no failure).
+  {
+    bool done = false;
+    tb.clients[0]->FetchPage(tb.vip(), 80, page.html_url, page.embedded, opts,
+                             [&](const workload::FetchResult& r) {
+                               out.baseline_s = sim::ToSeconds(r.latency);
+                               done = true;
+                             });
+    tb.sim.Run();
+    if (!done) {
+      return out;
+    }
+  }
+
+  // The failure run: kill the lease holder while the page is in flight.
+  bool done = false;
+  workload::FetchResult result;
+  tb.clients[0]->FetchPage(tb.vip(), 80, page.html_url, page.embedded, opts,
+                           [&](const workload::FetchResult& r) {
+                             result = r;
+                             done = true;
+                           });
+  tb.sim.RunUntil(tb.sim.now() + sim::Msec(400));
+  for (int i = 0; i < tb.controller_count(); ++i) {
+    yoda::Controller* c = tb.ControllerAt(i);
+    if (!c->crashed() && c->ActingLeader()) {
+      tb.CrashController(i);
+      break;
+    }
+  }
+  tb.sim.Run();
+  if (!done) {
+    return out;
+  }
+  out.ok = result.ok;
+  out.timed_out = result.timed_out;
+  out.reset = result.reset;
+  out.latency_s = sim::ToSeconds(result.latency);
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -167,6 +234,24 @@ int main() {
     std::printf("%-16s %-18s %-20s %-14.1f %-12.2f\n", site.name, site.paper_impact,
                 impact.c_str(), out.latency_s, out.baseline_s);
   }
+  // The contrast row: kill the Yoda HA control plane's leader instead of the
+  // proxy. No connection breaks; the page loads at baseline speed.
+  {
+    Outcome out = RunControllerFailure();
+    std::string impact;
+    if (out.reset) {
+      impact = "session reset";
+    } else if (out.timed_out) {
+      impact = "page timed-out";
+    } else if (out.ok) {
+      impact = "unaffected";
+    } else {
+      impact = "failed";
+    }
+    std::printf("%-16s %-18s %-20s %-14.1f %-12.2f\n", "yoda-ctl-crash", "unaffected (Yoda)",
+                impact.c_str(), out.latency_s, out.baseline_s);
+  }
+
   std::printf("\nMechanism check: page sites hang for the full browser HTTP timeout\n");
   std::printf("(blackholed proxy); session sites see an immediate RST from the\n");
   std::printf("restarted, state-less proxy process.\n");

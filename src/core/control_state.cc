@@ -22,6 +22,10 @@ const char* ChangeKindName(ChangeKind kind) {
       return "InstanceFailed";
     case ChangeKind::kInstanceAdmitted:
       return "InstanceAdmitted";
+    case ChangeKind::kRestored:
+      return "Restored";
+    case ChangeKind::kLeaderElected:
+      return "LeaderElected";
   }
   return "Unknown";
 }
@@ -43,17 +47,43 @@ std::uint64_t ControlState::Bump(ChangeKind kind, net::IpAddr subject, std::uint
   return epoch_;
 }
 
+void ControlState::EmitDurable(ChangeKind kind, net::IpAddr subject, std::uint64_t detail,
+                               net::Port port, const std::vector<rules::Rule>* rules,
+                               const std::map<net::IpAddr, std::vector<net::IpAddr>>* pools) {
+  if (!sink_) {
+    return;
+  }
+  DurableChange change;
+  change.epoch = epoch_;
+  change.at = sim_->now();
+  change.kind = kind;
+  change.subject = subject;
+  change.detail = detail;
+  change.port = port;
+  if (rules != nullptr) {
+    change.rules = *rules;
+  }
+  if (pools != nullptr) {
+    change.pools = *pools;
+  }
+  sink_(change);
+}
+
 std::uint64_t ControlState::DefineVip(net::IpAddr vip, net::Port port,
                                       std::vector<rules::Rule> rules) {
   const std::uint64_t detail = rules.size();
   vips_[vip] = VipDesired{port, std::move(rules)};
-  return Bump(ChangeKind::kVipDefined, vip, detail);
+  Bump(ChangeKind::kVipDefined, vip, detail);
+  EmitDurable(ChangeKind::kVipDefined, vip, detail, port, &vips_[vip].rules);
+  return epoch_;
 }
 
 std::uint64_t ControlState::RemoveVip(net::IpAddr vip) {
   vips_.erase(vip);
   assignment_.erase(vip);
-  return Bump(ChangeKind::kVipRemoved, vip, 0);
+  Bump(ChangeKind::kVipRemoved, vip, 0);
+  EmitDurable(ChangeKind::kVipRemoved, vip, 0);
+  return epoch_;
 }
 
 std::uint64_t ControlState::UpdateRules(net::IpAddr vip, std::vector<rules::Rule> rules) {
@@ -63,7 +93,9 @@ std::uint64_t ControlState::UpdateRules(net::IpAddr vip, std::vector<rules::Rule
   }
   const std::uint64_t detail = rules.size();
   it->second.rules = std::move(rules);
-  return Bump(ChangeKind::kRulesUpdated, vip, detail);
+  Bump(ChangeKind::kRulesUpdated, vip, detail);
+  EmitDurable(ChangeKind::kRulesUpdated, vip, detail, it->second.port, &it->second.rules);
+  return epoch_;
 }
 
 std::uint64_t ControlState::SetAssignments(
@@ -73,6 +105,9 @@ std::uint64_t ControlState::SetAssignments(
     assignment_[vip] = pool;
     LogRecord(ChangeKind::kAssignmentSet, vip, pool.size());
   }
+  // One durable entry for the whole round (one mutation = one epoch); the
+  // subject slot is meaningless for a multi-VIP change.
+  EmitDurable(ChangeKind::kAssignmentSet, 0, pools.size(), 0, nullptr, &pools);
   return epoch_;
 }
 
@@ -88,12 +123,63 @@ std::vector<net::IpAddr> ControlState::ScrubInstance(net::IpAddr instance) {
   if (!affected.empty()) {
     ++epoch_;
     LogRecord(ChangeKind::kInstanceScrubbed, instance, affected.size());
+    EmitDurable(ChangeKind::kInstanceScrubbed, instance, affected.size());
   }
   return affected;
 }
 
 std::uint64_t ControlState::NoteInstance(ChangeKind kind, net::IpAddr instance) {
-  return Bump(kind, instance, 0);
+  Bump(kind, instance, 0);
+  EmitDurable(kind, instance, 0);
+  return epoch_;
+}
+
+void ControlState::LoadSnapshot(std::uint64_t epoch, std::map<net::IpAddr, VipDesired> vips,
+                                std::map<net::IpAddr, std::vector<net::IpAddr>> assignment) {
+  epoch_ = epoch;
+  vips_ = std::move(vips);
+  assignment_ = std::move(assignment);
+}
+
+void ControlState::ApplyDurable(const DurableChange& change) {
+  // Reproduce the live mutation's state effects and changelog records at the
+  // ORIGINAL epoch/timestamp, with no recorder or sink side effects: replayed
+  // history must not be re-journaled or re-traced.
+  epoch_ = change.epoch;
+  switch (change.kind) {
+    case ChangeKind::kVipDefined:
+      vips_[change.subject] = VipDesired{change.port, change.rules};
+      break;
+    case ChangeKind::kVipRemoved:
+      vips_.erase(change.subject);
+      assignment_.erase(change.subject);
+      break;
+    case ChangeKind::kRulesUpdated:
+      if (auto it = vips_.find(change.subject); it != vips_.end()) {
+        it->second.rules = change.rules;
+      }
+      break;
+    case ChangeKind::kAssignmentSet:
+      for (const auto& [vip, pool] : change.pools) {
+        assignment_[vip] = pool;
+        changelog_.push_back({change.epoch, change.at, change.kind, vip, pool.size()});
+      }
+      return;  // Per-VIP records already appended (mirrors the live path).
+    case ChangeKind::kAssignmentCleared:
+      assignment_.erase(change.subject);
+      break;
+    case ChangeKind::kInstanceScrubbed:
+      for (auto& [vip, pool] : assignment_) {
+        pool.erase(std::remove(pool.begin(), pool.end(), change.subject), pool.end());
+      }
+      break;
+    case ChangeKind::kInstanceFailed:
+    case ChangeKind::kInstanceAdmitted:
+    case ChangeKind::kRestored:
+    case ChangeKind::kLeaderElected:
+      break;  // Membership/lifecycle markers: epoch + changelog only.
+  }
+  changelog_.push_back({change.epoch, change.at, change.kind, change.subject, change.detail});
 }
 
 const ControlState::VipDesired* ControlState::Desired(net::IpAddr vip) const {

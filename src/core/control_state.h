@@ -22,8 +22,10 @@
 #define SRC_CORE_CONTROL_STATE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/net/network.h"
@@ -42,6 +44,8 @@ enum class ChangeKind : std::uint8_t {
   kInstanceScrubbed,   // subject=instance, detail=# assignments it left.
   kInstanceFailed,     // subject=instance (fleet membership, not assignment).
   kInstanceAdmitted,   // subject=instance (added, activated or readmitted).
+  kRestored,           // subject=controller ip; state rebuilt from the journal.
+  kLeaderElected,      // subject=controller ip; this replica now leads.
 };
 
 const char* ChangeKindName(ChangeKind kind);
@@ -52,6 +56,24 @@ struct ChangeRecord {
   ChangeKind kind = ChangeKind::kVipDefined;
   net::IpAddr subject = 0;
   std::uint64_t detail = 0;
+};
+
+// One mutation with its FULL payload — exactly what must survive a
+// controller crash. Unlike ChangeRecord (a changelog line), replaying a
+// DurableChange against a ControlState reproduces the mutation bit-for-bit:
+// kVipDefined/kRulesUpdated carry the rule set, kAssignmentSet carries the
+// whole round's pools (one mutation = one epoch = one journal entry, even
+// when the round touched many VIPs). The ControlJournal serializes these
+// into the replicated KV ring as the changelog tail.
+struct DurableChange {
+  std::uint64_t epoch = 0;
+  sim::Time at = 0;
+  ChangeKind kind = ChangeKind::kVipDefined;
+  net::IpAddr subject = 0;
+  std::uint64_t detail = 0;
+  net::Port port = 0;                                      // kVipDefined.
+  std::vector<rules::Rule> rules;                          // kVipDefined/kRulesUpdated.
+  std::map<net::IpAddr, std::vector<net::IpAddr>> pools;   // kAssignmentSet.
 };
 
 class ControlState {
@@ -79,6 +101,28 @@ class ControlState {
   // distinct epochs and are not swallowed by the actuator's replay ledger.
   std::uint64_t NoteInstance(ChangeKind kind, net::IpAddr instance);
 
+  // --- durability (controller HA) ---
+  // Sink invoked once per MUTATION (not per changelog record) with the full
+  // payload, after the state and changelog were updated. The journal hooks
+  // in here; unset (default) keeps the single-controller path byte-identical.
+  using ChangeSink = std::function<void(const DurableChange&)>;
+  void SetChangeSink(ChangeSink sink) { sink_ = std::move(sink); }
+
+  // Restore path. LoadSnapshot replaces the whole state (epoch, desired VIPs,
+  // assignment) without changelog records, recorder mirroring or sink calls;
+  // ApplyDurable replays one journaled mutation, reproducing exactly the
+  // changelog records the live mutation wrote (original epoch and timestamp)
+  // but again without recorder/sink side effects — a restored controller
+  // must not re-journal or re-trace history that already happened.
+  void LoadSnapshot(std::uint64_t epoch, std::map<net::IpAddr, VipDesired> vips,
+                    std::map<net::IpAddr, std::vector<net::IpAddr>> assignment);
+  void ApplyDurable(const DurableChange& change);
+
+  // Snapshot accessors (journal serialization).
+  const std::map<net::IpAddr, std::vector<net::IpAddr>>& assignment() const {
+    return assignment_;
+  }
+
   // --- queries ---
   std::uint64_t epoch() const { return epoch_; }
   bool HasVip(net::IpAddr vip) const { return vips_.contains(vip); }
@@ -94,9 +138,15 @@ class ControlState {
  private:
   std::uint64_t Bump(ChangeKind kind, net::IpAddr subject, std::uint64_t detail);
   void LogRecord(ChangeKind kind, net::IpAddr subject, std::uint64_t detail);
+  // Builds the DurableChange for the mutation just applied and feeds the
+  // sink (no-op without one).
+  void EmitDurable(ChangeKind kind, net::IpAddr subject, std::uint64_t detail,
+                   net::Port port = 0, const std::vector<rules::Rule>* rules = nullptr,
+                   const std::map<net::IpAddr, std::vector<net::IpAddr>>* pools = nullptr);
 
   sim::Simulator* sim_;
   obs::FlightRecorder* recorder_;
+  ChangeSink sink_;
   std::uint64_t epoch_ = 0;
   std::map<net::IpAddr, VipDesired> vips_;
   std::map<net::IpAddr, std::vector<net::IpAddr>> assignment_;

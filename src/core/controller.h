@@ -22,7 +22,9 @@
 #ifndef SRC_CORE_CONTROLLER_H_
 #define SRC_CORE_CONTROLLER_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -30,15 +32,35 @@
 
 #include "src/core/assignment_engine.h"
 #include "src/core/auto_scaler.h"
+#include "src/core/control_journal.h"
 #include "src/core/control_state.h"
 #include "src/core/fleet_actuator.h"
 #include "src/core/health_monitor.h"
+#include "src/core/leader_lease.h"
 #include "src/core/yoda_instance.h"
 #include "src/kv/kv_server.h"
+#include "src/kv/replicating_client.h"
 #include "src/l4lb/fabric.h"
 #include "src/rules/rule.h"
 
 namespace yoda {
+
+// Controller HA (replicated control plane). When enabled, this replica
+// contends for the store-backed leader lease; only the lease holder mutates
+// desired state or drives plans, every mutation is journaled durably through
+// `store` (snapshot + changelog tail, open plans, applied-step markers), and
+// every data-plane write carries the lease's fencing token so the fleet
+// rejects a deposed leader's stragglers. Disabled (default) keeps the
+// single-controller behavior bit-identical.
+struct ControllerHaConfig {
+  bool enabled = false;
+  net::IpAddr self = 0;                     // This replica's address.
+  kv::ReplicatingClient* store = nullptr;   // Journal + lease substrate.
+  sim::Duration lease_ttl = sim::Msec(300);
+  sim::Duration lease_renew = sim::Msec(100);
+  sim::Duration lease_acquire = sim::Msec(50);
+  int snapshot_every = 8;                   // Changes per snapshot roll.
+};
 
 struct ControllerConfig {
   sim::Duration monitor_interval = sim::Msec(600);
@@ -63,10 +85,15 @@ struct ControllerConfig {
   // (hysteresis against transient spikes).
   int scale_out_ticks = 1;
   sim::Duration cpu_window = sim::Sec(1);
+  // Bounded per-step actuator retry (see FleetActuatorConfig). 0 keeps the
+  // seed's apply-once behavior; the HA testbed template enables it.
+  int max_step_retries = 0;
+  sim::Duration step_retry_backoff = sim::Msec(25);
   // Observability sinks: config changes and reconcile plans/steps land in
   // the recorder's system-event log; counters mirror into "controller.*".
   obs::Registry* registry = nullptr;
   obs::FlightRecorder* recorder = nullptr;
+  ControllerHaConfig ha;
 };
 
 struct ControllerEvent {
@@ -120,11 +147,27 @@ class Controller {
   void RunAssignmentRoundNow();
   int assignment_rounds() const { return assignment_rounds_; }
 
-  // Starts the periodic monitor.
+  // Starts the periodic monitor (non-HA) or begins contending for the
+  // leader lease (HA; the monitor arms on first acquisition).
   void Start();
 
   // Immediately runs one monitor pass (tests use this for determinism).
+  // A no-op on an HA replica that is not the acting leader.
   void MonitorTick();
+
+  // --- controller HA (replica lifecycle + introspection) ---
+  // Crash: this replica stops renewing its lease and ignores every parked
+  // callback; its in-memory state is untouched (it is dead, nobody reads
+  // it). Restart re-enters the lease contest as a standby.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+  // True when this replica may mutate state: always in non-HA mode, lease
+  // holder otherwise.
+  bool ActingLeader() const;
+  std::uint64_t fencing_token() const { return lease_ ? lease_->token() : 0; }
+  const ControlJournal* journal() const { return journal_.get(); }
+  const LeaderLease* lease() const { return lease_.get(); }
 
   std::vector<YodaInstance*> ActiveInstances() const { return monitor_.active(); }
   std::vector<YodaInstance*> SuspendedInstances() const { return monitor_.suspended(); }
@@ -141,7 +184,15 @@ class Controller {
  private:
   void Log(const std::string& what);
   void SystemEvent(obs::EventType type, std::uint32_t where, std::uint64_t detail = 0);
-  void ExecutePlan(const ExecPlan& plan);
+  // Stamps the lease token + a fresh plan id and journals the plan before
+  // executing it (HA leader); plain pass-through otherwise. By value: the
+  // HA path rewrites the stamp fields.
+  void ExecutePlan(ExecPlan plan);
+  // Lease callbacks + crash-resume pipeline.
+  void OnLeaderAcquired(std::uint64_t token);
+  void OnLeaderLost();
+  void AdoptRestored(const RestoredControlPlane& restored, std::uint64_t token);
+  void ResumePlan(const RestoredPlan& restored, std::uint64_t token);
   void ApplyTransition(const HealthTransition& transition);
   void HandleInstanceFailure(const HealthTransition& transition);
   void HandleReadmission(const HealthTransition& transition);
@@ -155,6 +206,11 @@ class Controller {
   // capture only `this`, so they cannot form ownership cycles.
   void ArmMonitor();
   void ArmAssignmentRound();
+  // Builds the actuator config, wiring the HA hooks (token validity check,
+  // durable applied/done markers) when HA is enabled. Static: runs in the
+  // ctor init list, so it must not touch members; the hooks only fire later.
+  static FleetActuatorConfig ActuatorConfigFor(Controller* self,
+                                               const ControllerConfig& config);
 
   sim::Simulator* sim_;
   l4lb::L4Fabric* fabric_;
@@ -165,6 +221,11 @@ class Controller {
   AssignmentEngine engine_;
   AutoScaler scaler_;
   FleetActuator actuator_;
+
+  std::unique_ptr<ControlJournal> journal_;  // HA only.
+  std::unique_ptr<LeaderLease> lease_;       // HA only.
+  bool crashed_ = false;
+  bool monitor_armed_ = false;
 
   std::vector<YodaInstance*> spares_;
   std::vector<kv::KvServer*> kv_servers_;

@@ -41,6 +41,10 @@ FleetActuator::FleetActuator(sim::Simulator* simulator, l4lb::L4Fabric* fabric,
     converge_waits_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.convergence_waits");
     rule_updates_ctr_ = &cfg_.registry->GetCounter("controller.rule_updates");
     pool_updates_ctr_ = &cfg_.registry->GetCounter("controller.pool_updates");
+    step_retries_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.step_retries");
+    step_stalled_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.step_stalled");
+    rounds_failed_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.rounds_failed");
+    aborted_ctr_ = &cfg_.registry->GetCounter("controller.reconcile.aborted_plans");
   }
 }
 
@@ -66,14 +70,61 @@ void FleetActuator::Execute(const ExecPlan& plan) {
   }
   Record(obs::EventType::kReconcilePlan, static_cast<std::uint32_t>(plan.epoch),
          plan.steps.size());
-  RunSteps(plan, 0);
+  RunSteps(plan, 0, /*attempt=*/0, /*failed=*/false);
 }
 
-void FleetActuator::RunSteps(const ExecPlan& plan, std::size_t first) {
+void FleetActuator::MarkApplied(std::uint64_t epoch, const ExecStep& step) {
+  if (step.kind == ExecStepKind::kSetBackendHealth ||
+      step.kind == ExecStepKind::kAwaitConvergence) {
+    return;  // Never ledgered; nothing to seed.
+  }
+  applied_.insert(std::make_tuple(epoch, static_cast<std::uint8_t>(step.kind), step.vip,
+                                  step.instance));
+}
+
+void FleetActuator::RunSteps(const ExecPlan& plan, std::size_t first, int attempt,
+                             bool failed) {
+  // Fenced plans re-check their token at every (re)entry: this closure may be
+  // a parked barrier resumption scheduled by a leader that has since crashed
+  // or been deposed — the sim never cancels events, so it disarms here. The
+  // receivers' own fencing is the backstop for writes already in flight.
+  if (plan.fencing_token != 0 && cfg_.token_valid && !cfg_.token_valid(plan.fencing_token)) {
+    --plans_in_flight_;
+    if (aborted_ctr_ != nullptr) {
+      aborted_ctr_->Inc();
+    }
+    Record(obs::EventType::kReconcileAbort, static_cast<std::uint32_t>(plan.epoch),
+           plan.steps.size() - first);
+    return;
+  }
   for (std::size_t i = first; i < plan.steps.size(); ++i) {
     const ExecStep& step = plan.steps[i];
     if (step.kind != ExecStepKind::kAwaitConvergence) {
-      Apply(plan, step);
+      const int att = i == first ? attempt : 0;
+      if (Apply(plan, step) == ApplyResult::kRetry) {
+        if (att < cfg_.max_step_retries) {
+          if (step_retries_ctr_ != nullptr) {
+            step_retries_ctr_->Inc();
+          }
+          const sim::Duration backoff =
+              cfg_.step_retry_backoff * (static_cast<sim::Duration>(1) << att);
+          const std::size_t idx = i;
+          sim_->After(backoff,
+                      [this, plan, idx, att, failed] { RunSteps(plan, idx, att + 1, failed); });
+          return;
+        }
+        // Retries exhausted: the step is stalled. Skip it, mark the round
+        // failed, and keep going — a permanently dead target must not wedge
+        // the rest of the rollout (the monitor's evict plan supersedes it).
+        failed = true;
+        journal_.push_back({plan.epoch, sim_->now(), step, /*replayed=*/true});
+        if (step_stalled_ctr_ != nullptr) {
+          step_stalled_ctr_->Inc();
+        }
+        Record(obs::EventType::kReconcileStalled, static_cast<std::uint32_t>(step.vip),
+               (static_cast<std::uint64_t>(step.kind) << 32) |
+                   (step.instance & 0xffffffffULL));
+      }
       continue;
     }
     journal_.push_back({plan.epoch, sim_->now(), step, /*replayed=*/false});
@@ -91,15 +142,34 @@ void FleetActuator::RunSteps(const ExecPlan& plan, std::size_t first) {
     const sim::Duration delay =
         fabric_->ConvergenceDelay(cfg_.mux_stagger) + cfg_.mux_stagger;
     const std::size_t next = i + 1;
-    sim_->After(delay, [this, plan, next] { RunSteps(plan, next); });
+    sim_->After(delay, [this, plan, next, failed] { RunSteps(plan, next, 0, failed); });
     return;
   }
   --plans_in_flight_;
+  if (failed && rounds_failed_ctr_ != nullptr) {
+    rounds_failed_ctr_->Inc();
+  }
   Record(obs::EventType::kReconcileDone, static_cast<std::uint32_t>(plan.epoch),
          plan.steps.size());
+  if (cfg_.on_plan_done) {
+    cfg_.on_plan_done(plan, !failed);
+  }
 }
 
-void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
+FleetActuator::ApplyResult FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
+  // Retry probe BEFORE the ledger insert: a step we are about to re-schedule
+  // must not be marked applied (the later attempt would be swallowed as a
+  // replay). Only instance-targeted state writes are retryable — pool/fabric
+  // writes cannot fail in this model.
+  if (cfg_.max_step_retries > 0 &&
+      (step.kind == ExecStepKind::kInstallRules ||
+       step.kind == ExecStepKind::kSetBackendHealth ||
+       step.kind == ExecStepKind::kScrubRules)) {
+    YodaInstance* inst = InstanceByIp(step.instance);
+    if (inst != nullptr && inst->failed()) {
+      return ApplyResult::kRetry;
+    }
+  }
   // For kSetBackendHealth `vip` carries the backend address; either way the
   // (epoch, kind, vip, instance) tuple identifies the step. Health writes are
   // exempt from the replay ledger: they are idempotent by value and the SAME
@@ -111,9 +181,13 @@ void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
     if (replayed_ctr_ != nullptr) {
       replayed_ctr_->Inc();
     }
-    return;
+    return ApplyResult::kDone;
+  }
+  if (step.kind != ExecStepKind::kSetBackendHealth && cfg_.on_step_applied) {
+    cfg_.on_step_applied(plan, step);
   }
   const sim::Duration stagger = plan.staggered ? cfg_.mux_stagger : 0;
+  const std::uint64_t token = plan.fencing_token;
   bool effective = true;
   switch (step.kind) {
     case ExecStepKind::kAttachVip:
@@ -126,7 +200,7 @@ void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
         effective = false;  // VIP removed (or instance gone) since planning.
         break;
       }
-      inst->InstallVip(step.vip, desired->port, desired->rules);
+      inst->InstallVip(step.vip, desired->port, desired->rules, token);
       if (rule_updates_ctr_ != nullptr) {
         rule_updates_ctr_->Inc();
       }
@@ -135,7 +209,7 @@ void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
       break;
     }
     case ExecStepKind::kAddPoolMember: {
-      fabric_->AddPoolMember(step.vip, step.instance, plan.epoch, stagger);
+      fabric_->AddPoolMember(step.vip, step.instance, plan.epoch, stagger, token);
       if (pool_updates_ctr_ != nullptr) {
         pool_updates_ctr_->Inc();
       }
@@ -154,7 +228,7 @@ void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
       break;
     }
     case ExecStepKind::kProgramPool:
-      fabric_->ProgramPool(step.vip, step.pool, plan.epoch, stagger);
+      fabric_->ProgramPool(step.vip, step.pool, plan.epoch, stagger, token);
       if (pool_updates_ctr_ != nullptr) {
         pool_updates_ctr_->Inc();
       }
@@ -167,13 +241,13 @@ void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
         effective = false;
         break;
       }
-      inst->SetBackendHealth(/*backend=*/step.vip, step.healthy);
+      inst->SetBackendHealth(/*backend=*/step.vip, step.healthy, token);
       break;
     }
     case ExecStepKind::kAwaitConvergence:
       break;  // Handled by RunSteps.
     case ExecStepKind::kRemovePoolMember:
-      fabric_->RemovePoolMember(step.vip, step.instance, plan.epoch, stagger);
+      fabric_->RemovePoolMember(step.vip, step.instance, plan.epoch, stagger, token);
       if (pool_updates_ctr_ != nullptr) {
         pool_updates_ctr_->Inc();
       }
@@ -194,7 +268,7 @@ void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
         effective = false;
         break;
       }
-      inst->RemoveVip(step.vip);
+      inst->RemoveVip(step.vip, token);
       break;
     }
     case ExecStepKind::kDetachVip:
@@ -212,6 +286,7 @@ void FleetActuator::Apply(const ExecPlan& plan, const ExecStep& step) {
   Record(obs::EventType::kReconcileStep, static_cast<std::uint32_t>(step.vip),
          (static_cast<std::uint64_t>(step.kind) << 32) |
              (step.instance & 0xffffffffULL));
+  return ApplyResult::kDone;
 }
 
 // --- plan builders ---
@@ -311,6 +386,26 @@ ExecPlan BuildBackendHealthPlan(std::uint64_t epoch, net::IpAddr backend, bool h
   ExecPlan plan{epoch, healthy ? "backend up" : "backend down", /*staggered=*/false, {}};
   for (net::IpAddr ip : active_ips) {
     plan.steps.push_back({ExecStepKind::kSetBackendHealth, backend, ip, healthy});
+  }
+  return plan;
+}
+
+ExecPlan BuildLeaderTakeoverPlan(const ControlState& state, std::uint64_t epoch,
+                                 const std::vector<net::IpAddr>& active_ips) {
+  // Unstaggered: the fleet may be serving from pools a dead leader half
+  // updated; converging it immediately beats a staggered window.
+  ExecPlan plan{epoch, "leader takeover resync", /*staggered=*/false, {}};
+  for (const auto& [vip, desired] : state.vips()) {
+    (void)desired;
+    const std::vector<net::IpAddr>* pool = state.DesiredPool(vip);
+    const std::vector<net::IpAddr>& members = pool != nullptr ? *pool : active_ips;
+    // Make-before-break even here: rules land before the pool write, so a
+    // mux can never route to a member that lacks them.
+    for (net::IpAddr ip : members) {
+      plan.steps.push_back({ExecStepKind::kInstallRules, vip, ip});
+    }
+    plan.steps.push_back({ExecStepKind::kAttachVip, vip});
+    plan.steps.push_back({ExecStepKind::kProgramPool, vip, 0, true, members});
   }
   return plan;
 }

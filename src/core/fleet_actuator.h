@@ -26,6 +26,7 @@
 #define SRC_CORE_FLEET_ACTUATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -73,6 +74,12 @@ struct ExecPlan {
   // (bootstrap, failure eviction — where waiting would serve a dead ip).
   bool staggered = false;
   std::vector<ExecStep> steps;
+  // Controller HA: the leader lease's fencing token stamped on every data-
+  // plane write this plan makes (0 = unfenced, single-controller mode), and
+  // a monotone id distinguishing plans that share an epoch (e.g. the
+  // auto-scale round's catch-up plans + pool sync) in the durable journal.
+  std::uint64_t fencing_token = 0;
+  std::uint64_t plan_id = 0;
 };
 
 // The actuator's append-only execution journal (tests inspect it to verify
@@ -90,6 +97,31 @@ struct FleetActuatorConfig {
   sim::Duration mux_stagger = sim::Msec(50);
   obs::Registry* registry = nullptr;
   obs::FlightRecorder* recorder = nullptr;
+  // --- bounded per-step retry (0 = off: a step applies exactly once) ---
+  // A step whose target instance is registered but currently failed() is
+  // retried with exponential backoff (step_retry_backoff, doubling) up to
+  // max_step_retries times before it is declared stalled: the step is
+  // skipped, "controller.reconcile.step_stalled" bumps, kReconcileStalled is
+  // recorded, the ROUND is marked failed — but the plan's remaining steps
+  // still run (a permanently dead target must not wedge the rollout; the
+  // health monitor's evict plan supersedes it).
+  int max_step_retries = 0;
+  sim::Duration step_retry_backoff = sim::Msec(25);
+  // --- controller HA hooks (all optional) ---
+  // Consulted before every RunSteps resumption of a fenced plan; returning
+  // false aborts the remainder (kReconcileAbort). Wired by the controller to
+  // "token is still MY live lease token", which kills a crashed/deposed
+  // leader's parked barrier closures — the sim never cancels scheduled
+  // events, so the closure fires and must disarm itself.
+  std::function<bool(std::uint64_t token)> token_valid;
+  // Fires once per ledger insertion (the step kinds the replay ledger
+  // tracks), i.e. exactly the set a resumed leader must not re-apply; the
+  // controller journals these as durable applied-markers.
+  std::function<void(const ExecPlan&, const ExecStep&)> on_step_applied;
+  // Fires when the plan's last step ran (ok = no step stalled). Not fired
+  // for aborted plans: a deposed leader must not journal completion of a
+  // plan the new leader now owns.
+  std::function<void(const ExecPlan&, bool ok)> on_plan_done;
 };
 
 class FleetActuator {
@@ -105,13 +137,22 @@ class FleetActuator {
   // staggered plans with a barrier). Idempotent per (epoch, step).
   void Execute(const ExecPlan& plan);
 
+  // Seeds the replay ledger without side effects: a controller restored from
+  // the durable journal marks the crashed leader's already-applied steps so
+  // resuming the plan re-runs only the remainder (zero double applications).
+  void MarkApplied(std::uint64_t epoch, const ExecStep& step);
+
   const std::vector<ExecutedStep>& journal() const { return journal_; }
   // Plans whose break phase has not landed yet.
   int plans_in_flight() const { return plans_in_flight_; }
 
  private:
-  void RunSteps(const ExecPlan& plan, std::size_t first);
-  void Apply(const ExecPlan& plan, const ExecStep& step);
+  enum class ApplyResult : std::uint8_t { kDone, kRetry };
+
+  // `attempt` is the retry attempt for step `first` (0 on the first try and
+  // for every later step); `failed` carries "some step stalled" to the end.
+  void RunSteps(const ExecPlan& plan, std::size_t first, int attempt, bool failed);
+  ApplyResult Apply(const ExecPlan& plan, const ExecStep& step);
   void Record(obs::EventType type, std::uint32_t where, std::uint64_t detail);
 
   sim::Simulator* sim_;
@@ -130,6 +171,10 @@ class FleetActuator {
   obs::Counter* rule_updates_ctr_ = nullptr;
   obs::Counter* pool_updates_ctr_ = nullptr;
   obs::Counter* converge_waits_ctr_ = nullptr;
+  obs::Counter* step_retries_ctr_ = nullptr;
+  obs::Counter* step_stalled_ctr_ = nullptr;
+  obs::Counter* rounds_failed_ctr_ = nullptr;
+  obs::Counter* aborted_ctr_ = nullptr;
 };
 
 // --- plan builders (pure functions of desired state + fleet view) ---
@@ -157,6 +202,13 @@ ExecPlan BuildEvictPlan(const ControlState& state, std::uint64_t epoch, net::IpA
                         const std::vector<net::IpAddr>& active_ips);
 ExecPlan BuildBackendHealthPlan(std::uint64_t epoch, net::IpAddr backend, bool healthy,
                                 const std::vector<net::IpAddr>& active_ips);
+// New-leader resync: reassert the restored desired state fleet-wide under
+// the new lease token — rules first on every desired member, then the pool
+// per VIP (make-before-break), plus the VIP attachments. Heals whatever the
+// crashed leader's unjournaled trailing writes left behind; idempotent
+// against state the fleet already holds.
+ExecPlan BuildLeaderTakeoverPlan(const ControlState& state, std::uint64_t epoch,
+                                 const std::vector<net::IpAddr>& active_ips);
 // Maps an AssignmentEngine round's make-before-break PlanSteps (index space)
 // onto instance ips. `vip_order` / `instance_order` are the round's spaces.
 ExecPlan BuildRolloutPlan(std::uint64_t epoch, const std::vector<assign::PlanStep>& steps,

@@ -41,6 +41,7 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
   ctr_.no_backend_resets = counter("yoda.no_backend_resets");
   ctr_.dropped_unknown_vip = counter("yoda.dropped_unknown_vip");
   ctr_.bad_transition_resets = counter("yoda.bad_transition_resets");
+  fenced_writes_ctr_ = counter("yoda.fenced_writes");
   auto histogram = [&](const char* name) { return &registry_->GetHistogram(name, labels); };
   stage_.handshake_ms = histogram("yoda.stage.handshake_ms");
   stage_.dispatch_ms = histogram("yoda.stage.dispatch_ms");
@@ -120,6 +121,7 @@ YodaInstanceStats YodaInstance::stats() const {
   s.no_backend_resets = ctr_.no_backend_resets->value();
   s.dropped_unknown_vip = ctr_.dropped_unknown_vip->value();
   s.bad_transition_resets = ctr_.bad_transition_resets->value();
+  s.fenced_writes = fenced_writes_ctr_->value();
   return s;
 }
 
@@ -136,8 +138,27 @@ YodaInstance::VipCounters& YodaInstance::VipCountersFor(net::IpAddr vip) {
   return it->second;
 }
 
-void YodaInstance::InstallVip(net::IpAddr vip, net::Port vip_port,
-                              std::vector<rules::Rule> vip_rules) {
+bool YodaInstance::StaleControlToken(std::uint64_t token) {
+  if (token == 0) {
+    return false;  // Unfenced writes always apply (single-controller mode).
+  }
+  if (token < control_token_) {
+    fenced_writes_ctr_->Inc();
+    if (recorder_ != nullptr) {
+      recorder_->RecordSystem(sim_->now(), obs::EventType::kFencedWrite, cfg_.ip,
+                              (token << 32) | (control_token_ & 0xffffffffULL));
+    }
+    return true;  // A deposed leader's write; the fleet has moved on.
+  }
+  control_token_ = token;
+  return false;
+}
+
+bool YodaInstance::InstallVip(net::IpAddr vip, net::Port vip_port,
+                              std::vector<rules::Rule> vip_rules, std::uint64_t token) {
+  if (StaleControlToken(token)) {
+    return false;
+  }
   VipState& state = vips_[vip];
   state.vip_port = vip_port;
   state.table.ReplaceAll(std::move(vip_rules));
@@ -149,6 +170,7 @@ void YodaInstance::InstallVip(net::IpAddr vip, net::Port vip_port,
       state.backends.insert(b.ip);
     }
   }
+  return true;
 }
 
 void YodaInstance::InstallVipTls(net::IpAddr vip, std::string certificate,
@@ -156,7 +178,10 @@ void YodaInstance::InstallVipTls(net::IpAddr vip, std::string certificate,
   vips_[vip].tls = VipTls{std::move(certificate), service_key};
 }
 
-void YodaInstance::RemoveVip(net::IpAddr vip) {
+bool YodaInstance::RemoveVip(net::IpAddr vip, std::uint64_t token) {
+  if (StaleControlToken(token)) {
+    return false;
+  }
   // Drain before withdrawing: every in-flight flow gets an explicit RST
   // (and its TCPStore keys removed) instead of silently leaking until the
   // idle GC. Sticky bindings and the rule table die with the VipState.
@@ -166,6 +191,7 @@ void YodaInstance::RemoveVip(net::IpAddr vip) {
   vips_.erase(vip);
   traffic_.erase(vip);
   vip_counters_.erase(vip);
+  return true;
 }
 
 int YodaInstance::RuleCount(net::IpAddr vip) const {
@@ -173,8 +199,12 @@ int YodaInstance::RuleCount(net::IpAddr vip) const {
   return it == vips_.end() ? 0 : static_cast<int>(it->second.table.size());
 }
 
-void YodaInstance::SetBackendHealth(net::IpAddr backend, bool healthy) {
+bool YodaInstance::SetBackendHealth(net::IpAddr backend, bool healthy, std::uint64_t token) {
+  if (StaleControlToken(token)) {
+    return false;
+  }
   backend_health_[backend] = healthy;
+  return true;
 }
 
 void YodaInstance::Fail() {

@@ -58,6 +58,7 @@ struct YodaInstanceStats {
   std::uint64_t no_backend_resets = 0;
   std::uint64_t dropped_unknown_vip = 0;
   std::uint64_t bad_transition_resets = 0;  // Illegal FSM edges (reset path).
+  std::uint64_t fenced_writes = 0;  // Control writes rejected: stale lease token.
 };
 
 // Per-VIP traffic accounting the controller polls (paper §6: "each YODA
@@ -76,9 +77,17 @@ class YodaInstance : public net::Node {
   net::IpAddr ip() const { return cfg_.ip; }
 
   // --- controller API ---
+  // Every mutating call may carry the leader lease's fencing token (0 =
+  // unfenced escape hatch). The instance keeps the highest token it has ever
+  // seen and rejects calls carrying an older one (returns false, records
+  // kFencedWrite with where=this ip, detail=(offered token << 32) |
+  // watermark) — a deposed leader's straggling plan steps cannot mutate
+  // VIP state here any more than they can at the muxes.
+  //
   // Installs (or replaces) this VIP's rules on this instance. Existing
   // connections keep their previously selected backend (§5.2).
-  void InstallVip(net::IpAddr vip, net::Port vip_port, std::vector<rules::Rule> vip_rules);
+  bool InstallVip(net::IpAddr vip, net::Port vip_port, std::vector<rules::Rule> vip_rules,
+                  std::uint64_t token = 0);
   // Enables SSL termination for the VIP (§5.2): the instance answers the
   // handshake with `certificate`, decrypts requests to select the backend,
   // and hands the session to the backend via a ticket sealed under
@@ -88,11 +97,13 @@ class YodaInstance : public net::Node {
   // Withdraws the VIP and drains it: every in-flight flow is explicitly
   // reset toward the client (kFlowReset/kVipRemoved), sticky bindings die
   // with the VIP state, and the traffic window + counter cache are dropped.
-  void RemoveVip(net::IpAddr vip);
+  bool RemoveVip(net::IpAddr vip, std::uint64_t token = 0);
   bool ServesVip(net::IpAddr vip) const { return vips_.contains(vip); }
   int RuleCount(net::IpAddr vip) const;
   // Backend health as observed by the controller's monitor.
-  void SetBackendHealth(net::IpAddr backend, bool healthy);
+  bool SetBackendHealth(net::IpAddr backend, bool healthy, std::uint64_t token = 0);
+  // Highest fencing token ever seen (0 = only unfenced writes).
+  std::uint64_t ControlToken() const { return control_token_; }
 
   // Crash: all local flow state vanishes. (The caller also marks the node
   // down in the Network so in-flight packets blackhole.)
@@ -138,6 +149,10 @@ class YodaInstance : public net::Node {
 
   VipState* FindVip(net::IpAddr vip);
 
+  // Fencing-token watermark check; counts + traces rejections. Mirrors
+  // Mux::StaleToken (token 0 bypasses; older-than-watermark rejects).
+  bool StaleControlToken(std::uint64_t token);
+
   // Packet demux: classify and hand off to the stage engines.
   void HandleClientSide(const net::Packet& p, VipState& vip);
   void HandleServerSide(const net::Packet& p, VipState& vip);
@@ -157,6 +172,7 @@ class YodaInstance : public net::Node {
   YodaInstanceConfig cfg_;
   CpuModel cpu_;
   bool failed_ = false;
+  std::uint64_t control_token_ = 0;  // Highest lease fencing token seen.
 
   std::unordered_map<net::IpAddr, VipState> vips_;
   FlowTable flow_table_;
@@ -164,6 +180,7 @@ class YodaInstance : public net::Node {
   std::unordered_map<net::IpAddr, VipTraffic> traffic_;
   std::unordered_map<net::IpAddr, int> backend_load_;  // Active flows per backend.
 
+  obs::Counter* fenced_writes_ctr_ = nullptr;
   std::unique_ptr<obs::Registry> owned_registry_;  // Fallback when cfg has none.
   obs::Registry* registry_ = nullptr;              // Never null after ctor.
   obs::FlightRecorder* recorder_ = nullptr;        // Null disables tracing.

@@ -44,13 +44,10 @@ std::vector<ChaosEpisode> RandomSchedule(FaultPlane& plane, sim::Rng& rng,
   }
 
   std::vector<ChaosEpisode> episodes;
-  if (kinds.empty() || opts.episodes <= 0) {
-    return episodes;
-  }
   // Crashed targets must not crash again before their restart fires.
   std::map<net::IpAddr, sim::Time> crash_busy_until;
 
-  for (int i = 0; i < opts.episodes; ++i) {
+  for (int i = 0; !kinds.empty() && i < opts.episodes; ++i) {
     ChaosEpisode ep;
     ep.kind = kinds[static_cast<std::size_t>(
         rng.UniformInt(0, static_cast<std::int64_t>(kinds.size()) - 1))];
@@ -148,6 +145,34 @@ std::vector<ChaosEpisode> RandomSchedule(FaultPlane& plane, sim::Rng& rng,
     }
     episodes.push_back(ep);
   }
+
+  // Controller leader-kill episodes — drawn after (and independent of) the
+  // generic loop so existing seeds replay byte-identically with HA off.
+  for (int i = 0; i < opts.leader_kills && !opts.controllers.empty(); ++i) {
+    ChaosEpisode ep;
+    ep.kind = FaultKind::kCrash;
+    ep.target = opts.controllers[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(opts.controllers.size()) - 1))];
+    ep.at = opts.window_start +
+            static_cast<sim::Time>(rng.UniformInt(
+                0, static_cast<std::int64_t>(opts.window_end - opts.window_start)));
+    ep.until = ep.at + opts.min_duration +
+               static_cast<sim::Duration>(rng.UniformInt(
+                   0, static_cast<std::int64_t>(opts.max_duration - opts.min_duration)));
+    const sim::Time busy = crash_busy_until[ep.target];
+    if (ep.at <= busy) {
+      const sim::Duration len = ep.until - ep.at;
+      ep.at = busy + sim::Msec(1);
+      ep.until = ep.at + len;
+    }
+    crash_busy_until[ep.target] = ep.until;
+    const net::IpAddr t = ep.target;
+    plane.Schedule(ep.at, [t](FaultPlane& fp) { fp.CrashNode(t); });
+    plane.Schedule(ep.until, [t](FaultPlane& fp) {
+      fp.RestartNode(t, FaultPlane::RestartMode::kWarm);
+    });
+    episodes.push_back(ep);
+  }
   return episodes;
 }
 
@@ -225,6 +250,25 @@ SoakReport CheckSoakInvariants(const obs::FlightRecorder& recorder,
       report.violations.push_back("flow never terminated: " + FlowLabel(id));
     }
   });
+  // Controller HA: lease-safety invariant. Acquisitions carry their fencing
+  // token (detail); the CAS protocol must hand out strictly increasing
+  // tokens, so a repeated or out-of-order token means two replicas held the
+  // same lease generation — split brain.
+  std::uint64_t last_token = 0;
+  for (const obs::TraceEvent& ev : recorder.system_events()) {
+    if (ev.type != obs::EventType::kLeaseAcquired) {
+      continue;
+    }
+    ++report.lease_acquisitions;
+    if (ev.detail <= last_token) {
+      std::ostringstream os;
+      os << "lease token " << ev.detail << " acquired by " << net::IpToString(ev.where)
+         << " at " << sim::ToMillis(ev.at) << "ms does not exceed prior token "
+         << last_token;
+      report.violations.push_back(os.str());
+    }
+    last_token = ev.detail;
+  }
   return report;
 }
 

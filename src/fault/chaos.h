@@ -50,6 +50,12 @@ struct ChaosOptions {
   std::vector<net::IpAddr> kv_nodes;                         // slowness targets
   std::vector<std::pair<net::IpAddr, net::IpAddr>> links;    // loss/partition pairs
   bool allow_crash = true;  // Instance crashes (cold or warm restart after).
+  // Controller HA: leader-kill episodes (crash + warm restart of a random
+  // controller replica). Drawn AFTER the generic episode loop above, so
+  // enabling them never perturbs an existing seed's draw sequence. A kill
+  // may land on a standby — that is part of the chaos.
+  std::vector<net::IpAddr> controllers;
+  int leader_kills = 0;
 };
 
 // One drawn episode, for logging and debugging soak failures.
@@ -79,6 +85,10 @@ struct SoakReport {
   std::size_t exempted = 0;      // Non-terminated flows excused by a crash.
   std::size_t not_admitted = 0;  // Never reached an instance (SYN died en route);
                                  // the must-terminate invariant does not apply.
+  // Controller HA: kLeaseAcquired events replayed from the system log. The
+  // checker asserts each acquisition's fencing token is strictly greater
+  // than every earlier one — i.e. at most one valid holder per token, ever.
+  std::size_t lease_acquisitions = 0;
   bool ok() const { return violations.empty(); }
 };
 

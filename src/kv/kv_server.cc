@@ -96,6 +96,39 @@ void KvServer::Set(const std::string& key, std::string value, AckCallback cb) {
   });
 }
 
+void KvServer::Cas(const std::string& key, std::optional<std::string> expected,
+                   std::string value, AckCallback cb) {
+  if (failed_) {
+    ++stats_.dropped_while_down;
+    return;
+  }
+  ++stats_.cas_ops;
+  const sim::Time done = ScheduleOp();
+  sim_->At(done, [this, key, expected = std::move(expected), value = std::move(value),
+                  cb = std::move(cb)]() mutable {
+    if (failed_) {
+      return;
+    }
+    auto it = items_.find(key);
+    const bool match = it == items_.end() ? !expected.has_value()
+                                          : (expected.has_value() && it->second.value == *expected);
+    if (!match) {
+      ++stats_.cas_conflicts;
+      Respond([cb = std::move(cb)]() { cb(false); });
+      return;
+    }
+    if (it == items_.end()) {
+      lru_.push_front(key);
+      items_[key] = Item{std::move(value), lru_.begin()};
+      EvictIfNeeded();
+    } else {
+      it->second.value = std::move(value);
+      Touch(key);
+    }
+    Respond([cb = std::move(cb)]() { cb(true); });
+  });
+}
+
 void KvServer::Delete(const std::string& key, AckCallback cb) {
   if (failed_) {
     ++stats_.dropped_while_down;

@@ -33,6 +33,8 @@ struct KvServerStats {
   std::uint64_t gets = 0;
   std::uint64_t sets = 0;
   std::uint64_t deletes = 0;
+  std::uint64_t cas_ops = 0;
+  std::uint64_t cas_conflicts = 0;  // CAS ops whose compare failed.
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
@@ -56,6 +58,12 @@ class KvServer {
   void Get(const std::string& key, GetCallback cb);
   void Set(const std::string& key, std::string value, AckCallback cb);
   void Delete(const std::string& key, AckCallback cb);
+  // Compare-and-set: writes `value` only if the current item equals
+  // `expected` (nullopt = the key must be absent). ok=false on a compare
+  // mismatch. Memcached's cas-token protocol, modeled on values directly —
+  // the leader-lease protocol stores the full lease record per key.
+  void Cas(const std::string& key, std::optional<std::string> expected, std::string value,
+           AckCallback cb);
 
   // Crash / recover. Crashing clears the store (RAM contents are gone).
   void Fail();

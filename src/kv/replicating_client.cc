@@ -62,6 +62,9 @@ ReplicatingClient::ReplicatingClient(sim::Simulator* simulator, std::vector<KvSe
     ctr_.gets = &cfg_.registry->GetCounter("kv.client.gets");
     ctr_.sets = &cfg_.registry->GetCounter("kv.client.sets");
     ctr_.deletes = &cfg_.registry->GetCounter("kv.client.deletes");
+    ctr_.cas_ops = &cfg_.registry->GetCounter("kv.client.cas_ops");
+    ctr_.cas_wins = &cfg_.registry->GetCounter("kv.client.cas_wins");
+    ctr_.cas_repairs = &cfg_.registry->GetCounter("kv.client.cas_repairs");
     ctr_.replica_timeouts = &cfg_.registry->GetCounter("kv.client.replica_timeouts");
     ctr_.retries = &cfg_.registry->GetCounter("kv.client.retries");
     ctr_.hedged_gets = &cfg_.registry->GetCounter("kv.client.hedged_gets");
@@ -224,6 +227,78 @@ void ReplicatingClient::Delete(const std::string& key, AckCallback cb) {
   ++stats_.deletes;
   Bump(ctr_.deletes);
   RunDelete(key, 0, sim_->now(), std::move(cb));
+}
+
+void ReplicatingClient::Cas(const std::string& key, std::optional<std::string> expected,
+                            std::string value, AckCallback cb) {
+  ++stats_.cas_ops;
+  Bump(ctr_.cas_ops);
+  auto replicas = ReplicasFor(key);
+  if (replicas.empty()) {
+    cb(false);
+    return;
+  }
+  // Per-replica outcome: answered + compare verdict. Majority is computed
+  // over the CONFIGURED replica count, so silent (down/slow) replicas count
+  // against the op — a CAS can only win while a majority is reachable.
+  struct CasOp {
+    int outstanding = 0;
+    int acks = 0;
+    bool finished = false;
+    std::vector<bool> answered;
+    std::vector<bool> ok;
+  };
+  auto state = std::make_shared<CasOp>();
+  state->outstanding = static_cast<int>(replicas.size());
+  state->answered.assign(replicas.size(), false);
+  state->ok.assign(replicas.size(), false);
+  const int majority = static_cast<int>(replicas.size()) / 2 + 1;
+  auto finish = [this, state, replicas, key, value, majority, cb = std::move(cb)]() {
+    if (state->finished) {
+      return;
+    }
+    state->finished = true;
+    const bool won = state->acks >= majority;
+    if (won) {
+      ++stats_.cas_wins;
+      Bump(ctr_.cas_wins);
+      // Heal replicas that answered with a conflict: the majority decided,
+      // so the minority value (a previous contested CAS that won nowhere)
+      // is overwritten with the winner.
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        if (state->answered[i] && !state->ok[i]) {
+          ++stats_.cas_repairs;
+          Bump(ctr_.cas_repairs);
+          KvServer* server = replicas[i];
+          sim_->After(cfg_.network_delay,
+                      [server, key, value]() { server->Set(key, value, [](bool) {}); });
+        }
+      }
+    }
+    cb(won);
+  };
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    KvServer* server = replicas[i];
+    sim_->After(cfg_.network_delay, [this, server, key, expected, value, state, i, finish]() {
+      server->Cas(key, expected, value, [this, state, i, finish](bool ok) {
+        sim_->After(cfg_.network_delay, [state, i, ok, finish]() {
+          state->answered[i] = true;
+          state->ok[i] = ok;
+          if (ok) {
+            ++state->acks;
+          }
+          if (--state->outstanding == 0) {
+            finish();
+          }
+        });
+      });
+    });
+  }
+  sim_->After(cfg_.op_timeout, [this, state, finish]() {
+    CountReplicaTimeouts(
+        static_cast<std::uint64_t>(state->outstanding > 0 ? state->outstanding : 0));
+    finish();
+  });
 }
 
 // --- reads ------------------------------------------------------------------

@@ -79,6 +79,9 @@ struct ClientOpStats {
   std::uint64_t gets = 0;
   std::uint64_t sets = 0;
   std::uint64_t deletes = 0;
+  std::uint64_t cas_ops = 0;
+  std::uint64_t cas_wins = 0;      // CAS ops that reached replica majority.
+  std::uint64_t cas_repairs = 0;   // Diverged replicas overwritten after a win.
   // Replica attempts (not ops) still unanswered when their op_timeout
   // elapsed — per-replica attribution, counted even when the op itself
   // finished early off another replica.
@@ -105,6 +108,16 @@ class ReplicatingClient {
   void Set(const std::string& key, std::string value, AckCallback cb);
   void Get(const std::string& key, GetCallback cb);
   void Delete(const std::string& key, AckCallback cb);
+  // Replicated compare-and-set (leader-lease substrate): the CAS is issued to
+  // every replica of `key` in parallel and SUCCEEDS only when a strict
+  // majority of the configured replica count acked the compare — so with 2
+  // replicas both must agree, and two contenders racing on the same key can
+  // both lose but can never both win. After a win, replicas that answered
+  // with a compare conflict (diverged under a previous contested CAS) are
+  // force-overwritten with the winning value, restoring convergence. There is
+  // no retry layer: lease acquisition retries at its own cadence.
+  void Cas(const std::string& key, std::optional<std::string> expected, std::string value,
+           AckCallback cb);
 
   // Replica servers the ring selects for `key` (exposed for tests).
   std::vector<KvServer*> ReplicasFor(const std::string& key) const;
@@ -147,6 +160,9 @@ class ReplicatingClient {
     obs::Counter* gets = nullptr;
     obs::Counter* sets = nullptr;
     obs::Counter* deletes = nullptr;
+    obs::Counter* cas_ops = nullptr;
+    obs::Counter* cas_wins = nullptr;
+    obs::Counter* cas_repairs = nullptr;
     obs::Counter* replica_timeouts = nullptr;
     obs::Counter* retries = nullptr;
     obs::Counter* hedged_gets = nullptr;

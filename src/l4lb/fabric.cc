@@ -36,42 +36,71 @@ void L4Fabric::SetVipPoolStaggered(net::IpAddr vip, std::vector<net::IpAddr> ins
   }
 }
 
+void L4Fabric::NoteFenced(net::IpAddr vip, std::uint64_t token, const Mux& mux) {
+  // Distinguish a fencing rejection from a plain stale-epoch skip: only the
+  // former leaves the offered token below the mux's watermark.
+  if (recorder_ == nullptr || token == 0 || token >= mux.FenceToken()) {
+    return;
+  }
+  recorder_->RecordSystem(sim_->now(), obs::EventType::kFencedWrite, vip,
+                          (token << 32) | (mux.FenceToken() & 0xffffffffULL));
+}
+
 void L4Fabric::ProgramPool(net::IpAddr vip, std::vector<net::IpAddr> instances,
-                           std::uint64_t epoch, sim::Duration per_mux_delay) {
+                           std::uint64_t epoch, sim::Duration per_mux_delay,
+                           std::uint64_t token) {
   for (std::size_t i = 0; i < muxes_.size(); ++i) {
     Mux* mux = muxes_[i].get();
     if (per_mux_delay == 0) {
-      mux->SetPool(vip, instances, epoch);
+      if (!mux->SetPool(vip, instances, epoch, token)) {
+        NoteFenced(vip, token, *mux);
+      }
       continue;
     }
     sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
-                [mux, vip, instances, epoch]() { mux->SetPool(vip, instances, epoch); });
+                [this, mux, vip, instances, epoch, token]() {
+                  if (!mux->SetPool(vip, instances, epoch, token)) {
+                    NoteFenced(vip, token, *mux);
+                  }
+                });
   }
 }
 
 void L4Fabric::AddPoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
-                             sim::Duration per_mux_delay) {
+                             sim::Duration per_mux_delay, std::uint64_t token) {
   for (std::size_t i = 0; i < muxes_.size(); ++i) {
     Mux* mux = muxes_[i].get();
     if (per_mux_delay == 0) {
-      mux->AddMember(vip, instance, epoch);
+      if (!mux->AddMember(vip, instance, epoch, token)) {
+        NoteFenced(vip, token, *mux);
+      }
       continue;
     }
     sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
-                [mux, vip, instance, epoch]() { mux->AddMember(vip, instance, epoch); });
+                [this, mux, vip, instance, epoch, token]() {
+                  if (!mux->AddMember(vip, instance, epoch, token)) {
+                    NoteFenced(vip, token, *mux);
+                  }
+                });
   }
 }
 
 void L4Fabric::RemovePoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
-                                sim::Duration per_mux_delay) {
+                                sim::Duration per_mux_delay, std::uint64_t token) {
   for (std::size_t i = 0; i < muxes_.size(); ++i) {
     Mux* mux = muxes_[i].get();
     if (per_mux_delay == 0) {
-      mux->RemoveMember(vip, instance, epoch);
+      if (!mux->RemoveMember(vip, instance, epoch, token)) {
+        NoteFenced(vip, token, *mux);
+      }
       continue;
     }
     sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
-                [mux, vip, instance, epoch]() { mux->RemoveMember(vip, instance, epoch); });
+                [this, mux, vip, instance, epoch, token]() {
+                  if (!mux->RemoveMember(vip, instance, epoch, token)) {
+                    NoteFenced(vip, token, *mux);
+                  }
+                });
   }
 }
 

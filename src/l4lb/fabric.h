@@ -53,12 +53,18 @@ class L4Fabric : public net::Node {
   // Mux::SetPool), which is what makes in-flight staggered rollouts safe to
   // overtake. `per_mux_delay` staggers application across muxes (0 = all at
   // once); a member write on mux i lands at i * per_mux_delay.
+  //
+  // `token` is the leader lease's fencing token (0 = unfenced). Muxes reject
+  // writes whose token is older than the highest they have seen; each
+  // rejection is recorded as a kFencedWrite system event (where=vip,
+  // detail=(offered token << 32) | mux watermark) so traces prove a deposed
+  // leader's stragglers were dropped.
   void ProgramPool(net::IpAddr vip, std::vector<net::IpAddr> instances, std::uint64_t epoch,
-                   sim::Duration per_mux_delay = 0);
+                   sim::Duration per_mux_delay = 0, std::uint64_t token = 0);
   void AddPoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
-                     sim::Duration per_mux_delay = 0);
+                     sim::Duration per_mux_delay = 0, std::uint64_t token = 0);
   void RemovePoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
-                        sim::Duration per_mux_delay = 0);
+                        sim::Duration per_mux_delay = 0, std::uint64_t token = 0);
   // How long after issuing a staggered write the last mux has applied it.
   sim::Duration ConvergenceDelay(sim::Duration per_mux_delay) const {
     return muxes_.empty() ? 0
@@ -87,6 +93,10 @@ class L4Fabric : public net::Node {
   int mux_count() const { return static_cast<int>(muxes_.size()); }
 
  private:
+  // Records kFencedWrite when a rejected write was a fencing (not epoch)
+  // rejection: the offered token sits below the mux's watermark.
+  void NoteFenced(net::IpAddr vip, std::uint64_t token, const Mux& mux);
+
   sim::Simulator* sim_;
   net::Network* net_;
   std::vector<std::unique_ptr<Mux>> muxes_;

@@ -33,16 +33,31 @@ bool Mux::StaleEpoch(net::IpAddr vip, std::uint64_t epoch) {
   return false;
 }
 
-bool Mux::SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances, std::uint64_t epoch) {
-  if (StaleEpoch(vip, epoch)) {
+bool Mux::StaleToken(std::uint64_t token) {
+  if (token == 0) {
+    return false;  // Unfenced writes always apply (single-controller mode).
+  }
+  if (token < fence_token_) {
+    ++stats_.fenced_writes;
+    return true;  // A deposed leader's write; the fleet has moved on.
+  }
+  fence_token_ = token;
+  return false;
+}
+
+bool Mux::SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances, std::uint64_t epoch,
+                  std::uint64_t token) {
+  // Token first: a fenced write must not advance the epoch watermark either.
+  if (StaleToken(token) || StaleEpoch(vip, epoch)) {
     return false;
   }
   pools_[vip] = std::move(instances);
   return true;
 }
 
-bool Mux::AddMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch) {
-  if (StaleEpoch(vip, epoch)) {
+bool Mux::AddMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
+                    std::uint64_t token) {
+  if (StaleToken(token) || StaleEpoch(vip, epoch)) {
     return false;
   }
   std::vector<net::IpAddr>& pool = pools_[vip];
@@ -52,8 +67,9 @@ bool Mux::AddMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch) 
   return true;
 }
 
-bool Mux::RemoveMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch) {
-  if (StaleEpoch(vip, epoch)) {
+bool Mux::RemoveMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
+                       std::uint64_t token) {
+  if (StaleToken(token) || StaleEpoch(vip, epoch)) {
     return false;
   }
   auto it = pools_.find(vip);

@@ -32,6 +32,7 @@ struct MuxStats {
   std::uint64_t forwarded_ecmp = 0;
   std::uint64_t forwarded_snat = 0;
   std::uint64_t dropped_no_pool = 0;
+  std::uint64_t fenced_writes = 0;  // Control writes rejected: stale lease token.
 };
 
 class Mux {
@@ -49,17 +50,29 @@ class Mux {
   // failure repair) lands cannot clobber it. Epoch 0 is the unversioned
   // escape hatch (applies unconditionally; legacy callers and tests).
   // Returns false when the write was rejected as stale.
-  bool SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances, std::uint64_t epoch = 0);
+  //
+  // Fencing-token semantics (controller HA): `token` is the leader lease's
+  // monotonically increasing fencing token. A mux remembers the highest token
+  // it has ever seen and rejects writes carrying an OLDER one — a deposed
+  // leader replaying a plan after a new leader took over cannot corrupt the
+  // pools, no matter what epoch its plan carries. Token 0 is the unfenced
+  // escape hatch (single-controller mode; applies unconditionally).
+  bool SetPool(net::IpAddr vip, std::vector<net::IpAddr> instances, std::uint64_t epoch = 0,
+               std::uint64_t token = 0);
   // Idempotent member-level writes (the rollout's add/remove steps). Adding
   // a member that is already pooled, or removing one that is not, is a no-op
-  // (returns true: the desired state holds). Stale epochs return false.
-  bool AddMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch = 0);
-  bool RemoveMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch = 0);
+  // (returns true: the desired state holds). Stale epochs/tokens return false.
+  bool AddMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch = 0,
+                 std::uint64_t token = 0);
+  bool RemoveMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch = 0,
+                    std::uint64_t token = 0);
   void RemoveVip(net::IpAddr vip);
   // Removes one instance from every pool (failure handling).
   void RemoveInstance(net::IpAddr instance);
   // Newest epoch applied to this VIP's pool (0 = only unversioned writes).
   std::uint64_t PoolEpoch(net::IpAddr vip) const;
+  // Highest fencing token ever seen (0 = only unfenced writes).
+  std::uint64_t FenceToken() const { return fence_token_; }
 
   const std::vector<net::IpAddr>* PoolFor(net::IpAddr vip) const;
 
@@ -72,10 +85,12 @@ class Mux {
 
  private:
   bool StaleEpoch(net::IpAddr vip, std::uint64_t epoch);
+  bool StaleToken(std::uint64_t token);
 
   int id_;
   std::unordered_map<net::IpAddr, std::vector<net::IpAddr>> pools_;
   std::unordered_map<net::IpAddr, std::uint64_t> pool_epochs_;
+  std::uint64_t fence_token_ = 0;
   MuxStats stats_;
 };
 

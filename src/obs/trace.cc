@@ -86,6 +86,20 @@ const char* EventTypeName(EventType type) {
       return "PoolMemberRemove";
     case EventType::kVipRemoved:
       return "VipRemoved";
+    case EventType::kLeaseAcquired:
+      return "LeaseAcquired";
+    case EventType::kLeaseRenewed:
+      return "LeaseRenewed";
+    case EventType::kLeaseLost:
+      return "LeaseLost";
+    case EventType::kFencedWrite:
+      return "FencedWrite";
+    case EventType::kReconcileStalled:
+      return "ReconcileStalled";
+    case EventType::kReconcileAbort:
+      return "ReconcileAbort";
+    case EventType::kPlanResumed:
+      return "PlanResumed";
   }
   return "Unknown";
 }

@@ -93,6 +93,27 @@ enum class EventType : std::uint8_t {
                          // Recorded when the FIRST mux drops it (again
                          // conservative).
   kVipRemoved,           // VIP withdrawn from the fabric. where=vip.
+  // --- system scope (controller HA: lease, fencing, resume) ---
+  kLeaseAcquired,        // Controller won the leader lease. where=controller
+                         // ip, detail=fencing token.
+  kLeaseRenewed,         // Leader extended its lease. where=controller ip,
+                         // detail=fencing token.
+  kLeaseLost,            // Leader lost/abandoned the lease (renewal CAS
+                         // failed, crash, or resignation). where=controller
+                         // ip, detail=fencing token it held.
+  kFencedWrite,          // A mux or instance rejected a control write whose
+                         // fencing token was older than its watermark.
+                         // where=vip (mux side) or instance ip.
+                         // detail=(offered token << 32) | watermark.
+  kReconcileStalled,     // A plan step exhausted its retry budget (target
+                         // unresponsive); the round is marked failed.
+                         // where=vip, detail=(step kind << 32) | instance ip.
+  kReconcileAbort,       // A deposed/crashed controller's actuator abandoned
+                         // an in-flight plan (fencing token no longer valid).
+                         // where=epoch (low 32), detail=steps not executed.
+  kPlanResumed,          // A newly elected leader re-drove a journaled
+                         // in-flight plan. where=epoch (low 32),
+                         // detail=(steps already applied << 32) | plan id.
 };
 
 // detail payload of kFlowReset.

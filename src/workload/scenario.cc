@@ -133,7 +133,8 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
 
     long long n = 0;
     if (cmd == "seed" || cmd == "instances" || cmd == "spares" || cmd == "backends" ||
-        cmd == "kv-servers" || cmd == "kv-replicas" || cmd == "clients" || cmd == "muxes") {
+        cmd == "kv-servers" || cmd == "kv-replicas" || cmd == "clients" || cmd == "muxes" ||
+        cmd == "controllers") {
       if (!need(1) || !ParseInt(toks[1], &n) || n < 0) {
         Fail(error, line_no, "bad count for " + cmd);
         return std::nullopt;
@@ -152,6 +153,11 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
         sc.testbed.kv_replicas = static_cast<int>(n);
       } else if (cmd == "clients") {
         sc.testbed.clients = static_cast<int>(n);
+      } else if (cmd == "controllers") {
+        // >1 controller replicas switches the control plane to HA mode
+        // (store-backed leader lease, durable journal).
+        sc.testbed.controllers = static_cast<int>(n);
+        sc.testbed.controller_ha = n > 1;
       } else {
         sc.testbed.muxes = static_cast<int>(n);
       }
@@ -250,8 +256,22 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
     }
   };
 
+  // Control-plane handle: with HA the mutating APIs must go through whichever
+  // replica currently holds the lease (a standby silently ignores them).
+  auto ctl = [&tb, &cfg]() -> yoda::Controller* {
+    if (!cfg.controller_ha) {
+      return tb.controller.get();
+    }
+    yoda::Controller* leader = tb.LeaderController();
+    return leader != nullptr ? leader : tb.controller.get();
+  };
+
+  if (cfg.controller_ha) {
+    tb.StartAllControllers();
+    tb.AwaitLeader();
+  }
   for (const auto& def : scenario.vips) {
-    tb.controller->DefineVip(def.vip, 80, def.vip_rules);
+    ctl()->DefineVip(def.vip, 80, def.vip_rules);
     if (def.tls_cert) {
       for (auto& inst : tb.instances) {
         inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
@@ -261,7 +281,9 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
       }
     }
   }
-  tb.controller->Start();
+  if (!cfg.controller_ha) {
+    tb.controller->Start();
+  }
 
   sim::Rng rng(scenario.testbed.seed ^ 0x5ce9a210ULL);
   // Load generators keep per-generator state via shared_ptr closures. The
@@ -321,13 +343,30 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
         std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
         say("FAIL kv server " + ev.args[0]);
         tb.FailKvServer(static_cast<int>(idx));
+      } else if (ev.action == "crash-controller" && !ev.args.empty()) {
+        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+        say("CRASH controller " + ev.args[0]);
+        tb.CrashController(static_cast<int>(idx));
+      } else if (ev.action == "crash-leader") {
+        for (int i = 0; i < tb.controller_count(); ++i) {
+          yoda::Controller* c = tb.ControllerAt(i);
+          if (!c->crashed() && c->ActingLeader()) {
+            say("CRASH leader controller " + std::to_string(i));
+            tb.CrashController(i);
+            break;
+          }
+        }
+      } else if (ev.action == "restart-controller" && !ev.args.empty()) {
+        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+        say("restart controller " + ev.args[0]);
+        tb.RestartController(static_cast<int>(idx));
       } else if (ev.action == "add-instance") {
         if (!tb.spares.empty()) {
           say("activating spare instance");
-          tb.controller->AddInstance(tb.spares.back().get());
+          ctl()->AddInstance(tb.spares.back().get());
           // Hand ownership bookkeeping stays in the testbed; pools follow.
           std::vector<net::IpAddr> pool;
-          for (auto* inst : tb.controller->ActiveInstances()) {
+          for (auto* inst : ctl()->ActiveInstances()) {
             pool.push_back(inst->ip());
           }
           for (const auto& def : scenario.vips) {
@@ -336,7 +375,7 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
         }
       } else if (ev.action == "assign") {
         say("running many-to-many assignment round");
-        tb.controller->RunAssignmentRoundNow();
+        ctl()->RunAssignmentRoundNow();
       } else if (ev.action == "load" && ev.args.size() >= 5) {
         auto vip = ParseIp(ev.args[0]);
         double rate = std::strtod(ev.args[2].c_str(), nullptr);
@@ -351,7 +390,7 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
         auto rule = rules::ParseRule(JoinFrom(ev.args, 1));
         if (vip && rule) {
           say("update rules for " + ev.args[0]);
-          tb.controller->UpdateVipRules(*vip, {*rule});
+          ctl()->UpdateVipRules(*vip, {*rule});
         }
       }
     });

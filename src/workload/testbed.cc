@@ -1,5 +1,6 @@
 #include "src/workload/testbed.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace workload {
@@ -81,18 +82,35 @@ Testbed::Testbed(TestbedConfig config)
   yoda::ControllerConfig ctl_cfg = cfg.controller;
   ctl_cfg.registry = &metrics;
   ctl_cfg.recorder = &flight;
-  controller = std::make_unique<yoda::Controller>(&sim, &network, &fabric, ctl_cfg);
-  for (auto& inst : instances) {
-    controller->AddInstance(inst.get());
+  if (cfg.controller_ha) {
+    ctl_kv_client = std::make_unique<kv::ReplicatingClient>(&sim, kv_ptrs, kv_client_cfg);
+    ctl_cfg.ha.enabled = true;
+    ctl_cfg.ha.store = ctl_kv_client.get();
+    if (ctl_cfg.max_step_retries == 0) {
+      ctl_cfg.max_step_retries = 5;  // HA template default: bounded retries.
+    }
   }
-  for (auto& inst : spares) {
-    controller->AddSpareInstance(inst.get());
-  }
-  for (auto& s : kv_servers) {
-    controller->AddKvServer(s.get());
-  }
-  for (int i = 0; i < cfg.backends; ++i) {
-    controller->AddBackend(backend_ip(i));
+  const int n_controllers = cfg.controller_ha ? std::max(1, cfg.controllers) : 1;
+  for (int r = 0; r < n_controllers; ++r) {
+    ctl_cfg.ha.self = controller_ip(r);
+    auto replica = std::make_unique<yoda::Controller>(&sim, &network, &fabric, ctl_cfg);
+    for (auto& inst : instances) {
+      replica->AddInstance(inst.get());
+    }
+    for (auto& inst : spares) {
+      replica->AddSpareInstance(inst.get());
+    }
+    for (auto& s : kv_servers) {
+      replica->AddKvServer(s.get());
+    }
+    for (int i = 0; i < cfg.backends; ++i) {
+      replica->AddBackend(backend_ip(i));
+    }
+    if (r == 0) {
+      controller = std::move(replica);
+    } else {
+      standbys.push_back(std::move(replica));
+    }
   }
 
   // Fault plane last: it installs itself as the network's fault hook and
@@ -100,6 +118,12 @@ Testbed::Testbed(TestbedConfig config)
   faults = std::make_unique<fault::FaultPlane>(&sim, &network, cfg.seed ^ 0x66617574ULL,
                                                fault::FaultPlaneConfig{&flight});
   faults->set_crash_handler([this](net::IpAddr ip) {
+    if (yoda::Controller* c = ControllerByIp(ip)) {
+      // Controllers live off-network (their store client talks to the KV
+      // servers directly); a crash is purely "stop acting + stop renewing".
+      c->Crash();
+      return;
+    }
     if (yoda::YodaInstance* inst = InstanceByIp(ip)) {
       inst->Fail();
     }
@@ -115,6 +139,10 @@ Testbed::Testbed(TestbedConfig config)
     network.SetNodeDown(ip, true);
   });
   faults->set_restart_handler([this](net::IpAddr ip, fault::FaultPlane::RestartMode mode) {
+    if (yoda::Controller* c = ControllerByIp(ip)) {
+      c->Restart();  // Re-enters the lease contest as a standby.
+      return;
+    }
     if (kv::KvServer* s = KvByIp(ip)) {
       // KV servers live off-network; both modes amount to Recover (memcached
       // restarts empty either way — RAM contents are gone).
@@ -141,6 +169,39 @@ Testbed::Testbed(TestbedConfig config)
       s->set_response_delay(d);
     }
   });
+}
+
+yoda::Controller* Testbed::ControllerByIp(net::IpAddr ip) {
+  for (int i = 0; i < controller_count(); ++i) {
+    if (controller_ip(i) == ip) {
+      return ControllerAt(i);
+    }
+  }
+  return nullptr;
+}
+
+void Testbed::StartAllControllers() {
+  for (int i = 0; i < controller_count(); ++i) {
+    ControllerAt(i)->Start();
+  }
+}
+
+yoda::Controller* Testbed::LeaderController() {
+  for (int i = 0; i < controller_count(); ++i) {
+    yoda::Controller* c = ControllerAt(i);
+    if (!c->crashed() && c->ActingLeader()) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+yoda::Controller* Testbed::AwaitLeader(sim::Duration max_wait) {
+  const sim::Time deadline = sim.now() + max_wait;
+  while (LeaderController() == nullptr && sim.now() < deadline) {
+    sim.RunUntil(std::min(deadline, sim.now() + sim::Msec(10)));
+  }
+  return LeaderController();
 }
 
 yoda::YodaInstance* Testbed::InstanceByIp(net::IpAddr ip) {

@@ -53,6 +53,14 @@ struct TestbedConfig {
   yoda::YodaInstanceConfig instance_template;  // ip is overwritten per instance.
   baseline::ProxyConfig proxy_template;        // ip is overwritten per proxy.
   yoda::ControllerConfig controller;
+  // Controller HA: replica count (replica 0 is the `controller` member) and
+  // whether the replicas contend for the store-backed leader lease. Off
+  // (default) builds the single controller, identical to the seed. When on,
+  // the testbed gives the control plane its own ReplicatingClient into the
+  // same KV ring, enables bounded step retries (5, unless the template set
+  // its own), and leaves every replica stopped until StartAllControllers().
+  int controllers = 1;
+  bool controller_ha = false;
   kv::KvServerConfig kv;
   kv::ReplicatingClientConfig kv_client;
   net::TcpConfig server_tcp;
@@ -66,6 +74,7 @@ class Testbed {
   Testbed& operator=(const Testbed&) = delete;
 
   // --- address plan ---
+  net::IpAddr controller_ip(int i) const { return net::MakeIp(10, 0, 0, static_cast<std::uint8_t>(i + 1)); }
   net::IpAddr instance_ip(int i) const { return net::MakeIp(10, 1, 0, static_cast<std::uint8_t>(i + 1)); }
   net::IpAddr kv_ip(int i) const { return net::MakeIp(10, 2, 0, static_cast<std::uint8_t>(i + 1)); }
   net::IpAddr backend_ip(int i) const { return net::MakeIp(10, 3, 0, static_cast<std::uint8_t>(i + 1)); }
@@ -108,6 +117,24 @@ class Testbed {
   // KV replica answers, but `d` late (0 clears).
   void SlowKvServer(int i, sim::Duration d) { faults->SlowKv(kv_ip(i), d); }
 
+  // --- controller HA helpers (controller_ha builds) ---
+  int controller_count() const { return 1 + static_cast<int>(standbys.size()); }
+  yoda::Controller* ControllerAt(int i) {
+    return i == 0 ? controller.get() : standbys[static_cast<std::size_t>(i - 1)].get();
+  }
+  // Starts every replica (each contends for the lease; first CAS wins).
+  void StartAllControllers();
+  // The replica currently acting as leader, or nullptr during an interregnum.
+  yoda::Controller* LeaderController();
+  // Runs the simulation until some replica holds the lease (or max_wait).
+  yoda::Controller* AwaitLeader(sim::Duration max_wait = sim::Sec(2));
+  // Crash/restart through the fault plane so the flight recorder sees the
+  // kNodeCrash / kNodeRestart events the failover benches measure from.
+  void CrashController(int i) { faults->CrashNode(controller_ip(i)); }
+  void RestartController(int i) {
+    faults->RestartNode(controller_ip(i), fault::FaultPlane::RestartMode::kWarm);
+  }
+
   // --- components (construction order matters; declared accordingly) ---
   TestbedConfig cfg;
   sim::Simulator sim;
@@ -119,6 +146,9 @@ class Testbed {
   l4lb::L4Fabric fabric;
   std::vector<std::unique_ptr<kv::KvServer>> kv_servers;
   std::unique_ptr<kv::ReplicatingClient> kv_client;
+  // Control-plane store client (controller_ha): the controllers journal and
+  // contend for the lease through their own client into the same KV ring.
+  std::unique_ptr<kv::ReplicatingClient> ctl_kv_client;
   std::unique_ptr<yoda::TcpStore> store;
   std::unique_ptr<ObjectCatalog> catalog;
   std::vector<std::unique_ptr<yoda::YodaInstance>> instances;
@@ -127,6 +157,9 @@ class Testbed {
   std::vector<std::unique_ptr<HttpServerNode>> servers;
   std::vector<std::unique_ptr<BrowserClient>> clients;
   std::unique_ptr<yoda::Controller> controller;
+  // HA standby replicas (replicas 1..controllers-1); empty unless
+  // controller_ha. Each sees the same fleet as replica 0.
+  std::vector<std::unique_ptr<yoda::Controller>> standbys;
   // Fault-injection plane: installed as the network's fault hook, seeded from
   // cfg.seed, with crash/restart/kv-slow handlers mapped to the components
   // above. With no faults scheduled it never draws, so same-seed runs stay
@@ -134,6 +167,7 @@ class Testbed {
   std::unique_ptr<fault::FaultPlane> faults;
 
  private:
+  yoda::Controller* ControllerByIp(net::IpAddr ip);
   yoda::YodaInstance* InstanceByIp(net::IpAddr ip);
   HttpServerNode* ServerByIp(net::IpAddr ip);
   kv::KvServer* KvByIp(net::IpAddr ip);

@@ -579,5 +579,75 @@ TEST_F(DegradedModeTest, ReadRepairHealsColdRestartedReplica) {
   EXPECT_EQ(healing->stats().read_repairs, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Compare-and-swap (the leader-lease substrate).
+// ---------------------------------------------------------------------------
+
+TEST_F(KvServerTest, CasCreatesOnlyWhenAbsent) {
+  bool first = false;
+  bool second = true;
+  server.Cas("lease", std::nullopt, "holder=a", [&first](bool ok) { first = ok; });
+  server.Cas("lease", std::nullopt, "holder=b", [&second](bool ok) { second = ok; });
+  simulator.Run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);  // Key exists now; create-if-absent must fail.
+  std::optional<std::string> got;
+  server.Get("lease", [&got](std::optional<std::string> v) { got = std::move(v); });
+  simulator.Run();
+  EXPECT_EQ(got, "holder=a");
+}
+
+TEST_F(KvServerTest, CasSwapsOnExactMatchOnly) {
+  server.Set("lease", "holder=a", [](bool) {});
+  simulator.Run();
+  bool stale = true;
+  bool fresh = false;
+  server.Cas("lease", "holder=zzz", "holder=b", [&stale](bool ok) { stale = ok; });
+  server.Cas("lease", "holder=a", "holder=c", [&fresh](bool ok) { fresh = ok; });
+  simulator.Run();
+  EXPECT_FALSE(stale);
+  EXPECT_TRUE(fresh);
+  std::optional<std::string> got;
+  server.Get("lease", [&got](std::optional<std::string> v) { got = std::move(v); });
+  simulator.Run();
+  EXPECT_EQ(got, "holder=c");
+}
+
+TEST_F(ReplicatingClientTest, CasContendersNeverBothWin) {
+  // Two controllers race to create the same lease key. The win condition is
+  // a strict majority of the CONFIGURED replica count (2-of-2 here), so at
+  // most one contender can win — both losing is allowed, split wins are not.
+  bool a_won = false;
+  bool b_won = false;
+  client->Cas("ctl/lease", std::nullopt, "holder=a", [&a_won](bool ok) { a_won = ok; });
+  client->Cas("ctl/lease", std::nullopt, "holder=b", [&b_won](bool ok) { b_won = ok; });
+  simulator.Run();
+  EXPECT_FALSE(a_won && b_won);
+  EXPECT_TRUE(a_won || b_won);  // Uncontested replicas: someone must win.
+  // Post-win repair converged every replica on the winner's value.
+  const std::string winner = a_won ? "holder=a" : "holder=b";
+  std::optional<std::string> got;
+  client->Get("ctl/lease", [&got](std::optional<std::string> v) { got = std::move(v); });
+  simulator.Run();
+  EXPECT_EQ(got, winner);
+  for (KvServer* s : client->ReplicasFor("ctl/lease")) {
+    std::optional<std::string> copy;
+    s->Get("ctl/lease", [&copy](std::optional<std::string> v) { copy = std::move(v); });
+    simulator.Run();
+    EXPECT_EQ(copy, winner);
+  }
+}
+
+TEST_F(ReplicatingClientTest, CasFailsWithoutMajority) {
+  // With one of the two replicas down, a 2-of-2 majority is unreachable: the
+  // CAS must fail (no lease handed out on a split ring) even though the
+  // surviving replica accepted the write.
+  client->ReplicasFor("ctl/lease")[1]->Fail();
+  bool won = true;
+  client->Cas("ctl/lease", std::nullopt, "holder=a", [&won](bool ok) { won = ok; });
+  simulator.Run();
+  EXPECT_FALSE(won);
+}
+
 }  // namespace
 }  // namespace kv

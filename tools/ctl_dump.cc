@@ -9,6 +9,9 @@
 //                                          # events instead of live state,
 //                                          # proving a trace alone suffices
 //   ctl_dump <scenario-file> --epoch N     # limit output to epoch N
+//   ctl_dump <scenario-file> --ha          # controller-HA timeline: lease
+//                                          # transitions, fenced writes,
+//                                          # resumed plans, stalled steps
 //
 // See src/workload/scenario.h for the scenario DSL.
 
@@ -94,27 +97,87 @@ void PrintReconcileTimeline(workload::Testbed& tb, std::uint64_t only_epoch) {
   }
 }
 
+// Controller-HA view, rebuilt purely from the flight recorder: who held the
+// leader lease when (and under which fencing token), which stale writes the
+// fleet fenced off, and how in-flight rollouts fared across failovers.
+void PrintHaTimeline(const workload::Testbed& tb) {
+  std::size_t events = 0;
+  std::printf("controller-HA timeline:\n");
+  for (const obs::TraceEvent& ev : tb.flight.system_events()) {
+    switch (ev.type) {
+      case obs::EventType::kLeaseAcquired:
+        std::printf("  %10.3f ms  LEASE ACQUIRED   %-15s token=%llu\n", sim::ToMillis(ev.at),
+                    obs::FormatIp(ev.where).c_str(),
+                    static_cast<unsigned long long>(ev.detail));
+        break;
+      case obs::EventType::kLeaseLost:
+        std::printf("  %10.3f ms  LEASE LOST       %-15s token=%llu\n", sim::ToMillis(ev.at),
+                    obs::FormatIp(ev.where).c_str(),
+                    static_cast<unsigned long long>(ev.detail));
+        break;
+      case obs::EventType::kFencedWrite:
+        std::printf("  %10.3f ms  FENCED WRITE     %-15s offered=%llu watermark=%llu\n",
+                    sim::ToMillis(ev.at), obs::FormatIp(ev.where).c_str(),
+                    static_cast<unsigned long long>(ev.detail >> 32),
+                    static_cast<unsigned long long>(ev.detail & 0xffffffffULL));
+        break;
+      case obs::EventType::kPlanResumed:
+        std::printf("  %10.3f ms  PLAN RESUMED     epoch=%llu plan=%llu already-applied=%llu\n",
+                    sim::ToMillis(ev.at), static_cast<unsigned long long>(ev.where),
+                    static_cast<unsigned long long>(ev.detail & 0xffffffffULL),
+                    static_cast<unsigned long long>(ev.detail >> 32));
+        break;
+      case obs::EventType::kReconcileStalled:
+        std::printf("  %10.3f ms  STEP STALLED     vip=%-15s inst=%s\n", sim::ToMillis(ev.at),
+                    obs::FormatIp(ev.where).c_str(),
+                    obs::FormatIp(static_cast<net::IpAddr>(ev.detail & 0xffffffffULL)).c_str());
+        break;
+      case obs::EventType::kReconcileAbort:
+        std::printf("  %10.3f ms  PLAN ABORTED     epoch=%llu steps-unrun=%llu\n",
+                    sim::ToMillis(ev.at), static_cast<unsigned long long>(ev.where),
+                    static_cast<unsigned long long>(ev.detail));
+        break;
+      default:
+        continue;
+    }
+    ++events;
+  }
+  if (events == 0) {
+    std::printf("  (no lease events — run a controller-HA scenario, or the trace predates "
+                "the HA control plane)\n");
+  }
+  // Renewals are high-volume; summarize instead of listing.
+  std::size_t renewals = 0;
+  for (const obs::TraceEvent& ev : tb.flight.system_events()) {
+    renewals += ev.type == obs::EventType::kLeaseRenewed ? 1 : 0;
+  }
+  std::printf("  (%zu lease renewals omitted)\n", renewals);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   bool from_trace = false;
+  bool ha = false;
   std::uint64_t only_epoch = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--from-trace") {
       from_trace = true;
+    } else if (arg == "--ha") {
+      ha = true;
     } else if (arg == "--epoch" && i + 1 < argc) {
       only_epoch = std::strtoull(argv[++i], nullptr, 10);
     } else if (path.empty()) {
       path = arg;
     } else {
-      std::fprintf(stderr, "usage: %s <scenario-file> [--from-trace] [--epoch N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s <scenario-file> [--from-trace] [--epoch N] [--ha]\n", argv[0]);
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: %s <scenario-file> [--from-trace] [--epoch N]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <scenario-file> [--from-trace] [--epoch N] [--ha]\n", argv[0]);
     return 2;
   }
   std::ifstream in(path);
@@ -133,6 +196,10 @@ int main(int argc, char** argv) {
   }
 
   workload::RunScenario(*scenario, nullptr, [&](workload::Testbed& tb) {
+    if (ha) {
+      PrintHaTimeline(tb);
+      return;
+    }
     if (from_trace) {
       PrintChangelogFromTrace(tb, only_epoch);
     } else {
