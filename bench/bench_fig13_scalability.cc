@@ -10,14 +10,81 @@
 // model is scaled up by the same factor so the utilization percentages land
 // where the paper's do.
 
+// With --x100 an additional section runs the same per-cell topology as
+// workload::kScenarioCells independent cells at 100x the Fig 13 aggregate
+// rate (cell-sharded across --threads N worker threads, default 1). Flow
+// totals are worker-count-invariant; only wall-clock changes with N.
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <vector>
 
 #include "src/workload/browser_client.h"
+#include "src/workload/parallel_load.h"
+#include "src/workload/scenario.h"
 #include "src/workload/testbed.h"
 
-int main() {
+namespace {
+
+workload::TestbedConfig Fig13CellConfig() {
+  workload::TestbedConfig cfg;
+  cfg.yoda_instances = 6;
+  cfg.spare_instances = 3;
+  cfg.backends = 10;
+  cfg.clients = 10;
+  cfg.kv_servers = 4;
+  cfg.catalog.objects = 60;
+  cfg.catalog.median_size = 10'000;
+  cfg.catalog.sigma = 0.02;
+  cfg.catalog.min_size = 9'800;
+  cfg.catalog.max_size = 10'200;
+  cfg.instance_template.cpu_costs.per_connection = sim::Usec(500);
+  cfg.instance_template.cpu_costs.per_packet = sim::Usec(18);
+  cfg.controller.auto_scale = true;
+  cfg.controller.scale_out_cpu = 0.70;
+  cfg.controller.scale_out_step = 3;
+  cfg.controller.scale_out_ticks = 3;
+  return cfg;
+}
+
+// 100x the steady-state Fig 13 aggregate (6 instances x 250 req/s), spread
+// across the cells; 3 simulated seconds keeps the flow count (~450K) within
+// a couple of minutes of wall-clock on one core.
+void RunX100(int threads) {
+  std::printf("\n=== x100 section: %d cells, %d worker thread(s) ===\n",
+              workload::kScenarioCells, threads);
+  const double aggregate_rate = 100.0 * 6 * 250;
+  const auto wall0 = std::chrono::steady_clock::now();
+  const workload::ParallelLoadResult r = workload::RunShardedFetchLoad(
+      Fig13CellConfig(), aggregate_rate, sim::Sec(3), threads);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+  std::printf("  x100: %llu ok, %llu failed across %d cells (%d workers) in %.1f s"
+              " -> %.0f flows/s\n",
+              static_cast<unsigned long long>(r.ok),
+              static_cast<unsigned long long>(r.failed), r.cells, r.workers, wall,
+              static_cast<double>(r.ok + r.failed) / wall);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool x100 = false;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--x100") == 0) {
+      x100 = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--x100] [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("=== Figure 13: scale-out under a 2x load step ===\n");
   std::printf("Paper: CPU 40%% -> 80%% at the step -> 60%% after +3 instances; no broken flows.\n\n");
 
@@ -116,5 +183,9 @@ int main() {
               static_cast<unsigned long long>(failed),
               static_cast<unsigned long long>(ok + failed));
   tb.PrintMetricsSnapshot();
+
+  if (x100) {
+    RunX100(threads);
+  }
   return 0;
 }

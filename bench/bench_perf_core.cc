@@ -19,7 +19,12 @@
 // Flags:
 //   --out FILE        JSON output path (default BENCH_perf_core.json)
 //   --baseline FILE   compare against a baseline JSON; exit 1 on >2x regression
-//   --scale10         additionally run the ~10x Fig 13 scale-up (slow; not CI)
+//   --scale10         additionally run the ~10x Fig 13 scale-up; also records
+//                     peak_rss_mb_x10 (taken right after the x10 run, which
+//                     dominates the process high-water mark)
+//   --threads N       additionally run the e2e sections cell-sharded (8 cells
+//                     on N worker threads, same aggregate rate) and emit
+//                     e2e_flows_per_sec_sharded[_x10]
 
 #include <sys/resource.h>
 
@@ -38,6 +43,7 @@
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
 #include "src/workload/browser_client.h"
+#include "src/workload/parallel_load.h"
 #include "src/workload/testbed.h"
 
 namespace {
@@ -228,9 +234,8 @@ double BenchFabricPps(std::uint64_t total) {
 }
 
 // --- e2e_flows --------------------------------------------------------------
-// Fig 13-shaped testbed under open-loop load; wall-clock flows/sec. `scale`
-// multiplies the request rate (scale=10 is the "10x Fig 13" headroom run).
-double BenchE2eFlows(int scale, double* out_flows) {
+
+workload::TestbedConfig Fig13Config() {
   workload::TestbedConfig cfg;
   cfg.yoda_instances = 6;
   cfg.backends = 10;
@@ -241,6 +246,13 @@ double BenchE2eFlows(int scale, double* out_flows) {
   cfg.catalog.sigma = 0.02;
   cfg.catalog.min_size = 9'800;
   cfg.catalog.max_size = 10'200;
+  return cfg;
+}
+
+// Fig 13-shaped testbed under open-loop load; wall-clock flows/sec. `scale`
+// multiplies the request rate (scale=10 is the "10x Fig 13" headroom run).
+double BenchE2eFlows(int scale, double* out_flows) {
+  workload::TestbedConfig cfg = Fig13Config();
   workload::Testbed tb(cfg);
   tb.DefineDefaultVipAndStart();
 
@@ -282,6 +294,28 @@ double BenchE2eFlows(int scale, double* out_flows) {
   std::printf("  e2e_flows (x%d): %.0f flows (%llu ok, %llu failed) in %.3f s -> %.0f flows/s\n",
               scale, flows, static_cast<unsigned long long>(ok),
               static_cast<unsigned long long>(failed), wall, fps);
+  if (out_flows != nullptr) {
+    *out_flows = flows;
+  }
+  return fps;
+}
+
+// Same workload cell-sharded: 8 cells on `threads` workers, each cell serving
+// 1/8 of the aggregate rate. On a multi-core host this is where the parallel
+// engine's headroom shows; flow totals are worker-count-invariant.
+double BenchE2eFlowsSharded(int scale, int threads, double* out_flows) {
+  const double rate = 1500.0 * scale;
+  const auto t0 = std::chrono::steady_clock::now();
+  const workload::ParallelLoadResult r =
+      workload::RunShardedFetchLoad(Fig13Config(), rate, sim::Sec(5), threads);
+  const double wall = WallSeconds(t0);
+  const double flows = static_cast<double>(r.ok + r.failed);
+  const double fps = flows / wall;
+  std::printf(
+      "  e2e_flows_sharded (x%d, %d cells, %d workers): %.0f flows (%llu ok, %llu failed) in "
+      "%.3f s -> %.0f flows/s\n",
+      scale, r.cells, r.workers, flows, static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.failed), wall, fps);
   if (out_flows != nullptr) {
     *out_flows = flows;
   }
@@ -356,6 +390,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_perf_core.json";
   std::string baseline_path;
   bool scale10 = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -363,8 +398,11 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--scale10") == 0) {
       scale10 = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
     } else {
-      std::printf("usage: %s [--out FILE] [--baseline FILE] [--scale10]\n", argv[0]);
+      std::printf("usage: %s [--out FILE] [--baseline FILE] [--scale10] [--threads N]\n",
+                  argv[0]);
       return 2;
     }
   }
@@ -383,13 +421,32 @@ int main(int argc, char** argv) {
   double flows = 0;
   metrics["e2e_flows_per_sec"] = BenchE2eFlows(1, &flows);
   metrics["e2e_flows_completed"] = flows;
+  // Sample before the x10/sharded sections: maxrss is a monotonic high-water
+  // mark, so this is the only point where the reading still means "x1
+  // footprint" when the bigger runs are enabled.
+  metrics["peak_rss_mb"] = PeakRssMb();
+  std::printf("  peak_rss_mb: %.1f\n", metrics["peak_rss_mb"]);
   if (scale10) {
     double flows10 = 0;
     metrics["e2e_flows_per_sec_x10"] = BenchE2eFlows(10, &flows10);
     metrics["e2e_flows_completed_x10"] = flows10;
+    // The x10 run dominates the process high-water mark, so sampling right
+    // after it attributes the figure to that scale (the x1 peak is ~10x
+    // smaller). This is the footprint-regression gate for the big run.
+    metrics["peak_rss_mb_x10"] = PeakRssMb();
+    std::printf("  peak_rss_mb_x10: %.1f\n", metrics["peak_rss_mb_x10"]);
   }
-  metrics["peak_rss_mb"] = PeakRssMb();
-  std::printf("  peak_rss_mb: %.1f\n", metrics["peak_rss_mb"]);
+  if (threads > 0) {
+    metrics["threads"] = threads;
+    double sflows = 0;
+    metrics["e2e_flows_per_sec_sharded"] = BenchE2eFlowsSharded(1, threads, &sflows);
+    metrics["e2e_flows_completed_sharded"] = sflows;
+    if (scale10) {
+      double sflows10 = 0;
+      metrics["e2e_flows_per_sec_x10_sharded"] = BenchE2eFlowsSharded(10, threads, &sflows10);
+      metrics["e2e_flows_completed_x10_sharded"] = sflows10;
+    }
+  }
 
   WriteJson(out_path, metrics);
   if (!baseline_path.empty()) {

@@ -136,6 +136,45 @@ void Network::ReleaseSlot(std::uint32_t slot) {
   // until the slot is reused (AcquireSlot move-assigns a whole Packet).
   pool_[slot].payload = Payload();
   pool_free_.push_back(slot);
+  if (++releases_since_trim_ >= 4096) {
+    releases_since_trim_ = 0;
+    TrimPoolIfBloated();
+  }
+}
+
+void Network::TrimPoolIfBloated() {
+  // A traffic burst grows the pool to its high-water in-flight count and the
+  // deque then pins that footprint forever. When the freelist dwarfs the
+  // in-flight set, drop the wholly-free suffix — only the suffix, because
+  // in-flight slot indices are baked into scheduled delivery events and
+  // shrinking a deque at the end is the one operation that leaves references
+  // to surviving slots valid.
+  constexpr std::size_t kFloorSlots = 1024;
+  const std::size_t in_flight = pool_.size() - pool_free_.size();
+  if (pool_free_.size() < (std::size_t{1} << 13) ||
+      pool_free_.size() < 3 * (in_flight + 1)) {
+    return;
+  }
+  std::vector<bool> is_free(pool_.size(), false);
+  for (const std::uint32_t s : pool_free_) {
+    is_free[s] = true;
+  }
+  std::size_t keep = pool_.size();
+  while (keep > kFloorSlots && is_free[keep - 1]) {
+    --keep;
+  }
+  if (keep == pool_.size()) {
+    return;
+  }
+  pool_.resize(keep);
+  std::vector<std::uint32_t> survivors;
+  survivors.reserve(pool_free_.size());
+  for (const std::uint32_t s : pool_free_) {
+    if (s < keep) {
+      survivors.push_back(s);
+    }
+  }
+  pool_free_ = std::move(survivors);
 }
 
 void Network::Send(Packet&& packet) {

@@ -155,6 +155,7 @@ class Network {
   Region RegionOf(IpAddr ip) const;
   std::uint32_t AcquireSlot(Packet&& packet);
   void ReleaseSlot(std::uint32_t slot);
+  void TrimPoolIfBloated();
   void Deliver(std::uint32_t slot);
   static void DeliverTrampoline(void* ctx, std::uint64_t arg);
 
@@ -236,6 +237,8 @@ class Network {
   // promptly.
   std::deque<Packet> pool_;
   std::vector<std::uint32_t> pool_free_;
+  // Amortizes the pool high-water trim (see TrimPoolIfBloated).
+  std::size_t releases_since_trim_ = 0;
 };
 
 }  // namespace net

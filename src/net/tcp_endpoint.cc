@@ -37,7 +37,10 @@ const char* TcpStateName(TcpState s) {
 TcpEndpoint::TcpEndpoint(sim::Simulator* simulator, PacketSink sink, TcpConfig config)
     : sim_(simulator), sink_(std::move(sink)), cfg_(config) {}
 
-TcpEndpoint::~TcpEndpoint() { CancelRto(); }
+TcpEndpoint::~TcpEndpoint() {
+  CancelRto();
+  time_wait_timer_.Cancel();
+}
 
 void TcpEndpoint::Emit(Packet p) {
   ++stats_.segments_sent;
@@ -115,6 +118,7 @@ void TcpEndpoint::Abort() {
     Emit(std::move(rst));
   }
   state_ = TcpState::kReset;
+  ReleaseClosedBuffers();
 }
 
 std::uint32_t TcpEndpoint::InFlight() const { return snd_nxt_ - snd_una_; }
@@ -269,15 +273,30 @@ void TcpEndpoint::BecomeEstablished() {
 void TcpEndpoint::FailConnection() {
   CancelRto();
   state_ = TcpState::kReset;
+  ReleaseClosedBuffers();
   if (on_failed_) {
     on_failed_();
   }
 }
 
+void TcpEndpoint::ReleaseClosedBuffers() {
+  // A terminal endpoint (TIME_WAIT, closed, reset) never transmits or
+  // reassembles again, but owners keep it around — server connections linger
+  // through TIME_WAIT and browser fetches through the tuple-reuse window. At
+  // high load those windows hold tens of thousands of endpoints, and the send
+  // queue's capacity (a full response; erase() keeps capacity) dominates RSS.
+  std::string().swap(sendq_);
+  ooo_.clear();
+}
+
 void TcpEndpoint::EnterTimeWait() {
   state_ = TcpState::kTimeWait;
   CancelRto();
-  sim_->After(cfg_.time_wait, [this]() {
+  ReleaseClosedBuffers();
+  // The handle matters: a TIME_WAIT endpoint can be destroyed before the
+  // timer fires (port reuse replaces the connection), and an unowned timer
+  // would then run against a freed endpoint.
+  time_wait_timer_ = sim_->After(cfg_.time_wait, [this]() {
     if (state_ == TcpState::kTimeWait) {
       state_ = TcpState::kClosed;
       if (on_closed_) {
@@ -328,6 +347,7 @@ void TcpEndpoint::ProcessAck(const Packet& p) {
       } else if (state_ == TcpState::kLastAck) {
         CancelRto();
         state_ = TcpState::kClosed;
+        ReleaseClosedBuffers();
         if (on_closed_) {
           on_closed_();
         }
@@ -442,6 +462,7 @@ void TcpEndpoint::HandlePacket(const Packet& p) {
   if (p.rst()) {
     CancelRto();
     state_ = TcpState::kReset;
+    ReleaseClosedBuffers();
     if (on_reset_) {
       on_reset_();
     }

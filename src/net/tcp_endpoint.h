@@ -120,6 +120,7 @@ class TcpEndpoint {
   void MaybeSendFin();
   void ArmRto(sim::Duration rto);
   void CancelRto();
+  void ReleaseClosedBuffers();
   void HandleRto();
   void ProcessAck(const Packet& p);
   void ProcessPayload(const Packet& p);
@@ -164,6 +165,7 @@ class TcpEndpoint {
 
   // Retransmission.
   sim::TimerHandle rto_timer_;
+  sim::TimerHandle time_wait_timer_;
   sim::Duration current_rto_ = 0;
   int retries_ = 0;
 

@@ -12,6 +12,11 @@ void Histogram::Add(double v) {
   sorted_ = false;
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
 void Histogram::EnsureSorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -20,10 +20,20 @@ std::uint32_t Simulator::Alloc() {
   if (free_head_ != kNil) {
     const std::uint32_t idx = free_head_;
     free_head_ = Rec(idx).next;
+    --chunk_free_[idx >> kChunkShift];
     return idx;
   }
   if ((allocated_ >> kChunkShift) == chunks_.size()) {
     chunks_.push_back(std::make_unique<EventRec[]>(kChunkSize));
+    chunk_free_.push_back(0);
+    if (fresh_gen_base_ != 0) {
+      // Region re-grown after a trim: start generations above every handle
+      // that ever named the dropped records, so stale handles stay inert.
+      EventRec* recs = chunks_.back().get();
+      for (std::uint32_t i = 0; i < kChunkSize; ++i) {
+        recs[i].gen = fresh_gen_base_;
+      }
+    }
   }
   return allocated_++;
 }
@@ -37,6 +47,70 @@ void Simulator::Free(std::uint32_t idx) {
   }
   rec.next = free_head_;
   free_head_ = idx;
+  ++chunk_free_[idx >> kChunkShift];
+  MaybeTrimSlab();
+}
+
+void Simulator::MaybeTrimSlab() {
+  // Amortized: probe every 4096 frees. The droppability check reads the
+  // incrementally-maintained per-chunk free counters, so a probe that finds
+  // nothing to drop costs O(chunks) — the O(free-records) freelist rebuild
+  // only runs when a wholly-free suffix actually exists.
+  if (++frees_since_trim_check_ < 4096) {
+    return;
+  }
+  frees_since_trim_check_ = 0;
+  const std::size_t free_recs = static_cast<std::size_t>(allocated_) - live_events_;
+  if (free_recs < (1u << 14) || free_recs < live_events_ * 3) {
+    return;
+  }
+  const std::size_t nchunks = chunks_.size();
+  constexpr std::size_t kFloorChunks = 16;  // Always keep ~16K records around.
+  // A chunk is droppable iff every record ever allocated from it is free.
+  // Only a wholly-free *suffix* can go: record indices must stay dense below
+  // allocated_ so Alloc()'s bump pointer and Rec() addressing keep working.
+  std::size_t keep = nchunks;
+  while (keep > kFloorChunks) {
+    const std::size_t c = keep - 1;
+    const std::size_t chunk_alloc =
+        std::min<std::size_t>(kChunkSize, static_cast<std::size_t>(allocated_) - (c << kChunkShift));
+    if (chunk_free_[c] != chunk_alloc) {
+      break;
+    }
+    --keep;
+  }
+  if (keep == nchunks) {
+    return;
+  }
+  TrimSlab(keep);
+}
+
+void Simulator::TrimSlab(std::size_t keep) {
+  const std::uint32_t new_allocated = static_cast<std::uint32_t>(keep << kChunkShift);
+  // Rebuild the freelist without the dropped indices, preserving order.
+  std::uint32_t new_head = kNil;
+  std::uint32_t tail = kNil;
+  std::uint32_t dropped_gen_max = 0;
+  for (std::uint32_t i = free_head_; i != kNil;) {
+    const std::uint32_t next = Rec(i).next;
+    if (i < new_allocated) {
+      if (tail == kNil) {
+        new_head = i;
+      } else {
+        Rec(tail).next = i;
+      }
+      Rec(i).next = kNil;
+      tail = i;
+    } else {
+      dropped_gen_max = std::max(dropped_gen_max, Rec(i).gen);
+    }
+    i = next;
+  }
+  fresh_gen_base_ = std::max(fresh_gen_base_, dropped_gen_max + 1);
+  free_head_ = new_head;
+  allocated_ = new_allocated;
+  chunks_.resize(keep);
+  chunk_free_.resize(keep);
 }
 
 void Simulator::ListAppend(SlotList& list, std::uint32_t idx) {
@@ -230,6 +304,49 @@ void Simulator::RebuildOverflow() {
   for (const std::uint32_t idx : items) {
     ScheduleRec(idx);
   }
+}
+
+bool Simulator::NextEventLowerBound(Time* when) const {
+  // Due run first: it is sorted and holds the globally next tick, so the
+  // first non-cancelled entry is the exact minimum.
+  for (std::size_t i = due_head_; i < due_.size(); ++i) {
+    const EventRec& rec = Rec(due_[i].idx);
+    if (!rec.cancelled) {
+      *when = rec.when;
+      return true;
+    }
+  }
+  // Wheel scan, mirroring AdvanceWheel's candidate search but without
+  // draining or cascading: level-0 candidates are exact ticks, coarse-level
+  // candidates are slot range starts (a lower bound; the slot cascades once
+  // the wheel crosses its start, after which this tightens).
+  std::int64_t best_tick = std::numeric_limits<std::int64_t>::max();
+  if ((level_mask_ & 1u) != 0) {
+    const int start = static_cast<int>((wheel_tick_ + 1) & (kL0Slots - 1));
+    const int dist = NextOccupied0(start);
+    best_tick = wheel_tick_ + 1 + dist;
+  }
+  for (std::uint8_t mask = static_cast<std::uint8_t>(level_mask_ & ~1u); mask != 0;
+       mask &= static_cast<std::uint8_t>(mask - 1)) {
+    const int l = std::countr_zero(mask);
+    const int shift = LevelShift(l);
+    const std::int64_t coarse_now = wheel_tick_ >> shift;
+    const int pos = static_cast<int>(coarse_now & (kSlots - 1));
+    const std::uint64_t rotated =
+        std::rotr(occupied_hi_[static_cast<std::size_t>(l - 1)], (pos + 1) & (kSlots - 1));
+    const int dist = std::countr_zero(rotated);
+    best_tick = std::min(best_tick, (coarse_now + 1 + dist) << shift);
+  }
+  if (overflow_count_ > 0) {
+    // overflow_min_tick_ can only be stale low (cancelled minimum): still a
+    // valid lower bound.
+    best_tick = std::min(best_tick, overflow_min_tick_);
+  }
+  if (best_tick == std::numeric_limits<std::int64_t>::max()) {
+    return false;
+  }
+  *when = best_tick << kTickShift;
+  return true;
 }
 
 bool Simulator::AdvanceWheel(std::int64_t limit_tick) {

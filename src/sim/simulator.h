@@ -112,6 +112,23 @@ class Simulator {
   // the event immediately, so cancelled timers never inflate this gauge.
   std::size_t queued_events() const { return live_events_; }
 
+  // Live events that are not daemons — the count that keeps Run() alive. The
+  // sharded scheduler uses this for its global termination check.
+  std::size_t pending_non_daemon() const { return live_non_daemon_; }
+
+  // Read-only lower bound on the earliest pending event's timestamp (daemon
+  // or not); false if nothing is scheduled. Exact when the due run is
+  // populated or the minimum sits in level 0; for events parked in a coarse
+  // wheel level it returns the slot's range start (<= the true minimum), and
+  // a subsequent bounded RunUntil past that bound cascades the slot so the
+  // next call strictly refines. Unlike PeekNextWhen this never advances the
+  // wheel, so it is safe to call between bounded runs — the sharded
+  // scheduler uses it to place epoch windows.
+  bool NextEventLowerBound(Time* when) const;
+
+  // Allocated slab capacity in event records (for memory observability).
+  std::size_t slab_capacity() const { return allocated_; }
+
   // Deepest the live-event count has ever been; an observability gauge for
   // sizing and leak spotting. Exact for the same reason as queued_events().
   std::size_t queue_high_water() const { return queue_high_water_; }
@@ -187,6 +204,12 @@ class Simulator {
 
   std::uint32_t Alloc();
   void Free(std::uint32_t idx);
+  // High-water trimming: when the freelist dwarfs the live set, drop wholly-
+  // free tail chunks so a burst (e.g. a 10x-scale bench phase) does not pin
+  // its peak slab forever. The probe is O(chunks) via per-chunk free
+  // counters; the O(free records) freelist rebuild runs only on a drop.
+  void MaybeTrimSlab();
+  void TrimSlab(std::size_t keep);
   TimerHandle Admit(std::uint32_t idx, Time when, bool daemon);
   void ScheduleRec(std::uint32_t idx);
   void WheelInsert(std::uint32_t idx, std::int64_t tick);
@@ -232,6 +255,15 @@ class Simulator {
   std::vector<std::unique_ptr<EventRec[]>> chunks_;
   std::uint32_t allocated_ = 0;
   std::uint32_t free_head_ = kNil;
+  // Trim probe stride: the droppability scan runs at most once per 4096
+  // frees, so cancel-churn bursts pay O(1) amortized for it.
+  std::uint32_t frees_since_trim_check_ = 0;
+  // Free records per chunk, maintained on every Alloc/Free so the trim
+  // probe never has to walk the freelist just to learn nothing is droppable.
+  std::vector<std::uint32_t> chunk_free_;
+  // Generation floor for records in chunks re-grown after a trim (keeps
+  // stale handles from ever matching a fresh record at a recycled index).
+  std::uint32_t fresh_gen_base_ = 0;
 
   // Timer wheel. All wheel-resident events have tick > wheel_tick_; events
   // at tick <= wheel_tick_ live in the due run.

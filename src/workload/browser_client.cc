@@ -302,15 +302,31 @@ void BrowserClient::FinishFetch(std::shared_ptr<Fetch> fetch, FetchResult result
       demux_.erase(it);
     }
   });
-  if (fetch->sequence_done) {
-    if (!result.ok && fetch->sequence_results.size() < fetch->urls.size()) {
-      fetch->sequence_results.push_back(result);
+  // Shed the heavy per-fetch state now rather than at the 3 s reclaim: the
+  // parser's response buffers and URL list dominate client-side RSS at high
+  // load, while the teardown window only needs the endpoint and the tuple.
+  // The endpoint callbacks are all gated on `finished`, so none of this is
+  // reachable again.
+  std::function<void(std::vector<FetchResult>)> sequence_done =
+      std::move(fetch->sequence_done);
+  std::vector<FetchResult> sequence_results = std::move(fetch->sequence_results);
+  FetchCallback done = std::move(fetch->done);
+  const std::size_t url_count = fetch->urls.size();
+  fetch->parser = http::ResponseParser();
+  fetch->tls_reader = tls::RecordReader();
+  fetch->urls.clear();
+  fetch->urls.shrink_to_fit();
+  fetch->tls_certificate.clear();
+  fetch->tls_certificate.shrink_to_fit();
+  if (sequence_done) {
+    if (!result.ok && sequence_results.size() < url_count) {
+      sequence_results.push_back(result);
     }
-    fetch->sequence_done(std::move(fetch->sequence_results));
+    sequence_done(std::move(sequence_results));
     return;
   }
-  if (fetch->done) {
-    fetch->done(result);
+  if (done) {
+    done(result);
   }
 }
 

@@ -72,6 +72,26 @@ void HttpServerNode::Accept(const net::Packet& syn) {
 
   c->ep = std::make_unique<net::TcpEndpoint>(
       sim_, [this](net::Packet p) { net_->Send(std::move(p)); }, cfg_.tcp);
+  // Reap the connection once it reaches kClosed. The packet-driven paths
+  // (passive close, reset) are reclaimed at the HandlePacket tail, but a
+  // server-side active close parks in TIME_WAIT and reaches kClosed from the
+  // endpoint's internal timer — no packet ever arrives, so without this hook
+  // the Conn (endpoint + parsers + TLS state) leaks for the rest of the run.
+  // The erase is deferred one event because on_closed can fire from inside
+  // ep->HandlePacket or ep->Close, where destroying the endpoint mid-call
+  // would be use-after-free.
+  c->ep->set_on_closed([this, peer]() {
+    sim_->At(sim_->now(), [this, peer]() {
+      auto it = conns_.find(peer);
+      if (it == conns_.end()) {
+        return;
+      }
+      const net::TcpState st = it->second->ep->state();
+      if (st == net::TcpState::kClosed || st == net::TcpState::kReset) {
+        conns_.erase(it);
+      }
+    });
+  });
   c->ep->set_on_data([this, peer](std::string_view bytes) {
     auto it = conns_.find(peer);
     if (it == conns_.end()) {

@@ -1,0 +1,92 @@
+#include "src/workload/parallel_load.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/sharded_sim.h"
+#include "src/workload/browser_client.h"
+#include "src/workload/scenario.h"
+
+namespace workload {
+namespace {
+
+// Per-cell generator state; only the cell's owning shard touches it while the
+// engine runs.
+struct Cell {
+  std::unique_ptr<Testbed> tb;
+  std::unique_ptr<sim::Rng> rng;
+  std::vector<std::string> urls;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  double rate = 0;
+  sim::Time end = 0;
+  std::function<void(sim::Time)> schedule;
+};
+
+}  // namespace
+
+ParallelLoadResult RunShardedFetchLoad(const TestbedConfig& cell_template,
+                                       double aggregate_rate, sim::Duration duration,
+                                       int workers) {
+  sim::ShardedSim::Config ecfg;
+  ecfg.shards = kScenarioCells;
+  ecfg.workers = workers;
+  sim::ShardedSim engine(ecfg);
+
+  std::vector<std::unique_ptr<Cell>> cells;
+  for (int c = 0; c < kScenarioCells; ++c) {
+    TestbedConfig cfg = cell_template;
+    cfg.external_sim = &engine.shard(c);
+    cfg.seed = cell_template.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(c);
+    auto cell = std::make_unique<Cell>();
+    cell->tb = std::make_unique<Testbed>(cfg);
+    cell->tb->DefineDefaultVipAndStart();
+    cell->rng = std::make_unique<sim::Rng>(5 ^ cfg.seed);
+    for (const auto& o : cell->tb->catalog->objects()) {
+      cell->urls.push_back(o.url);
+    }
+    cell->rate = aggregate_rate / kScenarioCells;
+    cell->end = duration;
+    Cell* cs = cell.get();
+    cs->schedule = [cs](sim::Time when) {
+      if (when > cs->end) {
+        return;
+      }
+      cs->tb->simulator->At(when, [cs]() {
+        Testbed& tb = *cs->tb;
+        sim::Rng& rng = *cs->rng;
+        auto* client = tb.clients[static_cast<std::size_t>(rng.UniformInt(
+                                      0, static_cast<std::int64_t>(tb.clients.size()) - 1))]
+                           .get();
+        const std::string& url = cs->urls[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(cs->urls.size()) - 1))];
+        client->FetchObject(tb.vip(), 80, url, {}, [cs](const FetchResult& r) {
+          if (r.ok) {
+            ++cs->ok;
+          } else {
+            ++cs->failed;
+          }
+        });
+        cs->schedule(tb.simulator->now() +
+                     sim::FromSeconds(rng.Exponential(1.0 / cs->rate)));
+      });
+    };
+    cs->schedule(sim::Msec(1));
+    cells.push_back(std::move(cell));
+  }
+
+  engine.Run();
+
+  ParallelLoadResult result;
+  result.cells = kScenarioCells;
+  result.workers = engine.workers();
+  for (auto& cell : cells) {
+    result.ok += cell->ok;
+    result.failed += cell->failed;
+  }
+  return result;
+}
+
+}  // namespace workload

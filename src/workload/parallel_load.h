@@ -1,0 +1,34 @@
+// Cell-sharded open-loop fetch load: the Fig 13-shaped e2e workload run as
+// kScenarioCells independent cells (one full testbed per sim::ShardedSim
+// shard, each serving 1/kScenarioCells of the aggregate rate) executed by W
+// worker threads. The scalability benches use this to measure multi-core
+// headroom; the flow outcome totals are byte-identical for any W.
+
+#ifndef SRC_WORKLOAD_PARALLEL_LOAD_H_
+#define SRC_WORKLOAD_PARALLEL_LOAD_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+#include "src/workload/testbed.h"
+
+namespace workload {
+
+struct ParallelLoadResult {
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  int cells = 0;
+  int workers = 0;
+};
+
+// Builds kScenarioCells testbeds from `cell_template` (seeds derived per
+// cell), defines the default VIP on each, and drives `aggregate_rate`
+// fetches/sec split evenly across the cells for `duration` of simulated
+// time. `workers` is clamped to [1, kScenarioCells].
+ParallelLoadResult RunShardedFetchLoad(const TestbedConfig& cell_template,
+                                       double aggregate_rate, sim::Duration duration,
+                                       int workers);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_PARALLEL_LOAD_H_

@@ -1,5 +1,6 @@
 #include "src/workload/scenario.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
@@ -7,6 +8,8 @@
 #include <memory>
 #include <ostream>
 #include <sstream>
+
+#include "src/sim/sharded_sim.h"
 
 namespace workload {
 namespace {
@@ -42,6 +45,78 @@ std::string JoinFrom(const std::vector<std::string>& toks, std::size_t from) {
     out += toks[i];
   }
   return out;
+}
+
+// Applies one non-load timeline action to a testbed. Shared by the legacy
+// single-simulator path (one testbed, fired at the scripted instant) and the
+// cell-sharded path (fired once per cell at the first epoch barrier after the
+// scripted instant). `ctl` is the control-plane handle — under HA, whichever
+// replica currently acts as leader.
+void ApplyControlEvent(Testbed& tb, const Scenario& scenario, const ScenarioEvent& ev,
+                       yoda::Controller* ctl,
+                       const std::function<void(const std::string&)>& say) {
+  long long idx = 0;
+  if (ev.action == "fail-instance" && !ev.args.empty()) {
+    std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+    say("FAIL instance " + ev.args[0]);
+    tb.FailInstance(static_cast<int>(idx));
+  } else if (ev.action == "recover-instance" && !ev.args.empty()) {
+    std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+    say("recover instance " + ev.args[0]);
+    tb.RecoverInstance(static_cast<int>(idx));
+  } else if (ev.action == "fail-backend" && !ev.args.empty()) {
+    std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+    say("FAIL backend " + ev.args[0]);
+    tb.FailBackend(static_cast<int>(idx));
+  } else if (ev.action == "recover-backend" && !ev.args.empty()) {
+    std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+    say("recover backend " + ev.args[0]);
+    tb.RecoverBackend(static_cast<int>(idx));
+  } else if (ev.action == "fail-kv" && !ev.args.empty()) {
+    std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+    say("FAIL kv server " + ev.args[0]);
+    tb.FailKvServer(static_cast<int>(idx));
+  } else if (ev.action == "crash-controller" && !ev.args.empty()) {
+    std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+    say("CRASH controller " + ev.args[0]);
+    tb.CrashController(static_cast<int>(idx));
+  } else if (ev.action == "crash-leader") {
+    for (int i = 0; i < tb.controller_count(); ++i) {
+      yoda::Controller* c = tb.ControllerAt(i);
+      if (!c->crashed() && c->ActingLeader()) {
+        say("CRASH leader controller " + std::to_string(i));
+        tb.CrashController(i);
+        break;
+      }
+    }
+  } else if (ev.action == "restart-controller" && !ev.args.empty()) {
+    std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
+    say("restart controller " + ev.args[0]);
+    tb.RestartController(static_cast<int>(idx));
+  } else if (ev.action == "add-instance") {
+    if (!tb.spares.empty()) {
+      say("activating spare instance");
+      ctl->AddInstance(tb.spares.back().get());
+      // Hand ownership bookkeeping stays in the testbed; pools follow.
+      std::vector<net::IpAddr> pool;
+      for (auto* inst : ctl->ActiveInstances()) {
+        pool.push_back(inst->ip());
+      }
+      for (const auto& def : scenario.vips) {
+        tb.fabric.SetVipPoolStaggered(def.vip, pool, sim::Msec(50));
+      }
+    }
+  } else if (ev.action == "assign") {
+    say("running many-to-many assignment round");
+    ctl->RunAssignmentRoundNow();
+  } else if (ev.action == "update-rules" && ev.args.size() >= 2) {
+    auto vip = ParseIp(ev.args[0]);
+    auto rule = rules::ParseRule(JoinFrom(ev.args, 1));
+    if (vip && rule) {
+      say("update rules for " + ev.args[0]);
+      ctl->UpdateVipRules(*vip, {*rule});
+    }
+  }
 }
 
 }  // namespace
@@ -132,7 +207,13 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
     };
 
     long long n = 0;
-    if (cmd == "seed" || cmd == "instances" || cmd == "spares" || cmd == "backends" ||
+    if (cmd == "threads") {
+      if (!need(1) || !ParseInt(toks[1], &n) || n < 1) {
+        Fail(error, line_no, "threads needs a count >= 1");
+        return std::nullopt;
+      }
+      sc.threads = static_cast<int>(n);
+    } else if (cmd == "seed" || cmd == "instances" || cmd == "spares" || cmd == "backends" ||
         cmd == "kv-servers" || cmd == "kv-replicas" || cmd == "clients" || cmd == "muxes" ||
         cmd == "controllers") {
       if (!need(1) || !ParseInt(toks[1], &n) || n < 0) {
@@ -239,8 +320,227 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
   return sc;
 }
 
+namespace {
+
+// Per-cell run state for the sharded path. Everything here is touched only by
+// the cell's owning shard (load loops, counters) or by the coordinator while
+// the engine is idle (setup, aggregation) — never both at once.
+struct CellState {
+  std::unique_ptr<Testbed> tb;
+  std::unique_ptr<sim::Rng> rng;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  sim::Histogram latency_ms;
+  std::vector<std::shared_ptr<std::function<void()>>> load_loops;
+};
+
+// `threads N` path: the experiment replicated into kScenarioCells independent
+// cells — one full testbed (own fleet, VIPs, clients, faults) per ShardedSim
+// shard, with distinct per-cell seeds — executed by N worker threads. The
+// workload is cell-local; the timeline is conducted from shard 0, which fans
+// each control event out to every cell over cross-shard mail. Cells apply it
+// at the first epoch barrier after the scripted time, an instant that depends
+// only on event timestamps — so the per-cell traces (and their concatenation,
+// the report) are byte-identical for any N.
+ScenarioReport RunScenarioSharded(const Scenario& scenario, std::ostream* log,
+                                  const std::function<void(Testbed&)>& after_run) {
+  ScenarioReport report;
+  report.cells = kScenarioCells;
+
+  sim::ShardedSim::Config ecfg;
+  ecfg.shards = kScenarioCells;
+  ecfg.workers = scenario.threads;
+  sim::ShardedSim engine(ecfg);
+  if (log != nullptr) {
+    *log << "  [cell-sharded] " << kScenarioCells << " cells on " << engine.workers()
+         << " worker thread(s), window " << engine.window() << " ticks\n";
+  }
+
+  std::vector<std::unique_ptr<CellState>> cells;
+  for (int c = 0; c < kScenarioCells; ++c) {
+    TestbedConfig cfg = scenario.testbed;
+    cfg.external_sim = &engine.shard(c);
+    // Distinct trial per cell; a function of the scenario seed and the cell
+    // index only, never of the worker count.
+    cfg.seed = scenario.testbed.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(c);
+    for (const auto& def : scenario.vips) {
+      if (def.tls_cert) {
+        cfg.server_template.tls_service_key = def.tls_key;
+      }
+    }
+    auto cell = std::make_unique<CellState>();
+    cell->tb = std::make_unique<Testbed>(cfg);
+    cell->rng = std::make_unique<sim::Rng>(cfg.seed ^ 0x5ce9a210ULL);
+    cells.push_back(std::move(cell));
+  }
+
+  auto ctl = [](Testbed& tb) -> yoda::Controller* {
+    if (!tb.cfg.controller_ha) {
+      return tb.controller.get();
+    }
+    yoda::Controller* leader = tb.LeaderController();
+    return leader != nullptr ? leader : tb.controller.get();
+  };
+
+  // Setup runs on the coordinator while the engine is idle, so touching the
+  // shard simulators directly is race-free.
+  for (auto& cell : cells) {
+    Testbed& tb = *cell->tb;
+    if (tb.cfg.controller_ha) {
+      tb.StartAllControllers();
+      tb.AwaitLeader();
+    }
+    for (const auto& def : scenario.vips) {
+      ctl(tb)->DefineVip(def.vip, 80, def.vip_rules);
+      if (def.tls_cert) {
+        for (auto& inst : tb.instances) {
+          inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
+        }
+        for (auto& inst : tb.spares) {
+          inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
+        }
+      }
+    }
+    if (!tb.cfg.controller_ha) {
+      tb.controller->Start();
+    }
+  }
+  // HA leader election advances cell clocks unevenly (AwaitLeader runs each
+  // cell's simulator on its own); align them so every shard enters the epoch
+  // loop at one common instant.
+  sim::Time t0 = 0;
+  for (auto& cell : cells) {
+    t0 = std::max(t0, cell->tb->simulator->now());
+  }
+  if (t0 > 0) {
+    for (auto& cell : cells) {
+      cell->tb->simulator->RunUntil(t0);
+    }
+  }
+
+  // Cells run concurrently, so per-event narration from worker threads would
+  // race on the log stream; the cells stay quiet and the aggregate report
+  // carries the results.
+  const std::function<void(const std::string&)> quiet = [](const std::string&) {};
+
+  auto start_load = [](CellState& cell, net::IpAddr vip, double rate, sim::Duration duration,
+                       bool use_tls) {
+    const sim::Time end = cell.tb->simulator->now() + duration;
+    auto tick = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_tick = tick;
+    CellState* cs = &cell;
+    *tick = [cs, vip, rate, end, use_tls, weak_tick]() {
+      Testbed& tb = *cs->tb;
+      if (tb.simulator->now() > end) {
+        return;
+      }
+      sim::Rng& rng = *cs->rng;
+      auto* client = tb.clients[static_cast<std::size_t>(rng.UniformInt(
+                                    0, static_cast<std::int64_t>(tb.clients.size()) - 1))].get();
+      const auto& obj = tb.catalog->objects()[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(tb.catalog->objects().size()) - 1))];
+      FetchOptions opts;
+      opts.use_tls = use_tls;
+      client->FetchObject(vip, 80, obj.url, opts, [cs](const FetchResult& r) {
+        if (r.ok) {
+          ++cs->ok;
+          cs->latency_ms.Add(sim::ToMillis(r.latency));
+        } else {
+          ++cs->failed;
+        }
+      });
+      if (auto self = weak_tick.lock()) {
+        tb.simulator->After(sim::FromSeconds(rng.Exponential(1.0 / rate)), *self);
+      }
+    };
+    cs->load_loops.push_back(tick);
+    (*tick)();
+  };
+
+  sim::Simulator& conductor = engine.shard(0);
+  for (const ScenarioEvent& ev : scenario.events) {
+    if (ev.action == "load" && ev.args.size() >= 5) {
+      auto vip = ParseIp(ev.args[0]);
+      const double rate = std::strtod(ev.args[2].c_str(), nullptr);
+      auto duration = ParseDuration(ev.args[4]);
+      const bool use_tls = ev.args.size() > 5 && ev.args[5] == "tls";
+      if (!vip || !duration || rate <= 0) {
+        continue;
+      }
+      // The workload is cell-local: each cell's generator starts on its own
+      // shard at the scripted time, driven by the cell's own RNG.
+      for (auto& cellp : cells) {
+        CellState* cs = cellp.get();
+        sim::Simulator& s = *cs->tb->simulator;
+        s.At(std::max(ev.at, s.now()),
+             [cs, vip = *vip, rate, duration = *duration, use_tls, &start_load]() {
+               start_load(*cs, vip, rate, duration, use_tls);
+             });
+      }
+    } else {
+      // Control events are conducted from shard 0: at the scripted time the
+      // conductor fans the action out over cross-shard mail, and each cell
+      // applies it at its next epoch barrier — a bounded <= window() after
+      // ev.at, at an instant identical for any worker count.
+      conductor.At(std::max(ev.at, conductor.now()), [&engine, &cells, &scenario, &ctl, &quiet,
+                                                      ev]() {
+        for (int c = 0; c < kScenarioCells; ++c) {
+          Testbed* tbp = cells[static_cast<std::size_t>(c)]->tb.get();
+          engine.CallOn(c, [tbp, &scenario, &ctl, &quiet, ev]() {
+            ApplyControlEvent(*tbp, scenario, ev, ctl(*tbp), quiet);
+          });
+        }
+      });
+    }
+  }
+
+  if (scenario.run_until > 0) {
+    engine.RunUntil(scenario.run_until);
+  } else {
+    engine.Run();
+  }
+
+  for (int c = 0; c < kScenarioCells; ++c) {
+    CellState& cell = *cells[static_cast<std::size_t>(c)];
+    Testbed& tb = *cell.tb;
+    report.requests_ok += cell.ok;
+    report.requests_failed += cell.failed;
+    report.latency_ms.MergeFrom(cell.latency_ms);
+    for (auto& inst : tb.instances) {
+      report.takeovers +=
+          inst->stats().takeovers_client_side + inst->stats().takeovers_server_side;
+      report.reswitches += inst->stats().reswitches;
+    }
+    for (auto& inst : tb.spares) {
+      report.takeovers +=
+          inst->stats().takeovers_client_side + inst->stats().takeovers_server_side;
+    }
+    report.failures_detected += tb.controller->detected_failures();
+    for (const auto& evt : tb.controller->events()) {
+      report.controller_events.push_back(evt);
+    }
+    const std::string marker = "{\"cell\":" + std::to_string(c) + "}\n";
+    report.metrics_table += "--- cell " + std::to_string(c) + " ---\n" + tb.metrics.TextTable();
+    report.metrics_jsonl += marker + tb.metrics.JsonLines();
+    std::ostringstream traces;
+    tb.flight.ExportJsonLines(traces);
+    report.traces_jsonl += marker + traces.str();
+  }
+  if (after_run) {
+    for (auto& cell : cells) {
+      after_run(*cell->tb);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
 ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
                            const std::function<void(Testbed&)>& after_run) {
+  if (scenario.threads > 0) {
+    return RunScenarioSharded(scenario, log, after_run);
+  }
   TestbedConfig cfg = scenario.testbed;
   for (const auto& def : scenario.vips) {
     if (def.tls_cert) {
@@ -322,61 +622,7 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
 
   for (const ScenarioEvent& ev : scenario.events) {
     tb.sim.At(ev.at, [&, ev]() {
-      long long idx = 0;
-      if (ev.action == "fail-instance" && !ev.args.empty()) {
-        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
-        say("FAIL instance " + ev.args[0]);
-        tb.FailInstance(static_cast<int>(idx));
-      } else if (ev.action == "recover-instance" && !ev.args.empty()) {
-        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
-        say("recover instance " + ev.args[0]);
-        tb.RecoverInstance(static_cast<int>(idx));
-      } else if (ev.action == "fail-backend" && !ev.args.empty()) {
-        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
-        say("FAIL backend " + ev.args[0]);
-        tb.FailBackend(static_cast<int>(idx));
-      } else if (ev.action == "recover-backend" && !ev.args.empty()) {
-        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
-        say("recover backend " + ev.args[0]);
-        tb.RecoverBackend(static_cast<int>(idx));
-      } else if (ev.action == "fail-kv" && !ev.args.empty()) {
-        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
-        say("FAIL kv server " + ev.args[0]);
-        tb.FailKvServer(static_cast<int>(idx));
-      } else if (ev.action == "crash-controller" && !ev.args.empty()) {
-        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
-        say("CRASH controller " + ev.args[0]);
-        tb.CrashController(static_cast<int>(idx));
-      } else if (ev.action == "crash-leader") {
-        for (int i = 0; i < tb.controller_count(); ++i) {
-          yoda::Controller* c = tb.ControllerAt(i);
-          if (!c->crashed() && c->ActingLeader()) {
-            say("CRASH leader controller " + std::to_string(i));
-            tb.CrashController(i);
-            break;
-          }
-        }
-      } else if (ev.action == "restart-controller" && !ev.args.empty()) {
-        std::from_chars(ev.args[0].data(), ev.args[0].data() + ev.args[0].size(), idx);
-        say("restart controller " + ev.args[0]);
-        tb.RestartController(static_cast<int>(idx));
-      } else if (ev.action == "add-instance") {
-        if (!tb.spares.empty()) {
-          say("activating spare instance");
-          ctl()->AddInstance(tb.spares.back().get());
-          // Hand ownership bookkeeping stays in the testbed; pools follow.
-          std::vector<net::IpAddr> pool;
-          for (auto* inst : ctl()->ActiveInstances()) {
-            pool.push_back(inst->ip());
-          }
-          for (const auto& def : scenario.vips) {
-            tb.fabric.SetVipPoolStaggered(def.vip, pool, sim::Msec(50));
-          }
-        }
-      } else if (ev.action == "assign") {
-        say("running many-to-many assignment round");
-        ctl()->RunAssignmentRoundNow();
-      } else if (ev.action == "load" && ev.args.size() >= 5) {
+      if (ev.action == "load" && ev.args.size() >= 5) {
         auto vip = ParseIp(ev.args[0]);
         double rate = std::strtod(ev.args[2].c_str(), nullptr);
         auto duration = ParseDuration(ev.args[4]);
@@ -385,14 +631,9 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
           say("load " + ev.args[0] + " @" + ev.args[2] + "/s for " + ev.args[4]);
           start_load(*vip, rate, *duration, use_tls);
         }
-      } else if (ev.action == "update-rules" && ev.args.size() >= 2) {
-        auto vip = ParseIp(ev.args[0]);
-        auto rule = rules::ParseRule(JoinFrom(ev.args, 1));
-        if (vip && rule) {
-          say("update rules for " + ev.args[0]);
-          ctl()->UpdateVipRules(*vip, {*rule});
-        }
+        return;
       }
+      ApplyControlEvent(tb, scenario, ev, ctl(), say);
     });
   }
 

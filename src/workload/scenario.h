@@ -5,6 +5,7 @@
 //
 //   # comments and blank lines are ignored
 //   seed 42
+//   threads 4                            # cell-sharded run on 4 workers
 //   instances 4
 //   spares 2
 //   backends 6
@@ -47,8 +48,19 @@ struct ScenarioEvent {
   std::string raw;  // Original tail for rule specs.
 };
 
+// Cell count of a `threads N` run. Fixed — the partitioning (and hence every
+// trace) depends only on the scenario, never on how many worker threads
+// execute it; N picks the worker count, which ranges over [1, kScenarioCells].
+inline constexpr int kScenarioCells = 8;
+
 struct Scenario {
   TestbedConfig testbed;
+  // `threads N` directive: run the scenario cell-sharded on a sim::ShardedSim
+  // with N worker threads — the experiment is replicated into kScenarioCells
+  // independent cells (one full testbed per logical shard, distinct seeds),
+  // with timeline events conducted from shard 0 over cross-shard mail. 0 (no
+  // directive) keeps the legacy single-Simulator path byte-for-byte.
+  int threads = 0;
   struct VipDef {
     net::IpAddr vip = 0;
     std::vector<rules::Rule> vip_rules;
@@ -71,6 +83,10 @@ std::optional<sim::Duration> ParseDuration(const std::string& token);
 std::optional<net::IpAddr> ParseIp(const std::string& token);
 
 struct ScenarioReport {
+  // 1 for legacy runs; kScenarioCells for `threads N` runs, whose jsonl
+  // sections below are per-cell exports concatenated in shard order (each
+  // preceded by a {"cell":i} marker line).
+  int cells = 1;
   std::uint64_t requests_ok = 0;
   std::uint64_t requests_failed = 0;
   std::uint64_t takeovers = 0;

@@ -8,9 +8,10 @@ namespace workload {
 Testbed::Testbed(TestbedConfig config)
     : cfg(std::move(config)),
       sim(),
-      network(&sim, cfg.seed ^ 0x6e6574ULL),
-      fabric(&sim, &network, cfg.muxes) {
-  obs::BindSimulatorGauges(metrics, sim);
+      simulator(cfg.external_sim != nullptr ? cfg.external_sim : &sim),
+      network(simulator, cfg.seed ^ 0x6e6574ULL),
+      fabric(simulator, &network, cfg.muxes) {
+  obs::BindSimulatorGauges(metrics, *simulator);
   fabric.SetObservability(&metrics, &flight);
   network.SetLatency(net::Region::kDatacenter, net::Region::kDatacenter, cfg.dc_latency,
                      cfg.dc_jitter);
@@ -22,7 +23,7 @@ Testbed::Testbed(TestbedConfig config)
   // TCPStore fleet.
   for (int i = 0; i < cfg.kv_servers; ++i) {
     kv_servers.push_back(
-        std::make_unique<kv::KvServer>(&sim, "kv-" + std::to_string(i), cfg.kv));
+        std::make_unique<kv::KvServer>(simulator, "kv-" + std::to_string(i), cfg.kv));
   }
   std::vector<kv::KvServer*> kv_ptrs;
   for (auto& s : kv_servers) {
@@ -31,8 +32,8 @@ Testbed::Testbed(TestbedConfig config)
   kv::ReplicatingClientConfig kv_client_cfg = cfg.kv_client;
   kv_client_cfg.replicas = cfg.kv_replicas;
   kv_client_cfg.registry = &metrics;
-  kv_client = std::make_unique<kv::ReplicatingClient>(&sim, kv_ptrs, kv_client_cfg);
-  store = std::make_unique<yoda::TcpStore>(kv_client.get(), &sim, &flight, &metrics);
+  kv_client = std::make_unique<kv::ReplicatingClient>(simulator, kv_ptrs, kv_client_cfg);
+  store = std::make_unique<yoda::TcpStore>(kv_client.get(), simulator, &flight, &metrics);
 
   if (cfg.build_catalog) {
     sim::Rng catalog_rng(cfg.seed ^ 0x636174ULL);
@@ -45,7 +46,7 @@ Testbed::Testbed(TestbedConfig config)
     icfg.ip = instance_ip(i);
     icfg.registry = &metrics;
     icfg.recorder = &flight;
-    auto inst = std::make_unique<yoda::YodaInstance>(&sim, &network, &fabric, store.get(),
+    auto inst = std::make_unique<yoda::YodaInstance>(simulator, &network, &fabric, store.get(),
                                                      cfg.seed ^ (0x1000ULL + i), icfg);
     if (i < cfg.yoda_instances) {
       instances.push_back(std::move(inst));
@@ -59,7 +60,7 @@ Testbed::Testbed(TestbedConfig config)
     baseline::ProxyConfig pcfg = cfg.proxy_template;
     pcfg.ip = proxy_ip(i);
     proxies.push_back(
-        std::make_unique<baseline::ProxyInstance>(&sim, &network, cfg.seed ^ (0x2000ULL + i),
+        std::make_unique<baseline::ProxyInstance>(simulator, &network, cfg.seed ^ (0x2000ULL + i),
                                                   pcfg));
   }
 
@@ -69,21 +70,21 @@ Testbed::Testbed(TestbedConfig config)
     scfg.ip = backend_ip(i);
     scfg.processing_delay = cfg.server_processing;
     scfg.tcp = cfg.server_tcp;
-    servers.push_back(std::make_unique<HttpServerNode>(&sim, &network, catalog.get(),
+    servers.push_back(std::make_unique<HttpServerNode>(simulator, &network, catalog.get(),
                                                        cfg.seed ^ (0x3000ULL + i), scfg));
   }
 
   // Clients (Internet region).
   for (int i = 0; i < cfg.clients; ++i) {
     clients.push_back(
-        std::make_unique<BrowserClient>(&sim, &network, client_ip(i), cfg.seed ^ (0x4000ULL + i)));
+        std::make_unique<BrowserClient>(simulator, &network, client_ip(i), cfg.seed ^ (0x4000ULL + i)));
   }
 
   yoda::ControllerConfig ctl_cfg = cfg.controller;
   ctl_cfg.registry = &metrics;
   ctl_cfg.recorder = &flight;
   if (cfg.controller_ha) {
-    ctl_kv_client = std::make_unique<kv::ReplicatingClient>(&sim, kv_ptrs, kv_client_cfg);
+    ctl_kv_client = std::make_unique<kv::ReplicatingClient>(simulator, kv_ptrs, kv_client_cfg);
     ctl_cfg.ha.enabled = true;
     ctl_cfg.ha.store = ctl_kv_client.get();
     if (ctl_cfg.max_step_retries == 0) {
@@ -93,7 +94,7 @@ Testbed::Testbed(TestbedConfig config)
   const int n_controllers = cfg.controller_ha ? std::max(1, cfg.controllers) : 1;
   for (int r = 0; r < n_controllers; ++r) {
     ctl_cfg.ha.self = controller_ip(r);
-    auto replica = std::make_unique<yoda::Controller>(&sim, &network, &fabric, ctl_cfg);
+    auto replica = std::make_unique<yoda::Controller>(simulator, &network, &fabric, ctl_cfg);
     for (auto& inst : instances) {
       replica->AddInstance(inst.get());
     }
@@ -115,7 +116,7 @@ Testbed::Testbed(TestbedConfig config)
 
   // Fault plane last: it installs itself as the network's fault hook and
   // needs the component lists above to route crash/restart/kv-slow events.
-  faults = std::make_unique<fault::FaultPlane>(&sim, &network, cfg.seed ^ 0x66617574ULL,
+  faults = std::make_unique<fault::FaultPlane>(simulator, &network, cfg.seed ^ 0x66617574ULL,
                                                fault::FaultPlaneConfig{&flight});
   faults->set_crash_handler([this](net::IpAddr ip) {
     if (yoda::Controller* c = ControllerByIp(ip)) {
@@ -197,9 +198,9 @@ yoda::Controller* Testbed::LeaderController() {
 }
 
 yoda::Controller* Testbed::AwaitLeader(sim::Duration max_wait) {
-  const sim::Time deadline = sim.now() + max_wait;
-  while (LeaderController() == nullptr && sim.now() < deadline) {
-    sim.RunUntil(std::min(deadline, sim.now() + sim::Msec(10)));
+  const sim::Time deadline = simulator->now() + max_wait;
+  while (LeaderController() == nullptr && simulator->now() < deadline) {
+    simulator->RunUntil(std::min(deadline, simulator->now() + sim::Msec(10)));
   }
   return LeaderController();
 }

@@ -34,6 +34,11 @@ namespace workload {
 
 struct TestbedConfig {
   std::uint64_t seed = 42;
+  // When set, every component is wired to this simulator instead of the
+  // testbed's own `sim` member. Cell-sharded scenario runs use this to place
+  // one whole testbed on each sim::ShardedSim shard; the pointer must
+  // outlive the testbed.
+  sim::Simulator* external_sim = nullptr;
   int yoda_instances = 4;
   int spare_instances = 0;
   int baseline_proxies = 0;
@@ -138,6 +143,10 @@ class Testbed {
   // --- components (construction order matters; declared accordingly) ---
   TestbedConfig cfg;
   sim::Simulator sim;
+  // The simulator every component actually runs on: &sim normally, the
+  // engine-owned shard when cfg.external_sim is set (then `sim` is idle and
+  // callers must drive the external engine, not tb.sim).
+  sim::Simulator* const simulator;
   // Shared observability: every component reports into this registry, and
   // every flow's lifecycle lands in this flight recorder.
   obs::Registry metrics;

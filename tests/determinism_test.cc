@@ -1,0 +1,129 @@
+// Determinism suite for the cell-sharded scenario runner (ctest label
+// "determinism").
+//
+// Two properties are pinned:
+//
+//   1. Worker-count invariance: a `threads N` scenario produces a trace
+//      digest that is byte-identical for any worker count N in {1, 2, 4, 8},
+//      across many seeds. The cell partitioning is fixed (kScenarioCells); N
+//      only picks how many OS threads execute the epoch loop, so the
+//      interleaving the workload observes never changes.
+//
+//   2. Golden reproduction: the legacy single-simulator path reproduces the
+//      checked-in trace digests for the repo's scenario files. These goldens
+//      were captured from the pre-parallelism build, so they also pin that
+//      the multi-core engine work did not perturb single-threaded traces.
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/workload/scenario.h"
+
+namespace {
+
+using workload::ParseScenario;
+using workload::RunScenario;
+using workload::Scenario;
+using workload::ScenarioReport;
+
+// FNV-1a over the report's flow traces. Metrics are digested separately where
+// a test wants them: trace bytes are the behavior contract, while the metrics
+// registry also carries engine-internal gauges (e.g. events executed) that
+// may legitimately move when engine internals change.
+std::uint64_t TraceDigest(const ScenarioReport& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : r.traces_jsonl) {
+    h = (h ^ c) * 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t FullDigest(const ScenarioReport& r) {
+  std::uint64_t h = TraceDigest(r);
+  for (unsigned char c : r.metrics_jsonl) {
+    h = (h ^ c) * 1099511628211ull;
+  }
+  return h;
+}
+
+// A small but non-trivial sharded scenario: open-loop load, an instance and a
+// backend failure with recovery, and a spare activation, all conducted over
+// cross-shard mail.
+std::string ShardedScenarioText(std::uint64_t seed, int threads) {
+  std::ostringstream out;
+  out << "seed " << seed << "\n"
+      << "instances 2\nspares 1\nbackends 3\nkv-servers 3\nclients 2\n"
+      << "threads " << threads << "\n"
+      << "vip 10.200.0.1\n"
+      << "rule 10.200.0.1 name=r-all priority=1 url=* split=10.3.0.1,10.3.0.2,10.3.0.3\n"
+      << "at 0ms load 10.200.0.1 rate 40 duration 1200ms\n"
+      << "at 400ms fail-instance 0\n"
+      << "at 700ms fail-backend 1\n"
+      << "at 900ms recover-instance 0\n"
+      << "at 1000ms recover-backend 1\n"
+      << "at 1100ms add-instance\n";
+  return out.str();
+}
+
+ScenarioReport RunText(const std::string& text) {
+  std::string error;
+  auto scenario = ParseScenario(text, &error);
+  EXPECT_TRUE(scenario.has_value()) << error;
+  return RunScenario(*scenario, nullptr);
+}
+
+TEST(Determinism, ShardedDigestInvariantAcrossWorkerCounts) {
+  const std::uint64_t seeds[] = {1, 7, 42, 1337, 4242, 90210, 271828, 3141592};
+  for (std::uint64_t seed : seeds) {
+    std::uint64_t want = 0;
+    std::uint64_t want_ok = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      const ScenarioReport r = RunText(ShardedScenarioText(seed, threads));
+      EXPECT_EQ(r.cells, workload::kScenarioCells);
+      EXPECT_GT(r.requests_ok, 0u) << "seed " << seed;
+      const std::uint64_t got = FullDigest(r);
+      if (threads == 1) {
+        want = got;
+        want_ok = r.requests_ok;
+        continue;
+      }
+      EXPECT_EQ(got, want) << "seed " << seed << " threads " << threads
+                           << ": digest diverged from the single-worker run";
+      EXPECT_EQ(r.requests_ok, want_ok) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(Determinism, ShardedRepeatRunIsStable) {
+  // Same seed, same worker count, fresh engine: byte-identical output (no
+  // leakage of host state — wall clock, thread ids, allocator layout — into
+  // the simulation).
+  const std::string text = ShardedScenarioText(99, 4);
+  EXPECT_EQ(FullDigest(RunText(text)), FullDigest(RunText(text)));
+}
+
+TEST(Determinism, LegacyScenariosReproduceGoldenTraceDigests) {
+  // Captured from the pre-parallelism build (traces were verified
+  // byte-identical before hardcoding). A mismatch means single-threaded
+  // behavior changed: deliberate behavior changes must re-capture these.
+  const std::map<std::string, std::uint64_t> kGolden = {
+      {"failover.yoda", 0x15ee93c5dac597ddull},
+      {"ha-failover.yoda", 0xa775421462113401ull},
+      {"https.yoda", 0x9b5a6f8f145fdeceull},
+  };
+  for (const auto& [name, want] : kGolden) {
+    const std::string path = std::string(YODA_SOURCE_DIR) + "/scenarios/" + name;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const ScenarioReport r = RunText(buf.str());
+    EXPECT_EQ(TraceDigest(r), want) << name;
+  }
+}
+
+}  // namespace

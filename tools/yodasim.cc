@@ -28,6 +28,10 @@ rule 10.200.0.1 name=r-all priority=1 url=* split=10.3.0.1,10.3.0.2,10.3.0.3,10.
 at 0ms load 10.200.0.1 rate 150 duration 12s
 at 4s fail-instance 0
 at 8s add-instance
+
+# Uncomment to run as 8 independent cells on 4 worker threads (results are
+# identical for any thread count; see scenarios/sharded-failover.yoda):
+# threads 4
 )";
 
 }  // namespace
@@ -62,6 +66,10 @@ int main(int argc, char** argv) {
   workload::ScenarioReport report = workload::RunScenario(*scenario, &std::cout);
 
   std::printf("\n--- report ---\n");
+  if (report.cells > 1) {
+    std::printf("cells: %d (aggregated; %d worker thread(s))\n", report.cells,
+                scenario->threads);
+  }
   std::printf("requests: %llu ok, %llu failed\n",
               static_cast<unsigned long long>(report.requests_ok),
               static_cast<unsigned long long>(report.requests_failed));
