@@ -24,7 +24,10 @@
 //                     dominates the process high-water mark)
 //   --threads N       additionally run the e2e sections cell-sharded (8 cells
 //                     on N worker threads, same aggregate rate) and emit
-//                     e2e_flows_per_sec_sharded[_x10]
+//                     e2e_flows_per_sec_sharded[_x10], plus intra-cell
+//                     sharded (ONE testbed placed across 8 shards, every
+//                     inter-component hop crossing shards) and emit
+//                     e2e_flows_per_sec_intra[_x10]
 
 #include <sys/resource.h>
 
@@ -322,6 +325,89 @@ double BenchE2eFlowsSharded(int scale, int threads, double* out_flows) {
   return fps;
 }
 
+// Same workload intra-cell sharded: ONE Fig 13 testbed placed across 8
+// shards (round-robin: instances, backends, KV servers and clients each on
+// their owning shard) on `threads` workers. Unlike the cell-sharded run the
+// shards talk to each other constantly — every fetch crosses client ->
+// fabric -> instance -> backend shard boundaries — so this measures the
+// cross-shard delivery path under load. Flow totals are worker-count-
+// invariant.
+double BenchE2eFlowsIntra(int scale, int threads, double* out_flows) {
+  sim::ShardedSim::Config ecfg;
+  ecfg.shards = 8;
+  ecfg.workers = threads;
+  sim::ShardedSim engine(ecfg);
+  workload::TestbedConfig cfg = Fig13Config();
+  cfg.engine = &engine;
+  workload::Testbed tb(cfg);
+  tb.DefineDefaultVipAndStart();
+
+  std::vector<std::string> urls;
+  for (const auto& o : tb.catalog->objects()) {
+    urls.push_back(o.url);
+  }
+  // Per-client open-loop generators, each on its client's own shard with its
+  // own RNG (a function of the client index only).
+  struct ClientLoad {
+    explicit ClientLoad(std::uint64_t seed) : rng(seed) {}
+    sim::Rng rng;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::vector<std::shared_ptr<std::function<void()>>> loops;
+  };
+  std::vector<std::unique_ptr<ClientLoad>> loads;
+  const double rate = 1500.0 * scale / static_cast<double>(tb.clients.size());
+  const sim::Duration kEnd = sim::Sec(5);
+  for (std::size_t i = 0; i < tb.clients.size(); ++i) {
+    loads.push_back(std::make_unique<ClientLoad>(5 + 0x9e3779b97f4a7c15ULL * i));
+    ClientLoad* cl = loads.back().get();
+    workload::BrowserClient* client = tb.clients[i].get();
+    sim::Simulator* csim = tb.SimFor(tb.OwnerShardOf(client->ip()));
+    auto tick = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_tick = tick;
+    *tick = [cl, client, csim, &urls, &tb, rate, kEnd, weak_tick]() {
+      if (csim->now() > kEnd) {
+        return;
+      }
+      const std::string& url = urls[static_cast<std::size_t>(
+          cl->rng.UniformInt(0, static_cast<std::int64_t>(urls.size()) - 1))];
+      client->FetchObject(tb.vip(), 80, url, {}, [cl](const workload::FetchResult& r) {
+        if (r.ok) {
+          ++cl->ok;
+        } else {
+          ++cl->failed;
+        }
+      });
+      if (auto self = weak_tick.lock()) {
+        csim->After(sim::FromSeconds(cl->rng.Exponential(1.0 / rate)), *self);
+      }
+    };
+    cl->loops.push_back(tick);
+    csim->At(std::max<sim::Time>(sim::Msec(1), csim->now()), [tick]() { (*tick)(); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.Run();
+  const double wall = WallSeconds(t0);
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  for (const auto& cl : loads) {
+    ok += cl->ok;
+    failed += cl->failed;
+  }
+  const double flows = static_cast<double>(ok + failed);
+  const double fps = flows / wall;
+  std::printf(
+      "  e2e_flows_intra (x%d, 8 shards, %d workers): %.0f flows (%llu ok, %llu failed) in "
+      "%.3f s -> %.0f flows/s\n",
+      scale, engine.workers(), flows, static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(failed), wall, fps);
+  if (out_flows != nullptr) {
+    *out_flows = flows;
+  }
+  return fps;
+}
+
 // --- JSON plumbing ----------------------------------------------------------
 
 void WriteJson(const std::string& path, const std::map<std::string, double>& metrics) {
@@ -445,6 +531,14 @@ int main(int argc, char** argv) {
       double sflows10 = 0;
       metrics["e2e_flows_per_sec_x10_sharded"] = BenchE2eFlowsSharded(10, threads, &sflows10);
       metrics["e2e_flows_completed_x10_sharded"] = sflows10;
+    }
+    double iflows = 0;
+    metrics["e2e_flows_per_sec_intra"] = BenchE2eFlowsIntra(1, threads, &iflows);
+    metrics["e2e_flows_completed_intra"] = iflows;
+    if (scale10) {
+      double iflows10 = 0;
+      metrics["e2e_flows_per_sec_x10_intra"] = BenchE2eFlowsIntra(10, threads, &iflows10);
+      metrics["e2e_flows_completed_x10_intra"] = iflows10;
     }
   }
 

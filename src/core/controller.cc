@@ -13,6 +13,8 @@ FleetActuatorConfig Controller::ActuatorConfigFor(Controller* self,
   out.recorder = config.recorder;
   out.max_step_retries = config.max_step_retries;
   out.step_retry_backoff = config.step_retry_backoff;
+  out.run_on_instance = config.run_on_instance;
+  out.instance_down = config.instance_down;
   if (config.ha.enabled) {
     out.token_valid = [self](std::uint64_t token) {
       return !self->crashed_ && self->lease_ != nullptr && self->lease_->is_leader() &&
@@ -40,7 +42,8 @@ Controller::Controller(sim::Simulator* simulator, net::Network* network, l4lb::L
       state_(simulator, config.recorder),
       monitor_(network, HealthMonitorConfig{config.fail_after_misses, config.readmit_instances,
                                             config.readmit_after_successes,
-                                            config.readmit_penalty_cap}),
+                                            config.readmit_penalty_cap,
+                                            config.probe_network_only}),
       scaler_(AutoScalerConfig{config.scale_out_cpu, config.scale_out_step,
                                config.scale_out_ticks}),
       actuator_(simulator, fabric, &state_, ActuatorConfigFor(this, config)) {

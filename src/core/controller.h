@@ -94,6 +94,15 @@ struct ControllerConfig {
   obs::Registry* registry = nullptr;
   obs::FlightRecorder* recorder = nullptr;
   ControllerHaConfig ha;
+  // --- intra-cell sharding (set together by the placed testbed) ---
+  // Health probes consult only the network's shard-replicated down flags
+  // (never instance->failed(): the instance lives on another shard).
+  bool probe_network_only = false;
+  // Actuator hooks: route instance-state writes onto the instance's owning
+  // shard, and replace the retry probe's failed() read (see
+  // FleetActuatorConfig).
+  std::function<void(YodaInstance*, std::function<void()>)> run_on_instance;
+  std::function<bool(const YodaInstance*)> instance_down;
 };
 
 struct ControllerEvent {

@@ -166,7 +166,8 @@ FleetActuator::ApplyResult FleetActuator::Apply(const ExecPlan& plan, const Exec
        step.kind == ExecStepKind::kSetBackendHealth ||
        step.kind == ExecStepKind::kScrubRules)) {
     YodaInstance* inst = InstanceByIp(step.instance);
-    if (inst != nullptr && inst->failed()) {
+    if (inst != nullptr &&
+        (cfg_.instance_down ? cfg_.instance_down(inst) : inst->failed())) {
       return ApplyResult::kRetry;
     }
   }
@@ -200,7 +201,14 @@ FleetActuator::ApplyResult FleetActuator::Apply(const ExecPlan& plan, const Exec
         effective = false;  // VIP removed (or instance gone) since planning.
         break;
       }
-      inst->InstallVip(step.vip, desired->port, desired->rules, token);
+      if (cfg_.run_on_instance) {
+        cfg_.run_on_instance(inst, [inst, vip = step.vip, port = desired->port,
+                                    rules = desired->rules, token]() {
+          inst->InstallVip(vip, port, rules, token);
+        });
+      } else {
+        inst->InstallVip(step.vip, desired->port, desired->rules, token);
+      }
       if (rule_updates_ctr_ != nullptr) {
         rule_updates_ctr_->Inc();
       }
@@ -241,7 +249,14 @@ FleetActuator::ApplyResult FleetActuator::Apply(const ExecPlan& plan, const Exec
         effective = false;
         break;
       }
-      inst->SetBackendHealth(/*backend=*/step.vip, step.healthy, token);
+      if (cfg_.run_on_instance) {
+        cfg_.run_on_instance(inst, [inst, backend = step.vip, healthy = step.healthy,
+                                    token]() {
+          inst->SetBackendHealth(backend, healthy, token);
+        });
+      } else {
+        inst->SetBackendHealth(/*backend=*/step.vip, step.healthy, token);
+      }
       break;
     }
     case ExecStepKind::kAwaitConvergence:
@@ -268,7 +283,12 @@ FleetActuator::ApplyResult FleetActuator::Apply(const ExecPlan& plan, const Exec
         effective = false;
         break;
       }
-      inst->RemoveVip(step.vip, token);
+      if (cfg_.run_on_instance) {
+        cfg_.run_on_instance(inst,
+                             [inst, vip = step.vip, token]() { inst->RemoveVip(vip, token); });
+      } else {
+        inst->RemoveVip(step.vip, token);
+      }
       break;
     }
     case ExecStepKind::kDetachVip:

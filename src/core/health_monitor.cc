@@ -5,7 +5,10 @@
 namespace yoda {
 
 bool HealthMonitor::ProbeInstance(const YodaInstance* instance) const {
-  return !instance->failed() && net_->ProbePath(/*src=*/0, instance->ip());
+  if (!cfg_.probe_network_only && instance->failed()) {
+    return false;
+  }
+  return net_->ProbePath(/*src=*/0, instance->ip());
 }
 
 bool HealthMonitor::IsBackendUp(net::IpAddr backend) const {

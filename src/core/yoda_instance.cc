@@ -156,6 +156,7 @@ bool YodaInstance::StaleControlToken(std::uint64_t token) {
 
 bool YodaInstance::InstallVip(net::IpAddr vip, net::Port vip_port,
                               std::vector<rules::Rule> vip_rules, std::uint64_t token) {
+  audit_.Check();
   if (StaleControlToken(token)) {
     return false;
   }
@@ -179,6 +180,7 @@ void YodaInstance::InstallVipTls(net::IpAddr vip, std::string certificate,
 }
 
 bool YodaInstance::RemoveVip(net::IpAddr vip, std::uint64_t token) {
+  audit_.Check();
   if (StaleControlToken(token)) {
     return false;
   }
@@ -200,6 +202,7 @@ int YodaInstance::RuleCount(net::IpAddr vip) const {
 }
 
 bool YodaInstance::SetBackendHealth(net::IpAddr backend, bool healthy, std::uint64_t token) {
+  audit_.Check();
   if (StaleControlToken(token)) {
     return false;
   }
@@ -208,13 +211,17 @@ bool YodaInstance::SetBackendHealth(net::IpAddr backend, bool healthy, std::uint
 }
 
 void YodaInstance::Fail() {
+  audit_.Check();
   failed_ = true;
   flow_table_.Clear();
   traffic_.clear();
   backend_load_.clear();
 }
 
-void YodaInstance::Recover() { failed_ = false; }
+void YodaInstance::Recover() {
+  audit_.Check();
+  failed_ = false;
+}
 
 void YodaInstance::OnColdRestart() {
   Fail();
@@ -238,6 +245,7 @@ std::map<net::IpAddr, VipTraffic> YodaInstance::DrainTrafficCounters() {
 }
 
 void YodaInstance::HandlePacket(const net::Packet& p) {
+  audit_.Check();
   if (failed_) {
     return;
   }

@@ -50,6 +50,7 @@ void KvServer::EvictIfNeeded() {
 }
 
 void KvServer::Get(const std::string& key, GetCallback cb) {
+  audit_.Check();
   if (failed_) {
     ++stats_.dropped_while_down;
     return;
@@ -73,6 +74,7 @@ void KvServer::Get(const std::string& key, GetCallback cb) {
 }
 
 void KvServer::Set(const std::string& key, std::string value, AckCallback cb) {
+  audit_.Check();
   if (failed_) {
     ++stats_.dropped_while_down;
     return;
@@ -98,6 +100,7 @@ void KvServer::Set(const std::string& key, std::string value, AckCallback cb) {
 
 void KvServer::Cas(const std::string& key, std::optional<std::string> expected,
                    std::string value, AckCallback cb) {
+  audit_.Check();
   if (failed_) {
     ++stats_.dropped_while_down;
     return;
@@ -130,6 +133,7 @@ void KvServer::Cas(const std::string& key, std::optional<std::string> expected,
 }
 
 void KvServer::Delete(const std::string& key, AckCallback cb) {
+  audit_.Check();
   if (failed_) {
     ++stats_.dropped_while_down;
     return;
@@ -152,12 +156,16 @@ void KvServer::Delete(const std::string& key, AckCallback cb) {
 }
 
 void KvServer::Fail() {
+  audit_.Check();
   failed_ = true;
   items_.clear();
   lru_.clear();
   busy_until_ = sim_->now();
 }
 
-void KvServer::Recover() { failed_ = false; }
+void KvServer::Recover() {
+  audit_.Check();
+  failed_ = false;
+}
 
 }  // namespace kv

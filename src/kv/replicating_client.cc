@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/sim/sharded_sim.h"
+
 namespace kv {
 namespace {
 
@@ -100,6 +102,31 @@ void ReplicatingClient::CountReplicaTimeouts(std::uint64_t n) {
   Bump(ctr_.replica_timeouts, n);
 }
 
+int ReplicatingClient::ShardOf(const KvServer* server) const {
+  return cfg_.shard_of ? cfg_.shard_of(server) : cfg_.home_shard;
+}
+
+void ReplicatingClient::ToServer(KvServer* server, std::function<void()> fn) {
+  if (cfg_.engine == nullptr) {
+    sim_->After(cfg_.network_delay, std::move(fn));
+    return;
+  }
+  // Issued from the home shard; `fn` executes where the replica lives.
+  cfg_.engine->Post(ShardOf(server), sim_->now() + cfg_.network_delay, std::move(fn));
+}
+
+void ReplicatingClient::ToHome(KvServer* server, std::function<void()> fn) {
+  if (cfg_.engine == nullptr) {
+    sim_->After(cfg_.network_delay, std::move(fn));
+    return;
+  }
+  // Issued while executing on the replica's shard, so the departure time is
+  // read off THAT shard's clock — sim_ is the home simulator, whose clock
+  // this thread must not touch mid-epoch.
+  sim::Simulator& at_server = cfg_.engine->shard(ShardOf(server));
+  cfg_.engine->Post(cfg_.home_shard, at_server.now() + cfg_.network_delay, std::move(fn));
+}
+
 // --- writes -----------------------------------------------------------------
 
 void ReplicatingClient::SetAttempt(const std::string& key, const std::string& value,
@@ -119,10 +146,11 @@ void ReplicatingClient::SetAttempt(const std::string& key, const std::string& va
     done(state->acks > 0, timed_out && state->acks == 0);
   };
   for (KvServer* server : replicas) {
-    // Request travels one network delay; the ack travels one back.
-    sim_->After(cfg_.network_delay, [this, server, key, value, state, finish]() {
-      server->Set(key, value, [this, state, finish](bool) {
-        sim_->After(cfg_.network_delay, [state, finish]() {
+    // Request travels one network delay; the ack travels one back. The op
+    // state only ever mutates on the home shard (inside ToHome's landing).
+    ToServer(server, [this, server, key, value, state, finish]() {
+      server->Set(key, value, [this, server, state, finish](bool) {
+        ToHome(server, [state, finish]() {
           ++state->acks;
           if (--state->outstanding == 0) {
             finish(false);
@@ -158,9 +186,9 @@ void ReplicatingClient::DeleteAttempt(const std::string& key,
     done(state->acks > 0, timed_out && state->acks == 0);
   };
   for (KvServer* server : replicas) {
-    sim_->After(cfg_.network_delay, [this, server, key, state, finish]() {
-      server->Delete(key, [this, state, finish](bool ok) {
-        sim_->After(cfg_.network_delay, [state, finish, ok]() {
+    ToServer(server, [this, server, key, state, finish]() {
+      server->Delete(key, [this, server, state, finish](bool ok) {
+        ToHome(server, [state, finish, ok]() {
           if (ok) {
             ++state->acks;
           }
@@ -270,8 +298,8 @@ void ReplicatingClient::Cas(const std::string& key, std::optional<std::string> e
           ++stats_.cas_repairs;
           Bump(ctr_.cas_repairs);
           KvServer* server = replicas[i];
-          sim_->After(cfg_.network_delay,
-                      [server, key, value]() { server->Set(key, value, [](bool) {}); });
+          ToServer(server,
+                   [server, key, value]() { server->Set(key, value, [](bool) {}); });
         }
       }
     }
@@ -279,9 +307,9 @@ void ReplicatingClient::Cas(const std::string& key, std::optional<std::string> e
   };
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     KvServer* server = replicas[i];
-    sim_->After(cfg_.network_delay, [this, server, key, expected, value, state, i, finish]() {
-      server->Cas(key, expected, value, [this, state, i, finish](bool ok) {
-        sim_->After(cfg_.network_delay, [state, i, ok, finish]() {
+    ToServer(server, [this, server, key, expected, value, state, i, finish]() {
+      server->Cas(key, expected, value, [this, server, state, i, finish](bool ok) {
+        ToHome(server, [state, i, ok, finish]() {
           state->answered[i] = true;
           state->ok[i] = ok;
           if (ok) {
@@ -346,9 +374,12 @@ void ReplicatingClient::StartGetSlot(const std::shared_ptr<GetOp>& op, std::size
       }
     });
   }
-  sim_->After(cfg_.network_delay, [this, op, i]() {
-    op->slots[i].server->Get(op->key, [this, op, i](std::optional<std::string> v) {
-      sim_->After(cfg_.network_delay, [this, op, i, v = std::move(v)]() {
+  // Capture the replica pointer directly: the op's slot fields keep mutating
+  // on the home shard (hedge launches, answers) while this hop is in flight.
+  KvServer* server = slot.server;
+  ToServer(server, [this, server, op, i]() {
+    server->Get(op->key, [this, server, op, i](std::optional<std::string> v) {
+      ToHome(server, [this, op, i, v = std::move(v)]() {
         OnGetAnswer(op, i, std::move(v));
       });
     });
@@ -399,10 +430,9 @@ void ReplicatingClient::FinishGet(const std::shared_ptr<GetOp>& op) {
           ++stats_.read_repairs;
           Bump(ctr_.read_repairs);
           KvServer* server = slot.server;
-          sim_->After(cfg_.network_delay,
-                      [server, key = op->key, value = *op->value]() {
-                        server->Set(key, value, [](bool) {});
-                      });
+          ToServer(server, [server, key = op->key, value = *op->value]() {
+            server->Set(key, value, [](bool) {});
+          });
         }
       }
     }

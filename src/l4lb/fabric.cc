@@ -1,5 +1,9 @@
 #include "src/l4lb/fabric.h"
 
+#include <utility>
+
+#include "src/sim/sharded_sim.h"
+
 namespace l4lb {
 
 L4Fabric::L4Fabric(sim::Simulator* simulator, net::Network* network, int num_muxes)
@@ -7,6 +11,27 @@ L4Fabric::L4Fabric(sim::Simulator* simulator, net::Network* network, int num_mux
   for (int i = 0; i < num_muxes; ++i) {
     muxes_.push_back(std::make_unique<Mux>(i));
   }
+}
+
+void L4Fabric::BindShard(sim::ShardedSim* engine, int shard) {
+  engine_ = engine;
+  shard_ = shard;
+}
+
+void L4Fabric::OnShard(std::function<void()> fn) {
+  if (engine_ != nullptr) {
+    const int cur = sim::ShardedSim::current_shard();
+    if (cur >= 0 && cur != shard_) {
+      // An instance pipeline (SNAT pin) or an off-shard controller is
+      // writing; the write executes on the fabric's shard at the next
+      // barrier — bounded by the epoch window, i.e. at most one min-latency
+      // link hop late, and always before any packet that could observe it
+      // (a server->VIP return leg needs two DC hops).
+      engine_->CallOn(shard_, std::move(fn));
+      return;
+    }
+  }
+  fn();
 }
 
 void L4Fabric::SetObservability(obs::Registry* registry, obs::FlightRecorder* recorder) {
@@ -22,18 +47,22 @@ void L4Fabric::AttachVip(net::IpAddr vip) { net_->Attach(vip, this); }
 void L4Fabric::DetachVip(net::IpAddr vip) { net_->Detach(vip); }
 
 void L4Fabric::SetVipPool(net::IpAddr vip, const std::vector<net::IpAddr>& instances) {
-  for (auto& mux : muxes_) {
-    mux->SetPool(vip, instances);
-  }
+  OnShard([this, vip, instances]() {
+    for (auto& mux : muxes_) {
+      mux->SetPool(vip, instances);
+    }
+  });
 }
 
 void L4Fabric::SetVipPoolStaggered(net::IpAddr vip, std::vector<net::IpAddr> instances,
                                    sim::Duration per_mux_delay) {
-  for (std::size_t i = 0; i < muxes_.size(); ++i) {
-    Mux* mux = muxes_[i].get();
-    sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
-                [mux, vip, instances]() { mux->SetPool(vip, instances); });
-  }
+  OnShard([this, vip, instances = std::move(instances), per_mux_delay]() {
+    for (std::size_t i = 0; i < muxes_.size(); ++i) {
+      Mux* mux = muxes_[i].get();
+      sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                  [mux, vip, instances]() { mux->SetPool(vip, instances); });
+    }
+  });
 }
 
 void L4Fabric::NoteFenced(net::IpAddr vip, std::uint64_t token, const Mux& mux) {
@@ -49,81 +78,91 @@ void L4Fabric::NoteFenced(net::IpAddr vip, std::uint64_t token, const Mux& mux) 
 void L4Fabric::ProgramPool(net::IpAddr vip, std::vector<net::IpAddr> instances,
                            std::uint64_t epoch, sim::Duration per_mux_delay,
                            std::uint64_t token) {
-  for (std::size_t i = 0; i < muxes_.size(); ++i) {
-    Mux* mux = muxes_[i].get();
-    if (per_mux_delay == 0) {
-      if (!mux->SetPool(vip, instances, epoch, token)) {
-        NoteFenced(vip, token, *mux);
+  OnShard([this, vip, instances = std::move(instances), epoch, per_mux_delay, token]() {
+    for (std::size_t i = 0; i < muxes_.size(); ++i) {
+      Mux* mux = muxes_[i].get();
+      if (per_mux_delay == 0) {
+        if (!mux->SetPool(vip, instances, epoch, token)) {
+          NoteFenced(vip, token, *mux);
+        }
+        continue;
       }
-      continue;
+      sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                  [this, mux, vip, instances, epoch, token]() {
+                    if (!mux->SetPool(vip, instances, epoch, token)) {
+                      NoteFenced(vip, token, *mux);
+                    }
+                  });
     }
-    sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
-                [this, mux, vip, instances, epoch, token]() {
-                  if (!mux->SetPool(vip, instances, epoch, token)) {
-                    NoteFenced(vip, token, *mux);
-                  }
-                });
-  }
+  });
 }
 
 void L4Fabric::AddPoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
                              sim::Duration per_mux_delay, std::uint64_t token) {
-  for (std::size_t i = 0; i < muxes_.size(); ++i) {
-    Mux* mux = muxes_[i].get();
-    if (per_mux_delay == 0) {
-      if (!mux->AddMember(vip, instance, epoch, token)) {
-        NoteFenced(vip, token, *mux);
+  OnShard([this, vip, instance, epoch, per_mux_delay, token]() {
+    for (std::size_t i = 0; i < muxes_.size(); ++i) {
+      Mux* mux = muxes_[i].get();
+      if (per_mux_delay == 0) {
+        if (!mux->AddMember(vip, instance, epoch, token)) {
+          NoteFenced(vip, token, *mux);
+        }
+        continue;
       }
-      continue;
+      sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                  [this, mux, vip, instance, epoch, token]() {
+                    if (!mux->AddMember(vip, instance, epoch, token)) {
+                      NoteFenced(vip, token, *mux);
+                    }
+                  });
     }
-    sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
-                [this, mux, vip, instance, epoch, token]() {
-                  if (!mux->AddMember(vip, instance, epoch, token)) {
-                    NoteFenced(vip, token, *mux);
-                  }
-                });
-  }
+  });
 }
 
 void L4Fabric::RemovePoolMember(net::IpAddr vip, net::IpAddr instance, std::uint64_t epoch,
                                 sim::Duration per_mux_delay, std::uint64_t token) {
-  for (std::size_t i = 0; i < muxes_.size(); ++i) {
-    Mux* mux = muxes_[i].get();
-    if (per_mux_delay == 0) {
-      if (!mux->RemoveMember(vip, instance, epoch, token)) {
-        NoteFenced(vip, token, *mux);
+  OnShard([this, vip, instance, epoch, per_mux_delay, token]() {
+    for (std::size_t i = 0; i < muxes_.size(); ++i) {
+      Mux* mux = muxes_[i].get();
+      if (per_mux_delay == 0) {
+        if (!mux->RemoveMember(vip, instance, epoch, token)) {
+          NoteFenced(vip, token, *mux);
+        }
+        continue;
       }
-      continue;
+      sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                  [this, mux, vip, instance, epoch, token]() {
+                    if (!mux->RemoveMember(vip, instance, epoch, token)) {
+                      NoteFenced(vip, token, *mux);
+                    }
+                  });
     }
-    sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
-                [this, mux, vip, instance, epoch, token]() {
-                  if (!mux->RemoveMember(vip, instance, epoch, token)) {
-                    NoteFenced(vip, token, *mux);
-                  }
-                });
-  }
+  });
 }
 
 void L4Fabric::RemoveInstanceEverywhere(net::IpAddr instance) {
-  for (auto& mux : muxes_) {
-    mux->RemoveInstance(instance);
-  }
-  // Drop SNAT pins owned by the dead instance so server-side return traffic
-  // re-ECMPs to a survivor instead of blackholing.
-  for (auto it = snat_.begin(); it != snat_.end();) {
-    if (it->second == instance) {
-      it = snat_.erase(it);
-    } else {
-      ++it;
+  OnShard([this, instance]() {
+    for (auto& mux : muxes_) {
+      mux->RemoveInstance(instance);
     }
-  }
+    // Drop SNAT pins owned by the dead instance so server-side return
+    // traffic re-ECMPs to a survivor instead of blackholing.
+    for (auto it = snat_.begin(); it != snat_.end();) {
+      if (it->second == instance) {
+        it = snat_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  });
 }
 
 void L4Fabric::RegisterSnat(const net::FiveTuple& server_side, net::IpAddr owner) {
-  snat_[server_side] = owner;
+  OnShard([this, server_side, owner]() { snat_[server_side] = owner; });
 }
 
-void L4Fabric::UnregisterSnat(const net::FiveTuple& server_side) { snat_.erase(server_side); }
+void L4Fabric::UnregisterSnat(const net::FiveTuple& server_side) {
+  OnShard([this, server_side]() { snat_.erase(server_side); });
+}
 
 std::optional<net::IpAddr> L4Fabric::SnatOwner(const net::FiveTuple& server_side) const {
   auto it = snat_.find(server_side);

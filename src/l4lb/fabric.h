@@ -21,6 +21,10 @@
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
+namespace sim {
+class ShardedSim;
+}
+
 namespace l4lb {
 
 struct FabricStats {
@@ -31,6 +35,15 @@ struct FabricStats {
 class L4Fabric : public net::Node {
  public:
   L4Fabric(sim::Simulator* simulator, net::Network* network, int num_muxes);
+
+  // Intra-cell sharding: places this fabric (one Node, all muxes and the
+  // SNAT table) on `shard` of `engine`. The construction simulator must be
+  // that shard's. Mutating calls — controller pool writes, SNAT pins —
+  // arriving from an event on a *different* shard are re-routed to execute
+  // on the owning shard at the next epoch barrier (fire-and-forget; all
+  // routed writes are void). Unbound, everything runs inline, unchanged.
+  void BindShard(sim::ShardedSim* engine, int shard);
+  int shard() const { return shard_; }
 
   // Route the VIP through this fabric (attaches this node at `vip`).
   void AttachVip(net::IpAddr vip);
@@ -96,7 +109,12 @@ class L4Fabric : public net::Node {
   // Records kFencedWrite when a rejected write was a fencing (not epoch)
   // rejection: the offered token sits below the mux's watermark.
   void NoteFenced(net::IpAddr vip, std::uint64_t token, const Mux& mux);
+  // Runs `fn` on the owning shard: inline when unbound, idle, or already
+  // executing there; otherwise cross-shard CallOn (lands at the barrier).
+  void OnShard(std::function<void()> fn);
 
+  sim::ShardedSim* engine_ = nullptr;
+  int shard_ = 0;
   sim::Simulator* sim_;
   net::Network* net_;
   std::vector<std::unique_ptr<Mux>> muxes_;

@@ -8,6 +8,17 @@
 //
 // Virtual IPs are attached like any other address (the L4 mux attaches at
 // the VIP), matching how VIP routes point at the L4 LB in a real DC.
+//
+// Shard-aware mode (BindEngine): one Network can span every shard of a
+// sim::ShardedSim. Each shard gets a private Lane — its own RNG stream,
+// trace-id space, stats, packet pool and a replica of the endpoint table —
+// so the per-packet fast path touches no shared mutable state. A Send whose
+// destination lives on the sending shard keeps the legacy O(1) AfterRaw
+// path; a cross-shard Send posts the packet into the engine's SPSC mailboxes
+// at now()+latency, which the epoch-barrier window (<= the minimum
+// cross-shard latency) guarantees is never clamped — delivery lands at a
+// worker-count-invariant instant. Without BindEngine there is exactly one
+// lane and behavior is byte-identical to the pre-shard-aware build.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
@@ -15,12 +26,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/net/packet.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
+
+namespace sim {
+class ShardedSim;
+}
 
 namespace net {
 
@@ -78,16 +94,31 @@ class FaultObserver {
 
 class Network {
  public:
-  Network(sim::Simulator* simulator, std::uint64_t seed)
-      : sim_(simulator), rng_(seed) {}
+  Network(sim::Simulator* simulator, std::uint64_t seed);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  // Spreads this network over every shard of `engine`: creates one Lane per
+  // shard (lane 0 takes over this network's existing simulator/RNG/state, so
+  // it must be &engine->shard(0)'s network view). Call before any Attach.
+  void BindEngine(sim::ShardedSim* engine);
+  // Maps an address to its owning shard; consulted once per Attach (and per
+  // SetNodeDown upsert) to stamp Endpoint::owner. Unset resolves to shard 0.
+  // Call before any Attach.
+  void SetShardResolver(std::function<int(IpAddr)> resolver);
+  bool sharded() const { return engine_ != nullptr; }
+  // The owning shard of `ip` per the current endpoint table (lane-local
+  // replica); 0 when unsharded or unattached.
+  int OwnerShard(IpAddr ip) const;
+
   // Attaches `node` at `ip`. Re-attaching replaces the previous binding.
+  // Sharded mode: from inside the epoch loop the write is broadcast and
+  // lands on every lane at the next barrier; idle (setup) writes apply
+  // immediately.
   void Attach(IpAddr ip, Node* node, Region region = Region::kDatacenter);
   void Detach(IpAddr ip);
   bool IsAttached(IpAddr ip) const {
-    const Endpoint* ep = endpoints_.Find(ip);
+    const Endpoint* ep = CurrentLane().endpoints.Find(ip);
     return ep != nullptr && ep->node != nullptr;
   }
 
@@ -102,20 +133,21 @@ class Network {
   // either recovery mode explicitly.
   void SetNodeDown(IpAddr ip, bool down);
   bool IsDown(IpAddr ip) const {
-    const Endpoint* ep = endpoints_.Find(ip);
+    const Endpoint* ep = CurrentLane().endpoints.Find(ip);
     return ep != nullptr && ep->down;
   }
 
   // Cold restart: clears the node's volatile state (Node::OnColdRestart),
   // then revives it. The attachment itself survives — a rebooted VM comes
   // back at the same address. No-op if nothing is attached at `ip`.
+  // Sharded mode: OnColdRestart runs only on the owning lane's barrier arm.
   void RestartNode(IpAddr ip);
 
   // Latency model. Delivery latency = one-way base for the (src,dst) region
-  // pair + uniform jitter in [0, jitter].
+  // pair + uniform jitter in [0, jitter]. Setup-time only (shared by lanes).
   void SetLatency(Region a, Region b, sim::Duration base, sim::Duration jitter = 0);
 
-  // Uniform random loss applied to every delivery (default 0).
+  // Uniform random loss applied to every delivery (default 0). Setup-time.
   void set_loss_rate(double p) { loss_rate_ = p; }
 
   // Installs (or clears, with nullptr) the fault-injection observer. The
@@ -127,50 +159,53 @@ class Network {
   // observer). Draws nothing from the network RNG; loss decisions come from
   // the fault plane's own RNG, so probes are deterministic and do not
   // perturb data-path draws. The monitor's health checks are built on this.
+  // Sharded mode: answers from the probing shard's replica of the endpoint
+  // table (down-state propagates at barriers, like real route withdrawal).
   bool ProbePath(IpAddr src, IpAddr dst);
 
   // Sends `packet` toward packet.dst (outer encap header when present).
   // Drops silently if unroutable/down/lost. Move-only on purpose: the packet
   // is moved into a pool slot that lives until delivery, so the fabric never
   // copies payload bytes and the delivery event is a raw (function pointer,
-  // slot index) pair — no closure, no allocation.
+  // slot index) pair — no closure, no allocation. (The cross-shard path is
+  // the one exception: the packet is copied into the mailbox closure.)
   void Send(Packet&& packet);
 
   // Observes every delivered packet (for tcpdump-style traces in benches).
+  // Setup-time; unsupported (would race) in sharded mode.
   using TapFn = std::function<void(sim::Time, const Packet&)>;
   void set_tap(TapFn tap) { tap_ = std::move(tap); }
 
-  const NetworkStats& stats() const { return stats_; }
-  sim::Simulator* simulator() { return sim_; }
+  // Aggregated over lanes (sharded mode); read only while the engine is
+  // idle. Single-lane (legacy) reads are the lane's live struct.
+  const NetworkStats& stats() const;
+  sim::Simulator* simulator() { return lanes_[0]->sim; }
 
   // Packet-pool gauges (for tests and leak spotting). A slot is acquired per
   // Send and released on delivery or on any drop — fault, loss, unroutable
   // or down — so in-flight is exactly the number of scheduled deliveries.
-  std::size_t packet_pool_slots() const { return pool_.size(); }
-  std::size_t packet_pool_free() const { return pool_free_.size(); }
-  std::size_t packets_in_flight() const { return pool_.size() - pool_free_.size(); }
+  // Summed over lanes in sharded mode.
+  std::size_t packet_pool_slots() const;
+  std::size_t packet_pool_free() const;
+  std::size_t packets_in_flight() const {
+    return packet_pool_slots() - packet_pool_free();
+  }
 
  private:
-  sim::Duration DeliveryLatency(Region src_region, IpAddr dst);
-  Region RegionOf(IpAddr ip) const;
-  std::uint32_t AcquireSlot(Packet&& packet);
-  void ReleaseSlot(std::uint32_t slot);
-  void TrimPoolIfBloated();
-  void Deliver(std::uint32_t slot);
-  static void DeliverTrampoline(void* ctx, std::uint64_t arg);
-
   struct LatencySpec {
     sim::Duration base = sim::Usec(250);
     sim::Duration jitter = sim::Usec(50);
   };
 
   // Everything the fabric knows about one address: node, placement, admin
-  // state. One hash lookup per routing decision instead of three parallel
-  // maps (a measured per-packet win; see bench_perf_core's fabric_pps).
+  // state, owning shard. One hash lookup per routing decision instead of
+  // three parallel maps (a measured per-packet win; see bench_perf_core's
+  // fabric_pps).
   struct Endpoint {
     Node* node = nullptr;
     Region region = Region::kDatacenter;
     bool down = false;
+    int owner = 0;  // Owning shard (always 0 unsharded).
   };
 
   // Open-addressing IpAddr -> Endpoint table with power-of-two buckets and
@@ -219,26 +254,61 @@ class Network {
     std::size_t size_ = 0;
   };
 
-  sim::Simulator* sim_;
-  sim::Rng rng_;
-  EndpointMap endpoints_;
+  // Per-shard slice of the fabric. Lane 0 is constructed from the Network's
+  // (simulator, seed) arguments, so an unsharded network — exactly one lane
+  // — executes the identical instruction/draw sequence the pre-lane build
+  // did. Lanes 1..S-1 exist only after BindEngine; their RNG streams and
+  // trace-id spaces are derived from the lane index, never the worker count.
+  struct Lane {
+    Lane(sim::Simulator* simulator, std::uint64_t seed, std::uint64_t first_trace_id)
+        : sim(simulator), rng(seed), next_trace_id(first_trace_id) {}
+
+    sim::Simulator* sim;
+    sim::Rng rng;
+    EndpointMap endpoints;  // Replica; all replicas converge at barriers.
+    std::uint64_t next_trace_id;
+    NetworkStats stats;
+    // Freelist-backed pool of in-flight packets. A deque keeps slot
+    // references stable while a HandlePacket callee reentrantly Sends
+    // (which may grow the pool); released slots are reset so shared payload
+    // buffers are returned promptly.
+    std::deque<Packet> pool;
+    std::vector<std::uint32_t> pool_free;
+    // Amortizes the pool high-water trim (see TrimPoolIfBloated).
+    std::size_t releases_since_trim = 0;
+  };
+
+  // The executing shard's lane; lane 0 outside the epoch loop or unsharded.
+  int CurrentLaneIndex() const;
+  Lane& CurrentLane() { return *lanes_[static_cast<std::size_t>(CurrentLaneIndex())]; }
+  const Lane& CurrentLane() const { return const_cast<Network*>(this)->CurrentLane(); }
+  int ResolveShard(IpAddr ip) const;
+  // Applies a lane-replicated endpoint write (`fn(lane_idx)` mutates
+  // lanes_[lane_idx]): immediately on every lane when idle/unsharded, else
+  // broadcast so each lane applies it at the next barrier.
+  void ApplyLaneWrite(std::function<void(int lane)> fn);
+
+  sim::Duration DeliveryLatency(Lane& lane, Region src_region, IpAddr dst);
+  Region RegionOf(const Lane& lane, IpAddr ip) const;
+  std::uint32_t AcquireSlot(Lane& lane, Packet&& packet);
+  void ReleaseSlot(Lane& lane, std::uint32_t slot);
+  void TrimPoolIfBloated(Lane& lane);
+  void Deliver(std::uint32_t lane_idx, std::uint32_t slot);
+  void DeliverCross(int lane_idx, Packet&& packet);
+  static void DeliverTrampoline(void* ctx, std::uint64_t arg);
+
+  sim::ShardedSim* engine_ = nullptr;
+  std::function<int(IpAddr)> shard_resolver_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  // lanes_[0] always exists.
   // Dense (src region, dst region) grid; symmetric, default-initialized so
-  // unconfigured pairs keep the 250 us +- 50 us jitter default.
+  // unconfigured pairs keep the 250 us +- 50 us jitter default. Shared by
+  // lanes: configured at setup, read-only while running.
   LatencySpec latency_[2][2];
   double loss_rate_ = 0;
-  std::uint64_t next_trace_id_ = 1;
-  NetworkStats stats_;
   TapFn tap_;
   FaultObserver* fault_observer_ = nullptr;
-
-  // Freelist-backed pool of in-flight packets. A deque keeps slot references
-  // stable while a HandlePacket callee reentrantly Sends (which may grow the
-  // pool); released slots are reset so shared payload buffers are returned
-  // promptly.
-  std::deque<Packet> pool_;
-  std::vector<std::uint32_t> pool_free_;
-  // Amortizes the pool high-water trim (see TrimPoolIfBloated).
-  std::size_t releases_since_trim_ = 0;
+  mutable NetworkStats agg_stats_;  // stats() aggregation cache.
 };
 
 }  // namespace net

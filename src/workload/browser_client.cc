@@ -81,6 +81,7 @@ net::Port BrowserClient::NextPort() {
 }
 
 void BrowserClient::HandlePacket(const net::Packet& p) {
+  audit_.Check();
   auto it = demux_.find(p.tuple());
   if (it == demux_.end()) {
     return;
@@ -93,6 +94,7 @@ void BrowserClient::HandlePacket(const net::Packet& p) {
 
 void BrowserClient::FetchObject(net::IpAddr target, net::Port port, const std::string& url,
                                 const FetchOptions& options, FetchCallback done) {
+  audit_.Check();
   auto fetch = std::make_shared<Fetch>();
   fetch->owner = this;
   fetch->target = target;

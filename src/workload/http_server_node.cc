@@ -14,11 +14,15 @@ HttpServerNode::HttpServerNode(sim::Simulator* simulator, net::Network* network,
 HttpServerNode::~HttpServerNode() = default;
 
 void HttpServerNode::Fail() {
+  audit_.Check();
   failed_ = true;
   conns_.clear();
 }
 
-void HttpServerNode::Recover() { failed_ = false; }
+void HttpServerNode::Recover() {
+  audit_.Check();
+  failed_ = false;
+}
 
 void HttpServerNode::OnColdRestart() {
   Fail();
@@ -32,6 +36,7 @@ std::uint64_t HttpServerNode::DrainRequestCounter() {
 }
 
 void HttpServerNode::HandlePacket(const net::Packet& p) {
+  audit_.Check();
   if (failed_ || p.dport != cfg_.port) {
     return;
   }

@@ -213,6 +213,49 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
         return std::nullopt;
       }
       sc.threads = static_cast<int>(n);
+    } else if (cmd == "intra-threads") {
+      if (!need(1) || !ParseInt(toks[1], &n) || n < 1) {
+        Fail(error, line_no, "intra-threads needs a count >= 1");
+        return std::nullopt;
+      }
+      sc.intra_threads = static_cast<int>(n);
+    } else if (cmd == "place") {
+      // place <instance|backend|kv|client|proxy> <idx> <shard>
+      // place <controller|fabric> <shard>
+      if (!need(2)) {
+        return std::nullopt;
+      }
+      const std::string& kind = toks[1];
+      long long a = 0;
+      long long b = 0;
+      if (kind == "controller" || kind == "fabric") {
+        if (!ParseInt(toks[2], &a) || a < 0) {
+          Fail(error, line_no, "place " + kind + " needs a shard >= 0");
+          return std::nullopt;
+        }
+        (kind == "controller" ? sc.placement.controller_shard
+                              : sc.placement.fabric_shard) = static_cast<int>(a);
+      } else {
+        std::vector<int>* overrides = kind == "instance" ? &sc.placement.instance_shards
+                                      : kind == "backend" ? &sc.placement.backend_shards
+                                      : kind == "kv"      ? &sc.placement.kv_shards
+                                      : kind == "client"  ? &sc.placement.client_shards
+                                      : kind == "proxy"   ? &sc.placement.proxy_shards
+                                                          : nullptr;
+        if (overrides == nullptr) {
+          Fail(error, line_no,
+               "place kind must be instance|backend|kv|client|proxy|controller|fabric");
+          return std::nullopt;
+        }
+        if (!need(3) || !ParseInt(toks[2], &a) || !ParseInt(toks[3], &b) || a < 0 || b < 0) {
+          Fail(error, line_no, "usage: place " + kind + " <idx> <shard>");
+          return std::nullopt;
+        }
+        if (static_cast<std::size_t>(a) >= overrides->size()) {
+          overrides->resize(static_cast<std::size_t>(a) + 1, -1);
+        }
+        (*overrides)[static_cast<std::size_t>(a)] = static_cast<int>(b);
+      }
     } else if (cmd == "seed" || cmd == "instances" || cmd == "spares" || cmd == "backends" ||
         cmd == "kv-servers" || cmd == "kv-replicas" || cmd == "clients" || cmd == "muxes" ||
         cmd == "controllers") {
@@ -316,6 +359,20 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
   if (sc.vips.empty()) {
     Fail(error, 0, "scenario defines no vip");
     return std::nullopt;
+  }
+  if (sc.threads > 0 && sc.intra_threads > 0) {
+    Fail(error, 0, "threads and intra-threads are mutually exclusive");
+    return std::nullopt;
+  }
+  if (sc.intra_threads > 0) {
+    for (const ScenarioEvent& ev : sc.events) {
+      // Assignment rollouts aggregate per-instance counters with direct
+      // cross-shard reads; unsupported placed (see TestbedConfig::engine).
+      if (ev.action == "assign") {
+        Fail(error, 0, "assign is not supported with intra-threads");
+        return std::nullopt;
+      }
+    }
   }
   return sc;
 }
@@ -534,10 +591,199 @@ ScenarioReport RunScenarioSharded(const Scenario& scenario, std::ostream* log,
   return report;
 }
 
+// `intra-threads N` path: ONE testbed spread over the kScenarioCells shards
+// of a single engine — every instance, backend, KV server and client on its
+// owning shard per the scenario's placement — executed by N worker threads.
+// Load is generated per client ON the client's shard (each client loop has
+// its own RNG, a function of the scenario seed and client index only);
+// control events are conducted from the controller's shard; cross-component
+// traffic rides the shard-aware network and cross-shard calls. Results merge
+// in fixed (client, then shard) order, so the report is byte-identical for
+// any N.
+ScenarioReport RunScenarioIntra(const Scenario& scenario, std::ostream* log,
+                                const std::function<void(Testbed&)>& after_run) {
+  ScenarioReport report;
+  report.cells = 1;  // One cell — sharded on the inside.
+
+  sim::ShardedSim::Config ecfg;
+  ecfg.shards = kScenarioCells;
+  ecfg.workers = scenario.intra_threads;
+  sim::ShardedSim engine(ecfg);
+  if (log != nullptr) {
+    *log << "  [intra-cell] 1 testbed over " << kScenarioCells << " shards on "
+         << engine.workers() << " worker thread(s), window " << engine.window()
+         << " ticks\n";
+  }
+
+  TestbedConfig cfg = scenario.testbed;
+  cfg.engine = &engine;
+  cfg.placement = scenario.placement;
+  cfg.placement.shards = kScenarioCells;
+  for (const auto& def : scenario.vips) {
+    if (def.tls_cert) {
+      cfg.server_template.tls_service_key = def.tls_key;
+    }
+  }
+  Testbed tb(cfg);
+
+  auto ctl = [&tb]() -> yoda::Controller* {
+    if (!tb.cfg.controller_ha) {
+      return tb.controller.get();
+    }
+    yoda::Controller* leader = tb.LeaderController();
+    return leader != nullptr ? leader : tb.controller.get();
+  };
+
+  // Setup runs on the coordinator while the engine is idle, so cross-shard
+  // construction and config pushes are race-free.
+  if (tb.cfg.controller_ha) {
+    tb.StartAllControllers();
+    tb.AwaitLeader();
+  }
+  for (const auto& def : scenario.vips) {
+    ctl()->DefineVip(def.vip, 80, def.vip_rules);
+    if (def.tls_cert) {
+      for (auto& inst : tb.instances) {
+        inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
+      }
+      for (auto& inst : tb.spares) {
+        inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
+      }
+    }
+  }
+  if (!tb.cfg.controller_ha) {
+    tb.controller->Start();
+  }
+
+  // Per-client load state, owned and mutated only by the client's shard
+  // (FetchObject and its callback both run there).
+  struct ClientLoad {
+    explicit ClientLoad(std::uint64_t seed) : rng(seed) {}
+    sim::Rng rng;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    sim::Histogram latency_ms;
+    std::vector<std::shared_ptr<std::function<void()>>> loops;
+  };
+  std::vector<std::unique_ptr<ClientLoad>> loads;
+  for (std::size_t i = 0; i < tb.clients.size(); ++i) {
+    loads.push_back(std::make_unique<ClientLoad>(
+        cfg.seed ^ (0xC11E47ULL + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i))));
+  }
+
+  auto start_client_load = [&tb](ClientLoad* cl, BrowserClient* client, net::IpAddr vip,
+                                 double rate, sim::Duration duration, bool use_tls) {
+    sim::Simulator* csim = tb.SimFor(tb.OwnerShardOf(client->ip()));
+    const sim::Time end = csim->now() + duration;
+    auto tick = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_tick = tick;
+    *tick = [&tb, cl, client, csim, vip, rate, end, use_tls, weak_tick]() {
+      if (csim->now() > end) {
+        return;
+      }
+      const auto& objects = tb.catalog->objects();  // Immutable after setup.
+      const auto& obj = objects[static_cast<std::size_t>(
+          cl->rng.UniformInt(0, static_cast<std::int64_t>(objects.size()) - 1))];
+      FetchOptions opts;
+      opts.use_tls = use_tls;
+      client->FetchObject(vip, 80, obj.url, opts, [cl](const FetchResult& r) {
+        if (r.ok) {
+          ++cl->ok;
+          cl->latency_ms.Add(sim::ToMillis(r.latency));
+        } else {
+          ++cl->failed;
+        }
+      });
+      if (auto self = weak_tick.lock()) {
+        csim->After(sim::FromSeconds(cl->rng.Exponential(1.0 / rate)), *self);
+      }
+    };
+    cl->loops.push_back(tick);
+    (*tick)();
+  };
+
+  // Worker threads must not narrate into the shared log stream.
+  const std::function<void(const std::string&)> quiet = [](const std::string&) {};
+
+  // Conduct control events from the controller's shard: the controller, the
+  // fault plane and this timeline are co-located, so every ApplyControlEvent
+  // mutation is either shard-local or routed by the testbed/fabric hooks.
+  sim::Simulator& conductor = engine.shard(cfg.placement.controller_shard);
+  for (const ScenarioEvent& ev : scenario.events) {
+    if (ev.action == "load" && ev.args.size() >= 5) {
+      auto vip = ParseIp(ev.args[0]);
+      const double rate = std::strtod(ev.args[2].c_str(), nullptr);
+      auto duration = ParseDuration(ev.args[4]);
+      const bool use_tls = ev.args.size() > 5 && ev.args[5] == "tls";
+      if (!vip || !duration || rate <= 0) {
+        continue;
+      }
+      // The scripted rate is the aggregate; each client generates its share
+      // on its own shard with its own RNG.
+      const double per_client = rate / static_cast<double>(tb.clients.size());
+      for (std::size_t i = 0; i < tb.clients.size(); ++i) {
+        ClientLoad* cl = loads[i].get();
+        BrowserClient* client = tb.clients[i].get();
+        sim::Simulator* csim = tb.SimFor(tb.OwnerShardOf(client->ip()));
+        csim->At(std::max(ev.at, csim->now()),
+                 [cl, client, vip = *vip, per_client, duration = *duration, use_tls,
+                  &start_client_load]() {
+                   start_client_load(cl, client, vip, per_client, duration, use_tls);
+                 });
+      }
+    } else {
+      conductor.At(std::max(ev.at, conductor.now()), [&tb, &scenario, &ctl, &quiet, ev]() {
+        ApplyControlEvent(tb, scenario, ev, ctl(), quiet);
+      });
+    }
+  }
+
+  if (scenario.run_until > 0) {
+    engine.RunUntil(scenario.run_until);
+  } else {
+    engine.Run();
+  }
+
+  // Merge: per-client tallies in client order, then the per-shard
+  // observability lanes in shard order — both fixed, worker-count-invariant.
+  for (auto& cl : loads) {
+    report.requests_ok += cl->ok;
+    report.requests_failed += cl->failed;
+    report.latency_ms.MergeFrom(cl->latency_ms);
+  }
+  for (auto& inst : tb.instances) {
+    report.takeovers +=
+        inst->stats().takeovers_client_side + inst->stats().takeovers_server_side;
+    report.reswitches += inst->stats().reswitches;
+  }
+  for (auto& inst : tb.spares) {
+    report.takeovers +=
+        inst->stats().takeovers_client_side + inst->stats().takeovers_server_side;
+  }
+  report.failures_detected = tb.controller->detected_failures();
+  report.controller_events = tb.controller->events();
+  for (int s = 0; s < tb.lane_count(); ++s) {
+    const std::string marker = "{\"shard\":" + std::to_string(s) + "}\n";
+    report.metrics_table +=
+        "--- shard " + std::to_string(s) + " ---\n" + tb.metrics_lane(s).TextTable();
+    report.metrics_jsonl += marker + tb.metrics_lane(s).JsonLines();
+    std::ostringstream traces;
+    tb.flight_lane(s).ExportJsonLines(traces);
+    report.traces_jsonl += marker + traces.str();
+  }
+  if (after_run) {
+    after_run(tb);
+  }
+  return report;
+}
+
 }  // namespace
 
 ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
                            const std::function<void(Testbed&)>& after_run) {
+  if (scenario.intra_threads > 0) {
+    return RunScenarioIntra(scenario, log, after_run);
+  }
   if (scenario.threads > 0) {
     return RunScenarioSharded(scenario, log, after_run);
   }

@@ -6,6 +6,9 @@
 //   # comments and blank lines are ignored
 //   seed 42
 //   threads 4                            # cell-sharded run on 4 workers
+//   intra-threads 4                      # OR: one placed testbed, 4 workers
+//   place instance 0 5                   # pin instance 0 to shard 5
+//   place controller 0                   # pin the control plane to shard 0
 //   instances 4
 //   spares 2
 //   backends 6
@@ -61,6 +64,16 @@ struct Scenario {
   // with timeline events conducted from shard 0 over cross-shard mail. 0 (no
   // directive) keeps the legacy single-Simulator path byte-for-byte.
   int threads = 0;
+  // `intra-threads N` directive: run ONE testbed spread over kScenarioCells
+  // shards of a sim::ShardedSim (intra-cell sharding: each instance, backend,
+  // KV server and client on its own shard per `placement`), executed by N
+  // worker threads. Components talk exclusively through the shard-aware
+  // network / cross-shard calls, so the trace is byte-identical for any N.
+  // Mutually exclusive with `threads`. `place <kind> <idx> <shard>` (kinds:
+  // instance backend kv client proxy) and `place <controller|fabric> <shard>`
+  // override the default round-robin placement.
+  int intra_threads = 0;
+  sim::IntraPlacement placement;
   struct VipDef {
     net::IpAddr vip = 0;
     std::vector<rules::Rule> vip_rules;

@@ -8,11 +8,38 @@ namespace workload {
 Testbed::Testbed(TestbedConfig config)
     : cfg(std::move(config)),
       sim(),
-      simulator(cfg.external_sim != nullptr ? cfg.external_sim : &sim),
+      // Placed: the testbed's "home" simulator is shard 0 (Network lane 0
+      // must live there); the fabric is constructed on ITS owning shard's
+      // simulator so its timers and packets run where its state lives.
+      simulator(cfg.engine != nullptr
+                    ? &cfg.engine->shard(0)
+                    : (cfg.external_sim != nullptr ? cfg.external_sim : &sim)),
       network(simulator, cfg.seed ^ 0x6e6574ULL),
-      fabric(simulator, &network, cfg.muxes) {
-  obs::BindSimulatorGauges(metrics, *simulator);
-  fabric.SetObservability(&metrics, &flight);
+      fabric(cfg.engine != nullptr ? &cfg.engine->shard(cfg.placement.fabric_shard)
+                                   : simulator,
+             &network, cfg.muxes) {
+  if (cfg.engine != nullptr) {
+    cfg.placement.shards = cfg.engine->shards();
+    // Per-shard observability lanes: every component reports into its own
+    // shard's registry/recorder so no two worker threads share a sink.
+    for (int s = 0; s < cfg.placement.shards; ++s) {
+      shard_metrics.push_back(std::make_unique<obs::Registry>());
+      shard_flight.push_back(std::make_unique<obs::FlightRecorder>());
+      obs::BindSimulatorGauges(*shard_metrics.back(), cfg.engine->shard(s));
+    }
+    // Resolver before any Attach (Attach stamps the endpoint's owner), then
+    // the engine bind (replicates the endpoint map onto one lane per shard).
+    network.SetShardResolver([this](net::IpAddr ip) { return OwnerShardOf(ip); });
+    network.BindEngine(cfg.engine);
+    fabric.BindShard(cfg.engine, cfg.placement.fabric_shard);
+  } else {
+    obs::BindSimulatorGauges(metrics, *simulator);
+  }
+  const bool placed_mode = cfg.engine != nullptr;
+  const int ctl_shard = cfg.placement.controller_shard;
+  fabric.SetObservability(
+      placed_mode ? &metrics_lane(cfg.placement.fabric_shard) : &metrics,
+      placed_mode ? &flight_lane(cfg.placement.fabric_shard) : &flight);
   network.SetLatency(net::Region::kDatacenter, net::Region::kDatacenter, cfg.dc_latency,
                      cfg.dc_jitter);
   network.SetLatency(net::Region::kDatacenter, net::Region::kInternet, cfg.internet_latency,
@@ -20,34 +47,80 @@ Testbed::Testbed(TestbedConfig config)
   network.SetLatency(net::Region::kInternet, net::Region::kInternet, cfg.internet_latency,
                      cfg.internet_jitter);
 
-  // TCPStore fleet.
+  // TCPStore fleet: each replica runs on its owning shard.
   for (int i = 0; i < cfg.kv_servers; ++i) {
-    kv_servers.push_back(
-        std::make_unique<kv::KvServer>(simulator, "kv-" + std::to_string(i), cfg.kv));
+    kv_servers.push_back(std::make_unique<kv::KvServer>(
+        SimFor(placed_mode ? cfg.placement.KvShard(i) : 0), "kv-" + std::to_string(i),
+        cfg.kv));
+    if (placed_mode) {
+      kv_servers.back()->audit().Bind(cfg.placement.KvShard(i));
+    }
   }
   std::vector<kv::KvServer*> kv_ptrs;
   for (auto& s : kv_servers) {
     kv_ptrs.push_back(s.get());
   }
+  // Placed: op messages to a replica hop to its shard and answers hop home.
+  std::function<int(const kv::KvServer*)> kv_shard_of;
+  if (placed_mode) {
+    kv_shard_of = [this](const kv::KvServer* s) {
+      for (std::size_t i = 0; i < kv_servers.size(); ++i) {
+        if (kv_servers[i].get() == s) {
+          return cfg.placement.KvShard(static_cast<int>(i));
+        }
+      }
+      return cfg.placement.controller_shard;
+    };
+  }
   kv::ReplicatingClientConfig kv_client_cfg = cfg.kv_client;
   kv_client_cfg.replicas = cfg.kv_replicas;
-  kv_client_cfg.registry = &metrics;
-  kv_client = std::make_unique<kv::ReplicatingClient>(simulator, kv_ptrs, kv_client_cfg);
-  store = std::make_unique<yoda::TcpStore>(kv_client.get(), simulator, &flight, &metrics);
+  kv_client_cfg.registry = placed_mode ? &metrics_lane(ctl_shard) : &metrics;
+  if (placed_mode) {
+    kv_client_cfg.engine = cfg.engine;
+    kv_client_cfg.home_shard = ctl_shard;
+    kv_client_cfg.shard_of = kv_shard_of;
+  }
+  // The shared client + store live on the controller shard (instances get
+  // their own, below, when placed).
+  kv_client =
+      std::make_unique<kv::ReplicatingClient>(SimFor(ctl_shard), kv_ptrs, kv_client_cfg);
+  store = std::make_unique<yoda::TcpStore>(
+      kv_client.get(), SimFor(ctl_shard),
+      placed_mode ? &flight_lane(ctl_shard) : &flight,
+      placed_mode ? &metrics_lane(ctl_shard) : &metrics);
 
   if (cfg.build_catalog) {
     sim::Rng catalog_rng(cfg.seed ^ 0x636174ULL);
     catalog = std::make_unique<ObjectCatalog>(catalog_rng, cfg.catalog);
   }
 
-  // Yoda instances (+ spares).
+  // Yoda instances (+ spares). Placed: each pipeline runs on its owning
+  // shard with its OWN store client (its KV op bookkeeping and timers must
+  // live on its shard, not the controller's).
   for (int i = 0; i < cfg.yoda_instances + cfg.spare_instances; ++i) {
+    const int shard = placed_mode ? cfg.placement.InstanceShard(i) : 0;
     yoda::YodaInstanceConfig icfg = cfg.instance_template;
     icfg.ip = instance_ip(i);
-    icfg.registry = &metrics;
-    icfg.recorder = &flight;
-    auto inst = std::make_unique<yoda::YodaInstance>(simulator, &network, &fabric, store.get(),
+    icfg.registry = placed_mode ? &metrics_lane(shard) : &metrics;
+    icfg.recorder = placed_mode ? &flight_lane(shard) : &flight;
+    yoda::TcpStore* inst_store = store.get();
+    if (placed_mode) {
+      kv::ReplicatingClientConfig icc = kv_client_cfg;
+      icc.registry = &metrics_lane(shard);
+      icc.home_shard = shard;
+      instance_kv_clients.push_back(
+          std::make_unique<kv::ReplicatingClient>(SimFor(shard), kv_ptrs, icc));
+      instance_stores.push_back(std::make_unique<yoda::TcpStore>(
+          instance_kv_clients.back().get(), SimFor(shard), &flight_lane(shard),
+          &metrics_lane(shard)));
+      inst_store = instance_stores.back().get();
+    }
+    auto inst = std::make_unique<yoda::YodaInstance>(SimFor(shard), &network, &fabric,
+                                                     inst_store,
                                                      cfg.seed ^ (0x1000ULL + i), icfg);
+    if (placed_mode) {
+      inst->audit().Bind(shard);
+    }
     if (i < cfg.yoda_instances) {
       instances.push_back(std::move(inst));
     } else {
@@ -59,9 +132,9 @@ Testbed::Testbed(TestbedConfig config)
   for (int i = 0; i < cfg.baseline_proxies; ++i) {
     baseline::ProxyConfig pcfg = cfg.proxy_template;
     pcfg.ip = proxy_ip(i);
-    proxies.push_back(
-        std::make_unique<baseline::ProxyInstance>(simulator, &network, cfg.seed ^ (0x2000ULL + i),
-                                                  pcfg));
+    proxies.push_back(std::make_unique<baseline::ProxyInstance>(
+        SimFor(placed_mode ? cfg.placement.ProxyShard(i) : 0), &network,
+        cfg.seed ^ (0x2000ULL + i), pcfg));
   }
 
   // Backend web servers.
@@ -70,21 +143,42 @@ Testbed::Testbed(TestbedConfig config)
     scfg.ip = backend_ip(i);
     scfg.processing_delay = cfg.server_processing;
     scfg.tcp = cfg.server_tcp;
-    servers.push_back(std::make_unique<HttpServerNode>(simulator, &network, catalog.get(),
-                                                       cfg.seed ^ (0x3000ULL + i), scfg));
+    servers.push_back(std::make_unique<HttpServerNode>(
+        SimFor(placed_mode ? cfg.placement.BackendShard(i) : 0), &network, catalog.get(),
+        cfg.seed ^ (0x3000ULL + i), scfg));
+    if (placed_mode) {
+      servers.back()->audit().Bind(cfg.placement.BackendShard(i));
+    }
   }
 
   // Clients (Internet region).
   for (int i = 0; i < cfg.clients; ++i) {
-    clients.push_back(
-        std::make_unique<BrowserClient>(simulator, &network, client_ip(i), cfg.seed ^ (0x4000ULL + i)));
+    clients.push_back(std::make_unique<BrowserClient>(
+        SimFor(placed_mode ? cfg.placement.ClientShard(i) : 0), &network, client_ip(i),
+        cfg.seed ^ (0x4000ULL + i)));
+    if (placed_mode) {
+      clients.back()->audit().Bind(cfg.placement.ClientShard(i));
+    }
   }
 
   yoda::ControllerConfig ctl_cfg = cfg.controller;
-  ctl_cfg.registry = &metrics;
-  ctl_cfg.recorder = &flight;
+  ctl_cfg.registry = placed_mode ? &metrics_lane(ctl_shard) : &metrics;
+  ctl_cfg.recorder = placed_mode ? &flight_lane(ctl_shard) : &flight;
+  if (placed_mode) {
+    // Cross-shard control plane: probe health only through the network's
+    // shard-replicated down flags, and route every instance-state write
+    // (rules, backend health, scrubs) onto the instance's owning shard.
+    ctl_cfg.probe_network_only = true;
+    ctl_cfg.instance_down = [this](const yoda::YodaInstance* inst) {
+      return network.IsDown(inst->ip());
+    };
+    ctl_cfg.run_on_instance = [this](yoda::YodaInstance* inst, std::function<void()> fn) {
+      RunOnOwner(OwnerShardOf(inst->ip()), std::move(fn));
+    };
+  }
   if (cfg.controller_ha) {
-    ctl_kv_client = std::make_unique<kv::ReplicatingClient>(simulator, kv_ptrs, kv_client_cfg);
+    ctl_kv_client = std::make_unique<kv::ReplicatingClient>(SimFor(ctl_shard), kv_ptrs,
+                                                            kv_client_cfg);
     ctl_cfg.ha.enabled = true;
     ctl_cfg.ha.store = ctl_kv_client.get();
     if (ctl_cfg.max_step_retries == 0) {
@@ -94,7 +188,8 @@ Testbed::Testbed(TestbedConfig config)
   const int n_controllers = cfg.controller_ha ? std::max(1, cfg.controllers) : 1;
   for (int r = 0; r < n_controllers; ++r) {
     ctl_cfg.ha.self = controller_ip(r);
-    auto replica = std::make_unique<yoda::Controller>(simulator, &network, &fabric, ctl_cfg);
+    auto replica = std::make_unique<yoda::Controller>(SimFor(ctl_shard), &network, &fabric,
+                                                      ctl_cfg);
     for (auto& inst : instances) {
       replica->AddInstance(inst.get());
     }
@@ -116,60 +211,115 @@ Testbed::Testbed(TestbedConfig config)
 
   // Fault plane last: it installs itself as the network's fault hook and
   // needs the component lists above to route crash/restart/kv-slow events.
-  faults = std::make_unique<fault::FaultPlane>(simulator, &network, cfg.seed ^ 0x66617574ULL,
-                                               fault::FaultPlaneConfig{&flight});
+  // Placed: the fault plane is conducted from the controller shard (the
+  // scenario timeline fires there), so its timers and recorder live there.
+  faults = std::make_unique<fault::FaultPlane>(
+      SimFor(ctl_shard), &network, cfg.seed ^ 0x66617574ULL,
+      fault::FaultPlaneConfig{placed_mode ? &flight_lane(ctl_shard) : &flight});
+  // Placed: component mutations are routed to the component's owning shard
+  // (RunOnOwner — inline and byte-identical when unplaced); SetNodeDown
+  // already replicates to every lane internally.
   faults->set_crash_handler([this](net::IpAddr ip) {
-    if (yoda::Controller* c = ControllerByIp(ip)) {
+    if (ControllerByIp(ip) != nullptr) {
       // Controllers live off-network (their store client talks to the KV
       // servers directly); a crash is purely "stop acting + stop renewing".
-      c->Crash();
+      RunOnOwner(cfg.placement.controller_shard,
+                 [this, ip]() { ControllerByIp(ip)->Crash(); });
       return;
     }
-    if (yoda::YodaInstance* inst = InstanceByIp(ip)) {
-      inst->Fail();
-    }
-    if (HttpServerNode* srv = ServerByIp(ip)) {
-      srv->Fail();
-    }
-    if (kv::KvServer* s = KvByIp(ip)) {
-      s->Fail();
-    }
-    if (baseline::ProxyInstance* p = ProxyByIp(ip)) {
-      p->Fail();
-    }
+    RunOnOwner(OwnerShardOf(ip), [this, ip]() {
+      if (yoda::YodaInstance* inst = InstanceByIp(ip)) {
+        inst->Fail();
+      }
+      if (HttpServerNode* srv = ServerByIp(ip)) {
+        srv->Fail();
+      }
+      if (kv::KvServer* s = KvByIp(ip)) {
+        s->Fail();
+      }
+      if (baseline::ProxyInstance* p = ProxyByIp(ip)) {
+        p->Fail();
+      }
+    });
     network.SetNodeDown(ip, true);
   });
   faults->set_restart_handler([this](net::IpAddr ip, fault::FaultPlane::RestartMode mode) {
-    if (yoda::Controller* c = ControllerByIp(ip)) {
-      c->Restart();  // Re-enters the lease contest as a standby.
+    if (ControllerByIp(ip) != nullptr) {
+      // Re-enters the lease contest as a standby.
+      RunOnOwner(cfg.placement.controller_shard,
+                 [this, ip]() { ControllerByIp(ip)->Restart(); });
       return;
     }
-    if (kv::KvServer* s = KvByIp(ip)) {
+    if (KvByIp(ip) != nullptr) {
       // KV servers live off-network; both modes amount to Recover (memcached
       // restarts empty either way — RAM contents are gone).
-      s->Recover();
+      RunOnOwner(OwnerShardOf(ip), [this, ip]() { KvByIp(ip)->Recover(); });
       return;
     }
     if (mode == fault::FaultPlane::RestartMode::kCold) {
       network.RestartNode(ip);  // OnColdRestart clears endpoint state, revives.
       return;
     }
-    if (yoda::YodaInstance* inst = InstanceByIp(ip)) {
-      inst->Recover();
-    }
-    if (HttpServerNode* srv = ServerByIp(ip)) {
-      srv->Recover();
-    }
-    if (baseline::ProxyInstance* p = ProxyByIp(ip)) {
-      p->Recover();
-    }
+    RunOnOwner(OwnerShardOf(ip), [this, ip]() {
+      if (yoda::YodaInstance* inst = InstanceByIp(ip)) {
+        inst->Recover();
+      }
+      if (HttpServerNode* srv = ServerByIp(ip)) {
+        srv->Recover();
+      }
+      if (baseline::ProxyInstance* p = ProxyByIp(ip)) {
+        p->Recover();
+      }
+    });
     network.SetNodeDown(ip, false);
   });
   faults->set_kv_slow_handler([this](net::IpAddr ip, sim::Duration d) {
-    if (kv::KvServer* s = KvByIp(ip)) {
-      s->set_response_delay(d);
-    }
+    RunOnOwner(OwnerShardOf(ip), [this, ip, d]() {
+      if (kv::KvServer* s = KvByIp(ip)) {
+        s->set_response_delay(d);
+      }
+    });
   });
+}
+
+int Testbed::OwnerShardOf(net::IpAddr ip) const {
+  if (cfg.engine == nullptr) {
+    return 0;
+  }
+  const sim::IntraPlacement& pl = cfg.placement;
+  // Testbed address plan: the second octet identifies the component kind,
+  // the host octet its index (see the header comment).
+  const int subnet = static_cast<int>((ip >> 16) & 0xff);
+  const int idx = static_cast<int>(ip & 0xff) - 1;
+  switch (subnet) {
+    case 0:
+      return pl.controller_shard;
+    case 1:
+      return pl.InstanceShard(idx);
+    case 2:
+      return pl.KvShard(idx);
+    case 3:
+      return pl.BackendShard(idx);
+    case 4:
+      return pl.ProxyShard(idx);
+    case 9:
+      return pl.ClientShard(idx);
+    case 200:
+      return pl.fabric_shard;
+    default:
+      return pl.controller_shard;
+  }
+}
+
+void Testbed::RunOnOwner(int shard, std::function<void()> fn) {
+  if (cfg.engine != nullptr) {
+    const int cur = sim::ShardedSim::current_shard();
+    if (cur >= 0 && cur != shard) {
+      cfg.engine->CallOn(shard, std::move(fn));
+      return;
+    }
+  }
+  fn();
 }
 
 yoda::Controller* Testbed::ControllerByIp(net::IpAddr ip) {
@@ -200,7 +350,12 @@ yoda::Controller* Testbed::LeaderController() {
 yoda::Controller* Testbed::AwaitLeader(sim::Duration max_wait) {
   const sim::Time deadline = simulator->now() + max_wait;
   while (LeaderController() == nullptr && simulator->now() < deadline) {
-    simulator->RunUntil(std::min(deadline, simulator->now() + sim::Msec(10)));
+    const sim::Time step = std::min(deadline, simulator->now() + sim::Msec(10));
+    if (cfg.engine != nullptr) {
+      cfg.engine->RunUntil(step);  // Placed: every shard must advance.
+    } else {
+      simulator->RunUntil(step);
+    }
   }
   return LeaderController();
 }
@@ -276,30 +431,38 @@ void Testbed::PrintMetricsSnapshot(const char* title) const {
 }
 
 void Testbed::FailInstance(int i) {
-  instances[static_cast<std::size_t>(i)]->Fail();
+  yoda::YodaInstance* inst = instances[static_cast<std::size_t>(i)].get();
+  RunOnOwner(OwnerShardOf(instance_ip(i)), [inst]() { inst->Fail(); });
   network.SetNodeDown(instance_ip(i), true);
 }
 
 void Testbed::RecoverInstance(int i) {
-  instances[static_cast<std::size_t>(i)]->Recover();
+  yoda::YodaInstance* inst = instances[static_cast<std::size_t>(i)].get();
+  RunOnOwner(OwnerShardOf(instance_ip(i)), [inst]() { inst->Recover(); });
   network.SetNodeDown(instance_ip(i), false);
 }
 
 void Testbed::FailProxy(int i) {
-  proxies[static_cast<std::size_t>(i)]->Fail();
+  baseline::ProxyInstance* p = proxies[static_cast<std::size_t>(i)].get();
+  RunOnOwner(OwnerShardOf(proxy_ip(i)), [p]() { p->Fail(); });
   network.SetNodeDown(proxy_ip(i), true);
 }
 
 void Testbed::FailBackend(int i) {
-  servers[static_cast<std::size_t>(i)]->Fail();
+  HttpServerNode* srv = servers[static_cast<std::size_t>(i)].get();
+  RunOnOwner(OwnerShardOf(backend_ip(i)), [srv]() { srv->Fail(); });
   network.SetNodeDown(backend_ip(i), true);
 }
 
 void Testbed::RecoverBackend(int i) {
-  servers[static_cast<std::size_t>(i)]->Recover();
+  HttpServerNode* srv = servers[static_cast<std::size_t>(i)].get();
+  RunOnOwner(OwnerShardOf(backend_ip(i)), [srv]() { srv->Recover(); });
   network.SetNodeDown(backend_ip(i), false);
 }
 
-void Testbed::FailKvServer(int i) { kv_servers[static_cast<std::size_t>(i)]->Fail(); }
+void Testbed::FailKvServer(int i) {
+  kv::KvServer* s = kv_servers[static_cast<std::size_t>(i)].get();
+  RunOnOwner(OwnerShardOf(kv_ip(i)), [s]() { s->Fail(); });
+}
 
 }  // namespace workload

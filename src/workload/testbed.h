@@ -25,6 +25,8 @@
 #include "src/net/network.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
+#include "src/sim/placement.h"
+#include "src/sim/sharded_sim.h"
 #include "src/sim/simulator.h"
 #include "src/workload/browser_client.h"
 #include "src/workload/http_server_node.h"
@@ -39,6 +41,19 @@ struct TestbedConfig {
   // one whole testbed on each sim::ShardedSim shard; the pointer must
   // outlive the testbed.
   sim::Simulator* external_sim = nullptr;
+  // Intra-cell sharding: when set, this ONE testbed spans the engine's
+  // shards per `placement` — each instance/backend/kv/client is constructed
+  // on its owning shard's simulator, the network delivers cross-shard
+  // packets through the engine's mailboxes, the fabric and controller get
+  // their cross-shard routing hooks, and observability is per-shard (see
+  // metrics_lane/flight_lane). Mutually exclusive with external_sim; the
+  // engine must outlive the testbed, and its epoch window must not exceed
+  // the minimum cross-shard latency (dc_latency and kv network_delay).
+  // Unsupported in this mode: assignment rollouts / auto-scale (counter
+  // aggregation reads instance state cross-shard) and fault-plane packet
+  // overlays (per-packet draws would race).
+  sim::ShardedSim* engine = nullptr;
+  sim::IntraPlacement placement;
   int yoda_instances = 4;
   int spare_instances = 0;
   int baseline_proxies = 0;
@@ -103,6 +118,33 @@ class Testbed {
   // prints the metrics registry as an aligned text table to stdout.
   void PrintMetricsSnapshot(const char* title = "metrics registry snapshot") const;
 
+  // --- intra-cell sharding (cfg.engine set) ---
+  bool placed() const { return cfg.engine != nullptr; }
+  // Owning shard of an address under cfg.placement (controller_shard when
+  // unplaced or the address is outside the testbed plan).
+  int OwnerShardOf(net::IpAddr ip) const;
+  // Simulator that owns `shard` (the testbed's single simulator when
+  // unplaced).
+  sim::Simulator* SimFor(int shard) const {
+    return cfg.engine != nullptr ? &cfg.engine->shard(shard) : simulator;
+  }
+  // Runs `fn` on `shard`: inline when unplaced, idle, or already executing
+  // there; otherwise a cross-shard CallOn landing at the next barrier.
+  void RunOnOwner(int shard, std::function<void()> fn);
+  // Per-shard observability lanes. Placed components report into their own
+  // shard's registry/recorder (no cross-thread writes); report code merges
+  // the lanes in shard order. Unplaced, both fall back to the shared
+  // `metrics`/`flight` members and lane_count() is 0.
+  int lane_count() const { return static_cast<int>(shard_metrics.size()); }
+  obs::Registry& metrics_lane(int shard) {
+    return shard_metrics.empty() ? metrics
+                                 : *shard_metrics[static_cast<std::size_t>(shard)];
+  }
+  obs::FlightRecorder& flight_lane(int shard) {
+    return shard_flight.empty() ? flight
+                                : *shard_flight[static_cast<std::size_t>(shard)];
+  }
+
   // Crash helpers (instance/proxy/kv/backend): mark down + drop state.
   void FailInstance(int i);
   void RecoverInstance(int i);
@@ -148,9 +190,13 @@ class Testbed {
   // callers must drive the external engine, not tb.sim).
   sim::Simulator* const simulator;
   // Shared observability: every component reports into this registry, and
-  // every flow's lifecycle lands in this flight recorder.
+  // every flow's lifecycle lands in this flight recorder. Placed testbeds
+  // use the per-shard lanes below instead (metrics_lane/flight_lane).
   obs::Registry metrics;
   obs::FlightRecorder flight;
+  // Per-shard observability lanes (placed mode only; one per engine shard).
+  std::vector<std::unique_ptr<obs::Registry>> shard_metrics;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> shard_flight;
   net::Network network;
   l4lb::L4Fabric fabric;
   std::vector<std::unique_ptr<kv::KvServer>> kv_servers;
@@ -159,6 +205,11 @@ class Testbed {
   // contend for the lease through their own client into the same KV ring.
   std::unique_ptr<kv::ReplicatingClient> ctl_kv_client;
   std::unique_ptr<yoda::TcpStore> store;
+  // Placed mode: each instance pipeline gets its own store client + TCPStore
+  // on its owning shard (the shared `kv_client`/`store` above stay on the
+  // controller shard); op messages hop shards via the engine's mailboxes.
+  std::vector<std::unique_ptr<kv::ReplicatingClient>> instance_kv_clients;
+  std::vector<std::unique_ptr<yoda::TcpStore>> instance_stores;
   std::unique_ptr<ObjectCatalog> catalog;
   std::vector<std::unique_ptr<yoda::YodaInstance>> instances;
   std::vector<std::unique_ptr<yoda::YodaInstance>> spares;

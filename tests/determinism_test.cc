@@ -1,18 +1,27 @@
-// Determinism suite for the cell-sharded scenario runner (ctest label
+// Determinism suite for the sharded scenario runners (ctest label
 // "determinism").
 //
-// Two properties are pinned:
+// Three properties are pinned:
 //
-//   1. Worker-count invariance: a `threads N` scenario produces a trace
-//      digest that is byte-identical for any worker count N in {1, 2, 4, 8},
-//      across many seeds. The cell partitioning is fixed (kScenarioCells); N
-//      only picks how many OS threads execute the epoch loop, so the
-//      interleaving the workload observes never changes.
+//   1. Worker-count invariance, cell-sharded: a `threads N` scenario produces
+//      a trace digest that is byte-identical for any worker count N in
+//      {1, 2, 4, 8}, across many seeds. The cell partitioning is fixed
+//      (kScenarioCells); N only picks how many OS threads execute the epoch
+//      loop, so the interleaving the workload observes never changes.
 //
-//   2. Golden reproduction: the legacy single-simulator path reproduces the
+//   2. Worker-count invariance, intra-cell: an `intra-threads N` scenario —
+//      ONE testbed whose components are placed across the engine's shards,
+//      with every inter-component hop crossing shards through the fabric /
+//      shard-aware network — is likewise byte-identical for any N. This is
+//      the stronger property: here the concurrent shards actually talk to
+//      each other mid-run, so it pins that cross-shard delivery times are a
+//      function of the virtual clocks only, never of the worker schedule.
+//
+//   3. Golden reproduction: the legacy single-simulator path reproduces the
 //      checked-in trace digests for the repo's scenario files. These goldens
 //      were captured from the pre-parallelism build, so they also pin that
-//      the multi-core engine work did not perturb single-threaded traces.
+//      the multi-core engine and intra-cell placement work did not perturb
+//      single-threaded traces.
 
 #include <fstream>
 #include <map>
@@ -69,6 +78,32 @@ std::string ShardedScenarioText(std::uint64_t seed, int threads) {
   return out.str();
 }
 
+// The intra-cell counterpart: ONE placed testbed over kScenarioCells shards.
+// Same fleet and timeline as the sharded text, plus `place` overrides so the
+// override path (not just round-robin defaults) is under test. Every fetch
+// here crosses shards several times: client shard -> fabric -> instance
+// shard -> backend shard and back, with the instance's KV ops hopping to the
+// kv shards.
+std::string IntraScenarioText(std::uint64_t seed, int threads) {
+  std::ostringstream out;
+  out << "seed " << seed << "\n"
+      << "instances 2\nspares 1\nbackends 3\nkv-servers 3\nclients 2\n"
+      << "intra-threads " << threads << "\n"
+      << "place controller 0\n"
+      << "place fabric 0\n"
+      << "place instance 0 5\n"
+      << "place backend 2 5\n"
+      << "vip 10.200.0.1\n"
+      << "rule 10.200.0.1 name=r-all priority=1 url=* split=10.3.0.1,10.3.0.2,10.3.0.3\n"
+      << "at 0ms load 10.200.0.1 rate 40 duration 1200ms\n"
+      << "at 400ms fail-instance 0\n"
+      << "at 700ms fail-backend 1\n"
+      << "at 900ms recover-instance 0\n"
+      << "at 1000ms recover-backend 1\n"
+      << "at 1100ms add-instance\n";
+  return out.str();
+}
+
 ScenarioReport RunText(const std::string& text) {
   std::string error;
   auto scenario = ParseScenario(text, &error);
@@ -96,6 +131,33 @@ TEST(Determinism, ShardedDigestInvariantAcrossWorkerCounts) {
       EXPECT_EQ(r.requests_ok, want_ok) << "seed " << seed << " threads " << threads;
     }
   }
+}
+
+TEST(Determinism, IntraCellDigestInvariantAcrossWorkerCounts) {
+  const std::uint64_t seeds[] = {1, 7, 42, 1337, 4242, 90210, 271828, 3141592};
+  for (std::uint64_t seed : seeds) {
+    std::uint64_t want = 0;
+    std::uint64_t want_ok = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      const ScenarioReport r = RunText(IntraScenarioText(seed, threads));
+      EXPECT_EQ(r.cells, 1);
+      EXPECT_GT(r.requests_ok, 0u) << "seed " << seed;
+      const std::uint64_t got = FullDigest(r);
+      if (threads == 1) {
+        want = got;
+        want_ok = r.requests_ok;
+        continue;
+      }
+      EXPECT_EQ(got, want) << "seed " << seed << " threads " << threads
+                           << ": intra-cell digest diverged from the single-worker run";
+      EXPECT_EQ(r.requests_ok, want_ok) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(Determinism, IntraCellRepeatRunIsStable) {
+  const std::string text = IntraScenarioText(99, 4);
+  EXPECT_EQ(FullDigest(RunText(text)), FullDigest(RunText(text)));
 }
 
 TEST(Determinism, ShardedRepeatRunIsStable) {

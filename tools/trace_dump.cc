@@ -4,11 +4,16 @@
 //   trace_dump <scenario-file> --json      # raw trace JSON lines
 //   trace_dump <scenario-file> --metrics   # registry snapshot (text table)
 //   trace_dump <scenario-file> --flows N   # limit timeline output to N flows
+//   trace_dump <scenario-file> --shard N   # intra-cell runs: only shard N's lane
 //
 // The human-readable view prints each recorded flow's event timeline, the
 // controller's system events, the reconstructed Fig 9 latency decomposition
 // and the takeover timeline — everything derived from obs:: trace events,
-// not from workload-side timers. See src/workload/scenario.h for the DSL.
+// not from workload-side timers. For placed (`intra-threads`) scenarios the
+// recorder is per-shard: each lane is dumped under a "shard N" heading, every
+// event is annotated with the shard that owns its `where` address, and
+// `--shard N` restricts the dump to one lane. See src/workload/scenario.h
+// for the DSL.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,54 +21,112 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/obs/analyzer.h"
 #include "src/workload/scenario.h"
 
 namespace {
 
-void PrintFlowTimelines(const workload::Testbed& tb, std::size_t max_flows) {
+// One flight-recorder lane to dump: the shared recorder (shard -1, legacy
+// runs) or a placed testbed's per-shard lane.
+struct Lane {
+  int shard;
+  const obs::FlightRecorder* rec;
+};
+
+std::vector<Lane> SelectLanes(workload::Testbed& tb, int only_shard) {
+  std::vector<Lane> lanes;
+  if (tb.lane_count() == 0) {
+    lanes.push_back(Lane{-1, &tb.flight});
+    return lanes;
+  }
+  for (int s = 0; s < tb.lane_count(); ++s) {
+    if (only_shard >= 0 && s != only_shard) {
+      continue;
+    }
+    lanes.push_back(Lane{s, &tb.flight_lane(s)});
+  }
+  return lanes;
+}
+
+// " s3" when the testbed is placed and the event names a node, else "".
+std::string OwnerTag(const workload::Testbed& tb, const obs::TraceEvent& ev) {
+  if (!tb.placed() || ev.where == 0) {
+    return "";
+  }
+  return "  s" + std::to_string(tb.OwnerShardOf(ev.where));
+}
+
+void PrintFlowTimelines(workload::Testbed& tb, const std::vector<Lane>& lanes,
+                        std::size_t max_flows) {
   std::size_t shown = 0;
-  tb.flight.ForEachFlow([&](const obs::FlowId& id, const std::vector<obs::TraceEvent>& events) {
-    if (shown >= max_flows) {
-      return;
-    }
-    ++shown;
-    std::printf("flow %s:%u -> %s:%u\n", obs::FormatIp(id.client_ip).c_str(), id.client_port,
-                obs::FormatIp(id.vip).c_str(), id.vip_port);
-    for (const obs::TraceEvent& ev : events) {
-      std::printf("  %10.3f ms  %-18s", sim::ToMillis(ev.at), obs::EventTypeName(ev.type));
-      if (ev.where != 0) {
-        std::printf("  @%s", obs::FormatIp(ev.where).c_str());
-      }
-      if (ev.detail != 0) {
-        std::printf("  detail=%llu", static_cast<unsigned long long>(ev.detail));
-      }
-      std::printf("\n");
-    }
-  });
-  if (tb.flight.flow_count() > shown) {
-    std::printf("... %zu more flows (raise --flows)\n", tb.flight.flow_count() - shown);
+  std::size_t total = 0;
+  for (const Lane& lane : lanes) {
+    total += lane.rec->flow_count();
+    lane.rec->ForEachFlow(
+        [&](const obs::FlowId& id, const std::vector<obs::TraceEvent>& events) {
+          if (shown >= max_flows) {
+            return;
+          }
+          ++shown;
+          std::printf("flow %s:%u -> %s:%u", obs::FormatIp(id.client_ip).c_str(),
+                      id.client_port, obs::FormatIp(id.vip).c_str(), id.vip_port);
+          if (lane.shard >= 0) {
+            std::printf("  [recorded on shard %d]", lane.shard);
+          }
+          std::printf("\n");
+          for (const obs::TraceEvent& ev : events) {
+            std::printf("  %10.3f ms  %-18s", sim::ToMillis(ev.at),
+                        obs::EventTypeName(ev.type));
+            if (ev.where != 0) {
+              std::printf("  @%s%s", obs::FormatIp(ev.where).c_str(),
+                          OwnerTag(tb, ev).c_str());
+            }
+            if (ev.detail != 0) {
+              std::printf("  detail=%llu", static_cast<unsigned long long>(ev.detail));
+            }
+            std::printf("\n");
+          }
+        });
+  }
+  if (total > shown) {
+    std::printf("... %zu more flows (raise --flows)\n", total - shown);
   }
 }
 
-void PrintSystemEvents(const workload::Testbed& tb) {
-  if (tb.flight.system_events().empty()) {
+void PrintSystemEvents(workload::Testbed& tb, const std::vector<Lane>& lanes) {
+  for (const Lane& lane : lanes) {
+    if (lane.rec->system_events().empty()) {
+      continue;
+    }
+    if (lane.shard >= 0) {
+      std::printf("\nsystem events (shard %d):\n", lane.shard);
+    } else {
+      std::printf("\nsystem events:\n");
+    }
+    for (const obs::TraceEvent& ev : lane.rec->system_events()) {
+      std::printf("  %10.3f ms  %-18s  @%s%s  detail=%llu\n", sim::ToMillis(ev.at),
+                  obs::EventTypeName(ev.type), obs::FormatIp(ev.where).c_str(),
+                  OwnerTag(tb, ev).c_str(), static_cast<unsigned long long>(ev.detail));
+    }
+  }
+}
+
+void PrintAnalysis(const Lane& lane) {
+  const obs::BreakdownReport br = obs::ReconstructBreakdown(*lane.rec);
+  if (br.flows_seen == 0) {
     return;
   }
-  std::printf("\nsystem events:\n");
-  for (const obs::TraceEvent& ev : tb.flight.system_events()) {
-    std::printf("  %10.3f ms  %-18s  @%s  detail=%llu\n", sim::ToMillis(ev.at),
-                obs::EventTypeName(ev.type), obs::FormatIp(ev.where).c_str(),
-                static_cast<unsigned long long>(ev.detail));
+  if (lane.shard >= 0) {
+    std::printf("\nreconstructed breakdown, shard %d (%llu flows, %llu established):\n",
+                lane.shard, static_cast<unsigned long long>(br.flows_seen),
+                static_cast<unsigned long long>(br.flows_established));
+  } else {
+    std::printf("\nreconstructed breakdown (%llu flows, %llu established):\n",
+                static_cast<unsigned long long>(br.flows_seen),
+                static_cast<unsigned long long>(br.flows_established));
   }
-}
-
-void PrintAnalysis(const workload::Testbed& tb) {
-  const obs::BreakdownReport br = obs::ReconstructBreakdown(tb.flight);
-  std::printf("\nreconstructed breakdown (%llu flows, %llu established):\n",
-              static_cast<unsigned long long>(br.flows_seen),
-              static_cast<unsigned long long>(br.flows_established));
   if (!br.connection_ms.empty()) {
     std::printf("  connection: P50 %.2f ms  P99 %.2f ms\n", br.connection_ms.Percentile(50),
                 br.connection_ms.Percentile(99));
@@ -72,7 +135,7 @@ void PrintAnalysis(const workload::Testbed& tb) {
     std::printf("  rule scan:  P50 %.2f ms  P99 %.2f ms\n", br.rule_scan_ms.Percentile(50),
                 br.rule_scan_ms.Percentile(99));
   }
-  const auto takeovers = obs::TakeoverTimeline(tb.flight);
+  const auto takeovers = obs::TakeoverTimeline(*lane.rec);
   if (!takeovers.empty()) {
     std::printf("\ntakeover timeline (%zu adoptions):\n", takeovers.size());
     for (const obs::TakeoverRecord& t : takeovers) {
@@ -82,10 +145,10 @@ void PrintAnalysis(const workload::Testbed& tb) {
                   obs::FormatIp(t.event.where).c_str());
     }
   }
-  if (tb.flight.dropped_flows() > 0 || tb.flight.overwritten_events() > 0) {
+  if (lane.rec->dropped_flows() > 0 || lane.rec->overwritten_events() > 0) {
     std::printf("\nrecorder bounds hit: %llu flows dropped, %llu events overwritten\n",
-                static_cast<unsigned long long>(tb.flight.dropped_flows()),
-                static_cast<unsigned long long>(tb.flight.overwritten_events()));
+                static_cast<unsigned long long>(lane.rec->dropped_flows()),
+                static_cast<unsigned long long>(lane.rec->overwritten_events()));
   }
 }
 
@@ -96,6 +159,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool metrics = false;
   std::size_t max_flows = 10;
+  int only_shard = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -104,16 +168,20 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (arg == "--flows" && i + 1 < argc) {
       max_flows = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--shard" && i + 1 < argc) {
+      only_shard = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (path.empty()) {
       path = arg;
     } else {
-      std::fprintf(stderr, "usage: %s <scenario-file> [--json] [--metrics] [--flows N]\n",
+      std::fprintf(stderr,
+                   "usage: %s <scenario-file> [--json] [--metrics] [--flows N] [--shard N]\n",
                    argv[0]);
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: %s <scenario-file> [--json] [--metrics] [--flows N]\n",
+    std::fprintf(stderr,
+                 "usage: %s <scenario-file> [--json] [--metrics] [--flows N] [--shard N]\n",
                  argv[0]);
     return 2;
   }
@@ -132,20 +200,44 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --json with --shard exports one lane; otherwise the report string
+  // carries the full dump (with {"shard":N} markers for placed runs).
+  std::string shard_json;
   workload::ScenarioReport report =
       workload::RunScenario(*scenario, nullptr, [&](workload::Testbed& tb) {
+        const std::vector<Lane> lanes = SelectLanes(tb, only_shard);
         if (json) {
-          return;  // The report string carries the full dump.
+          if (only_shard >= 0 && tb.lane_count() > 0) {
+            std::ostringstream out;
+            for (const Lane& lane : lanes) {
+              lane.rec->ExportJsonLines(out);
+            }
+            shard_json = out.str();
+          }
+          return;
         }
-        PrintFlowTimelines(tb, max_flows);
-        PrintSystemEvents(tb);
-        PrintAnalysis(tb);
+        PrintFlowTimelines(tb, lanes, max_flows);
+        PrintSystemEvents(tb, lanes);
+        for (const Lane& lane : lanes) {
+          PrintAnalysis(lane);
+        }
         if (metrics) {
-          std::printf("\n--- metrics registry ---\n%s", tb.metrics.TextTable().c_str());
+          if (tb.lane_count() == 0) {
+            std::printf("\n--- metrics registry ---\n%s", tb.metrics.TextTable().c_str());
+          } else {
+            for (const Lane& lane : lanes) {
+              std::printf("\n--- metrics registry (shard %d) ---\n%s", lane.shard,
+                          tb.metrics_lane(lane.shard).TextTable().c_str());
+            }
+          }
         }
       });
   if (json) {
-    std::fputs(report.traces_jsonl.c_str(), stdout);
+    if (only_shard >= 0 && !shard_json.empty()) {
+      std::fputs(shard_json.c_str(), stdout);
+    } else {
+      std::fputs(report.traces_jsonl.c_str(), stdout);
+    }
     if (metrics) {
       std::fputs(report.metrics_jsonl.c_str(), stdout);
     }
