@@ -261,7 +261,8 @@ std::string ControlJournal::EncodeSnapshot(const ControlState& state) {
   std::ostringstream out;
   out << "epoch=" << state.epoch() << "\n";
   for (const auto& [vip, desired] : state.vips()) {
-    out << "V " << vip << " " << desired.port << " " << desired.rules.size() << "\n";
+    out << "V " << vip << " " << desired.port << " " << desired.rules.size() << " "
+        << static_cast<int>(desired.store_mode) << " " << desired.store_mode_epoch << "\n";
     for (const rules::Rule& rule : desired.rules) {
       out << "R " << EncodeRule(rule) << "\n";
     }
@@ -297,6 +298,13 @@ bool ControlJournal::DecodeSnapshot(const std::string& text, RestoredControlPlan
       ControlState::VipDesired desired;
       desired.port =
           static_cast<net::Port>(std::strtoull(toks[1].c_str(), nullptr, 10));
+      // Store-mode fields are optional (snapshots written before the
+      // stateless fast path existed decode as kStateful).
+      if (toks.size() >= 5) {
+        desired.store_mode =
+            static_cast<StoreMode>(std::strtoull(toks[3].c_str(), nullptr, 10));
+        desired.store_mode_epoch = std::strtoull(toks[4].c_str(), nullptr, 10);
+      }
       out->vips[current_vip] = std::move(desired);
     } else if (line.rfind("R ", 0) == 0) {
       if (auto rule = DecodeRule(line.substr(2))) {

@@ -26,6 +26,8 @@ const char* ChangeKindName(ChangeKind kind) {
       return "Restored";
     case ChangeKind::kLeaderElected:
       return "LeaderElected";
+    case ChangeKind::kStoreModeSet:
+      return "StoreModeSet";
   }
   return "Unknown";
 }
@@ -134,6 +136,18 @@ std::uint64_t ControlState::NoteInstance(ChangeKind kind, net::IpAddr instance) 
   return epoch_;
 }
 
+std::uint64_t ControlState::SetStoreMode(net::IpAddr vip, StoreMode mode) {
+  auto it = vips_.find(vip);
+  if (it == vips_.end()) {
+    return epoch_;
+  }
+  it->second.store_mode = mode;
+  Bump(ChangeKind::kStoreModeSet, vip, static_cast<std::uint64_t>(mode));
+  it->second.store_mode_epoch = epoch_;  // The install epoch = cookie epoch.
+  EmitDurable(ChangeKind::kStoreModeSet, vip, static_cast<std::uint64_t>(mode));
+  return epoch_;
+}
+
 void ControlState::LoadSnapshot(std::uint64_t epoch, std::map<net::IpAddr, VipDesired> vips,
                                 std::map<net::IpAddr, std::vector<net::IpAddr>> assignment) {
   epoch_ = epoch;
@@ -171,6 +185,12 @@ void ControlState::ApplyDurable(const DurableChange& change) {
     case ChangeKind::kInstanceScrubbed:
       for (auto& [vip, pool] : assignment_) {
         pool.erase(std::remove(pool.begin(), pool.end(), change.subject), pool.end());
+      }
+      break;
+    case ChangeKind::kStoreModeSet:
+      if (auto it = vips_.find(change.subject); it != vips_.end()) {
+        it->second.store_mode = static_cast<StoreMode>(change.detail);
+        it->second.store_mode_epoch = change.epoch;
       }
       break;
     case ChangeKind::kInstanceFailed:

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/flow_state.h"
 #include "src/net/network.h"
 #include "src/obs/trace.h"
 #include "src/rules/rule.h"
@@ -46,6 +47,7 @@ enum class ChangeKind : std::uint8_t {
   kInstanceAdmitted,   // subject=instance (added, activated or readmitted).
   kRestored,           // subject=controller ip; state rebuilt from the journal.
   kLeaderElected,      // subject=controller ip; this replica now leads.
+  kStoreModeSet,       // subject=vip, detail=StoreMode (stateless fast path).
 };
 
 const char* ChangeKindName(ChangeKind kind);
@@ -84,6 +86,13 @@ class ControlState {
   struct VipDesired {
     net::Port port = 80;
     std::vector<rules::Rule> rules;
+    // Per-flow store contract: the paper's synchronous ACK-point writes or
+    // the cookie-derived stateless fast path. `store_mode_epoch` is the
+    // epoch of the install that set the mode — it becomes the VIP's cookie
+    // epoch on the instances, so tokens minted under an older policy are
+    // rejected as stale after a flip.
+    StoreMode store_mode = StoreMode::kStateful;
+    std::uint64_t store_mode_epoch = 0;
   };
 
   // --- mutations (each bumps the epoch once and logs the change) ---
@@ -100,6 +109,10 @@ class ControlState {
   // epoch so plans reacting to the SAME instance flapping twice carry
   // distinct epochs and are not swallowed by the actuator's replay ledger.
   std::uint64_t NoteInstance(ChangeKind kind, net::IpAddr instance);
+  // Flips the VIP's per-flow store contract; the new epoch becomes the
+  // cookie install epoch (VipDesired::store_mode_epoch). No-op epoch-wise
+  // when the VIP is undefined.
+  std::uint64_t SetStoreMode(net::IpAddr vip, StoreMode mode);
 
   // --- durability (controller HA) ---
   // Sink invoked once per MUTATION (not per changelog record) with the full

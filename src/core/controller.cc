@@ -160,6 +160,15 @@ void Controller::UpdateVipRules(net::IpAddr vip, std::vector<rules::Rule> vip_ru
   Log("update rules for vip " + net::IpToString(vip));
 }
 
+void Controller::SetStoreMode(net::IpAddr vip, StoreMode mode) {
+  if (!ActingLeader() || !state_.HasVip(vip)) {
+    return;
+  }
+  const std::uint64_t epoch = state_.SetStoreMode(vip, mode);
+  ExecutePlan(BuildStoreModePlan(state_, epoch, vip, mode, monitor_.ActiveIps()));
+  Log(std::string("store mode ") + StoreModeName(mode) + " for vip " + net::IpToString(vip));
+}
+
 void Controller::Start() {
   if (started_) {
     return;

@@ -125,6 +125,11 @@ class Controller {
   void DefineVip(net::IpAddr vip, net::Port vip_port, std::vector<rules::Rule> vip_rules);
   void RemoveVip(net::IpAddr vip);
   void UpdateVipRules(net::IpAddr vip, std::vector<rules::Rule> vip_rules);
+  // Flips the VIP's per-flow store contract and rolls it out make-before-
+  // break (instances -> barrier -> muxes). Existing flows keep the mode they
+  // latched at creation; cookies minted before the flip go stale-epoch and
+  // fall back to the journal.
+  void SetStoreMode(net::IpAddr vip, StoreMode mode);
 
   // --- many-to-many VIP assignment (§4.4) ---
   using VipDemand = yoda::VipDemand;

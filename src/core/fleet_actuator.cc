@@ -27,6 +27,8 @@ const char* ExecStepKindName(ExecStepKind kind) {
       return "DetachVip";
     case ExecStepKind::kEvictInstance:
       return "EvictInstance";
+    case ExecStepKind::kSetStoreMode:
+      return "SetStoreMode";
   }
   return "Unknown";
 }
@@ -164,7 +166,8 @@ FleetActuator::ApplyResult FleetActuator::Apply(const ExecPlan& plan, const Exec
   if (cfg_.max_step_retries > 0 &&
       (step.kind == ExecStepKind::kInstallRules ||
        step.kind == ExecStepKind::kSetBackendHealth ||
-       step.kind == ExecStepKind::kScrubRules)) {
+       step.kind == ExecStepKind::kScrubRules ||
+       step.kind == ExecStepKind::kSetStoreMode)) {
     YodaInstance* inst = InstanceByIp(step.instance);
     if (inst != nullptr &&
         (cfg_.instance_down ? cfg_.instance_down(inst) : inst->failed())) {
@@ -298,6 +301,30 @@ FleetActuator::ApplyResult FleetActuator::Apply(const ExecPlan& plan, const Exec
     case ExecStepKind::kEvictInstance:
       fabric_->RemoveInstanceEverywhere(step.instance);
       break;
+    case ExecStepKind::kSetStoreMode: {
+      const bool stateless = step.healthy;  // Reused as the mode flag.
+      if (step.instance == 0) {
+        // Mux side of the flip: runs after the barrier, so every pool
+        // member has already switched.
+        fabric_->SetStoreMode(step.vip, stateless, plan.epoch, stagger, token);
+        break;
+      }
+      YodaInstance* inst = InstanceByIp(step.instance);
+      if (inst == nullptr) {
+        effective = false;
+        break;
+      }
+      const StoreMode mode = stateless ? StoreMode::kStateless : StoreMode::kStateful;
+      if (cfg_.run_on_instance) {
+        cfg_.run_on_instance(inst,
+                             [inst, vip = step.vip, mode, epoch = plan.epoch, token]() {
+                               inst->SetStoreMode(vip, mode, epoch, token);
+                             });
+      } else {
+        inst->SetStoreMode(step.vip, mode, plan.epoch, token);
+      }
+      break;
+    }
   }
   journal_.push_back({plan.epoch, sim_->now(), step, /*replayed=*/!effective});
   if (steps_ctr_ != nullptr) {
@@ -427,6 +454,24 @@ ExecPlan BuildLeaderTakeoverPlan(const ControlState& state, std::uint64_t epoch,
     plan.steps.push_back({ExecStepKind::kAttachVip, vip});
     plan.steps.push_back({ExecStepKind::kProgramPool, vip, 0, true, members});
   }
+  return plan;
+}
+
+ExecPlan BuildStoreModePlan(const ControlState& state, std::uint64_t epoch, net::IpAddr vip,
+                            StoreMode mode, const std::vector<net::IpAddr>& active_ips) {
+  ExecPlan plan{epoch,
+                mode == StoreMode::kStateless ? "store mode to stateless"
+                                              : "store mode to stateful",
+                /*staggered=*/true,
+                {}};
+  const std::vector<net::IpAddr>* pool = state.DesiredPool(vip);
+  const std::vector<net::IpAddr>& members = pool != nullptr ? *pool : active_ips;
+  const bool stateless = mode == StoreMode::kStateless;
+  for (net::IpAddr ip : members) {
+    plan.steps.push_back({ExecStepKind::kSetStoreMode, vip, ip, stateless});
+  }
+  plan.steps.push_back({ExecStepKind::kAwaitConvergence, 0, 0});
+  plan.steps.push_back({ExecStepKind::kSetStoreMode, vip, 0, stateless});
   return plan;
 }
 

@@ -123,4 +123,118 @@ std::uint32_t DeterministicLbIsn(net::IpAddr vip, net::Port vip_port, net::IpAdd
   return static_cast<std::uint32_t>(h);
 }
 
+const char* StoreModeName(StoreMode mode) {
+  return mode == StoreMode::kStateless ? "stateless" : "stateful";
+}
+
+namespace {
+
+// 49-bit claim body (everything under the MAC field).
+std::uint64_t CookieBody(const CookieClaims& c) {
+  return (static_cast<std::uint64_t>(c.tunneling ? 1 : 0) << 48) |
+         (static_cast<std::uint64_t>(c.store_epoch) << 40) |
+         (static_cast<std::uint64_t>(c.backend_id) << 32) | c.offset;
+}
+
+// 15-bit keyed MAC over (flow identity, claim body, secret). The lowest MAC
+// bit is forced to 1 so a well-formed cookie can never collide with the
+// "no token" value 0.
+std::uint64_t CookieMac(std::uint64_t body, net::IpAddr vip, net::Port vip_port,
+                        net::IpAddr client_ip, net::Port client_port, std::uint64_t secret) {
+  std::uint64_t h = kv::Mix64(secret ^ (static_cast<std::uint64_t>(client_ip) << 32) ^
+                              (static_cast<std::uint64_t>(client_port) << 16) ^ vip_port);
+  h = kv::Mix64(h ^ vip);
+  h = kv::Mix64(h ^ body);
+  return (h >> 49) | 1;
+}
+
+}  // namespace
+
+std::uint64_t EncodeCookie(const CookieClaims& claims, net::IpAddr vip, net::Port vip_port,
+                           net::IpAddr client_ip, net::Port client_port, std::uint64_t secret) {
+  const std::uint64_t body = CookieBody(claims);
+  return (CookieMac(body, vip, vip_port, client_ip, client_port, secret) << 49) | body;
+}
+
+std::uint64_t MintFlowCookie(const FlowState& st, std::uint8_t store_epoch,
+                             std::uint64_t secret) {
+  CookieClaims claims;
+  claims.store_epoch = store_epoch;
+  if (st.stage == FlowStage::kConnection) {
+    claims.tunneling = false;
+    claims.offset = st.client_isn;
+  } else {
+    claims.tunneling = true;
+    if (st.seq_delta_c2s == 0) {
+      claims.backend_id = static_cast<std::uint8_t>(st.backend_ip & 0xff);
+      claims.offset = st.seq_delta_s2c;
+    }
+    // else: journal-pinned token (backend id 0, offset 0).
+  }
+  return EncodeCookie(claims, st.vip, st.vip_port, st.client_ip, st.client_port, secret);
+}
+
+std::optional<FlowState> FlowStateFromCookie(const CookieClaims& claims, net::IpAddr vip,
+                                             net::Port vip_port, net::IpAddr client_ip,
+                                             net::Port client_port,
+                                             const std::set<net::IpAddr>& backends,
+                                             net::Port backend_port) {
+  FlowState st;
+  st.client_ip = client_ip;
+  st.client_port = client_port;
+  st.vip = vip;
+  st.vip_port = vip_port;
+  st.lb_isn = DeterministicLbIsn(vip, vip_port, client_ip, client_port);
+  if (!claims.tunneling) {
+    st.stage = FlowStage::kConnection;
+    st.client_isn = claims.offset;
+    return st;
+  }
+  if (claims.backend_id == 0) {
+    return std::nullopt;  // Journal-pinned: the cookie disclaims the state.
+  }
+  net::IpAddr backend = 0;
+  for (net::IpAddr b : backends) {
+    if ((b & 0xff) == claims.backend_id) {
+      backend = b;
+      break;
+    }
+  }
+  if (backend == 0) {
+    return std::nullopt;  // Claimed backend left the pool; journal decides.
+  }
+  st.stage = FlowStage::kTunneling;
+  st.backend_ip = backend;
+  st.backend_port = backend_port;
+  st.seq_delta_s2c = claims.offset;
+  st.seq_delta_c2s = 0;
+  // Codable flows have client_facing_nxt == lb_isn + 1, so the server ISN
+  // falls out of the delta. The client ISN is not carried (and not needed
+  // once tunneling: the client->server direction translates by zero).
+  st.server_isn = st.lb_isn - claims.offset;
+  return st;
+}
+
+CookieVerdict DecodeCookie(std::uint64_t cookie, net::IpAddr vip, net::Port vip_port,
+                           net::IpAddr client_ip, net::Port client_port, std::uint64_t secret,
+                           std::uint8_t expected_epoch, CookieClaims* out) {
+  const std::uint64_t body = cookie & ((std::uint64_t{1} << 49) - 1);
+  const std::uint64_t mac = cookie >> 49;
+  if (mac != CookieMac(body, vip, vip_port, client_ip, client_port, secret)) {
+    return CookieVerdict::kBadMac;
+  }
+  CookieClaims c;
+  c.tunneling = ((body >> 48) & 1) != 0;
+  c.store_epoch = static_cast<std::uint8_t>((body >> 40) & 0xff);
+  c.backend_id = static_cast<std::uint8_t>((body >> 32) & 0xff);
+  c.offset = static_cast<std::uint32_t>(body & 0xffffffffu);
+  if (c.store_epoch != expected_epoch) {
+    return CookieVerdict::kStaleEpoch;
+  }
+  if (out != nullptr) {
+    *out = c;
+  }
+  return CookieVerdict::kOk;
+}
+
 }  // namespace yoda

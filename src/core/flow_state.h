@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,76 @@ std::string ServerFlowKey(net::IpAddr backend_ip, net::Port backend_port, net::I
 // distinct sequence spaces), so no SYN-ACK state needs storing.
 std::uint32_t DeterministicLbIsn(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,
                                  net::Port client_port);
+
+// --- Stateless fast path: signed SYN-cookie flow tokens ---------------------
+//
+// Per-VIP store-mode policy. kStateful is the paper's contract (three
+// synchronous replicated sets per request, Fig 3). kStateless derives the
+// common-case flow state from a signed cookie carried by the packets
+// themselves and demotes the ACK-point writes to a write-behind takeover
+// journal (zero synchronous store writes on the fast path).
+enum class StoreMode : std::uint8_t {
+  kStateful = 0,
+  kStateless = 1,
+};
+
+const char* StoreModeName(StoreMode mode);
+
+// The claims packed into the 64-bit cookie (the SYN-cookie ISN extended
+// through the timestamp-option echo). Layout, high to low:
+//
+//   [63..49] hmac      15-bit keyed MAC over (flow identity, claims, secret);
+//                      lowest MAC bit forced to 1 so a valid cookie is never 0
+//   [48]     phase     0 = connection (offset = client ISN),
+//                      1 = tunneling  (offset = server->client seq delta)
+//   [47..40] epoch     low 8 bits of the VIP's store-mode install epoch
+//   [39..32] backend   backend id (last IP octet; 0 in connection phase)
+//   [31..0]  offset    phase-dependent 32-bit sequence claim
+//
+// In the tunneling phase the full FlowState is recoverable for flows the
+// cookie can describe (seq_delta_c2s == 0, i.e. no TLS rebasing or
+// re-switch): backend from the id, seq_delta_s2c from the offset, lb_isn from
+// DeterministicLbIsn, server_isn = lb_isn - seq_delta_s2c.
+struct CookieClaims {
+  bool tunneling = false;
+  std::uint8_t store_epoch = 0;
+  std::uint8_t backend_id = 0;
+  std::uint32_t offset = 0;
+};
+
+std::uint64_t EncodeCookie(const CookieClaims& claims, net::IpAddr vip, net::Port vip_port,
+                           net::IpAddr client_ip, net::Port client_port, std::uint64_t secret);
+
+enum class CookieVerdict : std::uint8_t {
+  kOk = 0,
+  kBadMac = 1,      // Forged, corrupted, or keyed with a different secret.
+  kStaleEpoch = 2,  // Minted before the VIP's current store-mode install.
+};
+
+// Verifies `cookie` against the flow identity and `expected_epoch` (low 8
+// bits of the VIP's store-mode install epoch) and unpacks the claims into
+// `out` on success. A cookie of 0 (no token) is kBadMac.
+CookieVerdict DecodeCookie(std::uint64_t cookie, net::IpAddr vip, net::Port vip_port,
+                           net::IpAddr client_ip, net::Port client_port, std::uint64_t secret,
+                           std::uint8_t expected_epoch, CookieClaims* out);
+
+// Mints the current cookie for `st`. Connection stage encodes the client
+// ISN; tunneling encodes (backend id, seq_delta_s2c) when the flow is
+// cookie-codable (seq_delta_c2s == 0, i.e. no TLS rebasing or re-switch
+// displacement) and otherwise a signed "journal-pinned" token (backend id 0)
+// that tells any adopter to skip reconstruction and go straight to the
+// journal — overriding whatever older, now-wrong token the client echoes.
+std::uint64_t MintFlowCookie(const FlowState& st, std::uint8_t store_epoch,
+                             std::uint64_t secret);
+
+// Rebuilds an adoptable FlowState from verified tunneling-phase claims and
+// the flow identity. Returns nullopt for journal-pinned tokens (backend id
+// 0) or when no backend in `backends` matches the claimed id.
+std::optional<FlowState> FlowStateFromCookie(const CookieClaims& claims, net::IpAddr vip,
+                                             net::Port vip_port, net::IpAddr client_ip,
+                                             net::Port client_port,
+                                             const std::set<net::IpAddr>& backends,
+                                             net::Port backend_port);
 
 }  // namespace yoda
 

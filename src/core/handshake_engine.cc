@@ -44,7 +44,9 @@ void HandshakeEngine::StartNewFlow(const net::Packet& syn, VipState& vip) {
   fresh->st.lb_isn = DeterministicLbIsn(syn.dst, syn.dport, syn.src, syn.sport);
   fresh->client_facing_nxt = fresh->st.lb_isn + 1;
   fresh->assembled_end = syn.seq + 1;
+  fresh->store_mode = vip.store_mode;  // Latched for the flow's lifetime.
   LocalFlow& flow = ctx_->flows->Insert(key, std::move(fresh));
+  ctx_->RefreshCookie(key, flow);
   ctx_->ctr->flows_started->Inc();
   if (ctx_->count_new_connection) {
     ctx_->count_new_connection(key.vip);
@@ -52,8 +54,11 @@ void HandshakeEngine::StartNewFlow(const net::Packet& syn, VipState& vip) {
   ctx_->Trace(key, obs::EventType::kClientSyn);
   ctx_->cpu->ChargeConnection();
 
-  // storage-a: persist the SYN capture *before* answering (Fig 3).
-  ctx_->store->WriteSynState(flow.st, [this, key](bool ok) {
+  // storage-a: persist the SYN capture *before* answering (Fig 3). In
+  // stateless mode the cookie carries the capture instead — the write
+  // demotes to a journal entry and the completion fires inline, so the
+  // SYN-ACK goes out with zero synchronous store writes.
+  ctx_->store->WriteSynState(flow.st, flow.store_mode, [this, key](bool ok) {
     if (!ctx_->alive()) {
       return;
     }
@@ -89,6 +94,7 @@ void HandshakeEngine::SendSynAck(const FlowKey& key, const LocalFlow& flow) {
   p.seq = flow.st.lb_isn;
   p.ack = flow.st.client_isn + 1;
   p.flags = net::kSyn | net::kAck;
+  p.cookie = flow.cookie;  // Signed SYN-cookie token (0 in stateful mode).
   ctx_->Trace(key, obs::EventType::kSynAckSent);
   ctx_->Emit(std::move(p));
 }
@@ -172,6 +178,7 @@ void HandshakeEngine::SendCertificateFlight(const FlowKey& key, LocalFlow& flow,
     pkt.seq = seq;
     pkt.ack = flow.st.client_isn + 1;
     pkt.flags = net::kAck;
+    pkt.cookie = flow.cookie;
     pkt.payload = flight.substr(off, chunk);
     if (off + chunk >= flight.size()) {
       pkt.flags |= net::kPsh;
@@ -259,10 +266,15 @@ void HandshakeEngine::OnServerSynAck(const FlowKey& key, LocalFlow& flow,
   }
   flow.st.stage = FlowStage::kTunneling;
   ctx_->cpu->ChargeConnection();
+  // Stateless mode: the tunneling claims (backend, splice delta) are now
+  // final for this leg — mint the v2 cookie the client will echo.
+  ctx_->RefreshCookie(key, flow);
 
   // storage-b: persist full state *before* ACKing the server (Fig 3), so a
-  // crash after the ACK can always be recovered by another instance.
-  ctx_->store->WriteEstablishedState(flow.st, [this, key](bool ok) {
+  // crash after the ACK can always be recovered by another instance. In
+  // stateless mode the cookie is that recovery path; the journal entry is a
+  // write-behind fallback and the completion fires inline.
+  ctx_->store->WriteEstablishedState(flow.st, flow.store_mode, [this, key](bool ok) {
     if (!ctx_->alive()) {
       return;
     }

@@ -47,6 +47,14 @@ struct YodaInstanceConfig {
   // Flow-table shard count (the partition seam for the future parallel
   // split; functionally invisible today).
   int flow_table_shards = 8;
+  // Stateless fast path (per-VIP StoreMode::kStateless): fleet-wide key for
+  // the signed SYN-cookie MAC — every instance must share it so any adopter
+  // can verify a cookie minted elsewhere.
+  std::uint64_t cookie_secret = 0x59eda11c00c1e5ecULL;
+  // Write-behind takeover journal: how long dirty flow states may coalesce
+  // before a batched flush to TCPStore. Bounds the takeover-visible staleness
+  // window in stateless mode.
+  sim::Duration journal_flush_interval = sim::Msec(5);
   // Observability sinks, normally the testbed-owned registry/recorder. A
   // null registry makes the instance keep a private one (counters still
   // work); a null recorder disables flow tracing.

@@ -389,6 +389,10 @@ void L7Dispatcher::ReSwitch(const FlowKey& key, LocalFlow& flow, VipState& vip,
   flow.assembled_end = flow.inspect_next_seq;
   flow.st.pipeline_request_ends.clear();
   ctx_->Trace(key, obs::EventType::kBackendPinned, new_backend.ip);
+  // The old signed token's claims (old backend, old delta) are dead; re-mint
+  // from the rebased connection-phase state so the client echoes a current
+  // one while the new leg connects.
+  ctx_->RefreshCookie(key, flow);
   ctx_->handshake->SendServerSyn(key, flow);
   (void)vip;
 }

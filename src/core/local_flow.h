@@ -60,6 +60,11 @@ struct VipState {
   rules::StickyTable sticky;
   std::set<net::IpAddr> backends;  // For classifying server-side packets.
   std::optional<VipTls> tls;       // SSL termination (§5.2).
+  // Stateless fast path policy: how flows on this VIP persist their state.
+  // Installed by the controller through epoch-tagged plan steps; existing
+  // flows keep the mode they latched at creation (make-before-break).
+  StoreMode store_mode = StoreMode::kStateful;
+  std::uint64_t store_epoch = 0;  // Install epoch; low 8 bits gate cookies.
 };
 
 struct LocalFlow {
@@ -121,6 +126,18 @@ struct LocalFlow {
   bool fin_from_server = false;
   // Packets that arrived during an in-flight storage op.
   std::vector<net::Packet> stalled;
+
+  // Store mode latched at flow creation (a mid-run per-VIP flip only affects
+  // flows created after the install).
+  StoreMode store_mode = StoreMode::kStateful;
+  // Set when this flow was adopted via takeover. Adopted stateless flows
+  // tear down through the synchronous remove path: the original owner may
+  // have flushed the state to the store before crashing, and only a real
+  // delete guarantees the key cannot go stale there.
+  bool adopted = false;
+  // Latest signed SYN-cookie token minted for this flow (0 in stateful mode);
+  // stamped on every client-bound packet so the client's TCP echoes it back.
+  std::uint64_t cookie = 0;
 
   // Phase-backed views of the old implicit flags.
   FlowPhase phase() const { return fsm.phase(); }

@@ -14,6 +14,17 @@ void PipelineContext::Trace(const FlowKey& key, obs::EventType type, std::uint64
 
 void PipelineContext::Emit(net::Packet p) { net->Send(std::move(p)); }
 
+std::uint64_t PipelineContext::RefreshCookie(const FlowKey& key, LocalFlow& flow) {
+  if (flow.store_mode != StoreMode::kStateless) {
+    return 0;
+  }
+  const VipState* vip = FindVip(key.vip);
+  const std::uint8_t epoch =
+      vip != nullptr ? static_cast<std::uint8_t>(vip->store_epoch & 0xff) : 0;
+  flow.cookie = MintFlowCookie(flow.st, epoch, cfg->cookie_secret);
+  return flow.cookie;
+}
+
 void PipelineContext::EmitForwarded(net::Packet p) {
   cpu->ChargePacket();
   ctr->packets_tunneled->Inc();
@@ -78,7 +89,7 @@ void PipelineContext::CleanupFlow(const FlowKey& key, bool remove_from_store) {
     }
   }
   if (remove_from_store && flow->fsm.syn_state_stored()) {
-    store->Remove(flow->st);
+    store->Remove(flow->st, RemovalMode(*flow));
   }
   flow->fsm.Transition(FlowPhase::kClosed);
   Trace(key, obs::EventType::kCleanup);

@@ -53,6 +53,8 @@ struct PipelineCounters {
   obs::Counter* flows_completed = nullptr;
   obs::Counter* takeovers_client_side = nullptr;
   obs::Counter* takeovers_server_side = nullptr;
+  obs::Counter* takeovers_cookie = nullptr;  // Adoptions served by the cookie alone.
+  obs::Counter* cookie_rejects = nullptr;    // Forged/stale tokens bounced.
   obs::Counter* takeover_misses = nullptr;
   obs::Counter* takeover_retries = nullptr;
   obs::Counter* packets_tunneled = nullptr;
@@ -115,6 +117,19 @@ struct PipelineContext {
 
   // Appends a flight-recorder event for `key` (no-op without a recorder).
   void Trace(const FlowKey& key, obs::EventType type, std::uint64_t detail = 0);
+
+  // Re-mints the flow's signed cookie from its current FlowState (stateless
+  // flows only; returns 0 and clears nothing in stateful mode). Call after
+  // any mutation of the recoverable claims (backend, splice deltas).
+  std::uint64_t RefreshCookie(const FlowKey& key, LocalFlow& flow);
+
+  // The store mode teardown must use for `flow` (adopted stateless flows
+  // delete synchronously; see LocalFlow::adopted).
+  StoreMode RemovalMode(const LocalFlow& flow) const {
+    return flow.store_mode == StoreMode::kStateless && !flow.adopted
+               ? StoreMode::kStateless
+               : StoreMode::kStateful;
+  }
 
   void Emit(net::Packet p);           // Raw send (control packets).
   void EmitForwarded(net::Packet p);  // Adds forward delay + CPU charge.

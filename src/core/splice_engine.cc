@@ -23,6 +23,7 @@ void SpliceEngine::TunnelFromClient(const FlowKey& key, LocalFlow& flow, VipStat
   out.seq = p.seq + flow.st.seq_delta_c2s;
   out.ack = p.ack - flow.st.seq_delta_s2c;
   out.encap_dst = 0;
+  out.cookie = 0;  // The client's echoed token is not for the backend.
   if (p.fin()) {
     flow.fin_from_client = true;
     ctx_->Trace(key, obs::EventType::kFin, 0);
@@ -45,6 +46,10 @@ void SpliceEngine::TunnelFromServer(const FlowKey& key, LocalFlow& flow, const n
   out.seq = p.seq + flow.st.seq_delta_s2c;
   out.ack = p.ack - flow.st.seq_delta_c2s;
   out.encap_dst = 0;
+  // Re-stamp the flow's signed token on the tunneled segment: the client's
+  // TCP echoes the newest one back, keeping the recoverable claims (backend,
+  // splice delta) current on the wire. 0 (stateful) erases any stray echo.
+  out.cookie = flow.cookie;
   // Track the splice point for potential HTTP/1.1 re-switches.
   const std::uint32_t emitted_end =
       out.seq + static_cast<std::uint32_t>(p.payload.size()) + (p.fin() ? 1 : 0);
@@ -169,8 +174,11 @@ void SpliceEngine::PromoteMirrorWinner(const FlowKey& key, LocalFlow& flow,
   const net::FiveTuple winner_side{leg.ip, key.vip, leg.port, key.client_port};
   ctx_->flows->BindServer(winner_side, key);
   ctx_->Trace(key, obs::EventType::kBackendPinned, leg.ip);
+  // The old token's claims are now wrong; re-mint (the new delta usually
+  // stays codable — mirror legs reuse the client ISN, so seq_delta_c2s is 0).
+  ctx_->RefreshCookie(key, flow);
   // Non-gating state update: the retarget rides the write-behind path.
-  ctx_->store->Refresh(flow.st);
+  ctx_->store->Refresh(flow.st, flow.store_mode);
   KillLosingLegs(key, flow, leg.ip);
   TunnelFromServer(key, flow, first_data);
 }

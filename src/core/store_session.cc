@@ -1,6 +1,8 @@
 #include "src/core/store_session.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 namespace yoda {
 
@@ -20,16 +22,30 @@ StoreSession::Ack StoreSession::TimedAck(Ack done) {
   };
 }
 
-void StoreSession::WriteSynState(const FlowState& state, Ack done) {
+void StoreSession::WriteSynState(const FlowState& state, StoreMode mode, Ack done) {
+  if (mode == StoreMode::kStateless) {
+    Journal(state, /*remove=*/false);
+    done(true);  // The cookie gates progress; the store never does.
+    return;
+  }
   store_->StoreConnectionState(state, TimedAck(std::move(done)));
 }
 
-void StoreSession::WriteEstablishedState(const FlowState& state, Ack done) {
+void StoreSession::WriteEstablishedState(const FlowState& state, StoreMode mode, Ack done) {
+  if (mode == StoreMode::kStateless) {
+    Journal(state, /*remove=*/false);
+    done(true);
+    return;
+  }
   store_->StoreTunnelingState(state, TimedAck(std::move(done)));
 }
 
-void StoreSession::Refresh(const FlowState& state) {
+void StoreSession::Refresh(const FlowState& state, StoreMode mode) {
   ++stats_.refreshes;
+  if (mode == StoreMode::kStateless) {
+    Journal(state, /*remove=*/false);
+    return;
+  }
   const std::string key =
       ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port);
   auto it = refreshes_.find(key);
@@ -59,12 +75,87 @@ void StoreSession::IssueRefresh(const std::string& key, const FlowState& state) 
   });
 }
 
-void StoreSession::Remove(const FlowState& state) {
+void StoreSession::Remove(const FlowState& state, StoreMode mode) {
   ++stats_.removes;
+  const std::string key =
+      ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port);
   // A queued (not yet issued) refresh must never land after the delete.
-  refreshes_.erase(
-      ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port));
+  refreshes_.erase(key);
+  if (mode == StoreMode::kStateless) {
+    if (!flushed_.contains(key)) {
+      // The flow's state never left this instance: nothing to delete.
+      journal_.erase(key);
+      return;
+    }
+    Journal(state, /*remove=*/true);
+    return;
+  }
+  ++stats_.sync_removes;
   store_->Remove(state, [](bool) {});
+}
+
+void StoreSession::Journal(const FlowState& state, bool remove) {
+  const std::string key =
+      ClientFlowKey(state.vip, state.vip_port, state.client_ip, state.client_port);
+  ++stats_.journal_appends;
+  auto it = journal_.find(key);
+  if (it != journal_.end()) {
+    ++stats_.journal_coalesced;
+    it->second.state = state;
+    it->second.remove = remove;
+  } else {
+    journal_.emplace(key, JournalEntry{state, remove});
+  }
+  ArmJournalTimer();
+}
+
+void StoreSession::ArmJournalTimer() {
+  if (journal_timer_armed_ || sim_ == nullptr) {
+    return;
+  }
+  journal_timer_armed_ = true;
+  journal_timer_ = sim_->After(journal_flush_interval_, [this]() {
+    journal_timer_armed_ = false;
+    if (!alive()) {
+      return;  // A crashed instance's journal dies with it.
+    }
+    FlushJournalNow();
+  });
+}
+
+void StoreSession::FlushJournalNow() {
+  if (journal_.empty() || !alive()) {
+    return;
+  }
+  // Drain in sorted key order so the flush's store traffic is independent of
+  // hash-map iteration order (trace-digest determinism across runs).
+  std::vector<std::string> keys;
+  keys.reserve(journal_.size());
+  for (const auto& [key, entry] : journal_) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  ++stats_.journal_flushes;
+  if (journal_depth_hist_ != nullptr) {
+    journal_depth_hist_->Add(static_cast<double>(keys.size()));
+  }
+  for (const std::string& key : keys) {
+    auto it = journal_.find(key);
+    JournalEntry entry = std::move(it->second);
+    journal_.erase(it);
+    ++stats_.journal_entries_flushed;
+    if (entry.remove) {
+      flushed_.erase(key);
+      store_->Remove(entry.state, [](bool) {});
+      continue;
+    }
+    flushed_.insert(key);
+    if (entry.state.stage == FlowStage::kTunneling) {
+      store_->StoreTunnelingState(entry.state, [](bool) {});
+    } else {
+      store_->StoreConnectionState(entry.state, [](bool) {});
+    }
+  }
 }
 
 void StoreSession::LookupByClient(net::IpAddr vip, net::Port vip_port, net::IpAddr client_ip,

@@ -18,7 +18,49 @@ void TakeoverEngine::TakeoverClientSide(const FlowKey& key, const net::Packet& p
   flow->takeover_start = ctx_->sim->now();
   flow->stalled.push_back(p);
   ctx_->flows->Insert(key, std::move(flow));
+  // Fallback ladder: (1) reconstruct from the packet's signed cookie —
+  // zero store round-trips; (2) the write-behind journal in TCPStore, with
+  // the existing bounded re-fetch riding out the flush interval; (3) final
+  // miss resets the flow explicitly.
+  if (TryCookieAdopt(key, p)) {
+    return;
+  }
   ClientTakeoverLookup(key, /*attempt=*/0);
+}
+
+bool TakeoverEngine::TryCookieAdopt(const FlowKey& key, const net::Packet& p) {
+  VipState* vip = ctx_->FindVip(key.vip);
+  if (vip == nullptr || vip->store_mode != StoreMode::kStateless || p.cookie == 0) {
+    return false;
+  }
+  CookieClaims claims;
+  const CookieVerdict verdict =
+      DecodeCookie(p.cookie, key.vip, key.vip_port, key.client_ip, key.client_port,
+                   ctx_->cfg->cookie_secret,
+                   static_cast<std::uint8_t>(vip->store_epoch & 0xff), &claims);
+  if (verdict != CookieVerdict::kOk) {
+    ctx_->ctr->cookie_rejects->Inc();
+    ctx_->Trace(key, obs::EventType::kCookieReject,
+                static_cast<std::uint64_t>(verdict));
+    return false;  // Forged or minted under an older install: journal decides.
+  }
+  const std::optional<FlowState> st = FlowStateFromCookie(
+      claims, key.vip, key.vip_port, key.client_ip, key.client_port, vip->backends,
+      /*backend_port=*/80);
+  if (!st) {
+    return false;  // Journal-pinned token or claimed backend left the pool.
+  }
+  ctx_->ctr->takeovers_cookie->Inc();
+  ctx_->ctr->takeovers_client_side->Inc();
+  ctx_->Trace(key, obs::EventType::kCookieAdopt, st->backend_ip);
+  ctx_->Trace(key, obs::EventType::kTakeoverClient);
+  LocalFlow* f = ctx_->flows->Find(key);
+  if (f != nullptr) {
+    f->store_mode = StoreMode::kStateless;
+    f->cookie = p.cookie;  // The claims still hold; keep echoing them.
+  }
+  AdoptFlow(key, *st);
+  return true;
 }
 
 void TakeoverEngine::ClientTakeoverLookup(const FlowKey& key, int attempt) {
@@ -88,9 +130,22 @@ void TakeoverEngine::ServerTakeoverLookup(const net::Packet& p, int attempt) {
               backoff *= 2;
             }
             ctx_->sim->After(backoff, [this, p, attempt]() {
-              if (ctx_->alive()) {
-                ServerTakeoverLookup(p, attempt + 1);
+              if (!ctx_->alive()) {
+                return;
               }
+              // A client-side adoption (cookie or journal) may have bound
+              // the reverse tuple while we backed off — deliver locally
+              // instead of re-querying the store.
+              const FlowKey* bound = ctx_->flows->FindServer(p.tuple());
+              if (bound != nullptr) {
+                const FlowKey key = *bound;
+                LocalFlow* f = ctx_->flows->Find(key);
+                if (f != nullptr && f->established()) {
+                  ctx_->splice->TunnelFromServer(key, *f, p);
+                  return;
+                }
+              }
+              ServerTakeoverLookup(p, attempt + 1);
             });
             return;
           }
@@ -130,6 +185,7 @@ void TakeoverEngine::AdoptFlow(const FlowKey& key, const FlowState& st) {
   std::vector<net::Packet> stalled = std::move(flow->stalled);
   flow->stalled.clear();
   flow->last_packet = ctx_->sim->now();
+  flow->adopted = true;  // Teardown uses the synchronous remove path.
   flow->st = st;
   flow->client_facing_nxt = st.lb_isn + 1;
   (*ctx_->backend_load)[st.backend_ip] += st.stage == FlowStage::kTunneling ? 1 : 0;

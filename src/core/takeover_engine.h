@@ -29,6 +29,12 @@ class TakeoverEngine {
   void AdoptFlow(const FlowKey& key, const FlowState& st);
 
  private:
+  // Stateless fast path: reconstruct the flow from the packet's signed
+  // cookie (zero store round-trips). False when the VIP is stateful, the
+  // token is absent/forged/stale, or the claims are journal-pinned — the
+  // caller falls back to the store (journal) lookup.
+  bool TryCookieAdopt(const FlowKey& key, const net::Packet& p);
+
   // Bounded re-fetch plumbing for TCPStore misses during takeover.
   void ClientTakeoverLookup(const FlowKey& key, int attempt);
   void ServerTakeoverLookup(const net::Packet& p, int attempt);

@@ -32,6 +32,8 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
   ctr_.flows_completed = counter("yoda.flows_completed");
   ctr_.takeovers_client_side = counter("yoda.takeovers_client_side");
   ctr_.takeovers_server_side = counter("yoda.takeovers_server_side");
+  ctr_.takeovers_cookie = counter("yoda.takeovers_cookie");
+  ctr_.cookie_rejects = counter("yoda.cookie_rejects");
   ctr_.takeover_misses = counter("yoda.takeover_misses");
   ctr_.takeover_retries = counter("yoda.takeover_retries");
   ctr_.packets_tunneled = counter("yoda.packets_tunneled");
@@ -50,6 +52,32 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
   stage_.takeover_ms = histogram("yoda.stage.takeover_ms");
   stage_.connection_phase_ms = histogram("yoda.connection_phase_ms");
   store_session_.set_store_wait_histogram(stage_.store_ms);
+  store_session_.set_journal_flush_depth_histogram(
+      &registry_->GetHistogram("yoda.store.journal_flush_depth", labels));
+  store_session_.set_liveness(&failed_);
+  store_session_.set_journal_flush_interval(cfg_.journal_flush_interval);
+  // Fig 10's "sets per request" plus the journal demotion counters, computed
+  // from the session stats at export time.
+  auto provider_gauge = [&](const char* name, std::function<double()> fn) {
+    obs::Gauge& g = registry_->GetGauge(name, labels);
+    g.SetProvider(std::move(fn));
+    provider_gauges_.push_back(&g);
+  };
+  provider_gauge("yoda.store.sets_per_request", [this]() {
+    const StoreSessionStats& st = store_session_.stats();
+    const double flows = static_cast<double>(ctr_.flows_started->value());
+    return static_cast<double>(st.ack_point_writes + st.sync_removes) /
+           std::max(1.0, flows);
+  });
+  provider_gauge("yoda.store.journal_appends", [this]() {
+    return static_cast<double>(store_session_.stats().journal_appends);
+  });
+  provider_gauge("yoda.store.journal_coalesced", [this]() {
+    return static_cast<double>(store_session_.stats().journal_coalesced);
+  });
+  provider_gauge("yoda.store.journal_flushes", [this]() {
+    return static_cast<double>(store_session_.stats().journal_flushes);
+  });
 
   pipe_.sim = sim_;
   pipe_.net = net_;
@@ -82,7 +110,11 @@ YodaInstance::YodaInstance(sim::Simulator* simulator, net::Network* network,
   }
 }
 
-YodaInstance::~YodaInstance() = default;
+YodaInstance::~YodaInstance() {
+  for (obs::Gauge* g : provider_gauges_) {
+    g->Set(g->value());  // Freeze: the provider captures `this`.
+  }
+}
 
 void YodaInstance::ArmIdleScan() {
   sim_->After(
@@ -112,6 +144,8 @@ YodaInstanceStats YodaInstance::stats() const {
   s.flows_completed = ctr_.flows_completed->value();
   s.takeovers_client_side = ctr_.takeovers_client_side->value();
   s.takeovers_server_side = ctr_.takeovers_server_side->value();
+  s.takeovers_cookie = ctr_.takeovers_cookie->value();
+  s.cookie_rejects = ctr_.cookie_rejects->value();
   s.takeover_misses = ctr_.takeover_misses->value();
   s.takeover_retries = ctr_.takeover_retries->value();
   s.packets_tunneled = ctr_.packets_tunneled->value();
@@ -210,12 +244,35 @@ bool YodaInstance::SetBackendHealth(net::IpAddr backend, bool healthy, std::uint
   return true;
 }
 
+bool YodaInstance::SetStoreMode(net::IpAddr vip, StoreMode mode, std::uint64_t epoch,
+                                std::uint64_t token) {
+  audit_.Check();
+  if (StaleControlToken(token)) {
+    return false;
+  }
+  VipState* state = FindVip(vip);
+  if (state == nullptr) {
+    return false;
+  }
+  state->store_mode = mode;
+  state->store_epoch = epoch;
+  if (recorder_ != nullptr) {
+    recorder_->RecordSystem(sim_->now(), obs::EventType::kStoreModeSet, vip,
+                            (static_cast<std::uint64_t>(mode) << 32) |
+                                (epoch & 0xffffffffULL));
+  }
+  return true;
+}
+
 void YodaInstance::Fail() {
   audit_.Check();
   failed_ = true;
   flow_table_.Clear();
   traffic_.clear();
   backend_load_.clear();
+  // Unflushed journal entries die with the instance: whoever adopts the flow
+  // either reconstructs it from the cookie or finds the last flushed state.
+  store_session_.DropJournal();
 }
 
 void YodaInstance::Recover() {

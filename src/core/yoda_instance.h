@@ -50,6 +50,8 @@ struct YodaInstanceStats {
   std::uint64_t flows_completed = 0;
   std::uint64_t takeovers_client_side = 0;
   std::uint64_t takeovers_server_side = 0;
+  std::uint64_t takeovers_cookie = 0;  // Adoptions served by the signed cookie.
+  std::uint64_t cookie_rejects = 0;    // Forged or stale-epoch tokens bounced.
   std::uint64_t takeover_misses = 0;   // Final misses (after retries).
   std::uint64_t takeover_retries = 0;  // Re-issued takeover lookups.
   std::uint64_t packets_tunneled = 0;
@@ -103,6 +105,19 @@ class YodaInstance : public net::Node {
   int RuleCount(net::IpAddr vip) const;
   // Backend health as observed by the controller's monitor.
   bool SetBackendHealth(net::IpAddr backend, bool healthy, std::uint64_t token = 0);
+  // Switches the VIP's per-flow store contract: the paper's synchronous
+  // ACK-point writes (kStateful) or the cookie-derived fast path with a
+  // write-behind takeover journal (kStateless). `epoch` becomes the VIP's
+  // cookie epoch — tokens minted under earlier installs are rejected as
+  // stale and fall back to the journal. Existing flows keep the mode they
+  // latched at creation (make-before-break); false when this instance does
+  // not serve the VIP.
+  bool SetStoreMode(net::IpAddr vip, StoreMode mode, std::uint64_t epoch,
+                    std::uint64_t token = 0);
+  StoreMode VipStoreMode(net::IpAddr vip) const {
+    auto it = vips_.find(vip);
+    return it == vips_.end() ? StoreMode::kStateful : it->second.store_mode;
+  }
   // Highest fencing token ever seen (0 = only unfenced writes).
   std::uint64_t ControlToken() const { return control_token_; }
 
@@ -143,6 +158,8 @@ class YodaInstance : public net::Node {
   // tests and tooling.
   const FlowTable& flow_table() const { return flow_table_; }
   const StoreSession& store_session() const { return store_session_; }
+  // Mutable view for tests that force a journal flush boundary.
+  StoreSession& mutable_store_session() { return store_session_; }
 
   // Reads and clears the per-VIP traffic window.
   std::map<net::IpAddr, VipTraffic> DrainTrafficCounters();
@@ -189,6 +206,10 @@ class YodaInstance : public net::Node {
   std::unordered_map<net::IpAddr, int> backend_load_;  // Active flows per backend.
 
   obs::Counter* fenced_writes_ctr_ = nullptr;
+  // Gauges whose providers capture `this`; frozen to plain values in the
+  // dtor so a registry that outlives the instance never calls a dangling
+  // closure.
+  std::vector<obs::Gauge*> provider_gauges_;
   std::unique_ptr<obs::Registry> owned_registry_;  // Fallback when cfg has none.
   obs::Registry* registry_ = nullptr;              // Never null after ctor.
   obs::FlightRecorder* recorder_ = nullptr;        // Null disables tracing.

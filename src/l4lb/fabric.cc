@@ -139,6 +139,27 @@ void L4Fabric::RemovePoolMember(net::IpAddr vip, net::IpAddr instance, std::uint
   });
 }
 
+void L4Fabric::SetStoreMode(net::IpAddr vip, bool stateless, std::uint64_t epoch,
+                            sim::Duration per_mux_delay, std::uint64_t token) {
+  OnShard([this, vip, stateless, epoch, per_mux_delay, token]() {
+    for (std::size_t i = 0; i < muxes_.size(); ++i) {
+      Mux* mux = muxes_[i].get();
+      if (per_mux_delay == 0) {
+        if (!mux->SetStoreMode(vip, stateless, epoch, token)) {
+          NoteFenced(vip, token, *mux);
+        }
+        continue;
+      }
+      sim_->After(per_mux_delay * static_cast<sim::Duration>(i),
+                  [this, mux, vip, stateless, epoch, token]() {
+                    if (!mux->SetStoreMode(vip, stateless, epoch, token)) {
+                      NoteFenced(vip, token, *mux);
+                    }
+                  });
+    }
+  });
+}
+
 void L4Fabric::RemoveInstanceEverywhere(net::IpAddr instance) {
   OnShard([this, instance]() {
     for (auto& mux : muxes_) {

@@ -81,6 +81,13 @@ struct Packet {
   // Monotonic id assigned by the network on first send; for tracing only.
   std::uint64_t trace_id = 0;
 
+  // Stateless-LB flow token (models the SYN-cookie ISN plus the TCP
+  // timestamp-option echo): the LB stamps a signed claim on packets toward
+  // the client, the client's TCP echoes the last token it saw on everything
+  // it sends back, and any LB instance can recover the flow's backend and
+  // splice offsets from it without a store lookup. 0 = no token.
+  std::uint64_t cookie = 0;
+
   bool has(TcpFlag f) const { return (flags & f) != 0; }
   bool syn() const { return has(kSyn); }
   bool ack_flag() const { return has(kAck); }

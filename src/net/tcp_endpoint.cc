@@ -45,6 +45,9 @@ TcpEndpoint::~TcpEndpoint() {
 void TcpEndpoint::Emit(Packet p) {
   ++stats_.segments_sent;
   stats_.bytes_sent += p.payload.size();
+  if (p.cookie == 0) {
+    p.cookie = echo_cookie_;  // Timestamp-option echo of the peer's token.
+  }
   sink_(std::move(p));
 }
 
@@ -459,6 +462,9 @@ void TcpEndpoint::ProcessFin(const Packet& p) {
 
 void TcpEndpoint::HandlePacket(const Packet& p) {
   ++stats_.segments_received;
+  if (p.cookie != 0) {
+    echo_cookie_ = p.cookie;  // Remember the peer's latest flow token.
+  }
   if (p.rst()) {
     CancelRto();
     state_ = TcpState::kReset;

@@ -111,6 +111,7 @@ class TcpEndpoint {
   std::uint32_t snd_isn() const { return snd_isn_; }
   std::uint32_t rcv_isn() const { return rcv_isn_; }
   std::uint32_t bytes_unacked() const { return static_cast<std::uint32_t>(sendq_.size()); }
+  std::uint64_t echoed_cookie() const { return echo_cookie_; }
 
  private:
   void Emit(Packet p);
@@ -162,6 +163,11 @@ class TcpEndpoint {
   double cwnd_ = 10;
   double ssthresh_ = 64;
   int dup_acks_ = 0;
+
+  // Last non-zero flow token received from the peer; echoed on every
+  // outgoing segment (models the TCP timestamp-option echo that carries the
+  // stateless LB's SYN-cookie claims back through the client).
+  std::uint64_t echo_cookie_ = 0;
 
   // Retransmission.
   sim::TimerHandle rto_timer_;

@@ -100,6 +100,12 @@ const char* EventTypeName(EventType type) {
       return "ReconcileAbort";
     case EventType::kPlanResumed:
       return "PlanResumed";
+    case EventType::kCookieAdopt:
+      return "CookieAdopt";
+    case EventType::kCookieReject:
+      return "CookieReject";
+    case EventType::kStoreModeSet:
+      return "StoreModeSet";
   }
   return "Unknown";
 }

@@ -114,6 +114,15 @@ enum class EventType : std::uint8_t {
   kPlanResumed,          // A newly elected leader re-drove a journaled
                          // in-flight plan. where=epoch (low 32),
                          // detail=(steps already applied << 32) | plan id.
+  // --- flow scope (stateless fast path: signed SYN-cookie ISNs) ---
+  kCookieAdopt,          // Flow reconstructed from the packet's signed
+                         // cookie, no store lookup. detail=backend ip.
+  kCookieReject,         // Cookie failed HMAC/epoch verification; takeover
+                         // fell back to the journal. detail=1 bad HMAC,
+                         // 2 stale epoch.
+  // --- system scope (store-mode policy) ---
+  kStoreModeSet,         // Per-VIP store mode installed. where=vip,
+                         // detail=(mode << 32) | install epoch (low 32).
 };
 
 // detail payload of kFlowReset.

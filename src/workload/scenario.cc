@@ -116,6 +116,14 @@ void ApplyControlEvent(Testbed& tb, const Scenario& scenario, const ScenarioEven
       say("update rules for " + ev.args[0]);
       ctl->UpdateVipRules(*vip, {*rule});
     }
+  } else if (ev.action == "store-mode" && ev.args.size() >= 2) {
+    auto vip = ParseIp(ev.args[0]);
+    const std::string& mode = ev.args[1];
+    if (vip && (mode == "stateful" || mode == "stateless")) {
+      say("store mode " + mode + " for " + ev.args[0]);
+      ctl->SetStoreMode(*vip, mode == "stateless" ? yoda::StoreMode::kStateless
+                                                  : yoda::StoreMode::kStateful);
+    }
   }
 }
 
@@ -173,6 +181,10 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
   Scenario sc;
   sc.testbed.yoda_instances = 2;
   sc.testbed.backends = 3;
+
+  // `store-mode <mode>` with no VIP retroactively covers every VIP already
+  // defined and seeds the default for VIPs defined after it.
+  yoda::StoreMode default_store_mode = yoda::StoreMode::kStateful;
 
   auto find_vip = [&sc](net::IpAddr vip) -> Scenario::VipDef* {
     for (auto& def : sc.vips) {
@@ -294,7 +306,7 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
         Fail(error, line_no, "bad vip address: " + toks[1]);
         return std::nullopt;
       }
-      sc.vips.push_back(Scenario::VipDef{*vip, {}, std::nullopt, 0});
+      sc.vips.push_back(Scenario::VipDef{*vip, {}, std::nullopt, 0, default_store_mode});
     } else if (cmd == "rule") {
       if (!need(2)) {
         return std::nullopt;
@@ -326,6 +338,37 @@ std::optional<Scenario> ParseScenario(const std::string& text, std::string* erro
       }
       def->tls_cert = toks[3];
       def->tls_key = static_cast<std::uint64_t>(n);
+    } else if (cmd == "store-mode") {
+      // store-mode <stateful|stateless>          (every VIP, defined or future)
+      // store-mode <vip> <stateful|stateless>    (one VIP)
+      auto parse_mode = [](const std::string& tok) -> std::optional<yoda::StoreMode> {
+        if (tok == "stateful") {
+          return yoda::StoreMode::kStateful;
+        }
+        if (tok == "stateless") {
+          return yoda::StoreMode::kStateless;
+        }
+        return std::nullopt;
+      };
+      if (!need(1)) {
+        return std::nullopt;
+      }
+      if (auto mode = parse_mode(toks[1])) {
+        default_store_mode = *mode;
+        for (auto& def : sc.vips) {
+          def.store_mode = *mode;
+        }
+      } else {
+        auto vip = ParseIp(toks[1]);
+        Scenario::VipDef* def = vip ? find_vip(*vip) : nullptr;
+        std::optional<yoda::StoreMode> vip_mode =
+            toks.size() > 2 ? parse_mode(toks[2]) : std::nullopt;
+        if (def == nullptr || !vip_mode) {
+          Fail(error, line_no, "usage: store-mode [<vip>] <stateful|stateless>");
+          return std::nullopt;
+        }
+        def->store_mode = *vip_mode;
+      }
     } else if (cmd == "at") {
       if (!need(2)) {
         return std::nullopt;
@@ -449,6 +492,9 @@ ScenarioReport RunScenarioSharded(const Scenario& scenario, std::ostream* log,
     }
     for (const auto& def : scenario.vips) {
       ctl(tb)->DefineVip(def.vip, 80, def.vip_rules);
+      if (def.store_mode != yoda::StoreMode::kStateful) {
+        ctl(tb)->SetStoreMode(def.vip, def.store_mode);
+      }
       if (def.tls_cert) {
         for (auto& inst : tb.instances) {
           inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
@@ -642,6 +688,9 @@ ScenarioReport RunScenarioIntra(const Scenario& scenario, std::ostream* log,
   }
   for (const auto& def : scenario.vips) {
     ctl()->DefineVip(def.vip, 80, def.vip_rules);
+    if (def.store_mode != yoda::StoreMode::kStateful) {
+      ctl()->SetStoreMode(def.vip, def.store_mode);
+    }
     if (def.tls_cert) {
       for (auto& inst : tb.instances) {
         inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);
@@ -818,6 +867,9 @@ ScenarioReport RunScenario(const Scenario& scenario, std::ostream* log,
   }
   for (const auto& def : scenario.vips) {
     ctl()->DefineVip(def.vip, 80, def.vip_rules);
+    if (def.store_mode != yoda::StoreMode::kStateful) {
+      ctl()->SetStoreMode(def.vip, def.store_mode);
+    }
     if (def.tls_cert) {
       for (auto& inst : tb.instances) {
         inst->InstallVipTls(def.vip, *def.tls_cert, def.tls_key);

@@ -18,7 +18,9 @@
 //   vip 10.200.0.1                       # define a VIP (port 80)
 //   rule 10.200.0.1 name=r1 priority=1 url=* split=10.3.0.1,10.3.0.2
 //   tls 10.200.0.1 cert MY-CERT key 4242 # enable SSL termination
+//   store-mode stateless                 # all VIPs (or: store-mode <vip> <mode>)
 //   at 0ms load 10.200.0.1 rate 200 duration 10s [tls]
+//   at 4s store-mode 10.200.0.1 stateful # flip a VIP's store contract live
 //   at 5s fail-instance 0
 //   at 6s recover-instance 0
 //   at 7s fail-backend 1
@@ -79,6 +81,10 @@ struct Scenario {
     std::vector<rules::Rule> vip_rules;
     std::optional<std::string> tls_cert;
     std::uint64_t tls_key = 0;
+    // `store-mode` directive: the VIP's per-flow store contract, installed
+    // through the controller right after DefineVip. Stateless demotes the
+    // three ACK-point store writes to the write-behind takeover journal.
+    yoda::StoreMode store_mode = yoda::StoreMode::kStateful;
   };
   std::vector<VipDef> vips;
   std::vector<ScenarioEvent> events;

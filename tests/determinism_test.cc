@@ -104,6 +104,30 @@ std::string IntraScenarioText(std::uint64_t seed, int threads) {
   return out.str();
 }
 
+// The intra-cell timeline again, with the VIP on the stateless fast path and
+// a mid-run store-mode flip: cookie minting, journal flush timers and the
+// make-before-break rollout must all stay worker-count-invariant.
+std::string IntraStatelessScenarioText(std::uint64_t seed, int threads) {
+  std::ostringstream out;
+  out << "seed " << seed << "\n"
+      << "instances 2\nspares 1\nbackends 3\nkv-servers 3\nclients 2\n"
+      << "intra-threads " << threads << "\n"
+      << "place controller 0\n"
+      << "place fabric 0\n"
+      << "place instance 0 5\n"
+      << "place backend 2 5\n"
+      << "vip 10.200.0.1\n"
+      << "rule 10.200.0.1 name=r-all priority=1 url=* split=10.3.0.1,10.3.0.2,10.3.0.3\n"
+      << "store-mode stateless\n"
+      << "at 0ms load 10.200.0.1 rate 40 duration 1200ms\n"
+      << "at 400ms fail-instance 0\n"
+      << "at 700ms fail-backend 1\n"
+      << "at 900ms recover-instance 0\n"
+      << "at 1000ms store-mode 10.200.0.1 stateful\n"
+      << "at 1100ms add-instance\n";
+  return out.str();
+}
+
 ScenarioReport RunText(const std::string& text) {
   std::string error;
   auto scenario = ParseScenario(text, &error);
@@ -150,6 +174,28 @@ TEST(Determinism, IntraCellDigestInvariantAcrossWorkerCounts) {
       }
       EXPECT_EQ(got, want) << "seed " << seed << " threads " << threads
                            << ": intra-cell digest diverged from the single-worker run";
+      EXPECT_EQ(r.requests_ok, want_ok) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(Determinism, IntraCellStatelessDigestInvariantAcrossWorkerCounts) {
+  const std::uint64_t seeds[] = {7, 1337, 90210};
+  for (std::uint64_t seed : seeds) {
+    std::uint64_t want = 0;
+    std::uint64_t want_ok = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      const ScenarioReport r = RunText(IntraStatelessScenarioText(seed, threads));
+      EXPECT_EQ(r.cells, 1);
+      EXPECT_GT(r.requests_ok, 0u) << "seed " << seed;
+      const std::uint64_t got = FullDigest(r);
+      if (threads == 1) {
+        want = got;
+        want_ok = r.requests_ok;
+        continue;
+      }
+      EXPECT_EQ(got, want) << "seed " << seed << " threads " << threads
+                           << ": placed stateless digest diverged from the single-worker run";
       EXPECT_EQ(r.requests_ok, want_ok) << "seed " << seed << " threads " << threads;
     }
   }

@@ -66,6 +66,18 @@ void PrintChangelogFromTrace(const workload::Testbed& tb, std::uint64_t only_epo
   }
 }
 
+// Per-VIP store contract (PR "stateless fast path"): which mode each VIP runs
+// and the epoch its cookies are minted against (stale-epoch cookies fall back
+// to the takeover journal).
+void PrintStoreModes(const workload::Testbed& tb) {
+  std::printf("\nvip store modes:\n");
+  for (const auto& [vip, desired] : tb.controller->state().vips()) {
+    std::printf("  %-15s %-9s install-epoch=%llu\n", obs::FormatIp(vip).c_str(),
+                yoda::StoreModeName(desired.store_mode),
+                static_cast<unsigned long long>(desired.store_mode_epoch));
+  }
+}
+
 void PrintReconcileTimeline(workload::Testbed& tb, std::uint64_t only_epoch) {
   const auto& journal = tb.controller->actuator().journal();
   std::printf("\nreconcile timeline (%zu executed steps):\n", journal.size());
@@ -205,6 +217,7 @@ int main(int argc, char** argv) {
     } else {
       PrintChangelog(tb, only_epoch);
     }
+    PrintStoreModes(tb);
     PrintReconcileTimeline(tb, only_epoch);
   });
   return 0;
